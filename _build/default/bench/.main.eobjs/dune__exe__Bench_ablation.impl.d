@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Bench_util Coll Comm Datatype Engine Kamping Kamping_plugins List Mpisim Printf Runtime

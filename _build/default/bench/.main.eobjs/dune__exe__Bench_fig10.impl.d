@@ -1,0 +1,1 @@
+bench/bench_fig10.ml: Bench_util Bfs Coll Comm Engine Float Fun Graphgen Kamping List Mpisim Printf Runtime

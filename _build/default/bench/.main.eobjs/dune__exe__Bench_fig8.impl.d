@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Array Bench_util Comm Engine Float Fun List Mpisim Printf Sample_sort Xoshiro

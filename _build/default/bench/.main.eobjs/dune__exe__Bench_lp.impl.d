@@ -1,0 +1,1 @@
+bench/bench_lp.ml: Bench_util Comm Engine Graphgen Kamping Label_propagation List Mpisim Printf

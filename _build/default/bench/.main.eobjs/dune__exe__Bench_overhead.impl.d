@@ -1,0 +1,1 @@
+bench/bench_overhead.ml: Array Bench_util Coll Comm Datatype Engine Kamping List Mpisim Net_model Printf Runtime

@@ -1,0 +1,1 @@
+bench/bench_pingpong.ml: Array Bench_util Coll Comm Datatype Engine List Mpisim Net_model P2p Printf Reduce_op Runtime

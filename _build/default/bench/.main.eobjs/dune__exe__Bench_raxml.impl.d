@@ -1,0 +1,1 @@
+bench/bench_raxml.ml: Bench_util Comm Engine Int64 List Mpisim Phylo Printf

@@ -1,0 +1,1 @@
+bench/bench_repro.ml: Array Bench_util Comm Engine Int64 Kamping Kamping_plugins List Mpisim Printf String

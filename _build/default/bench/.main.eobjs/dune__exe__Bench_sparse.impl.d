@@ -1,0 +1,1 @@
+bench/bench_sparse.ml: Array Bench_util Coll Comm Comm_ops Datatype Engine Hashtbl Kamping Kamping_plugins List Mpisim Printf

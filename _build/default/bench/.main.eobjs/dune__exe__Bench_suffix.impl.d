@@ -1,0 +1,1 @@
+bench/bench_suffix.ml: Bench_util Comm Engine Mpisim Printf Suffix_array

@@ -1,0 +1,1 @@
+bench/bench_types.ml: Array Bench_util Bytes Char Datatype Int64 List Mpisim Net_model Printf Serial Wire

@@ -1,0 +1,1 @@
+bench/bench_ulfm.ml: Bench_util Comm Datatype Engine Fault Kamping Kamping_plugins List Mpisim Reduce_op Runtime

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Filename Hashtbl List Mpisim Option Printf Staged String Sys Test Time Toolkit Unix

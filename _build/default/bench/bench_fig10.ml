@@ -1,0 +1,75 @@
+(* Figure 10: BFS weak scaling on three graph families, comparing the
+   frontier-exchange strategies.
+
+   Weak scaling: each rank holds [n_per_rank] vertices and ~[m_per_rank]
+   edges (paper: 2^12 and 2^15; scaled down by default).  Reported time is
+   the simulated makespan of the whole BFS (including any per-run
+   topology/grid setup).
+
+   Expected shape (paper Fig. 10):
+   - kamping == mpi at every configuration (zero overhead);
+   - grid the most scalable on RHG (and GNM, less pronounced);
+   - sparse needed to be competitive on RGG (high diameter, high
+     locality), close to the static neighbor collectives;
+   - neighbor-with-rebuild does not scale. *)
+
+open Mpisim
+
+type family = Gnm | Rgg | Rhg
+
+let family_name = function Gnm -> "GNM" | Rgg -> "RGG-2D" | Rhg -> "RHG"
+
+let generate family comm ~n_per_rank ~m_per_rank ~seed =
+  match family with
+  | Gnm -> Graphgen.Gnm.generate comm ~n_per_rank ~m_per_rank ~seed
+  | Rgg -> Graphgen.Rgg2d.generate comm ~n_per_rank ~seed ()
+  | Rhg -> Graphgen.Rhg.generate comm ~n_per_rank ~seed ()
+
+(* Simulated time of the BFS proper (graph generation excluded): we take
+   the makespan delta around the search.  Minimum of [reps] runs filters
+   measured-compute noise. *)
+let run_one ?(reps = 2) ~ranks ~n_per_rank ~m_per_rank family exchanger : float =
+  let once () =
+    let t_bfs = ref 0. in
+    let (_ : Engine.report) =
+      Engine.run ~ranks (fun mpi ->
+          let comm = Kamping.Communicator.of_mpi mpi in
+          let g = generate family comm ~n_per_rank ~m_per_rank ~seed:99 in
+          Coll.barrier mpi;
+          let rt = Comm.runtime mpi in
+          let start = Runtime.clock rt (Comm.world_rank mpi) in
+          ignore (Bfs.Exchangers.bfs mpi g ~source:0 ~exchanger);
+          Coll.barrier mpi;
+          let stop = Runtime.clock rt (Comm.world_rank mpi) in
+          if Comm.rank mpi = 0 then t_bfs := stop -. start)
+    in
+    !t_bfs
+  in
+  List.fold_left (fun acc _ -> Float.min acc (once ())) (once ()) (List.init (reps - 1) Fun.id)
+
+let run ?(max_p = 64) ?(n_per_rank = 256) ?(m_per_rank = 1024) ?reps () =
+  Bench_util.section
+    (Printf.sprintf
+       "Figure 10: BFS weak scaling (%d vertices, ~%d edges per rank, simulated time)"
+       n_per_rank m_per_rank);
+  let ps =
+    let rec go p acc = if p > max_p then List.rev acc else go (p * 4) (p :: acc) in
+    go 4 []
+  in
+  List.iter
+    (fun family ->
+      Printf.printf "\n--- %s ---\n" (family_name family);
+      let header = "p" :: List.map Bfs.Exchangers.exchanger_name Bfs.Exchangers.all in
+      let rows =
+        List.map
+          (fun p ->
+            string_of_int p
+            :: List.map
+                 (fun ex ->
+                   Bench_util.time_str
+                     (run_one ?reps ~ranks:p ~n_per_rank ~m_per_rank family ex))
+                 Bfs.Exchangers.all)
+          ps
+      in
+      Bench_util.print_table ~header rows)
+    [ Gnm; Rgg; Rhg ]

@@ -1,0 +1,68 @@
+(* Figure 8: sample-sort weak scaling across binding styles.
+
+   Weak scaling: each rank holds [per_rank] uniform 64-bit integers (the
+   paper uses 10^6; the default here is scaled down, full size via the
+   CLI).  Reported time is the simulated makespan (per-rank measured
+   compute + modelled communication).
+
+   Expected shape (paper Fig. 8): MPI, Boost, RWTH and KaMPIng within
+   noise of each other at every p (the zero-overhead claim); MPL clearly
+   slower as p grows (alltoallw lowering). *)
+
+open Mpisim
+
+let variants : (string * (Comm.t -> int array -> int array)) list =
+  [
+    ("mpi", Sample_sort.Ss_mpi.sort);
+    ("boost", Sample_sort.Ss_boost.sort);
+    ("mpl", Sample_sort.Ss_mpl.sort);
+    ("rwth", Sample_sort.Ss_rwth.sort);
+    ("kamping", Sample_sort.Ss_kamping.sort);
+  ]
+
+(* Minimum of [reps] runs: the workload is deterministic, so the minimum
+   filters out GC and scheduling noise in the measured-compute component. *)
+let run_one ?(reps = 5) ~ranks ~per_rank (sorter : Comm.t -> int array -> int array) :
+    float =
+  let once () =
+    let report =
+      Engine.run ~ranks (fun comm ->
+          let rng = Xoshiro.create ~seed:88 ~stream:(Comm.rank comm) in
+          let data = Array.init per_rank (fun _ -> Xoshiro.next_int rng ~bound:max_int) in
+          ignore (sorter comm data))
+    in
+    report.Engine.max_time
+  in
+  List.fold_left (fun acc _ -> Float.min acc (once ())) (once ()) (List.init (reps - 1) Fun.id)
+
+let run ?(max_p = 64) ?(per_rank = 10_000) ?reps () =
+  Bench_util.section
+    (Printf.sprintf
+       "Figure 8: sample sort weak scaling (%d uniform ints/rank, simulated time)"
+       per_rank);
+  let ps =
+    let rec go p acc = if p > max_p then List.rev acc else go (p * 2) (p :: acc) in
+    go 1 []
+  in
+  let header = "p" :: List.map fst variants in
+  let measurements =
+    List.map
+      (fun p ->
+        (p, List.map (fun (name, sorter) -> (name, run_one ?reps ~ranks:p ~per_rank sorter)) variants))
+      ps
+  in
+  let rows =
+    List.map
+      (fun (p, per_variant) ->
+        string_of_int p :: List.map (fun (_, t) -> Bench_util.time_str t) per_variant)
+      measurements
+  in
+  Bench_util.print_table ~header rows;
+  (* Overhead summary at the largest p, from the same measurements. *)
+  let p, per_variant = List.nth measurements (List.length measurements - 1) in
+  let base = List.assoc "mpi" per_variant in
+  Printf.printf "\nat p=%d, relative to plain MPI:\n" p;
+  List.iter
+    (fun (name, t) ->
+      Printf.printf "  %-8s %s\n" name (Bench_util.speedup_string ~baseline:base t))
+    per_variant

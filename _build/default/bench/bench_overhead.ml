@@ -1,0 +1,123 @@
+(* The (near) zero-overhead claim (paper §I, §III-H, §IV).
+
+   Two measurements:
+
+   1. PMPI-style call accounting: the binding layer must issue exactly the
+      underlying calls a hand-written program would — one allgatherv when
+      all parameters are supplied; one extra count-allgather only when the
+      caller asked the library to infer the counts (§III-H: "we use MPI's
+      profiling interface to ensure that only the expected MPI calls are
+      issued").
+
+   2. Bechamel wall-clock microbenchmark: identical programs (zero-cost
+      network model, virtual-only clock, so all that remains is real CPU
+      time) through the raw interface vs. the binding layer with explicit
+      parameters vs. with inferred parameters. Explicit must be within
+      noise of raw; inferred pays exactly the extra count exchange. *)
+
+open Mpisim
+
+let ranks = 8
+
+let elems = 64
+
+let calls = 20
+
+type variant = Raw | Kamping_explicit | Kamping_inferred | Named_explicit
+
+let variant_name = function
+  | Raw -> "raw mpisim"
+  | Kamping_explicit -> "kamping (all params given)"
+  | Kamping_inferred -> "kamping (counts inferred)"
+  | Named_explicit -> "named params (all given)"
+
+let program variant mpi =
+  let comm = Kamping.Communicator.of_mpi mpi in
+  let r = Comm.rank mpi in
+  let v = Array.init elems (fun i -> (r * 1000) + i) in
+  let recv_counts_arr = Array.make ranks elems in
+  let recv_displs_arr = Array.init ranks (fun i -> i * elems) in
+  let recv_counts = recv_counts_arr in
+  let recv_displs = recv_displs_arr in
+  for _ = 1 to calls do
+    match variant with
+    | Raw -> ignore (Coll.allgatherv mpi Datatype.int ~recv_counts v)
+    | Kamping_explicit ->
+        ignore (Kamping.Collectives.allgatherv comm Datatype.int ~recv_counts ~recv_displs v)
+    | Kamping_inferred -> ignore (Kamping.Collectives.allgatherv comm Datatype.int v)
+    | Named_explicit ->
+        ignore
+          (Kamping.Named.(
+             allgatherv comm Datatype.int
+               [ send_buf v; recv_counts recv_counts_arr; recv_displs recv_displs_arr ]))
+  done
+
+let run_wall variant () =
+  ignore
+    (Engine.run ~model:Net_model.zero_cost ~clock_mode:Runtime.Virtual_only ~ranks
+       (program variant))
+
+let call_accounting () =
+  Printf.printf "\nPMPI call accounting (one kamping allgatherv, p=%d):\n" ranks;
+  let count_ops variant =
+    let report =
+      Engine.run ~model:Net_model.zero_cost ~ranks (fun mpi ->
+          let comm = Kamping.Communicator.of_mpi mpi in
+          let v = Array.init elems (fun i -> i) in
+          match variant with
+          | Raw -> ignore (Coll.allgatherv mpi Datatype.int ~recv_counts:(Array.make ranks elems) v)
+          | Kamping_explicit ->
+              ignore
+                (Kamping.Collectives.allgatherv comm Datatype.int
+                   ~recv_counts:(Array.make ranks elems)
+                   ~recv_displs:(Array.init ranks (fun i -> i * elems))
+                   v)
+          | Kamping_inferred -> ignore (Kamping.Collectives.allgatherv comm Datatype.int v)
+          | Named_explicit ->
+              ignore
+                (Kamping.Named.(
+                   allgatherv comm Datatype.int
+                     [
+                       send_buf v;
+                       recv_counts (Array.make ranks elems);
+                       recv_displs (Array.init ranks (fun i -> i * elems));
+                     ])))
+    in
+    let calls_of op =
+      match List.find_opt (fun (o, _, _) -> o = op) report.Engine.profile with
+      | Some (_, c, _) -> c / ranks (* per rank *)
+      | None -> 0
+    in
+    (calls_of "allgatherv", calls_of "allgather")
+  in
+  let header = [ "variant"; "allgatherv calls"; "allgather calls (count exchange)" ] in
+  let rows =
+    List.map
+      (fun v ->
+        let agv, ag = count_ops v in
+        [ variant_name v; string_of_int agv; string_of_int ag ])
+      [ Raw; Kamping_explicit; Named_explicit; Kamping_inferred ]
+  in
+  Bench_util.print_table ~header rows
+
+let run () =
+  Bench_util.section
+    "Zero-overhead check: binding layer vs raw interface (wall clock, Bechamel)";
+  Printf.printf "program: %d x allgatherv of %d ints on %d ranks, zero-cost network\n\n"
+    calls elems ranks;
+  let estimates =
+    Bench_util.bechamel_estimates ~name:"overhead"
+      (List.map
+         (fun v -> (variant_name v, run_wall v))
+         [ Raw; Kamping_explicit; Named_explicit; Kamping_inferred ])
+  in
+  (match estimates with
+  | (_, base) :: _ ->
+      Bench_util.print_table
+        ~header:[ "variant"; "wall time/run"; "vs raw" ]
+        (List.map
+           (fun (n, ns) ->
+             [ n; Bench_util.ns_string ns; Printf.sprintf "%+.1f%%" ((ns /. base -. 1.) *. 100.) ])
+           estimates)
+  | [] -> Printf.printf "bechamel produced no estimates\n");
+  call_accounting ()

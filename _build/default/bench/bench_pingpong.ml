@@ -1,0 +1,97 @@
+(* Classic point-to-point microbenchmarks (OSU-style): ping-pong latency
+   and streaming bandwidth over message sizes, plus collective latency
+   over p.  These characterize the cost model itself — the substrate the
+   paper-reproduction numbers rest on — so EXPERIMENTS.md can relate
+   simulated shapes to the modelled alpha/beta. *)
+
+open Mpisim
+
+let pingpong ~model ~bytes ~iters : float =
+  let report =
+    Engine.run ~model ~clock_mode:Runtime.Virtual_only ~ranks:2 (fun comm ->
+        let payload = Array.make bytes 'x' in
+        if Comm.rank comm = 0 then
+          for _ = 1 to iters do
+            P2p.send comm Datatype.byte ~dest:1 payload;
+            ignore (P2p.recv comm Datatype.byte ~source:1 ())
+          done
+        else
+          for _ = 1 to iters do
+            ignore (P2p.recv comm Datatype.byte ~source:0 ());
+            P2p.send comm Datatype.byte ~dest:0 payload
+          done)
+  in
+  (* one-way latency *)
+  report.Engine.max_time /. float_of_int (2 * iters)
+
+let bandwidth ~model ~bytes ~iters : float =
+  let report =
+    Engine.run ~model ~clock_mode:Runtime.Virtual_only ~ranks:2 (fun comm ->
+        let payload = Array.make bytes 'x' in
+        if Comm.rank comm = 0 then begin
+          for _ = 1 to iters do
+            P2p.send comm Datatype.byte ~dest:1 payload
+          done;
+          ignore (P2p.recv comm Datatype.byte ~source:1 ())
+        end
+        else begin
+          for _ = 1 to iters do
+            ignore (P2p.recv comm Datatype.byte ~source:0 ())
+          done;
+          P2p.send comm Datatype.byte ~dest:0 [| 'k' |]
+        end)
+  in
+  float_of_int (bytes * iters) /. report.Engine.max_time
+
+let coll_latency ~model ~ranks (which : [ `Barrier | `Allreduce | `Bcast ]) : float =
+  let iters = 10 in
+  let report =
+    Engine.run ~model ~clock_mode:Runtime.Virtual_only ~ranks (fun comm ->
+        for _ = 1 to iters do
+          match which with
+          | `Barrier -> Coll.barrier comm
+          | `Allreduce ->
+              ignore (Coll.allreduce_single comm Datatype.int Reduce_op.int_sum 1)
+          | `Bcast ->
+              ignore
+                (Coll.bcast comm Datatype.int ~root:0
+                   (if Comm.rank comm = 0 then Some [| 1 |] else None))
+        done)
+  in
+  report.Engine.max_time /. float_of_int iters
+
+let run ?(model = Net_model.omnipath) () =
+  Bench_util.section
+    (Printf.sprintf "Point-to-point and collective microbenchmarks (model: %s)"
+       model.Net_model.name);
+  Printf.printf "\n-- ping-pong latency / streaming bandwidth vs message size --\n";
+  let sizes = [ 1; 64; 1024; 16384; 262144; 4194304 ] in
+  Bench_util.print_table
+    ~header:[ "bytes"; "latency (one-way)"; "bandwidth" ]
+    (List.map
+       (fun bytes ->
+         let lat = pingpong ~model ~bytes ~iters:10 in
+         let bw = bandwidth ~model ~bytes ~iters:10 in
+         [
+           string_of_int bytes;
+           Bench_util.time_str lat;
+           Printf.sprintf "%.2f GB/s" (bw /. 1e9);
+         ])
+       sizes);
+  Printf.printf
+    "(Should approach the model: alpha = %.2gus, 1/beta = %.3g GB/s.)\n"
+    (model.Net_model.latency *. 1e6)
+    (1. /. model.Net_model.byte_time /. 1e9);
+  Printf.printf "\n-- collective latency vs p (empty payloads) --\n";
+  let ps = [ 2; 8; 32; 128 ] in
+  Bench_util.print_table
+    ~header:[ "p"; "barrier"; "allreduce"; "bcast" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p;
+           Bench_util.time_str (coll_latency ~model ~ranks:p `Barrier);
+           Bench_util.time_str (coll_latency ~model ~ranks:p `Allreduce);
+           Bench_util.time_str (coll_latency ~model ~ranks:p `Bcast);
+         ])
+       ps)

@@ -1,0 +1,80 @@
+(* §V-C / Fig. 13: reproducible reduce.
+
+   Checks and measures, for a fixed global array distributed over varying
+   processor counts:
+
+   - the reproducible reduce returns bit-identical results for every p;
+   - the ordinary allreduce does NOT (the point of the plugin);
+   - the reproducible reduce is faster than the gather + local reduction +
+     broadcast baseline (it ships O(log n) partials instead of n/p
+     elements per rank). *)
+
+open Mpisim
+
+let n_total = 1 lsl 15
+
+let global = Array.init n_total (fun i -> sin (float_of_int i *. 0.37) *. 1e8)
+
+let local_slice ~p ~rank =
+  let chunk = (n_total + p - 1) / p in
+  let lo = min n_total (rank * chunk) in
+  let hi = min n_total (lo + chunk) in
+  Array.sub global lo (hi - lo)
+
+let run_variant ~p (f : Kamping.Communicator.t -> float array -> float) : float * float =
+  let sum = ref 0. in
+  let report =
+    Engine.run ~ranks:p (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let s = f comm (local_slice ~p ~rank:(Comm.rank mpi)) in
+        if Comm.rank mpi = 0 then sum := s)
+  in
+  (!sum, report.Engine.max_time)
+
+let run ?(max_p = 64) () =
+  Bench_util.section
+    (Printf.sprintf "Reproducible reduce (paper SV-C, Fig. 13): %d doubles" n_total);
+  let ps =
+    let rec go p acc = if p > max_p then List.rev acc else go (p * 2) (p :: acc) in
+    go 1 []
+  in
+  let variants =
+    [
+      ("repro_reduce", Kamping_plugins.Repro_reduce.sum);
+      ("gather+reduce+bcast", Kamping_plugins.Repro_reduce.naive_gather_sum);
+      ("plain allreduce", Kamping_plugins.Repro_reduce.plain_allreduce_sum);
+    ]
+  in
+  let results =
+    List.map
+      (fun p ->
+        (p, List.map (fun (name, f) -> (name, run_variant ~p f)) variants))
+      ps
+  in
+  let header = "p" :: List.concat_map (fun (n, _) -> [ n; n ^ " (bits)" ]) variants in
+  let rows =
+    List.map
+      (fun (p, per_variant) ->
+        string_of_int p
+        :: List.concat_map
+             (fun (_, (sum, time)) ->
+               [ Bench_util.time_str time; Printf.sprintf "%Lx" (Int64.bits_of_float sum) ])
+             per_variant)
+      results
+  in
+  Bench_util.print_table ~header rows;
+  (* Invariance summary. *)
+  List.iter
+    (fun (name, _) ->
+      let bit_patterns =
+        List.sort_uniq compare
+          (List.map
+             (fun (_, per_variant) ->
+               Int64.bits_of_float (fst (List.assoc name per_variant)))
+             results)
+      in
+      Printf.printf "%-22s %d distinct bit pattern(s) across p in {%s} -> %s\n" name
+        (List.length bit_patterns)
+        (String.concat "," (List.map (fun (p, _) -> string_of_int p) results))
+        (if List.length bit_patterns = 1 then "REPRODUCIBLE" else "not reproducible"))
+    variants

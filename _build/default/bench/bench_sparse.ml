@@ -1,0 +1,96 @@
+(* §V-A: sparse vs dense all-to-all on a fixed-degree pattern.
+
+   Each rank exchanges a small block with exactly 8 neighbors regardless
+   of p.  The dense MPI_Alltoallv still scans its O(p) count arrays and
+   the count exchange is a dense alltoall, so its per-call cost grows with
+   p; NBX and neighborhood collectives stay ~flat (the static topology's
+   one-time build cost is excluded here, rebuild cost shown separately in
+   Fig. 10's neighbor_rebuild column). *)
+
+open Mpisim
+
+let degree = 8
+
+let block = 64
+
+(* Symmetric neighbor sets (r +/- d for d = 1..degree/2): r's neighbors
+   list r back, as the neighborhood collective requires. *)
+let sym_neighbors ~p ~rank =
+  List.init degree (fun i ->
+      let d = i / 2 + 1 in
+      if i mod 2 = 0 then (rank + d) mod p else (rank - d + p) mod p)
+  |> List.sort_uniq compare
+  |> List.filter (fun r -> r <> rank)
+  |> Array.of_list
+
+let payload ~rank = Array.init block (fun i -> (rank * block) + i)
+
+let run_dense ~p : float =
+  let report =
+    Engine.run ~ranks:p (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let nbs = sym_neighbors ~p ~rank:(Comm.rank mpi) in
+        let table = Hashtbl.create degree in
+        Array.iter
+          (fun nb -> Hashtbl.replace table nb (Array.to_list (payload ~rank:(Comm.rank mpi))))
+          nbs;
+        for _ = 1 to 4 do
+          ignore (Kamping.Flatten.alltoallv comm Datatype.int table)
+        done)
+  in
+  report.Engine.max_time
+
+let run_sparse ~p : float =
+  let report =
+    Engine.run ~ranks:p (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let nbs = sym_neighbors ~p ~rank:(Comm.rank mpi) in
+        let outgoing =
+          Array.to_list (Array.map (fun nb -> (nb, payload ~rank:(Comm.rank mpi))) nbs)
+        in
+        for _ = 1 to 4 do
+          ignore (Kamping_plugins.Sparse_alltoall.alltoallv comm Datatype.int outgoing)
+        done)
+  in
+  report.Engine.max_time
+
+let run_neighbor ~p : float =
+  let report =
+    Engine.run ~ranks:p (fun mpi ->
+        let nbs = sym_neighbors ~p ~rank:(Comm.rank mpi) in
+        let topo = Comm_ops.dist_graph_create_adjacent mpi ~sources:nbs ~destinations:nbs in
+        let counts = Array.make (Array.length nbs) block in
+        let data =
+          Array.concat (List.init (Array.length nbs) (fun _ -> payload ~rank:(Comm.rank mpi)))
+        in
+        for _ = 1 to 4 do
+          ignore
+            (Coll.neighbor_alltoallv topo Datatype.int ~send_counts:counts
+               ~recv_counts:counts data)
+        done)
+  in
+  report.Engine.max_time
+
+let run ?(max_p = 256) () =
+  Bench_util.section
+    (Printf.sprintf
+       "Sparse exchange scaling (paper SV-A): %d neighbors x %d ints per rank, 4 rounds"
+       degree block);
+  let ps =
+    let rec go p acc = if p > max_p then List.rev acc else go (p * 2) (p :: acc) in
+    go 16 []
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p;
+          Bench_util.time_str (run_dense ~p);
+          Bench_util.time_str (run_sparse ~p);
+          Bench_util.time_str (run_neighbor ~p);
+        ])
+      ps
+  in
+  Bench_util.print_table
+    ~header:[ "p"; "dense alltoallv"; "sparse (NBX)"; "neighbor (static topo)" ]
+    rows

@@ -1,0 +1,40 @@
+(* Table I: lines of code for the three examples across the five binding
+   styles.  We count non-blank, non-comment lines of each comparable
+   implementation file (shared algorithmic parts are extracted to common
+   modules exactly as in the paper, so the counts measure the
+   communication code).
+
+   Expected shape (paper, C++): KaMPIng clearly shortest on every row;
+   Boost barely shorter than plain MPI on sample sort (no alltoallv
+   binding); RWTH between; MPL as long as or longer than plain MPI. *)
+
+let variants =
+  [
+    ("MPI", "mpi");
+    ("Boost.MPI", "boost");
+    ("RWTH-MPI", "rwth");
+    ("MPL", "mpl");
+    ("KaMPIng", "kamping");
+  ]
+
+let rows =
+  [
+    ("vector allgather", fun s -> "lib/apps/vector_allgather/va_" ^ s ^ ".ml");
+    ("sample sort", fun s -> "lib/apps/sample_sort/ss_" ^ s ^ ".ml");
+    ("BFS", fun s -> "lib/apps/bfs/bfs_" ^ s ^ ".ml");
+  ]
+
+let run () =
+  Bench_util.section
+    "Table I: lines of code per binding style (paper Table I)";
+  let header = "example" :: List.map fst variants in
+  let body =
+    List.map
+      (fun (name, path_of) ->
+        name :: List.map (fun (_, suffix) -> Bench_util.loc_string (path_of suffix)) variants)
+      rows
+  in
+  Bench_util.print_table ~header body;
+  Printf.printf
+    "\n(Shared algorithm code lives in common.ml files and is not counted,\n\
+     \ mirroring the paper's methodology.)\n"

@@ -1,0 +1,57 @@
+(* §V-B / Fig. 12: user-level failure mitigation.
+
+   An iterative allreduce workload loses [n_failures] ranks mid-run; the
+   survivors revoke, shrink, agree on the resume iteration, and finish.
+   We report the simulated cost of a recovery (revoke + shrink + resync)
+   as p grows. *)
+
+open Mpisim
+
+let iterations = 8
+
+let run_once ~ranks ~n_failures : float * int =
+  let recovery_time = ref 0. in
+  let survivors = ref 0 in
+  let (_ : Engine.report) =
+    Engine.run ~ranks (fun mpi ->
+        let comm = ref (Kamping.Communicator.of_mpi mpi) in
+        let me = Comm.rank mpi in
+        let iter = ref 1 in
+        while !iter <= iterations do
+          if !iter = 3 && me < n_failures + 1 && me > 0 then Fault.die mpi;
+          let step () =
+            Kamping.Collectives.allreduce_single !comm Datatype.int Reduce_op.int_sum 1
+          in
+          match Kamping_plugins.Ulfm.detect step with
+          | (_ : int) -> incr iter
+          | exception Kamping_plugins.Ulfm.Failure_detected _ ->
+              let rt = Comm.runtime mpi in
+              let t0 = Runtime.clock rt (Comm.world_rank mpi) in
+              if not (Kamping_plugins.Ulfm.is_revoked !comm) then
+                Kamping_plugins.Ulfm.revoke !comm;
+              comm := Kamping_plugins.Ulfm.shrink !comm;
+              iter :=
+                Kamping.Collectives.allreduce_single !comm Datatype.int Reduce_op.int_min
+                  !iter;
+              let t1 = Runtime.clock rt (Comm.world_rank mpi) in
+              if me = 0 then recovery_time := t1 -. t0
+        done;
+        if me = 0 then survivors := Kamping.Communicator.size !comm)
+  in
+  (!recovery_time, !survivors)
+
+let run ?(max_p = 64) () =
+  Bench_util.section
+    "ULFM failure recovery (paper SV-B, Fig. 12): revoke + shrink + resync cost";
+  let ps =
+    let rec go p acc = if p > max_p then List.rev acc else go (p * 2) (p :: acc) in
+    go 8 []
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let t, survivors = run_once ~ranks:p ~n_failures:2 in
+        [ string_of_int p; string_of_int survivors; Bench_util.time_str t ])
+      ps
+  in
+  Bench_util.print_table ~header:[ "p"; "survivors"; "recovery time (rank 0)" ] rows

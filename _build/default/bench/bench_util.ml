@@ -1,0 +1,141 @@
+(* Shared benchmark utilities: table rendering, line counting for the
+   LoC comparisons, and timing helpers.
+
+   Two kinds of measurement appear in the suite:
+   - *simulated time*: the virtual clock of the runtime (per-rank compute
+     measured for real, communication from the network model) — this is
+     what the scaling figures report;
+   - *wall-clock time*: real time of the binding layer itself, measured
+     with Bechamel — this is what the zero-overhead microbenchmarks
+     report. *)
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n"
+
+let print_table ~(header : string list) (rows : string list list) =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+(* Count non-blank, non-comment source lines of an OCaml file.  Block
+   comments are tracked with a nesting counter (good enough for our own
+   sources, which never put code after a comment close on the same line
+   unless it is real code — we count such lines as code). *)
+let count_loc path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let depth = ref 0 in
+      let loc = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           let n = String.length line in
+           let had_code = ref false in
+           let i = ref 0 in
+           while !i < n do
+             if !i + 1 < n && line.[!i] = '(' && line.[!i + 1] = '*' then begin
+               incr depth;
+               i := !i + 2
+             end
+             else if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = ')' then begin
+               decr depth;
+               i := !i + 2
+             end
+             else begin
+               if !depth = 0 && line.[!i] <> ' ' && line.[!i] <> '\t' then had_code := true;
+               incr i
+             end
+           done;
+           if !had_code then incr loc
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Some !loc
+
+(* Locate a source file: benchmarks run from the workspace root under
+   `dune exec`, but fall back to the environment if not. *)
+let source_path rel =
+  let candidates =
+    [
+      rel;
+      Filename.concat ".." rel;
+      Filename.concat "../.." rel;
+      (match Sys.getenv_opt "KAMPING_ROOT" with
+      | Some root -> Filename.concat root rel
+      | None -> rel);
+    ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let loc_of rel =
+  match source_path rel with
+  | None -> None
+  | Some path -> count_loc path
+
+let loc_string rel =
+  match loc_of rel with Some n -> string_of_int n | None -> "n/a"
+
+let time_str (t : float) = Mpisim.Sim_time.to_string t
+
+(* Wall-clock median of [runs] executions of [f] (for coarse comparisons
+   where Bechamel's statistical machinery is overkill). *)
+let wall_median ?(runs = 5) (f : unit -> 'a) : float * 'a =
+  let result = ref None in
+  let times =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        result := Some (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  let sorted = List.sort compare times in
+  (List.nth sorted (runs / 2), Option.get !result)
+
+let speedup_string ~baseline t = Printf.sprintf "%.2fx" (t /. baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wrapper: run closures under OLS analysis, return ns/run. *)
+
+let bechamel_estimates ~name (tests : (string * (unit -> unit)) list) :
+    (string * float) list =
+  let open Bechamel in
+  let elements =
+    List.map (fun (n, f) -> Test.make ~name:n (Staged.stage f)) tests
+  in
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" elements in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:None () in
+  let raws = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Analyze.all ols instance raws in
+  List.filter_map
+    (fun (n, _) ->
+      match Hashtbl.find_opt results (name ^ "/" ^ n) with
+      | Some o -> (
+          match Analyze.OLS.estimates o with
+          | Some (e :: _) -> Some (n, e)
+          | Some [] | None -> None)
+      | None -> None)
+    tests
+
+let ns_string ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else Printf.sprintf "%.3fs" (ns /. 1e9)

@@ -1,0 +1,157 @@
+(* Command-line driver for running individual experiments at arbitrary
+   scale (the benchmark harness `bench/main.exe` runs everything at
+   scaled-down defaults; this tool is for full-size single runs).
+
+     kamping-repro sort    --ranks 64 --per-rank 1000000
+     kamping-repro bfs     --ranks 256 --family rhg --exchanger kamping_grid
+     kamping-repro suffix  --ranks 16 --length 65536
+     kamping-repro phylo   --ranks 48 --iterations 500
+     kamping-repro repro-reduce --ranks 64 --elements 100000 *)
+
+open Cmdliner
+open Mpisim
+
+let ranks_arg =
+  Arg.(value & opt int 16 & info [ "ranks"; "p" ] ~docv:"P" ~doc:"Number of simulated ranks.")
+
+let model_arg =
+  let model_conv =
+    Arg.enum [ ("omnipath", Net_model.omnipath); ("ethernet", Net_model.ethernet) ]
+  in
+  Arg.(value & opt model_conv Net_model.omnipath & info [ "model" ] ~doc:"Network cost model.")
+
+let report_line (r : Engine.report) =
+  Printf.printf "ranks=%d simulated_time=%s\n" r.Engine.ranks
+    (Sim_time.to_string r.Engine.max_time)
+
+(* --- sort --- *)
+
+let sort_cmd =
+  let per_rank =
+    Arg.(value & opt int 100_000 & info [ "per-rank" ] ~doc:"Elements per rank.")
+  in
+  let run ranks per_rank model =
+    let report =
+      Engine.run ~model ~ranks (fun mpi ->
+          let comm = Kamping.Communicator.of_mpi mpi in
+          let rng = Xoshiro.create ~seed:1 ~stream:(Comm.rank mpi) in
+          let data = Array.init per_rank (fun _ -> Xoshiro.next_int rng ~bound:max_int) in
+          let sorted = Kamping_plugins.Sorter.sort comm Datatype.int data in
+          assert (Kamping_plugins.Sorter.is_globally_sorted comm Datatype.int sorted))
+    in
+    report_line report
+  in
+  Cmd.v (Cmd.info "sort" ~doc:"Distributed sample sort (Fig. 7/8 workload).")
+    Term.(const run $ ranks_arg $ per_rank $ model_arg)
+
+(* --- bfs --- *)
+
+let bfs_cmd =
+  let family =
+    let family_conv = Arg.enum [ ("gnm", `Gnm); ("rgg", `Rgg); ("rhg", `Rhg) ] in
+    Arg.(value & opt family_conv `Rgg & info [ "family" ] ~doc:"Graph family.")
+  in
+  let exchanger =
+    let ex_conv =
+      Arg.enum
+        (List.map (fun e -> (Bfs.Exchangers.exchanger_name e, e)) Bfs.Exchangers.all)
+    in
+    Arg.(
+      value
+      & opt ex_conv Bfs.Exchangers.Kamping
+      & info [ "exchanger" ] ~doc:"Frontier exchange strategy.")
+  in
+  let n_per_rank =
+    Arg.(value & opt int 4096 & info [ "vertices-per-rank" ] ~doc:"Vertices per rank.")
+  in
+  let run ranks family exchanger n_per_rank model =
+    let report =
+      Engine.run ~model ~ranks (fun mpi ->
+          let comm = Kamping.Communicator.of_mpi mpi in
+          let g =
+            match family with
+            | `Gnm ->
+                Graphgen.Gnm.generate comm ~n_per_rank ~m_per_rank:(8 * n_per_rank) ~seed:1
+            | `Rgg -> Graphgen.Rgg2d.generate comm ~n_per_rank ~seed:1 ()
+            | `Rhg -> Graphgen.Rhg.generate comm ~n_per_rank ~seed:1 ()
+          in
+          ignore (Bfs.Exchangers.bfs mpi g ~source:0 ~exchanger))
+    in
+    report_line report
+  in
+  Cmd.v (Cmd.info "bfs" ~doc:"Distributed BFS (Fig. 9/10 workload).")
+    Term.(const run $ ranks_arg $ family $ exchanger $ n_per_rank $ model_arg)
+
+(* --- suffix --- *)
+
+let suffix_cmd =
+  let length = Arg.(value & opt int 65_536 & info [ "length" ] ~doc:"Total text length.") in
+  let run ranks length model =
+    let report =
+      Engine.run ~model ~ranks (fun mpi ->
+          let text =
+            Suffix_array.Sa_common.random_text ~seed:2 ~alphabet:4 ~n:length ~p:ranks
+              ~rank:(Comm.rank mpi)
+          in
+          ignore (Suffix_array.Sa_kamping.suffix_array mpi text))
+    in
+    report_line report
+  in
+  Cmd.v
+    (Cmd.info "suffix" ~doc:"Suffix array by prefix doubling (paper SIV-A workload).")
+    Term.(const run $ ranks_arg $ length $ model_arg)
+
+(* --- phylo --- *)
+
+let phylo_cmd =
+  let iterations =
+    Arg.(value & opt int 200 & info [ "iterations" ] ~doc:"Optimizer iterations.")
+  in
+  let run ranks iterations model =
+    let score = ref 0. in
+    let report =
+      Engine.run ~model ~ranks (fun comm ->
+          let s =
+            Phylo.Workload.run Phylo.Workload.kamping comm ~sites_per_rank:1000
+              ~iterations ~n_branches:128 ~n_partitions:16
+          in
+          if Comm.rank comm = 0 then score := s)
+    in
+    Printf.printf "final log-likelihood: %.6f\n" !score;
+    report_line report
+  in
+  Cmd.v (Cmd.info "phylo" ~doc:"Phylogenetic-inference workload (paper SIV-C).")
+    Term.(const run $ ranks_arg $ iterations $ model_arg)
+
+(* --- repro-reduce --- *)
+
+let repro_cmd =
+  let elements =
+    Arg.(value & opt int 100_000 & info [ "elements" ] ~doc:"Total array length.")
+  in
+  let run ranks elements model =
+    let sum = ref 0. in
+    let report =
+      Engine.run ~model ~ranks (fun mpi ->
+          let comm = Kamping.Communicator.of_mpi mpi in
+          let chunk = (elements + ranks - 1) / ranks in
+          let lo = min elements (Comm.rank mpi * chunk) in
+          let hi = min elements (lo + chunk) in
+          let local = Array.init (hi - lo) (fun j -> cos (float_of_int (lo + j))) in
+          let s = Kamping_plugins.Repro_reduce.sum comm local in
+          if Comm.rank mpi = 0 then sum := s)
+    in
+    Printf.printf "reproducible sum: %.17g (bits %Lx)\n" !sum (Int64.bits_of_float !sum);
+    report_line report
+  in
+  Cmd.v
+    (Cmd.info "repro-reduce" ~doc:"Reproducible reduction (paper SV-C, Fig. 13).")
+    Term.(const run $ ranks_arg $ elements $ model_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "kamping-repro" ~version:"1.0"
+      ~doc:"Run kamping-ocaml paper experiments at full scale."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ sort_cmd; bfs_cmd; suffix_cmd; phylo_cmd; repro_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Array Comm Datatype Engine Fault Kamping Kamping_plugins List Mpisim Printf Reduce_op Sim_time String Sys

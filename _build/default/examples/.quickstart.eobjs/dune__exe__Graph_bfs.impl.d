@@ -1,0 +1,1 @@
+examples/graph_bfs.ml: Array Bfs Engine Graphgen Kamping List Mpisim Printf Sim_time Sys

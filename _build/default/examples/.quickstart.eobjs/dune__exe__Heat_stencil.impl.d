@@ -1,0 +1,1 @@
+examples/heat_stencil.ml: Array Cart Datatype Engine Float Kamping Kamping_plugins Layout Mpisim Printf Reduce_op Sim_time Sys

@@ -1,0 +1,1 @@
+examples/heat_stencil.mli:

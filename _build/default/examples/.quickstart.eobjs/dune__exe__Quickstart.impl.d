@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Datatype Engine Kamping Mpisim Printf Sim_time String

@@ -1,0 +1,1 @@
+examples/serialization.ml: Array Engine Hashtbl Kamping Mpisim Phylo Printf Serial Sim_time

@@ -1,0 +1,1 @@
+examples/sorting.ml: Array Comm Datatype Engine Kamping Kamping_plugins Mpisim Printf Sim_time String Sys Xoshiro

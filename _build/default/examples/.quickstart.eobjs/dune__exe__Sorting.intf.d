@@ -1,0 +1,1 @@
+examples/sorting.mli:

@@ -1,0 +1,1 @@
+examples/wordcount.ml: Array Datatype Engine Fun Hashtbl Kamping Kamping_plugins List Mpisim Printf Serial Sim_time Sys Xoshiro

@@ -1,0 +1,1 @@
+lib/apps/bfs/bfs_boost.ml: Array Bindings_emul Boost_like Comm Common Datatype Distgraph Graphgen Hashtbl Mpisim Reduce_op

@@ -1,0 +1,1 @@
+lib/apps/bfs/bfs_kamping.ml: Common Datatype Distgraph Graphgen Kamping Mpisim Reduce_op

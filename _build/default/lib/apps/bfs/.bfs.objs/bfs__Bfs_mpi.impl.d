@@ -1,0 +1,1 @@
+lib/apps/bfs/bfs_mpi.ml: Array Coll Comm Common Datatype Distgraph Graphgen Hashtbl List Mpisim Reduce_op

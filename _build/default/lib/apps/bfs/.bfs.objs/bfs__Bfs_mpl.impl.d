@@ -1,0 +1,1 @@
+lib/apps/bfs/bfs_mpl.ml: Array Bindings_emul Coll Comm Common Datatype Distgraph Graphgen Hashtbl List Mpisim Mpl_like Reduce_op

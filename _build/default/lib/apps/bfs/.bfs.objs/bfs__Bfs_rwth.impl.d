@@ -1,0 +1,1 @@
+lib/apps/bfs/bfs_rwth.ml: Array Bindings_emul Coll Comm Common Datatype Distgraph Graphgen Hashtbl List Mpisim Reduce_op Rwth_like

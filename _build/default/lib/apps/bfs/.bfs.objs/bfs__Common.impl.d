@@ -1,0 +1,1 @@
+lib/apps/bfs/common.ml: Array Distgraph Graphgen Hashtbl List

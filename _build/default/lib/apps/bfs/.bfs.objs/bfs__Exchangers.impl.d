@@ -1,0 +1,1 @@
+lib/apps/bfs/exchangers.ml: Array Coll Comm_ops Common Datatype Distgraph Graphgen Hashtbl Kamping Kamping_plugins Lazy List Mpisim Option Reduce_op

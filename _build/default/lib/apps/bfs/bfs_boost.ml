@@ -1,0 +1,39 @@
+(* Distributed BFS, Boost.MPI style: no alltoallv binding, so the frontier
+   exchange is hand-rolled point-to-point (one message per peer and level,
+   empty or not). *)
+open Mpisim
+open Graphgen
+open Bindings_emul
+
+let exchange_tag = 9
+
+let bfs comm (g : Distgraph.t) ~(source : int) : int array =
+  let p = Comm.size comm in
+  let rank = Comm.rank comm in
+  let dist, frontier0 = Common.initial_state g ~source in
+  let frontier = ref frontier0 in
+  let level = ref 0 in
+  let globally_empty f = Boost_like.all_reduce_one comm Datatype.bool Reduce_op.bool_and (f = []) in
+  while not (globally_empty !frontier) do
+    let next_local, buckets = Common.expand_frontier g dist !frontier ~level:!level in
+    for step = 1 to p - 1 do
+      let dest = (rank + step) mod p in
+      let payload =
+        match Hashtbl.find_opt buckets dest with
+        | Some vs -> Array.of_list vs
+        | None -> [||]
+      in
+      Boost_like.send comm Datatype.int ~dest ~tag:exchange_tag payload
+    done;
+    let received = ref [] in
+    for step = 1 to p - 1 do
+      let src = (rank - step + p) mod p in
+      let part = Boost_like.recv comm Datatype.int ~source:src ~tag:exchange_tag () in
+      received := part :: !received
+    done;
+    let received = Array.concat !received in
+    Common.relax_received g dist received ~level:!level next_local;
+    frontier := !next_local;
+    incr level
+  done;
+  dist

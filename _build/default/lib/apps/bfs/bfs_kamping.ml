@@ -1,0 +1,24 @@
+(* Distributed BFS, KaMPIng style (Fig. 9): the frontier exchange is
+   with_flattened + alltoallv in one line; termination is an
+   allreduce_single with a lambda-style operation. *)
+open Mpisim
+open Graphgen
+
+let is_empty comm frontier =
+  Kamping.Collectives.allreduce_single comm Datatype.bool Reduce_op.bool_and (frontier = [])
+
+let exchange comm buckets = Kamping.Flatten.alltoallv comm Datatype.int buckets
+
+let bfs mpi (g : Distgraph.t) ~(source : int) : int array =
+  let comm = Kamping.Communicator.of_mpi mpi in
+  let dist, frontier0 = Common.initial_state g ~source in
+  let frontier = ref frontier0 in
+  let level = ref 0 in
+  while not (is_empty comm !frontier) do
+    let next_local, buckets = Common.expand_frontier g dist !frontier ~level:!level in
+    let received = exchange comm buckets in
+    Common.relax_received g dist received ~level:!level next_local;
+    frontier := !next_local;
+    incr level
+  done;
+  dist

@@ -1,0 +1,39 @@
+(* Distributed BFS, MPL style: the frontier exchange needs explicit send
+   and receive layouts every level, and alltoallv is lowered onto
+   alltoallw internally — the variant the paper reports as considerably
+   slower on every graph family. *)
+open Mpisim
+open Graphgen
+open Bindings_emul
+
+let bfs comm (g : Distgraph.t) ~(source : int) : int array =
+  let p = Comm.size comm in
+  let dist, frontier0 = Common.initial_state g ~source in
+  let frontier = ref frontier0 in
+  let level = ref 0 in
+  let globally_empty f = Mpl_like.allreduce_one comm Datatype.bool Reduce_op.bool_and (f = []) in
+  while not (globally_empty !frontier) do
+    let next_local, buckets = Common.expand_frontier g dist !frontier ~level:!level in
+    let send_counts = Array.make p 0 in
+    Hashtbl.iter (fun dest vs -> send_counts.(dest) <- List.length vs) buckets;
+    let send_layout = Mpl_like.contiguous_layouts send_counts in
+    let total = Array.fold_left ( + ) 0 send_counts in
+    let send_buf = Array.make (max 1 total) 0 in
+    let cursor = Array.copy send_layout.Mpl_like.displs in
+    Hashtbl.iter
+      (fun dest vs ->
+        List.iter
+          (fun v ->
+            send_buf.(cursor.(dest)) <- v;
+            cursor.(dest) <- cursor.(dest) + 1)
+          vs)
+      buckets;
+    let send_buf = Array.sub send_buf 0 total in
+    let recv_counts = Coll.alltoall comm Datatype.int send_counts in
+    let recv_layout = Mpl_like.contiguous_layouts recv_counts in
+    let received = Mpl_like.alltoallv comm Datatype.int ~send_layout ~recv_layout send_buf in
+    Common.relax_received g dist received ~level:!level next_local;
+    frontier := !next_local;
+    incr level
+  done;
+  dist

@@ -1,0 +1,41 @@
+(* Distributed BFS, RWTH-MPI style: STL buffers help, but the alltoallv
+   overload mirrors the C interface, so flattening, counts and
+   displacements stay manual (the 32-line variant of Table I). *)
+open Mpisim
+open Graphgen
+open Bindings_emul
+
+let bfs comm (g : Distgraph.t) ~(source : int) : int array =
+  let p = Comm.size comm in
+  let dist, frontier0 = Common.initial_state g ~source in
+  let frontier = ref frontier0 in
+  let level = ref 0 in
+  let globally_empty f = Rwth_like.allreduce_one comm Datatype.bool Reduce_op.bool_and (f = []) in
+  while not (globally_empty !frontier) do
+    let next_local, buckets = Common.expand_frontier g dist !frontier ~level:!level in
+    let send_counts = Array.make p 0 in
+    Hashtbl.iter (fun dest vs -> send_counts.(dest) <- List.length vs) buckets;
+    let send_displs = Coll.exclusive_prefix_sum send_counts in
+    let total = Array.fold_left ( + ) 0 send_counts in
+    let send_buf = Array.make (max 1 total) 0 in
+    let cursor = Array.copy send_displs in
+    Hashtbl.iter
+      (fun dest vs ->
+        List.iter
+          (fun v ->
+            send_buf.(cursor.(dest)) <- v;
+            cursor.(dest) <- cursor.(dest) + 1)
+          vs)
+      buckets;
+    let send_buf = Array.sub send_buf 0 total in
+    let recv_counts = Rwth_like.alltoall comm Datatype.int send_counts in
+    let recv_displs = Coll.exclusive_prefix_sum recv_counts in
+    let received =
+      Rwth_like.alltoallv comm Datatype.int ~send_counts ~send_displs ~recv_counts
+        ~recv_displs send_buf
+    in
+    Common.relax_received g dist received ~level:!level next_local;
+    frontier := !next_local;
+    incr level
+  done;
+  dist

@@ -1,0 +1,70 @@
+(* Shared, communication-free parts of the distributed BFS
+   implementations (paper §IV-B, Fig. 9).
+
+   The graph is distributed with each rank holding a contiguous vertex
+   range as an adjacency array.  BFS proceeds level-synchronously: expand
+   the local frontier into per-owner buckets of remote candidates, exchange
+   the buckets (this is the part that differs per binding / exchanger, see
+   the sibling modules), then relax the received candidates.  [dist.(l)]
+   ends up holding the hop count from the source, or [undef]. *)
+
+open Graphgen
+
+let undef = max_int
+
+(* Expand the local frontier: relax local neighbors immediately, bucket
+   remote ones by owner. *)
+let expand_frontier (g : Distgraph.t) (dist : int array) (frontier : int list)
+    ~(level : int) : int list ref * (int, int list) Hashtbl.t =
+  let next_local = ref [] in
+  let buckets : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Distgraph.iter_neighbors g l (fun u ->
+          if Distgraph.is_local g u then begin
+            let lu = Distgraph.local_of_global g u in
+            if dist.(lu) = undef then begin
+              dist.(lu) <- level + 1;
+              next_local := lu :: !next_local
+            end
+          end
+          else begin
+            let owner = Distgraph.owner g u in
+            Hashtbl.replace buckets owner
+              (u :: (try Hashtbl.find buckets owner with Not_found -> []))
+          end))
+    frontier;
+  (next_local, buckets)
+
+(* Relax remotely received candidates (global vertex ids owned here). *)
+let relax_received (g : Distgraph.t) (dist : int array) (received : int array)
+    ~(level : int) (next_frontier : int list ref) : unit =
+  Array.iter
+    (fun u ->
+      let lu = Distgraph.local_of_global g u in
+      if dist.(lu) = undef then begin
+        dist.(lu) <- level + 1;
+        next_frontier := lu :: !next_frontier
+      end)
+    received
+
+let initial_state (g : Distgraph.t) ~(source : int) : int array * int list =
+  let dist = Array.make (max 1 (Distgraph.n_local g)) undef in
+  if Distgraph.is_local g source then begin
+    let l = Distgraph.local_of_global g source in
+    dist.(l) <- 0;
+    (dist, [ l ])
+  end
+  else (dist, [])
+
+(* Ranks adjacent to us via at least one cut edge — the static
+   communication topology of this BFS (used by the neighborhood-collective
+   exchanger). *)
+let cut_neighbors (g : Distgraph.t) : int array =
+  let seen = Hashtbl.create 16 in
+  for l = 0 to Distgraph.n_local g - 1 do
+    Distgraph.iter_neighbors g l (fun u ->
+        if not (Distgraph.is_local g u) then Hashtbl.replace seen (Distgraph.owner g u) ())
+  done;
+  let out = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+  Array.of_list (List.sort compare out)

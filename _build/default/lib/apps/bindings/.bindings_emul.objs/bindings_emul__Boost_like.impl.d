@@ -1,0 +1,1 @@
+lib/apps/bindings/boost_like.ml: Array Coll Comm Datatype Mpisim P2p Reduce_op

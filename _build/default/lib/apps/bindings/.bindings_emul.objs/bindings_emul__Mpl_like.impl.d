@@ -1,0 +1,1 @@
+lib/apps/bindings/mpl_like.ml: Array Coll Comm Datatype List Mpisim P2p Status

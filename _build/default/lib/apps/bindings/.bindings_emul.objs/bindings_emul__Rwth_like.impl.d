@@ -1,0 +1,1 @@
+lib/apps/bindings/rwth_like.ml: Array Coll Comm Datatype Mpisim P2p

@@ -1,0 +1,67 @@
+(* Boost.MPI-style bindings over the runtime (emulation for the
+   comparative benchmarks; see paper §II).
+
+   Characteristic behaviours reproduced:
+   - STL-container interface that always returns freshly allocated,
+     resized-to-fit vectors (hidden allocation);
+   - variable-size collectives communicate sizes internally before the
+     data exchange (counts cannot be supplied by the caller);
+   - functor-style reduction operations;
+   - NO alltoallv binding — applications must hand-roll irregular
+     exchanges (Boost.MPI stops at MPI-1.1's common cases);
+   - errors become exceptions (always; not configurable). *)
+
+open Mpisim
+
+(* Gather per-rank vectors of arbitrary sizes on every rank, as a vector of
+   vectors.  Sizes are exchanged internally first (extra allgather). *)
+let all_gather comm (dt : 'a Datatype.t) (v : 'a array) : 'a array array =
+  let sizes = Coll.allgather comm Datatype.int [| Array.length v |] in
+  let flat = Coll.allgatherv comm dt ~recv_counts:sizes v in
+  let out = Array.map (fun s -> Array.make s (Datatype.zero_elem dt)) sizes in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i s ->
+      Array.blit flat !pos out.(i) 0 s;
+      pos := !pos + s)
+    sizes;
+  out
+
+let gather comm (dt : 'a Datatype.t) ~root (v : 'a array) : 'a array array =
+  let sizes = Coll.gather comm Datatype.int ~root [| Array.length v |] in
+  if Comm.rank comm = root then begin
+    let flat = Coll.gatherv comm dt ~root ~recv_counts:sizes v in
+    let out = Array.map (fun s -> Array.make s (Datatype.zero_elem dt)) sizes in
+    let pos = ref 0 in
+    Array.iteri
+      (fun i s ->
+        Array.blit flat !pos out.(i) 0 s;
+        pos := !pos + s)
+      sizes;
+    out
+  end
+  else begin
+    ignore (Coll.gatherv comm dt ~root v);
+    [||]
+  end
+
+let broadcast comm (dt : 'a Datatype.t) ~root (v : 'a array option) : 'a array =
+  Coll.bcast comm dt ~root v
+
+(* Fixed-size alltoall: one equal-sized block per rank.  Boost.MPI provides
+   no MPI_Alltoallv binding (paper §II) — irregular exchanges must be
+   hand-rolled by the application. *)
+let all_to_all comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
+  Coll.alltoall comm dt data
+
+(* Functor-mapped reductions (std::plus -> MPI_SUM etc.). *)
+let all_reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (v : 'a array) : 'a array =
+  Coll.allreduce comm dt op v
+
+let all_reduce_one comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (x : 'a) : 'a =
+  Coll.allreduce_single comm dt op x
+
+let send comm dt ~dest ?tag v = P2p.send comm dt ~dest ?tag v
+
+(* Receives return fresh resized vectors. *)
+let recv comm dt ?source ?tag () : 'a array = fst (P2p.recv comm dt ?source ?tag ())

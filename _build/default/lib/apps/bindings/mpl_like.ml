@@ -1,0 +1,74 @@
+(* MPL-style bindings over the runtime (emulation for the comparative
+   benchmarks; see paper §II and [9]).
+
+   Characteristic behaviours reproduced:
+   - communication is expressed through explicit *layouts* that must be
+     constructed for both the send and the receive side of every
+     variable-size collective (verbose for irregular patterns);
+   - variable-size collectives are lowered onto alltoallw with per-peer
+     derived datatypes instead of passing counts/displacements — the
+     documented reason MPL's gatherv/alltoallv are slow and limit
+     scalability ("operations like gatherv call MPI_Alltoallw internally");
+   - no default parameters: every layout is mandatory;
+   - no error handling (exceptions from the runtime pass through untouched,
+     MPL itself has none to add). *)
+
+open Mpisim
+
+(* A layout describes per-peer block sizes and offsets over one contiguous
+   buffer — MPL's layouts-over-contiguous-memory, restricted to what the
+   benchmarks need. *)
+type layout = { counts : int array; displs : int array }
+
+let contiguous_layouts (counts : int array) : layout =
+  { counts; displs = Coll.exclusive_prefix_sum counts }
+
+let layouts ~(counts : int array) ~(displs : int array) : layout = { counts; displs }
+
+let empty_layout n = { counts = Array.make n 0; displs = Array.make n 0 }
+
+(* All variable collectives route through alltoallw (per-peer datatype
+   setup, no empty-message skipping). *)
+let alltoallv comm (dt : 'a Datatype.t) ~(send_layout : layout) ~(recv_layout : layout)
+    (data : 'a array) : 'a array =
+  ignore send_layout.displs;
+  ignore recv_layout.displs;
+  Coll.alltoallw comm dt ~send_counts:send_layout.counts ~recv_counts:recv_layout.counts
+    data
+
+(* gatherv: the root receives everyone's block; lowered to alltoallw with a
+   one-hot layout on non-roots. *)
+let gatherv comm (dt : 'a Datatype.t) ~root ~(send_layout_size : int)
+    ~(recv_layout : layout option) (data : 'a array) : 'a array =
+  let n = Comm.size comm in
+  let send_counts = Array.make n 0 in
+  send_counts.(root) <- send_layout_size;
+  let recv_counts =
+    match recv_layout with
+    | Some l -> l.counts
+    | None -> Array.make n 0
+  in
+  Coll.alltoallw comm dt ~send_counts ~recv_counts data
+
+(* allgatherv: lowered to alltoallw sending our block to every rank. *)
+let allgatherv comm (dt : 'a Datatype.t) ~(send_layout_size : int)
+    ~(recv_layout : layout) (data : 'a array) : 'a array =
+  let n = Comm.size comm in
+  let send_counts = Array.make n send_layout_size in
+  let widened = Array.concat (List.init n (fun _ -> Array.sub data 0 send_layout_size)) in
+  Coll.alltoallw comm dt ~send_counts ~recv_counts:recv_layout.counts widened
+
+(* Fixed-size collectives mirror the C interface directly. *)
+let allgather comm dt (v : 'a array) : 'a array = Coll.allgather comm dt v
+
+let allreduce comm dt op (v : 'a array) : 'a array = Coll.allreduce comm dt op v
+
+let allreduce_one comm dt op (x : 'a) : 'a = Coll.allreduce_single comm dt op x
+
+let send comm dt ~dest ?tag v = P2p.send comm dt ~dest ?tag v
+
+(* MPL receives need a layout (a size) up front; no dynamic receives. *)
+let recv comm dt ~(layout_size : int) ?source ?tag () : 'a array =
+  let buf = Array.make layout_size (Datatype.zero_elem dt) in
+  let (_ : Status.t) = P2p.recv_into comm dt ?source ?tag buf in
+  buf

@@ -1,0 +1,49 @@
+(* RWTH-MPI-style bindings over the runtime (emulation for the comparative
+   benchmarks; see paper §II, [7]).
+
+   Characteristic behaviours reproduced:
+   - full STL support for send/receive buffers with several overloads per
+     call, some of which omit counts;
+   - the count-omitting allgatherv overload only works in-place: the user
+     must have exchanged counts and positioned their data beforehand
+     (paper §III-A footnote);
+   - automatic receive-buffer resizing in some calls, none in others
+     (inconsistent, as the paper notes);
+   - large parts mirror the C interface without extra safety. *)
+
+open Mpisim
+
+(* In-place allgatherv: [buf] is the full global buffer with our block
+   already at the right offset; counts were exchanged by the caller. *)
+let allgatherv_inplace comm (dt : 'a Datatype.t) ~(recv_counts : int array)
+    (buf : 'a array) : unit =
+  let r = Comm.rank comm in
+  let displs = Coll.exclusive_prefix_sum recv_counts in
+  let mine = Array.sub buf displs.(r) recv_counts.(r) in
+  let gathered = Coll.allgatherv comm dt ~recv_counts mine in
+  Array.blit gathered 0 buf 0 (Array.length gathered)
+
+(* Count-taking overload, mirroring the C interface. *)
+let allgatherv comm (dt : 'a Datatype.t) ~(recv_counts : int array) (v : 'a array) :
+    'a array =
+  Coll.allgatherv comm dt ~recv_counts v
+
+(* Fixed-size collectives with auto-resized results. *)
+let allgather comm dt (v : 'a array) : 'a array = Coll.allgather comm dt v
+
+let alltoall comm dt (v : 'a array) : 'a array = Coll.alltoall comm dt v
+
+(* alltoallv mirrors the C interface: everything explicit. *)
+let alltoallv comm (dt : 'a Datatype.t) ~send_counts ~send_displs ~recv_counts
+    ~recv_displs (v : 'a array) : 'a array =
+  Coll.alltoallv comm dt ~send_counts ~send_displs ~recv_counts ~recv_displs v
+
+let allreduce comm dt op (v : 'a array) : 'a array = Coll.allreduce comm dt op v
+
+let allreduce_one comm dt op (x : 'a) : 'a = Coll.allreduce_single comm dt op x
+
+let send comm dt ~dest ?tag v = P2p.send comm dt ~dest ?tag v
+
+(* Receives resize automatically (one of the conveniences RWTH-MPI does
+   provide). *)
+let recv comm dt ?source ?tag () : 'a array = fst (P2p.recv comm dt ?source ?tag ())

@@ -1,0 +1,1 @@
+lib/apps/label_propagation/lp_common.ml: Array Distgraph Graphgen Hashtbl Lazy List Mpisim

@@ -1,0 +1,1 @@
+lib/apps/label_propagation/lp_kamping.ml: Array Graphgen Kamping Lazy Lp_common

@@ -1,0 +1,1 @@
+lib/apps/label_propagation/lp_mpi.ml: Array Coll Comm Datatype Graphgen Hashtbl Lazy List Lp_common Mpisim

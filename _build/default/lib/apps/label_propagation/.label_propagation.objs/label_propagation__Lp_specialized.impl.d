@@ -1,0 +1,1 @@
+lib/apps/label_propagation/lp_specialized.ml: Array Datatype Graphgen Hashtbl Kamping Lazy Lp_common Mpisim

@@ -1,0 +1,1 @@
+lib/apps/phylo/layer_handrolled.ml: Array Bytes Coll Comm Datatype Errdefs List Model Mpisim Option Reduce_op String Wire

@@ -1,0 +1,1 @@
+lib/apps/phylo/layer_kamping.ml: Datatype Kamping Model Mpisim Reduce_op

@@ -1,0 +1,1 @@
+lib/apps/phylo/model.ml: Array Float List Printf Serial

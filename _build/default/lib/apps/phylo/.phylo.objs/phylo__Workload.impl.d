@@ -1,0 +1,1 @@
+lib/apps/phylo/workload.ml: Comm Layer_handrolled Layer_kamping Model Mpisim

@@ -1,0 +1,73 @@
+(* The hand-rolled parallelization layer (the "before" of Fig. 11).
+
+   Like RAxML-NG's custom abstraction, broadcasting a heap-structured
+   model takes: (1) the master serializes into a scratch buffer through a
+   bespoke binary stream, (2) a first broadcast ships the payload size,
+   (3) a second broadcast ships the bytes, (4) workers deserialize.  All
+   of this is code the application had to write, unit-test, and maintain
+   itself. *)
+
+open Mpisim
+
+(* A bespoke binary stream — the BinaryStream of Fig. 11. *)
+module Binary_stream = struct
+  let serialize (m : Model.t) : Bytes.t =
+    let w = Wire.create_writer () in
+    Wire.put_int w m.Model.generation;
+    Wire.put_float w m.Model.alpha;
+    Wire.put_int w (Array.length m.Model.branch_lengths);
+    Array.iter (Wire.put_float w) m.Model.branch_lengths;
+    Wire.put_int w (List.length m.Model.partition_rates);
+    List.iter
+      (fun (name, rate) ->
+        Wire.put_int w (String.length name);
+        Wire.put_string w name;
+        Wire.put_float w rate)
+      m.Model.partition_rates;
+    Wire.contents w
+
+  let deserialize (b : Bytes.t) : Model.t =
+    let r = Wire.reader_of_bytes b in
+    let generation = Wire.get_int r in
+    let alpha = Wire.get_float r in
+    let nb = Wire.get_int r in
+    let branch_lengths = Array.init nb (fun _ -> Wire.get_float r) in
+    let np = Wire.get_int r in
+    let partition_rates =
+      List.init np (fun _ ->
+          let len = Wire.get_int r in
+          let name = Wire.get_string r len in
+          let rate = Wire.get_float r in
+          (name, rate))
+    in
+    { Model.generation; alpha; branch_lengths; partition_rates }
+end
+
+(* The mpi_broadcast(T&) of Fig. 11, "before" version: size first, then
+   payload, then deserialize on the workers. *)
+let broadcast_model comm ~root (m : Model.t option) : Model.t =
+  let payload =
+    if Comm.rank comm = root then
+      match m with
+      | Some m -> Binary_stream.serialize m
+      | None -> Errdefs.usage_error "broadcast_model: root must provide the model"
+    else Bytes.empty
+  in
+  let size =
+    (Coll.bcast comm Datatype.int ~root
+       (if Comm.rank comm = root then Some [| Bytes.length payload |] else None)).(0)
+  in
+  let chars =
+    Coll.bcast comm Datatype.byte ~root
+      (if Comm.rank comm = root then
+         Some (Array.init size (Bytes.get payload))
+       else None)
+  in
+  if Comm.rank comm = root then Option.get m
+  else begin
+    let b = Bytes.init size (Array.get chars) in
+    Binary_stream.deserialize b
+  end
+
+let allreduce_score comm (x : float) : float =
+  Coll.allreduce_single comm Datatype.float Reduce_op.float_sum x

@@ -1,0 +1,11 @@
+(* The binding-layer version (the "after" of Fig. 11): the whole
+   hand-rolled broadcast collapses into one serialized-broadcast call. *)
+
+open Mpisim
+
+let broadcast_model mpi ~root (m : Model.t option) : Model.t =
+  Kamping.Serialized.bcast (Kamping.Communicator.of_mpi mpi) Model.codec ~root ?value:m ()
+
+let allreduce_score mpi (x : float) : float =
+  Kamping.Collectives.allreduce_single (Kamping.Communicator.of_mpi mpi) Datatype.float
+    Reduce_op.float_sum x

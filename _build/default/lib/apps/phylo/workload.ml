@@ -1,0 +1,44 @@
+(* The iteration loop shared by both layers: evaluate the distributed
+   log-likelihood, reduce it, evolve the model on the master, broadcast.
+   Parameterized over the layer so the benchmark can show that replacing
+   the hand-rolled layer costs nothing (§IV-C). *)
+
+open Mpisim
+
+type layer = {
+  name : string;
+  broadcast_model : Comm.t -> root:int -> Model.t option -> Model.t;
+  allreduce_score : Comm.t -> float -> float;
+}
+
+let handrolled : layer =
+  {
+    name = "handrolled";
+    broadcast_model = Layer_handrolled.broadcast_model;
+    allreduce_score = Layer_handrolled.allreduce_score;
+  }
+
+let kamping : layer =
+  {
+    name = "kamping";
+    broadcast_model = Layer_kamping.broadcast_model;
+    allreduce_score = Layer_kamping.allreduce_score;
+  }
+
+(* Runs [iterations] optimizer steps over [sites_per_rank * p] alignment
+   sites; returns the final (deterministic) global score. *)
+let run (layer : layer) comm ~(sites_per_rank : int) ~(iterations : int)
+    ~(n_branches : int) ~(n_partitions : int) : float =
+  let rank = Comm.rank comm in
+  let first_site = rank * sites_per_rank in
+  let model = ref (Model.initial ~n_branches ~n_partitions) in
+  let score = ref 0. in
+  for _ = 1 to iterations do
+    let local = Model.local_log_likelihood !model ~first_site ~n_sites:sites_per_rank in
+    score := layer.allreduce_score comm local;
+    let next =
+      if rank = 0 then Some (Model.evolve !model ~score:!score) else None
+    in
+    model := layer.broadcast_model comm ~root:0 next
+  done;
+  !score

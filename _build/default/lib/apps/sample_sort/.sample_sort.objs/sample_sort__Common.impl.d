@@ -1,0 +1,1 @@
+lib/apps/sample_sort/common.ml: Array Mpisim Xoshiro

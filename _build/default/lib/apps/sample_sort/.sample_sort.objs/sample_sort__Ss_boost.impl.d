@@ -1,0 +1,1 @@
+lib/apps/sample_sort/ss_boost.ml: Array Bindings_emul Boost_like Comm Common Datatype Mpisim

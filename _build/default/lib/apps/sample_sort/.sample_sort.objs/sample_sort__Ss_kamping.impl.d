@@ -1,0 +1,1 @@
+lib/apps/sample_sort/ss_kamping.ml: Array Common Datatype Kamping Mpisim

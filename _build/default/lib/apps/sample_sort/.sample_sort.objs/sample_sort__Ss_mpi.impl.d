@@ -1,0 +1,1 @@
+lib/apps/sample_sort/ss_mpi.ml: Array Coll Comm Common Datatype Mpisim

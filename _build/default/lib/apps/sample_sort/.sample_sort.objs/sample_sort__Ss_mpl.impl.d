@@ -1,0 +1,1 @@
+lib/apps/sample_sort/ss_mpl.ml: Array Bindings_emul Coll Comm Common Datatype Mpisim Mpl_like

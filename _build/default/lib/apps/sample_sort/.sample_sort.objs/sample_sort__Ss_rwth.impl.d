@@ -1,0 +1,1 @@
+lib/apps/sample_sort/ss_rwth.ml: Array Bindings_emul Coll Comm Common Datatype Mpisim Rwth_like

@@ -1,0 +1,40 @@
+(* Sample sort, Boost.MPI style: all_gather handles the samples nicely,
+   but Boost.MPI has no alltoallv binding, so the bucket exchange is
+   hand-rolled with point-to-point messages (one per peer, empty or not)
+   — which is why Boost saves so little code over plain MPI (Table I). *)
+open Mpisim
+open Bindings_emul
+
+let exchange_tag = 7
+
+let sort comm (data : int array) : int array =
+  let p = Comm.size comm in
+  let rank = Comm.rank comm in
+  if p = 1 then Common.local_sort data
+  else begin
+    let ns = Common.num_samples ~p in
+    let lsamples = Common.draw_samples ~rank ~seed:Common.default_seed ns data in
+    let sample_parts = Boost_like.all_gather comm Datatype.int lsamples in
+    let gsamples = Array.concat (Array.to_list sample_parts) in
+    Array.sort compare gsamples;
+    let splitters = Common.pick_splitters ~p gsamples in
+    let grouped, send_counts = Common.build_buckets ~p splitters data in
+    let send_displs = Array.make p 0 in
+    for i = 1 to p - 1 do
+      send_displs.(i) <- send_displs.(i - 1) + send_counts.(i - 1)
+    done;
+    (* Hand-rolled irregular exchange: send each bucket, then receive one
+       message from every peer. *)
+    let pieces = Array.make p [||] in
+    pieces.(rank) <- Array.sub grouped send_displs.(rank) send_counts.(rank);
+    for step = 1 to p - 1 do
+      let dest = (rank + step) mod p in
+      Boost_like.send comm Datatype.int ~dest ~tag:exchange_tag
+        (Array.sub grouped send_displs.(dest) send_counts.(dest))
+    done;
+    for step = 1 to p - 1 do
+      let src = (rank - step + p) mod p in
+      pieces.(src) <- Boost_like.recv comm Datatype.int ~source:src ~tag:exchange_tag ()
+    done;
+    Common.local_sort (Array.concat (Array.to_list pieces))
+  end

@@ -1,0 +1,21 @@
+(* Sample sort, KaMPIng style (Fig. 7): counts, displacements and receive
+   buffers are all inferred by the library. *)
+open Mpisim
+
+let sort mpi (data : int array) : int array =
+  let comm = Kamping.Communicator.of_mpi mpi in
+  let p = Kamping.Communicator.size comm in
+  if p = 1 then Common.local_sort data
+  else begin
+    let ns = Common.num_samples ~p in
+    let lsamples =
+      Common.draw_samples ~rank:(Kamping.Communicator.rank comm) ~seed:Common.default_seed
+        ns data
+    in
+    let gsamples = Kamping.Collectives.allgatherv comm Datatype.int lsamples in
+    Array.sort compare gsamples;
+    let splitters = Common.pick_splitters ~p gsamples in
+    let grouped, send_counts = Common.build_buckets ~p splitters data in
+    let received = Kamping.Collectives.alltoallv comm Datatype.int ~send_counts grouped in
+    Common.local_sort received
+  end

@@ -1,0 +1,31 @@
+(* Sample sort, plain runtime interface: every count and displacement is
+   exchanged and computed by hand (the Fig. 2 boilerplate, twice). *)
+open Mpisim
+
+let sort comm (data : int array) : int array =
+  let p = Comm.size comm in
+  let rank = Comm.rank comm in
+  if p = 1 then Common.local_sort data
+  else begin
+    (* Sample and allgather the samples: counts first, then the data. *)
+    let ns = Common.num_samples ~p in
+    let lsamples = Common.draw_samples ~rank ~seed:Common.default_seed ns data in
+    let sample_counts = Coll.allgather comm Datatype.int [| Array.length lsamples |] in
+    let gsamples = Coll.allgatherv comm Datatype.int ~recv_counts:sample_counts lsamples in
+    Array.sort compare gsamples;
+    let splitters = Common.pick_splitters ~p gsamples in
+    (* Bucket, then a fully explicit alltoallv. *)
+    let grouped, send_counts = Common.build_buckets ~p splitters data in
+    let recv_counts = Coll.alltoall comm Datatype.int send_counts in
+    let send_displs = Array.make p 0 in
+    let recv_displs = Array.make p 0 in
+    for i = 1 to p - 1 do
+      send_displs.(i) <- send_displs.(i - 1) + send_counts.(i - 1);
+      recv_displs.(i) <- recv_displs.(i - 1) + recv_counts.(i - 1)
+    done;
+    let received =
+      Coll.alltoallv comm Datatype.int ~send_counts ~send_displs ~recv_counts ~recv_displs
+        grouped
+    in
+    Common.local_sort received
+  end

@@ -1,0 +1,31 @@
+(* Sample sort, MPL style: layouts must be constructed explicitly for both
+   sides of the bucket exchange, and MPL lowers alltoallv onto alltoallw
+   with per-peer derived datatypes — the overhead visible in Fig. 8. *)
+open Mpisim
+open Bindings_emul
+
+let sort comm (data : int array) : int array =
+  let p = Comm.size comm in
+  let rank = Comm.rank comm in
+  if p = 1 then Common.local_sort data
+  else begin
+    let ns = Common.num_samples ~p in
+    let lsamples = Common.draw_samples ~rank ~seed:Common.default_seed ns data in
+    let sample_counts = Mpl_like.allgather comm Datatype.int [| Array.length lsamples |] in
+    let sample_layout = Mpl_like.contiguous_layouts sample_counts in
+    let gsamples =
+      Mpl_like.allgatherv comm Datatype.int ~send_layout_size:(Array.length lsamples)
+        ~recv_layout:sample_layout lsamples
+    in
+    Array.sort compare gsamples;
+    let splitters = Common.pick_splitters ~p gsamples in
+    let grouped, send_counts = Common.build_buckets ~p splitters data in
+    (* Both layouts are mandatory: exchange counts, then build them. *)
+    let recv_counts = Coll.alltoall comm Datatype.int send_counts in
+    let send_layout = Mpl_like.contiguous_layouts send_counts in
+    let recv_layout = Mpl_like.contiguous_layouts recv_counts in
+    let received =
+      Mpl_like.alltoallv comm Datatype.int ~send_layout ~recv_layout grouped
+    in
+    Common.local_sort received
+  end

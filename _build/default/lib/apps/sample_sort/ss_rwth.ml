@@ -1,0 +1,27 @@
+(* Sample sort, RWTH-MPI style: STL buffers with auto-resized receives
+   shorten the sample phase, but alltoallv still mirrors the C interface,
+   so counts and displacements remain manual. *)
+open Mpisim
+open Bindings_emul
+
+let sort comm (data : int array) : int array =
+  let p = Comm.size comm in
+  let rank = Comm.rank comm in
+  if p = 1 then Common.local_sort data
+  else begin
+    let ns = Common.num_samples ~p in
+    let lsamples = Common.draw_samples ~rank ~seed:Common.default_seed ns data in
+    let sample_counts = Rwth_like.allgather comm Datatype.int [| Array.length lsamples |] in
+    let gsamples = Rwth_like.allgatherv comm Datatype.int ~recv_counts:sample_counts lsamples in
+    Array.sort compare gsamples;
+    let splitters = Common.pick_splitters ~p gsamples in
+    let grouped, send_counts = Common.build_buckets ~p splitters data in
+    let recv_counts = Rwth_like.alltoall comm Datatype.int send_counts in
+    let send_displs = Coll.exclusive_prefix_sum send_counts in
+    let recv_displs = Coll.exclusive_prefix_sum recv_counts in
+    let received =
+      Rwth_like.alltoallv comm Datatype.int ~send_counts ~send_displs ~recv_counts
+        ~recv_displs grouped
+    in
+    Common.local_sort received
+  end

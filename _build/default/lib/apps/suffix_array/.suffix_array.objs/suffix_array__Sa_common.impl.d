@@ -1,0 +1,1 @@
+lib/apps/suffix_array/sa_common.ml: Array Char Errdefs Fun Mpisim String Xoshiro

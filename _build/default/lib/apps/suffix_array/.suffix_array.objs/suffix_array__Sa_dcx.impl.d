@@ -1,0 +1,1 @@
+lib/apps/suffix_array/sa_dcx.ml: Array Char Comm Datatype Errdefs Fun Hashtbl Kamping Kamping_plugins Lazy List Mpisim Reduce_op Sa_common Signature Wire

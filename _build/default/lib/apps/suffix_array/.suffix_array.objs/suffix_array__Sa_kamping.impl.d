@@ -1,0 +1,1 @@
+lib/apps/suffix_array/sa_kamping.ml: Array Char Datatype Errdefs Hashtbl Kamping Kamping_plugins Mpisim Reduce_op Sa_common

@@ -1,0 +1,1 @@
+lib/apps/suffix_array/sa_mpi.ml: Array Char Coll Comm Datatype Errdefs Fun Hashtbl List Mpisim Reduce_op Sa_common Xoshiro

@@ -1,0 +1,125 @@
+(* Distributed suffix-array construction by prefix doubling (Manber-Myers
+   [13]), KaMPIng style — the paper's 163-LOC showcase (§IV-A).
+
+   Invariant: after the round with shift k, suffixes are ranked by their
+   first 2k characters.  Each round:
+
+   1. fetch the rank of the suffix k positions ahead (one sparse exchange:
+      owner of position j ships rank_j to the owner of j - k);
+   2. globally sort (rank_i, rank_{i+k}, i) triples with the distributed
+      sorter plugin;
+   3. re-rank: flag key changes (one allgatherv for rank-boundary keys),
+      prefix-sum the flags (exscan), and count distinct keys (allreduce);
+   4. ship the new ranks back to the position owners (one sparse exchange).
+
+   Terminates when all ranks are distinct; the final sorted order IS the
+   suffix array, returned block-distributed in sorted order. *)
+
+open Mpisim
+
+let cmp_triple (a1, a2, _) (b1, b2, _) =
+  if a1 <> b1 then compare a1 b1 else compare a2 b2
+
+(* One prefix-doubling round over (key1, key2, position) triples.
+   Returns (distinct key count, positions in sorted order, updated local
+   rank array). *)
+let round comm pair_dt triple_dt ~n ~p ~first ~n_local (triples : (int * int * int) array)
+    : int * int array * int array =
+  let sorted = Kamping_plugins.Sorter.sort comm triple_dt ~compare:cmp_triple triples in
+  let len = Array.length sorted in
+  let key_of (k1, k2, _) = (k1, k2) in
+  (* Boundary keys: the last key of every non-empty rank, in rank order. *)
+  let counts = Kamping.Collectives.allgather comm Datatype.int [| len |] in
+  let lasts =
+    Kamping.Collectives.allgatherv comm pair_dt
+      (if len > 0 then [| key_of sorted.(len - 1) |] else [||])
+  in
+  let nonempty_before = ref 0 in
+  for r = 0 to Kamping.Communicator.rank comm - 1 do
+    if counts.(r) > 0 then incr nonempty_before
+  done;
+  let prev_key = if !nonempty_before = 0 then None else Some lasts.(!nonempty_before - 1) in
+  (* Flag the start of every new key group; prefix-sum the flags. *)
+  let flags =
+    Array.mapi
+      (fun j t ->
+        let prev = if j = 0 then prev_key else Some (key_of sorted.(j - 1)) in
+        if prev = Some (key_of t) then 0 else 1)
+      sorted
+  in
+  let local_sum = Array.fold_left ( + ) 0 flags in
+  let offset =
+    Kamping.Collectives.exscan_single_or comm Datatype.int Reduce_op.int_sum ~init:0
+      local_sum
+  in
+  let distinct =
+    Kamping.Collectives.allreduce_single comm Datatype.int Reduce_op.int_sum local_sum
+  in
+  (* Ship (position, new rank) back to the position owners. *)
+  let updates : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let running = ref offset in
+  Array.iteri
+    (fun j (_, _, pos) ->
+      running := !running + flags.(j);
+      let dest = Sa_common.owner ~n ~p pos in
+      Hashtbl.replace updates dest
+        ((pos, !running - 1) :: (try Hashtbl.find updates dest with Not_found -> [])))
+    sorted;
+  let incoming = Kamping.Flatten.alltoallv comm pair_dt updates in
+  let rank_arr = Array.make (max 1 n_local) 0 in
+  Array.iter (fun (pos, r) -> rank_arr.(pos - first) <- r) incoming;
+  let rank_arr = if n_local = 0 then [||] else Array.sub rank_arr 0 n_local in
+  (distinct, Array.map (fun (_, _, pos) -> pos) sorted, rank_arr)
+
+(* Fetch, for every local position i, the current rank of position i + k
+   (or -1 past the end): one sparse exchange. *)
+let fetch_shifted comm pair_dt ~n ~p ~first ~n_local ~k (rank_arr : int array) : int array
+    =
+  let requests : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  for j = 0 to n_local - 1 do
+    let gj = first + j in
+    if gj >= k then begin
+      let dest = Sa_common.owner ~n ~p (gj - k) in
+      Hashtbl.replace requests dest
+        ((gj - k, rank_arr.(j)) :: (try Hashtbl.find requests dest with Not_found -> []))
+    end
+  done;
+  let received = Kamping.Flatten.alltoallv comm pair_dt requests in
+  let second = Array.make (max 1 n_local) (-1) in
+  Array.iter (fun (i, v) -> second.(i - first) <- v) received;
+  if n_local = 0 then [||] else Array.sub second 0 n_local
+
+let suffix_array mpi (text : char array) : int array =
+  let comm = Kamping.Communicator.of_mpi mpi in
+  let p = Kamping.Communicator.size comm in
+  let rank = Kamping.Communicator.rank comm in
+  let n_local = Array.length text in
+  let n = Kamping.Collectives.allreduce_single comm Datatype.int Reduce_op.int_sum n_local in
+  let first, expected_len = Sa_common.my_range ~n ~p ~rank in
+  if expected_len <> n_local then
+    Errdefs.usage_error "suffix_array: text must be block-distributed (rank %d has %d, expected %d)"
+      rank n_local expected_len;
+  Datatype.with_committed (Datatype.pair Datatype.int Datatype.int) @@ fun pair_dt ->
+  Datatype.with_committed (Datatype.triple Datatype.int Datatype.int Datatype.int)
+  @@ fun triple_dt ->
+  (* Round 0: rank by first character. *)
+  let triples0 = Array.mapi (fun j ch -> (Char.code ch, -1, first + j)) text in
+  let distinct, order, rank_arr =
+    round comm pair_dt triple_dt ~n ~p ~first ~n_local triples0
+  in
+  let distinct = ref distinct in
+  let order = ref order in
+  let rank_arr = ref rank_arr in
+  let k = ref 1 in
+  while !distinct < n do
+    let second = fetch_shifted comm pair_dt ~n ~p ~first ~n_local ~k:!k !rank_arr in
+    let triples =
+      Array.mapi (fun j r -> (r, second.(j), first + j)) !rank_arr
+    in
+    let d, o, ra = round comm pair_dt triple_dt ~n ~p ~first ~n_local triples in
+    distinct := d;
+    order := o;
+    rank_arr := ra;
+    k := !k * 2
+  done;
+  !order

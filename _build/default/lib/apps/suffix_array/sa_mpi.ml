@@ -1,0 +1,198 @@
+(* Distributed suffix-array construction by prefix doubling, plain runtime
+   interface.  Algorithmically identical to {!Sa_kamping}, but every
+   exchange is spelled out: a hand-rolled distributed sample sort for the
+   triples, manual count exchanges, displacement loops and flattening for
+   every alltoallv — the boilerplate the paper quantifies as 426 vs 163
+   lines (§IV-A). *)
+
+open Mpisim
+
+let cmp_triple (a1, a2, _) (b1, b2, _) =
+  if a1 <> b1 then compare a1 b1 else compare a2 b2
+
+let prefix_displs ~p (counts : int array) =
+  let displs = Array.make p 0 in
+  for i = 1 to p - 1 do
+    displs.(i) <- displs.(i - 1) + counts.(i - 1)
+  done;
+  displs
+
+(* Hand-rolled distributed sample sort over triples. *)
+let plain_sample_sort comm triple_dt (data : (int * int * int) array) :
+    (int * int * int) array =
+  let p = Comm.size comm in
+  let rank = Comm.rank comm in
+  if p = 1 then begin
+    let out = Array.copy data in
+    Array.sort cmp_triple out;
+    out
+  end
+  else begin
+    (* Draw samples and allgather them, counts first. *)
+    let ns = (16 * int_of_float (ceil (log (float_of_int p) /. log 2.))) + 1 in
+    let rng = Xoshiro.create ~seed:0x5EED ~stream:rank in
+    let lsamples =
+      if Array.length data = 0 then [||]
+      else Array.init ns (fun _ -> data.(Xoshiro.next_int rng ~bound:(Array.length data)))
+    in
+    let sample_counts = Coll.allgather comm Datatype.int [| Array.length lsamples |] in
+    let gsamples = Coll.allgatherv comm triple_dt ~recv_counts:sample_counts lsamples in
+    Array.sort cmp_triple gsamples;
+    let m = Array.length gsamples in
+    let splitters =
+      if m = 0 then [||]
+      else Array.init (p - 1) (fun i -> gsamples.(min (m - 1) ((i + 1) * m / p)))
+    in
+    let bucket_of x =
+      let lo = ref 0 and hi = ref (Array.length splitters) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cmp_triple splitters.(mid) x < 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    (* Bucket, flatten, and run a fully explicit alltoallv. *)
+    let send_counts = Array.make p 0 in
+    Array.iter (fun x -> send_counts.(bucket_of x) <- send_counts.(bucket_of x) + 1) data;
+    let send_displs = prefix_displs ~p send_counts in
+    let grouped = Array.make (max 1 (Array.length data)) (0, 0, 0) in
+    let cursor = Array.copy send_displs in
+    Array.iter
+      (fun x ->
+        let b = bucket_of x in
+        grouped.(cursor.(b)) <- x;
+        cursor.(b) <- cursor.(b) + 1)
+      data;
+    let grouped = Array.sub grouped 0 (Array.length data) in
+    let recv_counts = Coll.alltoall comm Datatype.int send_counts in
+    let recv_displs = prefix_displs ~p recv_counts in
+    let received =
+      Coll.alltoallv comm triple_dt ~send_counts ~send_displs ~recv_counts ~recv_displs
+        grouped
+    in
+    Array.sort cmp_triple received;
+    received
+  end
+
+(* Exchange a destination-bucketed table of int pairs with explicit
+   flattening and counts (used for rank updates and shifted-rank fetches). *)
+let plain_pair_exchange comm pair_dt (table : (int, (int * int) list) Hashtbl.t) :
+    (int * int) array =
+  let p = Comm.size comm in
+  let send_counts = Array.make p 0 in
+  Hashtbl.iter (fun dest xs -> send_counts.(dest) <- List.length xs) table;
+  let send_displs = prefix_displs ~p send_counts in
+  let total = send_displs.(p - 1) + send_counts.(p - 1) in
+  let send_buf = Array.make (max 1 total) (0, 0) in
+  let cursor = Array.copy send_displs in
+  Hashtbl.iter
+    (fun dest xs ->
+      List.iter
+        (fun x ->
+          send_buf.(cursor.(dest)) <- x;
+          cursor.(dest) <- cursor.(dest) + 1)
+        xs)
+    table;
+  let send_buf = Array.sub send_buf 0 total in
+  let recv_counts = Coll.alltoall comm Datatype.int send_counts in
+  let recv_displs = prefix_displs ~p recv_counts in
+  Coll.alltoallv comm pair_dt ~send_counts ~send_displs ~recv_counts ~recv_displs send_buf
+
+let round comm pair_dt triple_dt ~n ~p ~first ~n_local (triples : (int * int * int) array)
+    : int * int array * int array =
+  let rank = Comm.rank comm in
+  let sorted = plain_sample_sort comm triple_dt triples in
+  let len = Array.length sorted in
+  let key_of (k1, k2, _) = (k1, k2) in
+  (* Boundary keys: counts first, then the last key of non-empty ranks. *)
+  let counts = Coll.allgather comm Datatype.int [| len |] in
+  let last_counts = Array.map (fun c -> if c > 0 then 1 else 0) counts in
+  let lasts =
+    Coll.allgatherv comm pair_dt ~recv_counts:last_counts
+      (if len > 0 then [| key_of sorted.(len - 1) |] else [||])
+  in
+  let nonempty_before = ref 0 in
+  for r = 0 to rank - 1 do
+    if counts.(r) > 0 then incr nonempty_before
+  done;
+  let prev_key = if !nonempty_before = 0 then None else Some lasts.(!nonempty_before - 1) in
+  let flags =
+    Array.mapi
+      (fun j t ->
+        let prev = if j = 0 then prev_key else Some (key_of sorted.(j - 1)) in
+        if prev = Some (key_of t) then 0 else 1)
+      sorted
+  in
+  let local_sum = Array.fold_left ( + ) 0 flags in
+  let offset =
+    match Coll.exscan_single comm Datatype.int Reduce_op.int_sum local_sum with
+    | Some v -> v
+    | None -> 0
+  in
+  let distinct = Coll.allreduce_single comm Datatype.int Reduce_op.int_sum local_sum in
+  let updates : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let running = ref offset in
+  Array.iteri
+    (fun j (_, _, pos) ->
+      running := !running + flags.(j);
+      let dest = Sa_common.owner ~n ~p pos in
+      Hashtbl.replace updates dest
+        ((pos, !running - 1) :: (try Hashtbl.find updates dest with Not_found -> [])))
+    sorted;
+  let incoming = plain_pair_exchange comm pair_dt updates in
+  let rank_arr = Array.make (max 1 n_local) 0 in
+  Array.iter (fun (pos, r) -> rank_arr.(pos - first) <- r) incoming;
+  let rank_arr = if n_local = 0 then [||] else Array.sub rank_arr 0 n_local in
+  (distinct, Array.map (fun (_, _, pos) -> pos) sorted, rank_arr)
+
+let fetch_shifted comm pair_dt ~n ~p ~first ~n_local ~k (rank_arr : int array) : int array
+    =
+  let requests : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  for j = 0 to n_local - 1 do
+    let gj = first + j in
+    if gj >= k then begin
+      let dest = Sa_common.owner ~n ~p (gj - k) in
+      Hashtbl.replace requests dest
+        ((gj - k, rank_arr.(j)) :: (try Hashtbl.find requests dest with Not_found -> []))
+    end
+  done;
+  let received = plain_pair_exchange comm pair_dt requests in
+  let second = Array.make (max 1 n_local) (-1) in
+  Array.iter (fun (i, v) -> second.(i - first) <- v) received;
+  if n_local = 0 then [||] else Array.sub second 0 n_local
+
+let suffix_array comm (text : char array) : int array =
+  let p = Comm.size comm in
+  let rank = Comm.rank comm in
+  let n_local = Array.length text in
+  let n = Coll.allreduce_single comm Datatype.int Reduce_op.int_sum n_local in
+  let first, expected_len = Sa_common.my_range ~n ~p ~rank in
+  if expected_len <> n_local then
+    Errdefs.usage_error "suffix_array: text must be block-distributed";
+  let pair_dt = Datatype.pair Datatype.int Datatype.int in
+  Datatype.commit pair_dt;
+  let triple_dt = Datatype.triple Datatype.int Datatype.int Datatype.int in
+  Datatype.commit triple_dt;
+  let finally () =
+    Datatype.free pair_dt;
+    Datatype.free triple_dt
+  in
+  Fun.protect ~finally (fun () ->
+      let triples0 = Array.mapi (fun j ch -> (Char.code ch, -1, first + j)) text in
+      let distinct, order, rank_arr =
+        round comm pair_dt triple_dt ~n ~p ~first ~n_local triples0
+      in
+      let distinct = ref distinct in
+      let order = ref order in
+      let rank_arr = ref rank_arr in
+      let k = ref 1 in
+      while !distinct < n do
+        let second = fetch_shifted comm pair_dt ~n ~p ~first ~n_local ~k:!k !rank_arr in
+        let triples = Array.mapi (fun j r -> (r, second.(j), first + j)) !rank_arr in
+        let d, o, ra = round comm pair_dt triple_dt ~n ~p ~first ~n_local triples in
+        distinct := d;
+        order := o;
+        rank_arr := ra;
+        k := !k * 2
+      done;
+      !order)

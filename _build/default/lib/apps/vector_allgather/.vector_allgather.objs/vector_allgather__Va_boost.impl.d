@@ -1,0 +1,1 @@
+lib/apps/vector_allgather/va_boost.ml: Array Bindings_emul Mpisim

@@ -1,0 +1,1 @@
+lib/apps/vector_allgather/va_kamping.ml: Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/apps/vector_allgather/va_mpi.ml: Array Coll Comm Datatype Mpisim

@@ -1,0 +1,1 @@
+lib/apps/vector_allgather/va_mpl.ml: Array Bindings_emul Datatype Mpisim

@@ -1,0 +1,1 @@
+lib/apps/vector_allgather/va_rwth.ml: Array Bindings_emul Coll Comm Datatype Mpisim

@@ -1,0 +1,6 @@
+(* Vector allgather, Boost.MPI style: all_gather returns one vector per
+   rank (sizes exchanged internally); concatenate. *)
+
+let run comm (v : int array) : int array =
+  let parts = Bindings_emul.Boost_like.all_gather comm Mpisim.Datatype.int v in
+  Array.concat (Array.to_list parts)

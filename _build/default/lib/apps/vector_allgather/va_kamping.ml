@@ -1,0 +1,4 @@
+(* Vector allgather, KaMPIng style: one line (Fig. 1/3, version 3). *)
+
+let run comm (v : int array) : int array =
+  Kamping.Collectives.allgatherv (Kamping.Communicator.of_mpi comm) Mpisim.Datatype.int v

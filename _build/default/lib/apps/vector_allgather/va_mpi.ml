@@ -1,0 +1,18 @@
+(* Vector allgather, plain runtime interface (the Fig. 2 boilerplate):
+   exchange counts, prefix-sum displacements, then allgatherv. *)
+open Mpisim
+
+let run comm (v : int array) : int array =
+  let size = Comm.size comm in
+  let rank = Comm.rank comm in
+  let rc = Array.make size 0 in
+  rc.(rank) <- Array.length v;
+  let rc = Coll.allgather comm Datatype.int [| rc.(rank) |] in
+  let rd = Array.make size 0 in
+  for i = 1 to size - 1 do
+    rd.(i) <- rd.(i - 1) + rc.(i - 1)
+  done;
+  let n_glob = rd.(size - 1) + rc.(size - 1) in
+  let v_glob = Coll.allgatherv comm Datatype.int ~recv_counts:rc v in
+  assert (Array.length v_glob = n_glob);
+  v_glob

@@ -1,0 +1,9 @@
+(* Vector allgather, MPL style: explicit layouts on both sides, counts
+   exchanged by hand, allgatherv lowered onto alltoallw internally. *)
+open Mpisim
+
+let run comm (v : int array) : int array =
+  let rc = Bindings_emul.Mpl_like.allgather comm Datatype.int [| Array.length v |] in
+  let recv_layout = Bindings_emul.Mpl_like.contiguous_layouts rc in
+  Bindings_emul.Mpl_like.allgatherv comm Datatype.int
+    ~send_layout_size:(Array.length v) ~recv_layout v

@@ -1,0 +1,12 @@
+(* Vector allgather, RWTH-MPI style: the count-free overload is in-place
+   only, so counts must be exchanged and data positioned by hand. *)
+open Mpisim
+
+let run comm (v : int array) : int array =
+  let size = Comm.size comm in
+  let rc = Coll.allgather comm Datatype.int [| Array.length v |] in
+  let rd = Coll.exclusive_prefix_sum rc in
+  let buf = Array.make (rd.(size - 1) + rc.(size - 1)) 0 in
+  Array.blit v 0 buf rd.(Comm.rank comm) (Array.length v);
+  Bindings_emul.Rwth_like.allgatherv_inplace comm Datatype.int ~recv_counts:rc buf;
+  buf

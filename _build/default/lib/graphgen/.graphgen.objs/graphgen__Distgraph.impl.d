@@ -1,0 +1,1 @@
+lib/graphgen/distgraph.ml: Array Datatype Errdefs Hashtbl Kamping List Mpisim Reduce_op

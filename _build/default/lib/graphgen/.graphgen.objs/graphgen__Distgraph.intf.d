@@ -1,0 +1,1 @@
+lib/graphgen/distgraph.mli: Kamping

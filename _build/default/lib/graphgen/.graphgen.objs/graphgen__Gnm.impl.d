@@ -1,0 +1,1 @@
+lib/graphgen/gnm.ml: Distgraph Errdefs Kamping Mpisim Xoshiro

@@ -1,0 +1,1 @@
+lib/graphgen/gnm.mli: Distgraph Kamping

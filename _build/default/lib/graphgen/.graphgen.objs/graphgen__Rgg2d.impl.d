@@ -1,0 +1,1 @@
+lib/graphgen/rgg2d.ml: Array Datatype Distgraph Float Hashtbl Kamping Lazy List Mpisim Xoshiro

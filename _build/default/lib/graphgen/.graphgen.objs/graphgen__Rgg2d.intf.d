@@ -1,0 +1,1 @@
+lib/graphgen/rgg2d.mli: Distgraph Kamping

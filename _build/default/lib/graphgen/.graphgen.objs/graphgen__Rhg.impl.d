@@ -1,0 +1,1 @@
+lib/graphgen/rhg.ml: Distgraph Kamping Mpisim Xoshiro

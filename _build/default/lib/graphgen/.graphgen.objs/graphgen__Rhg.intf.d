@@ -1,0 +1,1 @@
+lib/graphgen/rhg.mli: Distgraph Kamping

@@ -1,0 +1,15 @@
+(** Erdős–Rényi G(n, m) graphs: m uniform random edges over n vertices.
+
+    Fig. 10 profile: essentially no locality (almost every edge crosses
+    rank boundaries) and low diameter.  Generation is communication-free
+    in the KaGen sense: edge endpoints are pure hashes of (seed, edge
+    index); the only communication is the ownership exchange when the CSR
+    is built. *)
+
+(** [generate comm ~n_per_rank ~m_per_rank ~seed] builds a graph with
+    [n_per_rank * p] vertices and up to [m_per_rank * p] undirected edges
+    (self loops are avoided, duplicates merged).  Deterministic in
+    [seed] and independent of [p] for fixed global n and m.
+    Collective. *)
+val generate :
+  Kamping.Communicator.t -> n_per_rank:int -> m_per_rank:int -> seed:int -> Distgraph.t

@@ -1,0 +1,19 @@
+(** 2-D random geometric graphs: uniform points in the unit square,
+    connected within Euclidean distance [radius].
+
+    Fig. 10 profile: very high locality (ranks own horizontal strips, so
+    nearly every edge is intra-rank or to an adjacent strip) and high
+    diameter (≈ 1/radius hops).  The strip-border halo exchange is real
+    communication through the binding layer. *)
+
+val default_degree : float
+
+(** Radius giving expected average degree [degree] on [n] uniform
+    points. *)
+val radius_for_degree : n:int -> degree:float -> float
+
+(** [generate comm ~n_per_rank ?radius ~seed ()] builds the graph;
+    [radius] defaults to {!radius_for_degree} with {!default_degree}.
+    Deterministic in [seed].  Collective. *)
+val generate :
+  Kamping.Communicator.t -> n_per_rank:int -> ?radius:float -> seed:int -> unit -> Distgraph.t

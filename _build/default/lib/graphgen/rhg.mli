@@ -1,0 +1,21 @@
+(** Random-hyperbolic-like graphs (simplified model; see DESIGN.md
+    substitutions).
+
+    Preserves the three Fig. 10-relevant RHG properties: a power-law
+    degree distribution with hubs (Pareto out-stubs, exponent [gamma]),
+    moderate locality (log-uniform target distances over an angular id
+    layout), and low diameter. *)
+
+val default_gamma : float
+
+val default_avg_degree : float
+
+(** Collective; deterministic in [seed]. *)
+val generate :
+  Kamping.Communicator.t ->
+  n_per_rank:int ->
+  ?gamma:float ->
+  ?avg_degree:float ->
+  seed:int ->
+  unit ->
+  Distgraph.t

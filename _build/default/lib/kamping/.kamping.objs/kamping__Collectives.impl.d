@@ -1,0 +1,1 @@
+lib/kamping/collectives.ml: Array Coll Communicator Datatype Errdefs Mpisim Option Resize_policy Vec

@@ -1,0 +1,1 @@
+lib/kamping/collectives.mli: Communicator Datatype Mpisim Reduce_op Resize_policy Vec

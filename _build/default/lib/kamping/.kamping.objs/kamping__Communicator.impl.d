@@ -1,0 +1,1 @@
+lib/kamping/communicator.ml: Mpisim Option

@@ -1,0 +1,1 @@
+lib/kamping/flatten.ml: Array Collectives Communicator Errdefs Hashtbl List Mpisim

@@ -1,0 +1,1 @@
+lib/kamping/flatten.mli: Communicator Datatype Hashtbl Mpisim

@@ -1,0 +1,1 @@
+lib/kamping/named.ml: Collectives Communicator Datatype Errdefs List Mpisim Option Reduce_op Resize_policy String Vec

@@ -1,0 +1,1 @@
+lib/kamping/named.mli: Communicator Datatype Mpisim Reduce_op Resize_policy Vec

@@ -1,0 +1,1 @@
+lib/kamping/nb.ml: Array Communicator Datatype Errdefs Mpisim P2p Request Status

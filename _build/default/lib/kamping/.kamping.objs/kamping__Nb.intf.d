@@ -1,0 +1,1 @@
+lib/kamping/nb.mli: Communicator Datatype Mpisim Request

@@ -1,0 +1,1 @@
+lib/kamping/nb_coll.ml: Coll Communicator Datatype Errdefs Mpisim Nb Request

@@ -1,0 +1,1 @@
+lib/kamping/nb_coll.mli: Communicator Datatype Mpisim Nb Reduce_op

@@ -1,0 +1,1 @@
+lib/kamping/p2p.ml: Array Communicator Errdefs Mpisim P2p Resize_policy Status Vec

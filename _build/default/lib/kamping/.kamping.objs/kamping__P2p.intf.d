@@ -1,0 +1,1 @@
+lib/kamping/p2p.mli: Communicator Datatype Mpisim Resize_policy Status Vec

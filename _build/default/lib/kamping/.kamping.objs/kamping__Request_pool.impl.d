@@ -1,0 +1,1 @@
+lib/kamping/request_pool.ml: List Nb

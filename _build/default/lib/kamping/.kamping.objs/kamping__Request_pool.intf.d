@@ -1,0 +1,1 @@
+lib/kamping/request_pool.mli: Nb

@@ -1,0 +1,1 @@
+lib/kamping/resize_policy.ml:

@@ -1,0 +1,1 @@
+lib/kamping/serialized.ml: Array Bytes Coll Comm Communicator Datatype Errdefs List Mpisim P2p Runtime Serial Status

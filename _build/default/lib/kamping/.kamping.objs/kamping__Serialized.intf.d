@@ -1,0 +1,1 @@
+lib/kamping/serialized.mli: Communicator Mpisim Serial Status

@@ -1,0 +1,1 @@
+lib/kamping/timer.ml: Array Collectives Comm Communicator Datatype Errdefs Format Fun Hashtbl List Mpisim Reduce_op Runtime Sim_time

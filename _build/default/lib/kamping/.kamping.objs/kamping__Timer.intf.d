@@ -1,0 +1,1 @@
+lib/kamping/timer.mli: Communicator Format

@@ -1,0 +1,1 @@
+lib/kamping/vec.ml: Array Mpisim Resize_policy

@@ -1,0 +1,1 @@
+lib/kamping/vec.mli: Resize_policy

@@ -1,0 +1,174 @@
+(** High-level collectives with default-parameter computation (paper
+    §III-A, §III-B).
+
+    OCaml's optional labelled arguments play the role of KaMPIng's named
+    parameters: any subset of the MPI-level arguments can be supplied, by
+    name and in any order; omitted ones are computed by the library, with
+    extra communication only when unavoidable:
+
+    - send counts default to the send buffer's length;
+    - [allgatherv] receive counts default to an allgather of the send
+      counts; [alltoallv]'s to an alltoall of the send counts;
+      [gatherv]'s to a gather of the send counts;
+    - displacements default to exclusive prefix sums.
+
+    Operations come in up to three forms:
+    - [op]: returns the receive buffer by value;
+    - [op_full]: additionally returns the computed out-parameters in a
+      result record with [extract_*] accessors (§III-B);
+    - [op_into]: writes into a caller {!Vec.t} under a {!Resize_policy.t}
+      for allocation-free steady states (§III-C).
+
+    When every parameter is supplied, exactly one underlying collective is
+    issued and no auxiliary allocation happens — the zero-overhead path,
+    verified by the profiling tests and the Bechamel benchmarks. *)
+
+open Mpisim
+
+type comm = Communicator.t
+
+(** Result record of vector collectives. *)
+type 'a vector_result = {
+  recv_buf : 'a array;
+  recv_counts : int array;
+  recv_displs : int array;
+}
+
+val extract_recv_buf : 'a vector_result -> 'a array
+
+val extract_recv_counts : 'a vector_result -> int array
+
+val extract_recv_displs : 'a vector_result -> int array
+
+val exclusive_prefix_sum : int array -> int array
+
+(** {1 Broadcast} *)
+
+(** The root passes [~data]; every rank returns the payload. *)
+val bcast : comm -> 'a Datatype.t -> root:int -> ?data:'a array -> unit -> 'a array
+
+val bcast_single : comm -> 'a Datatype.t -> root:int -> ?value:'a -> unit -> 'a
+
+(** {1 Gather family} *)
+
+val allgather : comm -> 'a Datatype.t -> 'a array -> 'a array
+
+(** In-place allgather (the send_recv_buf idiom, §III-G): slot [rank] of
+    the buffer is this rank's contribution; all slots are filled in place
+    and the array is also returned. *)
+val allgather_inplace : comm -> 'a Datatype.t -> 'a array -> 'a array
+
+val allgatherv_full :
+  comm ->
+  'a Datatype.t ->
+  ?send_count:int ->
+  ?recv_counts:int array ->
+  ?recv_displs:int array ->
+  'a array ->
+  'a vector_result
+
+val allgatherv :
+  comm ->
+  'a Datatype.t ->
+  ?send_count:int ->
+  ?recv_counts:int array ->
+  ?recv_displs:int array ->
+  'a array ->
+  'a array
+
+val allgatherv_into :
+  comm ->
+  'a Datatype.t ->
+  ?policy:Resize_policy.t ->
+  ?send_count:int ->
+  ?recv_counts:int array ->
+  recv_buf:'a Vec.t ->
+  'a array ->
+  unit
+
+val gather : comm -> 'a Datatype.t -> root:int -> 'a array -> 'a array
+
+val gatherv_full :
+  comm ->
+  'a Datatype.t ->
+  root:int ->
+  ?send_count:int ->
+  ?recv_counts:int array ->
+  'a array ->
+  'a vector_result
+
+val gatherv :
+  comm ->
+  'a Datatype.t ->
+  root:int ->
+  ?send_count:int ->
+  ?recv_counts:int array ->
+  'a array ->
+  'a array
+
+val scatter : comm -> 'a Datatype.t -> root:int -> ?data:'a array -> unit -> 'a array
+
+val scatterv :
+  comm ->
+  'a Datatype.t ->
+  root:int ->
+  ?send_counts:int array ->
+  ?data:'a array ->
+  unit ->
+  'a array
+
+(** {1 All-to-all} *)
+
+val alltoall : comm -> 'a Datatype.t -> 'a array -> 'a array
+
+val alltoallv_full :
+  comm ->
+  'a Datatype.t ->
+  send_counts:int array ->
+  ?send_displs:int array ->
+  ?recv_counts:int array ->
+  ?recv_displs:int array ->
+  'a array ->
+  'a vector_result
+
+val alltoallv :
+  comm ->
+  'a Datatype.t ->
+  send_counts:int array ->
+  ?send_displs:int array ->
+  ?recv_counts:int array ->
+  ?recv_displs:int array ->
+  'a array ->
+  'a array
+
+val alltoallv_into :
+  comm ->
+  'a Datatype.t ->
+  ?policy:Resize_policy.t ->
+  send_counts:int array ->
+  ?recv_counts:int array ->
+  recv_buf:'a Vec.t ->
+  'a array ->
+  unit
+
+(** {1 Reductions} *)
+
+val reduce : comm -> 'a Datatype.t -> 'a Reduce_op.t -> root:int -> 'a array -> 'a array
+
+val allreduce : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
+
+val allreduce_single : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a -> 'a
+
+val scan : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
+
+val scan_single : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a -> 'a
+
+val exscan : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array option
+
+(** Exclusive prefix with an explicit rank-0 value — avoids MPI_Exscan's
+    undefined-on-rank-0 footgun. *)
+val exscan_or : comm -> 'a Datatype.t -> 'a Reduce_op.t -> init:'a array -> 'a array -> 'a array
+
+val exscan_single_or : comm -> 'a Datatype.t -> 'a Reduce_op.t -> init:'a -> 'a -> 'a
+
+val barrier : comm -> unit

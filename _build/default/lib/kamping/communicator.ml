@@ -1,0 +1,43 @@
+(* The high-level communicator.
+
+   Thin, zero-cost wrapper over the runtime's native communicator handle.
+   Interoperability with native handles ([of_mpi]/[mpi]) is a design goal:
+   existing code can be migrated gradually (paper §III-F). *)
+
+type t = { mpi : Mpisim.Comm.t }
+
+let of_mpi mpi = { mpi }
+
+let mpi t = t.mpi
+
+let rank t = Mpisim.Comm.rank t.mpi
+
+let size t = Mpisim.Comm.size t.mpi
+
+let is_root ?(root = 0) t = rank t = root
+
+let runtime t = Mpisim.Comm.runtime t.mpi
+
+let barrier t = Mpisim.Coll.barrier t.mpi
+
+let dup t = of_mpi (Mpisim.Comm_ops.dup t.mpi)
+
+let split ?key t ~color = Option.map of_mpi (Mpisim.Comm_ops.split t.mpi ~color ?key ())
+
+(* ULFM surface (backing for the fault-tolerance plugin, §V-B). *)
+let is_revoked t = Mpisim.Comm.is_revoked t.mpi
+
+let revoke t = Mpisim.Comm.revoke t.mpi
+
+let shrink t = of_mpi (Mpisim.Comm_ops.shrink t.mpi)
+
+let agree t v = Mpisim.Comm_ops.agree t.mpi v
+
+let set_errhandler t h = Mpisim.Comm.set_errhandler t.mpi h
+
+(* Iterate over all other ranks, a common idiom in irregular exchanges. *)
+let iter_other_ranks t f =
+  let me = rank t in
+  for r = 0 to size t - 1 do
+    if r <> me then f r
+  done

@@ -1,0 +1,45 @@
+(** The high-level communicator: a zero-cost wrapper over the runtime's
+    native handle.
+
+    Interoperability with native handles ({!of_mpi}/{!mpi}) is a design
+    goal: existing code migrates gradually, and plugins can always reach
+    the underlying layer (paper §III-F). *)
+
+type t
+
+val of_mpi : Mpisim.Comm.t -> t
+
+(** The underlying native handle. *)
+val mpi : t -> Mpisim.Comm.t
+
+val rank : t -> int
+
+val size : t -> int
+
+val is_root : ?root:int -> t -> bool
+
+val runtime : t -> Mpisim.Runtime.t
+
+val barrier : t -> unit
+
+(** Collective. *)
+val dup : t -> t
+
+(** Collective; [None] for a negative color (MPI_UNDEFINED). *)
+val split : ?key:int -> t -> color:int -> t option
+
+(** {1 ULFM surface (backing the fault-tolerance plugin, §V-B)} *)
+
+val is_revoked : t -> bool
+
+val revoke : t -> unit
+
+(** Collective over the survivors. *)
+val shrink : t -> t
+
+val agree : t -> bool -> bool
+
+val set_errhandler : t -> Mpisim.Errdefs.handler -> unit
+
+(** Apply [f] to every rank except the caller's. *)
+val iter_other_ranks : t -> (int -> unit) -> unit

@@ -1,0 +1,83 @@
+(** The named-parameter front-end — the paper's signature interface
+    (Fig. 1): each argument is a parameter object built by a factory
+    function, passed in any order; omitted parameters are computed by the
+    library; out-parameters opt computed values into the result object.
+
+    {[
+      let result =
+        Named.allgatherv comm Datatype.int
+          [ send_buf v; recv_counts_out (); recv_displs_out () ]
+      in
+      let v_global = Named.extract_recv_buf result in
+      let counts = Named.extract_recv_counts result in
+    ]}
+
+    C++ KaMPIng validates parameter sets at compile time; here validation
+    happens at call entry with precise human-readable diagnostics —
+    missing/duplicated/unaccepted parameters name the offender and the
+    accepted set (§III-G).  {!Collectives} remains the idiomatic
+    labelled-argument spelling of the same functionality. *)
+
+open Mpisim
+
+type 'a param
+
+(** {1 Parameter factories (the Fig. 1 vocabulary)} *)
+
+val send_buf : 'a array -> 'a param
+
+(** The in-place spelling (§III-G): the buffer is both input slot and
+    output. *)
+val send_recv_buf : 'a array -> 'a param
+
+val send_counts : int array -> 'a param
+
+val send_count : int -> 'a param
+
+val recv_counts : int array -> 'a param
+
+(** Request the computed receive counts in the result object. *)
+val recv_counts_out : unit -> 'a param
+
+val recv_displs : int array -> 'a param
+
+val recv_displs_out : unit -> 'a param
+
+val send_displs : int array -> 'a param
+
+(** Have the receive buffer also written into [v] under [policy]
+    (§III-C). *)
+val recv_buf : ?policy:Resize_policy.t -> 'a Vec.t -> 'a param
+
+val root : int -> 'a param
+
+val op : 'a Reduce_op.t -> 'a param
+
+(** {1 Result objects (§III-B)} *)
+
+type 'a result
+
+val extract_recv_buf : 'a result -> 'a array
+
+(** Raises a usage error naming the missing [_out] parameter if it was not
+    requested. *)
+val extract_recv_counts : 'a result -> int array
+
+val extract_recv_displs : 'a result -> int array
+
+(** Structured-binding style: (recv_buf, recv_counts?, recv_displs?). *)
+val decompose : 'a result -> 'a array * int array option * int array option
+
+(** {1 Operations} *)
+
+val allgatherv : Communicator.t -> 'a Datatype.t -> 'a param list -> 'a result
+
+val alltoallv : Communicator.t -> 'a Datatype.t -> 'a param list -> 'a result
+
+val allgather : Communicator.t -> 'a Datatype.t -> 'a param list -> 'a result
+
+val gatherv : Communicator.t -> 'a Datatype.t -> 'a param list -> 'a result
+
+val bcast : Communicator.t -> 'a Datatype.t -> 'a param list -> 'a result
+
+val allreduce : Communicator.t -> 'a Datatype.t -> 'a param list -> 'a result

@@ -1,0 +1,71 @@
+(* Ownership-safe non-blocking communication (paper §III-E).
+
+   A ['a Nb.t] is a "non-blocking MPI result": it encapsulates the request
+   *and* the data involved in the operation.  The only way to get the data
+   is [wait] (blocks, returns it) or [test] (returns [Some data] once the
+   operation has completed, [None] before).  For sends, the buffer is
+   conceptually moved into the call and handed back on completion, so
+   well-typed user code cannot read or reuse a buffer that is still in
+   flight — the analogue of the C++ ownership model, and the analogue of
+   what rsmpi gets from Rust's borrow checker. *)
+
+open Mpisim
+
+let c = Communicator.mpi
+
+type 'a t = { request : Request.t; fetch : unit -> 'a; mutable fetched : 'a option }
+
+let of_request ~fetch request = { request; fetch; fetched = None }
+
+let wait (t : 'a t) : 'a =
+  match t.fetched with
+  | Some v -> v
+  | None ->
+      let (_ : Status.t) = Request.wait t.request in
+      let v = t.fetch () in
+      t.fetched <- Some v;
+      v
+
+let test (t : 'a t) : 'a option =
+  match t.fetched with
+  | Some v -> Some v
+  | None -> (
+      match Request.test t.request with
+      | None -> None
+      | Some (_ : Status.t) ->
+          let v = t.fetch () in
+          t.fetched <- Some v;
+          Some v)
+
+let is_complete (t : 'a t) = t.fetched <> None || Request.is_complete t.request
+
+(* Discard the payload; useful for pooling heterogeneous results. *)
+let forget (t : 'a t) : unit t =
+  { request = t.request; fetch = (fun () -> ignore (t.fetch ())); fetched = None }
+
+(* Send with buffer ownership transfer: [data] is moved into the call and
+   returned by [wait]/[test] once the operation has completed (Fig. 6). *)
+let isend comm dt ~dest ?tag (data : 'a array) : 'a array t =
+  let request = P2p.isend (c comm) dt ~dest ?tag data in
+  of_request request ~fetch:(fun () -> data)
+
+(* Synchronous-mode send: completes only when the receiver has matched. *)
+let issend comm dt ~dest ?tag (data : 'a array) : 'a array t =
+  let request = P2p.issend (c comm) dt ~dest ?tag data in
+  of_request request ~fetch:(fun () -> data)
+
+(* Dynamic non-blocking receive: the result buffer is created on completion
+   with exactly the received size, so there is no window in which the user
+   could observe a partially received buffer. *)
+let irecv comm dt ?source ?tag () : 'a array t =
+  let dreq = P2p.irecv_dyn (c comm) dt ?source ?tag () in
+  of_request dreq.P2p.base ~fetch:(fun () ->
+      match !(dreq.P2p.cell) with
+      | Some data -> data
+      | None -> Errdefs.usage_error "irecv: completed without data")
+
+(* Receive with a known element count (capacity check only). *)
+let irecv_counted comm dt ?source ?tag ~count () : 'a array t =
+  let buf = Array.make count (Datatype.zero_elem dt) in
+  let request = P2p.irecv_into (c comm) dt ?source ?tag buf in
+  of_request request ~fetch:(fun () -> buf)

@@ -1,0 +1,25 @@
+(** Non-blocking collectives through the ownership-safe result interface
+    (§III-E applied to collectives): results are only reachable via
+    {!Nb.wait}/{!Nb.test}.
+
+    Progress semantics: as in MPI without asynchronous progress, the
+    collective advances inside wait/test, which every rank must reach. *)
+
+open Mpisim
+
+val ibcast :
+  Communicator.t -> 'a Datatype.t -> root:int -> ?data:'a array -> unit -> 'a array Nb.t
+
+val iallreduce : Communicator.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array Nb.t
+
+(** Counts are inferred eagerly (one alltoall at call time) when omitted;
+    the data exchange is deferred. *)
+val ialltoallv :
+  Communicator.t ->
+  'a Datatype.t ->
+  send_counts:int array ->
+  ?recv_counts:int array ->
+  'a array ->
+  'a array Nb.t
+
+val ibarrier : Communicator.t -> unit Nb.t

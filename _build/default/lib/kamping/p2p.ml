@@ -1,0 +1,42 @@
+(* High-level point-to-point operations.
+
+   Improvements over the raw interface (paper §III):
+   - receives are dynamic by default: no count parameter, the result is
+     returned by value with exactly the received size;
+   - receives into existing storage take a resize policy;
+   - tags default to 0. *)
+
+open Mpisim
+
+let c = Communicator.mpi
+
+let send comm dt ~dest ?tag (data : 'a array) = P2p.send (c comm) dt ~dest ?tag data
+
+let send_single comm dt ~dest ?tag (x : 'a) = P2p.send (c comm) dt ~dest ?tag [| x |]
+
+let ssend comm dt ~dest ?tag (data : 'a array) = P2p.ssend (c comm) dt ~dest ?tag data
+
+let recv comm dt ?source ?tag () : 'a array =
+  fst (P2p.recv (c comm) dt ?source ?tag ())
+
+let recv_with_status comm dt ?source ?tag () : 'a array * Status.t =
+  P2p.recv (c comm) dt ?source ?tag ()
+
+let recv_single comm dt ?source ?tag () : 'a =
+  let data, _ = P2p.recv (c comm) dt ?source ?tag () in
+  if Array.length data <> 1 then
+    Errdefs.usage_error "recv_single: expected 1 element, got %d" (Array.length data);
+  data.(0)
+
+let recv_into comm dt ?(policy = Resize_policy.default) ?source ?tag (buf : 'a Vec.t) :
+    Status.t =
+  let data, status = P2p.recv (c comm) dt ?source ?tag () in
+  Vec.write_array policy buf data;
+  status
+
+let probe comm ?source ?tag () : Status.t = P2p.probe (c comm) ?source ?tag ()
+
+let iprobe comm ?source ?tag () : Status.t option = P2p.iprobe (c comm) ?source ?tag ()
+
+let sendrecv comm dt ~dest ?send_tag ~source ?recv_tag (data : 'a array) : 'a array =
+  fst (P2p.sendrecv (c comm) dt ~dest ?send_tag ~source ?recv_tag data)

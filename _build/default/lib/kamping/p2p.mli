@@ -1,0 +1,48 @@
+(** High-level point-to-point operations (paper §III).
+
+    Improvements over the raw interface: receives are dynamic by default
+    — no count parameter, the result comes back by value with exactly the
+    received size — and receives into existing storage take a resize
+    policy. *)
+
+open Mpisim
+
+val send : Communicator.t -> 'a Datatype.t -> dest:int -> ?tag:int -> 'a array -> unit
+
+val send_single : Communicator.t -> 'a Datatype.t -> dest:int -> ?tag:int -> 'a -> unit
+
+(** Synchronous send: returns once matched by the receiver. *)
+val ssend : Communicator.t -> 'a Datatype.t -> dest:int -> ?tag:int -> 'a array -> unit
+
+(** Dynamic receive, returned by value. *)
+val recv : Communicator.t -> 'a Datatype.t -> ?source:int -> ?tag:int -> unit -> 'a array
+
+val recv_with_status :
+  Communicator.t -> 'a Datatype.t -> ?source:int -> ?tag:int -> unit -> 'a array * Status.t
+
+(** Receive exactly one element; usage error otherwise. *)
+val recv_single : Communicator.t -> 'a Datatype.t -> ?source:int -> ?tag:int -> unit -> 'a
+
+(** Receive into a {!Vec.t} under a resize policy. *)
+val recv_into :
+  Communicator.t ->
+  'a Datatype.t ->
+  ?policy:Resize_policy.t ->
+  ?source:int ->
+  ?tag:int ->
+  'a Vec.t ->
+  Status.t
+
+val probe : Communicator.t -> ?source:int -> ?tag:int -> unit -> Status.t
+
+val iprobe : Communicator.t -> ?source:int -> ?tag:int -> unit -> Status.t option
+
+val sendrecv :
+  Communicator.t ->
+  'a Datatype.t ->
+  dest:int ->
+  ?send_tag:int ->
+  source:int ->
+  ?recv_tag:int ->
+  'a array ->
+  'a array

@@ -1,0 +1,1 @@
+lib/kamping/plugins/aggregator.ml: Array Datatype Errdefs Hashtbl Kamping List Mpisim Sparse_alltoall

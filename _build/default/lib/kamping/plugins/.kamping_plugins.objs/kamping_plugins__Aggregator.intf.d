@@ -1,0 +1,1 @@
+lib/kamping/plugins/aggregator.mli: Datatype Kamping Mpisim

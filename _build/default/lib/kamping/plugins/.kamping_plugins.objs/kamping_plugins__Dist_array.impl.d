@@ -1,0 +1,1 @@
+lib/kamping/plugins/dist_array.ml: Array Datatype Errdefs Hashtbl Kamping List Mpisim Reduce_op Sorter Stdlib

@@ -1,0 +1,1 @@
+lib/kamping/plugins/dist_array.mli: Datatype Kamping Mpisim Reduce_op

@@ -1,0 +1,1 @@
+lib/kamping/plugins/grid_alltoall.ml: Array Comm Datatype Errdefs Kamping Mpisim Runtime

@@ -1,0 +1,1 @@
+lib/kamping/plugins/grid_alltoall.mli: Datatype Kamping Mpisim

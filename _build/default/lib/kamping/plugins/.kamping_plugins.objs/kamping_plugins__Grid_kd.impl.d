@@ -1,0 +1,1 @@
+lib/kamping/plugins/grid_kd.ml: Array Comm Datatype Errdefs Kamping List Mpisim Runtime

@@ -1,0 +1,1 @@
+lib/kamping/plugins/grid_kd.mli: Datatype Kamping Mpisim

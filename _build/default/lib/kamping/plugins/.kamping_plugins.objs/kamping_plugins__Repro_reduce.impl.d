@@ -1,0 +1,1 @@
+lib/kamping/plugins/repro_reduce.ml: Array Comm Datatype Hashtbl Kamping List Mpisim Reduce_op Runtime Serial

@@ -1,0 +1,1 @@
+lib/kamping/plugins/repro_reduce.mli: Kamping

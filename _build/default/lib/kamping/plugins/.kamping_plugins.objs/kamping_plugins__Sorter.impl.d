@@ -1,0 +1,1 @@
+lib/kamping/plugins/sorter.ml: Array Datatype Kamping Mpisim Reduce_op Stdlib Xoshiro

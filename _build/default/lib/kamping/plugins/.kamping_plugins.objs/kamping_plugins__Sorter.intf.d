@@ -1,0 +1,1 @@
+lib/kamping/plugins/sorter.mli: Datatype Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/kamping/plugins/sparse_alltoall.ml: Array Coll Comm Datatype Hashtbl Kamping List Mpisim P2p Request Runtime Scheduler Status

@@ -1,0 +1,1 @@
+lib/kamping/plugins/sparse_alltoall.mli: Datatype Hashtbl Kamping Mpisim

@@ -1,0 +1,1 @@
+lib/kamping/plugins/ulfm.mli: Kamping

@@ -1,0 +1,99 @@
+(* Message aggregation for irregular, fine-grained communication — the
+   second half of the paper's §VI work-in-progress ("incorporating message
+   aggregation ... applicable in request-reply patterns ... and algorithms
+   with highly-irregular communication without hard synchronization").
+
+   An aggregator buffers individually-pushed (destination, element) pairs
+   and ships them in batches: a flush is triggered explicitly or when the
+   buffered volume reaches [flush_threshold].  Exchanges use the sparse
+   NBX all-to-all, so a flush costs O(#destinations-with-data), not O(p).
+
+   The receiver side drains whole batches; elements arrive in push order
+   per (sender, destination) pair. *)
+
+open Mpisim
+
+type 'a t = {
+  comm : Kamping.Communicator.t;
+  dt : 'a Datatype.t;
+  flush_threshold : int;  (* max buffered elements before auto-flush *)
+  buffers : (int, 'a list ref) Hashtbl.t;  (* dest -> reversed pending *)
+  mutable buffered : int;
+  mutable received : (int * 'a array) list;  (* drained but undelivered *)
+  mutable flushes : int;
+}
+
+let create ?(flush_threshold = 4096) (comm : Kamping.Communicator.t) (dt : 'a Datatype.t)
+    : 'a t =
+  if flush_threshold < 1 then
+    Errdefs.usage_error "Aggregator.create: flush_threshold must be positive";
+  {
+    comm;
+    dt;
+    flush_threshold;
+    buffers = Hashtbl.create 16;
+    buffered = 0;
+    received = [];
+    flushes = 0;
+  }
+
+let buffered_count t = t.buffered
+
+let flush_count t = t.flushes
+
+(* Exchange all buffered elements.  COLLECTIVE: every rank of the
+   communicator must flush together (the sparse exchange needs global
+   participation to terminate). *)
+let flush (t : 'a t) : unit =
+  let outgoing =
+    Hashtbl.fold
+      (fun dest buf acc -> (dest, Array.of_list (List.rev !buf)) :: acc)
+      t.buffers []
+  in
+  Hashtbl.reset t.buffers;
+  t.buffered <- 0;
+  t.flushes <- t.flushes + 1;
+  let incoming = Sparse_alltoall.alltoallv t.comm t.dt outgoing in
+  t.received <- t.received @ incoming
+
+(* Queue one element for [dest]; auto-flushes when the buffer is full.
+   NOTE: auto-flush is collective — with a finite threshold, push only in
+   phases where all ranks flush in lockstep, or use [push_local] +
+   explicit [flush]. *)
+let push (t : 'a t) ~dest (x : 'a) : unit =
+  Kamping.Communicator.(if dest < 0 || dest >= size t.comm then
+                          Errdefs.usage_error "Aggregator.push: invalid destination %d" dest);
+  let buf =
+    match Hashtbl.find_opt t.buffers dest with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.replace t.buffers dest b;
+        b
+  in
+  buf := x :: !buf;
+  t.buffered <- t.buffered + 1;
+  if t.buffered >= t.flush_threshold then flush t
+
+(* Non-flushing push, for SPMD phases with an explicit collective flush. *)
+let push_local (t : 'a t) ~dest (x : 'a) : unit =
+  let buf =
+    match Hashtbl.find_opt t.buffers dest with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.replace t.buffers dest b;
+        b
+  in
+  buf := x :: !buf;
+  t.buffered <- t.buffered + 1
+
+(* Take everything received so far: (source, batch) pairs in arrival
+   order. *)
+let drain (t : 'a t) : (int * 'a array) list =
+  let r = t.received in
+  t.received <- [];
+  r
+
+let drain_elements (t : 'a t) : 'a array =
+  Array.concat (List.map snd (drain t))

@@ -1,0 +1,35 @@
+(** Message aggregation for fine-grained irregular communication (the
+    other half of paper §VI's work in progress).
+
+    Individually pushed (destination, element) pairs are buffered and
+    shipped in batches over the NBX sparse all-to-all, so a flush costs
+    O(#destinations-with-data), not O(p). *)
+
+open Mpisim
+
+type 'a t
+
+val create :
+  ?flush_threshold:int -> Kamping.Communicator.t -> 'a Datatype.t -> 'a t
+
+val buffered_count : 'a t -> int
+
+val flush_count : 'a t -> int
+
+(** Exchange all buffered elements.  COLLECTIVE: every rank must flush
+    together. *)
+val flush : 'a t -> unit
+
+(** Queue one element; auto-flushes (collectively!) at the threshold —
+    only use in lockstep phases, otherwise prefer {!push_local} +
+    explicit {!flush}. *)
+val push : 'a t -> dest:int -> 'a -> unit
+
+(** Non-flushing push. *)
+val push_local : 'a t -> dest:int -> 'a -> unit
+
+(** Take everything received so far: (source, batch) pairs in arrival
+    order. *)
+val drain : 'a t -> (int * 'a array) list
+
+val drain_elements : 'a t -> 'a array

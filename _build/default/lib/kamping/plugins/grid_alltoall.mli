@@ -1,0 +1,28 @@
+(** Two-dimensional grid all-to-all (Kalé et al.) — the GridCommunicator
+    plugin of paper §V-A.
+
+    Messages travel two hops through a virtual (rows x cols) grid, each
+    hop an alltoallv on a subcommunicator of size O(sqrt p): a rank pays
+    O(sqrt p) message startups per exchange instead of O(p), trading
+    header volume for latency.
+
+    The grid requires full rows (cols = largest divisor of p not above
+    ceil(sqrt p)); for powers of two this is exact and near-square.  For
+    prime p the exchange degenerates to a direct alltoallv. *)
+
+open Mpisim
+
+type t
+
+(** Collective: builds the row and column subcommunicators once; reuse
+    the handle across exchanges. *)
+val create : Kamping.Communicator.t -> t
+
+val size : t -> int
+
+(** [alltoallv t dt ~send_counts data] routes a personalized exchange
+    through the grid; [send_counts.(d)] elements go to global rank [d].
+    The result holds every element addressed to this rank, grouped by the
+    phase-2 sender rather than the original source — payloads must carry
+    any provenance the application needs.  Collective. *)
+val alltoallv : t -> 'a Datatype.t -> send_counts:int array -> 'a array -> 'a array

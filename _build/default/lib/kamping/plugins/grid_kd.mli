@@ -1,0 +1,29 @@
+(** k-dimensional grid all-to-all — the higher-dimensional generalization
+    of the 2-D indirect routing that paper §VI lists as work in progress.
+
+    Messages travel k hops through a d_1 x ... x d_k grid (one coordinate
+    corrected per hop), each hop an alltoallv on a subcommunicator of size
+    d_i: O(k * p^(1/k)) startups per rank instead of O(p), at the price of
+    per-element destination headers and k-fold payload forwarding.  All
+    traffic sharing a next hop is aggregated into one message.
+
+    k = 2 matches {!Grid_alltoall}; k = 1 degenerates to a direct dense
+    exchange. *)
+
+open Mpisim
+
+type t
+
+(** Exact factorization of [p] into [k] near-equal extents (extents of 1
+    possible when p lacks factors). *)
+val factorize : k:int -> int -> int array
+
+(** Collective: builds one subcommunicator per dimension (default k=3). *)
+val create : ?k:int -> Kamping.Communicator.t -> t
+
+val size : t -> int
+
+val dims : t -> int array
+
+(** Same contract as {!Grid_alltoall.alltoallv}.  Collective. *)
+val alltoallv : t -> 'a Datatype.t -> send_counts:int array -> 'a array -> 'a array

@@ -1,0 +1,24 @@
+(** Reproducible reduction (paper §V-C, Fig. 13).
+
+    Fixes the floating-point reduction order by reducing over a binary
+    tree whose leaves are global element indices — independent of the
+    processor count and the block distribution, so results are
+    bit-identical for every p.  Only O(log n) partial values travel per
+    rank: faster than gathering everything to the root. *)
+
+(** Reproducible global reduction under an arbitrary associative [op]
+    (constant, named function, or lambda — the operation flexibility the
+    paper's reduce offers).  Collective; every rank gets the result.
+    Returns 0. for an empty global array. *)
+val reduce : Kamping.Communicator.t -> op:(float -> float -> float) -> float array -> float
+
+(** Reproducible global sum of a block-distributed float array. *)
+val sum : Kamping.Communicator.t -> float array -> float
+
+(** Baseline: gather all elements to the root, reduce sequentially,
+    broadcast.  Also reproducible, but ships n/p elements per rank. *)
+val naive_gather_sum : Kamping.Communicator.t -> float array -> float
+
+(** Baseline: ordinary allreduce — fast but NOT reproducible across
+    processor counts. *)
+val plain_allreduce_sum : Kamping.Communicator.t -> float array -> float

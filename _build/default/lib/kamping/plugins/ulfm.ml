@@ -1,0 +1,48 @@
+(* User-Level Failure Mitigation plugin (paper §V-B, Fig. 12).
+
+   Turns the runtime's failure error codes into an idiomatic OCaml
+   exception and packages the standard ULFM recovery sequence
+   (detect -> revoke -> shrink) so applications write
+
+     try work comm with
+     | Failure_detected _ ->
+         if not (is_revoked comm) then revoke comm;
+         let comm = shrink comm in ...
+
+   or simply use [run_with_recovery]. *)
+
+open Mpisim
+
+exception Failure_detected of string
+
+(* Run [f], mapping process-failure and revocation errors to
+   [Failure_detected]. *)
+let detect (f : unit -> 'a) : 'a =
+  try f () with
+  | Errdefs.Mpi_error { code = Errdefs.Err_proc_failed; msg }
+  | Errdefs.Mpi_error { code = Errdefs.Err_revoked; msg } ->
+      raise (Failure_detected msg)
+
+let is_revoked = Kamping.Communicator.is_revoked
+
+let revoke = Kamping.Communicator.revoke
+
+let shrink = Kamping.Communicator.shrink
+
+let agree = Kamping.Communicator.agree
+
+(* Fig. 12 as a combinator: run [attempt] on [comm]; on failure, revoke,
+   shrink, and retry on the surviving communicator, at most [max_retries]
+   times.  Returns the result together with the (possibly shrunk)
+   communicator it was obtained on. *)
+let run_with_recovery ?(max_retries = 3) (comm : Kamping.Communicator.t)
+    (attempt : Kamping.Communicator.t -> 'a) : 'a * Kamping.Communicator.t =
+  let rec go comm retries =
+    match detect (fun () -> attempt comm) with
+    | v -> (v, comm)
+    | exception Failure_detected _ when retries > 0 ->
+        if not (is_revoked comm) then revoke comm;
+        let comm = shrink comm in
+        go comm (retries - 1)
+  in
+  go comm max_retries

@@ -1,0 +1,29 @@
+(** User-Level Failure Mitigation plugin (paper §V-B, Fig. 12): turns the
+    runtime's failure error codes into an idiomatic exception and packages
+    the detect -> revoke -> shrink recovery sequence. *)
+
+exception Failure_detected of string
+
+(** Run [f], mapping ERR_PROC_FAILED / ERR_REVOKED errors to
+    {!Failure_detected}; other exceptions pass through. *)
+val detect : (unit -> 'a) -> 'a
+
+val is_revoked : Kamping.Communicator.t -> bool
+
+val revoke : Kamping.Communicator.t -> unit
+
+(** Collective over the survivors. *)
+val shrink : Kamping.Communicator.t -> Kamping.Communicator.t
+
+val agree : Kamping.Communicator.t -> bool -> bool
+
+(** Fig. 12 as a combinator: run [attempt]; on failure revoke, shrink,
+    retry (at most [max_retries] times).  Returns the result and the
+    communicator it was obtained on.  NOTE: survivors of an iterative
+    computation must additionally agree on the resume point — see
+    examples/fault_tolerance.ml. *)
+val run_with_recovery :
+  ?max_retries:int ->
+  Kamping.Communicator.t ->
+  (Kamping.Communicator.t -> 'a) ->
+  'a * Kamping.Communicator.t

@@ -1,0 +1,42 @@
+(* Request pools (paper §III-E).
+
+   The unbounded pool collects non-blocking results and completes them all
+   with [wait_all].  A pool created with [~slots:n] keeps at most [n]
+   requests in flight: adding to a full pool first waits for the oldest —
+   the fixed-slot variant the paper describes as work-in-progress. *)
+
+type t = { mutable pending : unit Nb.t list; (* newest first *) slots : int option }
+
+let create ?slots () =
+  (match slots with
+  | Some s when s <= 0 -> invalid_arg "Request_pool.create: slots must be positive"
+  | Some _ | None -> ());
+  { pending = []; slots }
+
+let pending_count t = List.length t.pending
+
+(* Complete and drop the oldest pending request. *)
+let wait_oldest t =
+  match List.rev t.pending with
+  | [] -> ()
+  | oldest :: rest ->
+      Nb.wait oldest;
+      t.pending <- List.rev rest
+
+let add t (nb : 'a Nb.t) =
+  (match t.slots with
+  | Some s when pending_count t >= s -> wait_oldest t
+  | Some _ | None -> ());
+  t.pending <- Nb.forget nb :: t.pending
+
+let wait_all t =
+  List.iter Nb.wait (List.rev t.pending);
+  t.pending <- []
+
+(* Drop every request that has already completed; returns how many were
+   retired. *)
+let drain_completed t =
+  let completed, still = List.partition Nb.is_complete t.pending in
+  List.iter Nb.wait completed;
+  t.pending <- still;
+  List.length completed

@@ -1,0 +1,20 @@
+(* Resize policies for user-supplied output containers (paper §III-C).
+
+   They control what happens when a collective needs to write [n] elements
+   into a container the caller provided:
+
+   - [Resize_to_fit]: the container is resized to exactly [n];
+   - [Grow_only]: the container grows if it is too small, but is never
+     shrunk;
+   - [No_resize]: the container is used as-is; it is a usage error if it
+     cannot hold the result.  This is the default, because highly tuned
+     code wants no hidden allocation. *)
+
+type t = Resize_to_fit | Grow_only | No_resize
+
+let default = No_resize
+
+let to_string = function
+  | Resize_to_fit -> "resize_to_fit"
+  | Grow_only -> "grow_only"
+  | No_resize -> "no_resize"

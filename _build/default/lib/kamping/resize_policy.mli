@@ -1,0 +1,12 @@
+(** Resize policies for user-supplied output containers (paper §III-C). *)
+
+type t =
+  | Resize_to_fit  (** container becomes exactly the result size *)
+  | Grow_only  (** grows if too small, never shrinks *)
+  | No_resize
+      (** container used as-is; usage error if it cannot hold the result.
+          The default: highly tuned code wants no hidden allocation. *)
+
+val default : t
+
+val to_string : t -> string

@@ -1,0 +1,98 @@
+(* Distributed measurement timer (the measurements facility of the
+   reference library; supports the paper's algorithm-engineering workflow
+   of §III-C: iterative refinement and analysis through experimentation).
+
+   Each rank accumulates named durations on the runtime's virtual clock
+   ([start]/[stop] may nest and repeat); [aggregate] is a collective that
+   reduces every key across ranks to (min, mean, max) — the numbers a
+   scaling study reports. *)
+
+open Mpisim
+
+type entry = { mutable total : float; mutable count : int; mutable started_at : float option }
+
+type t = { comm : Communicator.t; entries : (string, entry) Hashtbl.t; mutable order : string list }
+
+let create (comm : Communicator.t) : t =
+  { comm; entries = Hashtbl.create 16; order = [] }
+
+let entry t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> e
+  | None ->
+      let e = { total = 0.; count = 0; started_at = None } in
+      Hashtbl.replace t.entries key e;
+      t.order <- key :: t.order;
+      e
+
+let now t =
+  let mpi = Communicator.mpi t.comm in
+  Runtime.clock (Comm.runtime mpi) (Comm.world_rank mpi)
+
+(* Begin timing [key] on this rank.  Raises on double start. *)
+let start t key =
+  let e = entry t key in
+  match e.started_at with
+  | Some _ -> Errdefs.usage_error "Timer.start: %S already running" key
+  | None -> e.started_at <- Some (now t)
+
+(* Stop timing [key]; accumulates the elapsed virtual time. *)
+let stop t key =
+  let e = entry t key in
+  match e.started_at with
+  | None -> Errdefs.usage_error "Timer.stop: %S is not running" key
+  | Some t0 ->
+      e.started_at <- None;
+      e.total <- e.total +. (now t -. t0);
+      e.count <- e.count + 1
+
+(* Time a closure under [key]. *)
+let time t key f =
+  start t key;
+  Fun.protect ~finally:(fun () -> stop t key) f
+
+(* Local view: (key, total seconds, start/stop count), in first-use
+   order. *)
+let local t : (string * float * int) list =
+  List.rev_map
+    (fun key ->
+      let e = Hashtbl.find t.entries key in
+      (key, e.total, e.count))
+    t.order
+
+type aggregate = { key : string; min : float; mean : float; max : float; count : int }
+
+(* Collective: reduce every key across ranks.  All ranks must have used
+   the same keys in the same order (checked at assertion level 2 through
+   the collective trace). *)
+let aggregate (t : t) : aggregate list =
+  let keys = List.rev t.order in
+  List.map
+    (fun key ->
+      let e = Hashtbl.find t.entries key in
+      if e.started_at <> None then Errdefs.usage_error "Timer.aggregate: %S still running" key;
+      let stats =
+        Collectives.allreduce t.comm Datatype.float Reduce_op.float_min [| e.total |]
+      in
+      let mx =
+        Collectives.allreduce t.comm Datatype.float Reduce_op.float_max [| e.total |]
+      in
+      let sum =
+        Collectives.allreduce t.comm Datatype.float Reduce_op.float_sum [| e.total |]
+      in
+      {
+        key;
+        min = stats.(0);
+        mean = sum.(0) /. float_of_int (Communicator.size t.comm);
+        max = mx.(0);
+        count = e.count;
+      })
+    keys
+
+let pp_aggregates ppf (aggs : aggregate list) =
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "%-24s min=%s mean=%s max=%s (%d timings)@." a.key
+        (Sim_time.to_string a.min) (Sim_time.to_string a.mean) (Sim_time.to_string a.max)
+        a.count)
+    aggs

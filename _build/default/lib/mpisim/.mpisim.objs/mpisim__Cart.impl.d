@@ -1,0 +1,1 @@
+lib/mpisim/cart.ml: Array Comm Comm_ops Datatype Errdefs List P2p

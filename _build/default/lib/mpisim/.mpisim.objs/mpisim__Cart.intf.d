@@ -1,0 +1,1 @@
+lib/mpisim/cart.mli: Comm Datatype

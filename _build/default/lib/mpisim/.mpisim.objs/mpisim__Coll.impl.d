@@ -1,0 +1,1 @@
+lib/mpisim/coll.ml: Array Comm Datatype Errdefs Float Hashtbl Net_model P2p Printf Reduce_op Request Runtime Status Stdlib

@@ -1,0 +1,1 @@
+lib/mpisim/coll.mli: Comm Datatype Reduce_op Request

@@ -1,0 +1,1 @@
+lib/mpisim/comm.ml: Array Errdefs Group Hashtbl Lazy List Printf Runtime String

@@ -1,0 +1,1 @@
+lib/mpisim/comm.mli: Errdefs Group Hashtbl Lazy Runtime

@@ -1,0 +1,1 @@
+lib/mpisim/comm_ops.ml: Array Coll Comm Datatype Errdefs Float Group Hashtbl List Net_model Option P2p Printf Runtime Scheduler

@@ -1,0 +1,1 @@
+lib/mpisim/comm_ops.mli: Comm Group

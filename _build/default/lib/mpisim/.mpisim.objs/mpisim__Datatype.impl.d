@@ -1,0 +1,1 @@
+lib/mpisim/datatype.ml: Array Bytes Fun Hashtbl Printf Signature Stdlib Wire

@@ -1,0 +1,1 @@
+lib/mpisim/datatype.mli: Bytes Signature Wire

@@ -1,0 +1,1 @@
+lib/mpisim/engine.ml: Array Comm Errdefs Fault Format Fun Group List Net_model Printexc Profiling Runtime Scheduler Sim_time String

@@ -1,0 +1,1 @@
+lib/mpisim/engine.mli: Comm Format Net_model Profiling Runtime

@@ -1,0 +1,1 @@
+lib/mpisim/errdefs.ml: Printexc Printf

@@ -1,0 +1,1 @@
+lib/mpisim/fault.ml: Comm Errdefs Runtime

@@ -1,0 +1,1 @@
+lib/mpisim/fault.mli: Comm Runtime

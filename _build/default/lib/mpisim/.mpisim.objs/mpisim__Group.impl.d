@@ -1,0 +1,1 @@
+lib/mpisim/group.ml: Array Errdefs Format Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/mpisim/group.mli: Format

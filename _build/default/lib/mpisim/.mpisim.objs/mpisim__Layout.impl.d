@@ -1,0 +1,1 @@
+lib/mpisim/layout.ml: Array Datatype Errdefs List Printf

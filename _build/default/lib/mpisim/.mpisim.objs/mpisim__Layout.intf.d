@@ -1,0 +1,1 @@
+lib/mpisim/layout.mli: Datatype

@@ -1,0 +1,1 @@
+lib/mpisim/mailbox.ml: Float Hashtbl List Message Queue

@@ -1,0 +1,1 @@
+lib/mpisim/message.ml: Bytes Format Signature Sim_time

@@ -1,0 +1,1 @@
+lib/mpisim/net_model.ml: Format

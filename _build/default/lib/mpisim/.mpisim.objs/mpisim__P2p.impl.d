@@ -1,0 +1,1 @@
+lib/mpisim/p2p.ml: Array Bytes Comm Datatype Errdefs Format Mailbox Message Net_model Printf Request Runtime Scheduler Signature Status Wire

@@ -1,0 +1,1 @@
+lib/mpisim/p2p.mli: Bytes Comm Datatype Request Status

@@ -1,0 +1,1 @@
+lib/mpisim/profiling.ml: Format Hashtbl List String

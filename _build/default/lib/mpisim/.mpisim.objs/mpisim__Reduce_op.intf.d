@@ -1,0 +1,1 @@
+lib/mpisim/reduce_op.mli:

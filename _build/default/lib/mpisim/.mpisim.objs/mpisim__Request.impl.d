@@ -1,0 +1,1 @@
+lib/mpisim/request.ml: Array List Printf Scheduler Status

@@ -1,0 +1,1 @@
+lib/mpisim/request.mli: Status

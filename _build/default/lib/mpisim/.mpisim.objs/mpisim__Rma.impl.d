@@ -1,0 +1,1 @@
+lib/mpisim/rma.ml: Array Coll Comm Datatype Hashtbl List Net_model Obj Reduce_op Runtime

@@ -1,0 +1,1 @@
+lib/mpisim/rma.mli: Comm Datatype Reduce_op

@@ -1,0 +1,1 @@
+lib/mpisim/runtime.ml: Array Bytes Errdefs Float Logs Mailbox Message Net_model Profiling

@@ -1,0 +1,1 @@
+lib/mpisim/runtime.mli: Bytes Logs Mailbox Message Net_model Profiling Signature

@@ -1,0 +1,1 @@
+lib/mpisim/scheduler.ml: Array Effect Fun List Printexc Printf String Unix

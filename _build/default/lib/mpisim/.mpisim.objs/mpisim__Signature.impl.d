@@ -1,0 +1,1 @@
+lib/mpisim/signature.ml: Format List

@@ -1,0 +1,1 @@
+lib/mpisim/signature.mli: Format

@@ -1,0 +1,1 @@
+lib/mpisim/sim_time.ml: Float Format

@@ -1,0 +1,1 @@
+lib/mpisim/sim_time.mli: Format

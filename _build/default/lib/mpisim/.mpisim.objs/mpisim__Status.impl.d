@@ -1,0 +1,1 @@
+lib/mpisim/status.ml: Format

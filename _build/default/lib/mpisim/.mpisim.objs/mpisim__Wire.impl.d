@@ -1,0 +1,1 @@
+lib/mpisim/wire.ml: Bytes Char Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/mpisim/wire.mli: Bytes

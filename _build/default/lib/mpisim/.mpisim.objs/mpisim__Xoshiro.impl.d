@@ -1,0 +1,1 @@
+lib/mpisim/xoshiro.ml: Array Int64

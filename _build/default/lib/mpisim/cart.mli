@@ -1,0 +1,51 @@
+(** Cartesian process topologies (MPI_Cart_* analogue): ranks arranged in
+    an n-dimensional grid with optional per-dimension periodicity, powering
+    the classic stencil / halo-exchange pattern.
+
+    Rank order is row-major (last dimension fastest); ranks are preserved
+    (no reorder). *)
+
+type t
+
+(** Balanced factorization of [nnodes] into [ndims] extents, largest first
+    (MPI_Dims_create). *)
+val dims_create : nnodes:int -> ndims:int -> int array
+
+(** The product of [dims] must equal the communicator size.  Collective
+    (the communicator is duplicated to isolate cartesian traffic). *)
+val create : Comm.t -> dims:int array -> periods:bool array -> t
+
+val comm : t -> Comm.t
+
+val ndims : t -> int
+
+val dims : t -> int array
+
+val periods : t -> bool array
+
+val coords_of_rank : t -> int -> int array
+
+(** Out-of-range coordinates wrap in periodic dimensions and yield [None]
+    otherwise. *)
+val rank_of_coords : t -> int array -> int option
+
+val my_coords : t -> int array
+
+(** (source, destination) ranks for displacement [disp] along [dim]
+    (MPI_Cart_shift); [None] at non-periodic boundaries. *)
+val shift : t -> dim:int -> disp:int -> int option * int option
+
+(** Bidirectional halo exchange along one dimension: send [to_prev] /
+    [to_next] to the neighbors, return (from_prev, from_next) ([None] at
+    open boundaries).  Collective along the dimension. *)
+val halo_exchange :
+  t ->
+  'a Datatype.t ->
+  dim:int ->
+  to_prev:'a array ->
+  to_next:'a array ->
+  'a array option * 'a array option
+
+(** Sub-grid communicator keeping the dimensions flagged true
+    (MPI_Cart_sub).  Collective. *)
+val sub : t -> keep:bool array -> t

@@ -1,0 +1,821 @@
+(* Blocking collective operations.
+
+   All collectives are implemented on top of the point-to-point layer with
+   real algorithms (binomial trees, Bruck concatenation, ring exchange,
+   pairwise exchange, Hillis-Steele prefix), so their modelled cost emerges
+   from the algorithm's message pattern rather than a closed formula:
+
+   - [bcast]/[reduce]: binomial tree, O(log p) rounds;
+   - [allgather]: Bruck concatenation, O(log p) rounds (any p);
+   - [allgatherv]: ring, p-1 rounds (bandwidth-optimal);
+   - [alltoall]/[alltoallv]: pairwise exchange; [alltoallv] skips empty
+     pairs but charges the O(p) count-array scan that makes dense
+     collectives scale linearly in p (paper §V-A);
+   - [alltoallw]: like [alltoallv] but pays per-peer datatype setup and
+     cannot skip empty pairs — reproducing why MPL's lowering of vector
+     collectives to alltoallw is slow (paper §II);
+   - [scan]/[exscan]: Hillis-Steele, O(log p) rounds;
+   - [barrier]: dissemination; [ibarrier]: rendezvous with modelled
+     dissemination cost (used by the NBX sparse all-to-all);
+   - neighbor collectives: direct exchange with the static graph topology.
+
+   Every collective starts with [Comm.check_collective], which raises
+   ERR_REVOKED / ERR_PROC_FAILED per ULFM semantics and records the
+   operation for the strong debug mode. *)
+
+(* Internal tags, one per operation. *)
+let tag_barrier = P2p.internal_tag 0
+
+let tag_bcast = P2p.internal_tag 1
+
+let tag_gather = P2p.internal_tag 2
+
+let tag_scatter = P2p.internal_tag 3
+
+let tag_allgather = P2p.internal_tag 4
+
+let tag_allgatherv = P2p.internal_tag 5
+
+let tag_alltoall = P2p.internal_tag 6
+
+let tag_alltoallv = P2p.internal_tag 7
+
+let tag_alltoallw = P2p.internal_tag 8
+
+let tag_reduce = P2p.internal_tag 9
+
+let tag_scan = P2p.internal_tag 10
+
+let tag_neighbor = P2p.internal_tag 11
+
+let empty_int : int array = [||]
+
+let prologue comm ~op =
+  Runtime.check_alive (Comm.runtime comm) (Comm.world_rank comm);
+  Comm.check_collective comm ~op
+
+let record comm ~op ~bytes = Runtime.record (Comm.runtime comm) ~op ~bytes
+
+(* Charge the O(p) cost of scanning per-rank count/displacement arrays in
+   dense vector collectives. *)
+let charge_dense_scan comm =
+  let rt = Comm.runtime comm in
+  Runtime.advance_clock rt (Comm.world_rank comm)
+    (float_of_int (Comm.size comm) *. rt.Runtime.model.Net_model.dense_scan_byte)
+
+let check_root comm root = Comm.check_rank comm root
+
+(* ------------------------------------------------------------------ *)
+(* Barrier: dissemination *)
+
+let barrier comm =
+  prologue comm ~op:"barrier";
+  record comm ~op:"barrier" ~bytes:0;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let k = ref 1 in
+  while !k < n do
+    let dest = (r + !k) mod n in
+    let src = (r - !k + n) mod n in
+    P2p.send_range comm Datatype.int ~dest ~tag:tag_barrier empty_int ~pos:0 ~count:0;
+    let (_ : int array * Status.t) = P2p.recv comm Datatype.int ~source:src ~tag:tag_barrier () in
+    k := !k * 2
+  done
+
+(* Non-blocking barrier via shared rendezvous.  Completion time is the
+   latest entry clock plus a modelled dissemination term. *)
+let ibarrier comm =
+  prologue comm ~op:"ibarrier";
+  record comm ~op:"ibarrier" ~bytes:0;
+  let rt = Comm.runtime comm in
+  let n = Comm.size comm in
+  let me = Comm.world_rank comm in
+  let shared = comm.Comm.shared in
+  let gen = comm.Comm.my_ibarrier_gen in
+  comm.Comm.my_ibarrier_gen <- gen + 1;
+  let state =
+    match Hashtbl.find_opt shared.Comm.ibarriers gen with
+    | Some s -> s
+    | None ->
+        let s =
+          { Comm.ib_target = n; ib_entered = 0; ib_max_clock = 0.; ib_finalized = 0 }
+        in
+        Hashtbl.replace shared.Comm.ibarriers gen s;
+        s
+  in
+  state.Comm.ib_entered <- state.Comm.ib_entered + 1;
+  state.Comm.ib_max_clock <- Float.max state.Comm.ib_max_clock (Runtime.clock rt me);
+  Runtime.bump_progress rt;
+  let rounds = if n <= 1 then 0 else int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+  let dissemination_cost =
+    float_of_int rounds
+    *. (rt.Runtime.model.Net_model.latency +. rt.Runtime.model.Net_model.send_overhead)
+  in
+  Request.make
+    ~ready:(fun () -> state.Comm.ib_entered >= state.Comm.ib_target)
+    ~finalize:(fun () ->
+      Runtime.sync_clock rt me (state.Comm.ib_max_clock +. dissemination_cost);
+      state.Comm.ib_finalized <- state.Comm.ib_finalized + 1;
+      if state.Comm.ib_finalized >= state.Comm.ib_target then
+        Hashtbl.remove shared.Comm.ibarriers gen;
+      Status.make ~source:(Comm.rank comm) ~tag:0 ~count:0 ~bytes:0)
+    ~describe:(fun () -> Printf.sprintf "ibarrier gen %d" gen)
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast: binomial tree *)
+
+let bcast comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
+  prologue comm ~op:"bcast";
+  check_root comm root;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let vrank = (r - root + n) mod n in
+  let real v = (v + root) mod n in
+  let buf = ref (match data with Some d when r = root -> d | _ -> [||]) in
+  if r = root && data = None then
+    Errdefs.usage_error "bcast: root must provide data";
+  record comm ~op:"bcast"
+    ~bytes:(if r = root then Datatype.size_of_count dt (Array.length !buf) else 0);
+  if n > 1 then begin
+    (* Receive phase: find the lowest set bit of vrank. *)
+    let mask = ref 1 in
+    if vrank <> 0 then begin
+      while vrank land !mask = 0 do
+        mask := !mask lsl 1
+      done;
+      let src = real (vrank - !mask) in
+      let d, _ = P2p.recv comm dt ~source:src ~tag:tag_bcast () in
+      buf := d
+    end
+    else begin
+      while !mask < n do
+        mask := !mask lsl 1
+      done
+    end;
+    (* Send phase: relay to children. *)
+    mask := !mask lsr 1;
+    while !mask > 0 do
+      if vrank + !mask < n then begin
+        let dest = real (vrank + !mask) in
+        P2p.send_range comm dt ~dest ~tag:tag_bcast !buf ~pos:0 ~count:(Array.length !buf)
+      end;
+      mask := !mask lsr 1
+    done
+  end;
+  !buf
+
+(* ------------------------------------------------------------------ *)
+(* Gather / Scatter (rooted, direct exchange) *)
+
+let gatherv comm (dt : 'a Datatype.t) ~root ?recv_counts (data : 'a array) : 'a array =
+  prologue comm ~op:"gatherv";
+  check_root comm root;
+  charge_dense_scan comm;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  record comm ~op:"gatherv" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  if r <> root then begin
+    P2p.send_range comm dt ~dest:root ~tag:tag_gather data ~pos:0
+      ~count:(Array.length data);
+    [||]
+  end
+  else begin
+    let counts =
+      match recv_counts with
+      | Some c ->
+          if Array.length c <> n then
+            Errdefs.usage_error "gatherv: recv_counts has length %d, expected %d"
+              (Array.length c) n;
+          c
+      | None -> Errdefs.usage_error "gatherv: root must provide recv_counts"
+    in
+    if counts.(root) <> Array.length data then
+      Errdefs.usage_error "gatherv: own count %d does not match data length %d"
+        counts.(root) (Array.length data);
+    let displs = Array.make n 0 in
+    for i = 1 to n - 1 do
+      displs.(i) <- displs.(i - 1) + counts.(i - 1)
+    done;
+    let total = displs.(n - 1) + counts.(n - 1) in
+    let out = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
+    Array.blit data 0 out displs.(root) counts.(root);
+    (* Receive from every source, zero-count contributions included:
+       skipping them would leave stale messages that corrupt the next
+       collective on the same (source, tag) pair. *)
+    for src = 0 to n - 1 do
+      if src <> root then begin
+        let st =
+          P2p.recv_into comm dt ~source:src ~tag:tag_gather ~pos:displs.(src)
+            ~maxcount:counts.(src) out
+        in
+        if Status.count st <> counts.(src) then
+          Comm.error comm Errdefs.Err_count
+            "gatherv: rank %d sent %d elements, expected %d" src (Status.count st)
+            counts.(src)
+      end
+    done;
+    out
+  end
+
+let gather comm (dt : 'a Datatype.t) ~root (data : 'a array) : 'a array =
+  prologue comm ~op:"gather";
+  check_root comm root;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let count = Array.length data in
+  record comm ~op:"gather" ~bytes:(Datatype.size_of_count dt count);
+  if r <> root then begin
+    (* The count is uniform and known on both sides, so zero-count calls
+       skip the message symmetrically. *)
+    if count > 0 then P2p.send_range comm dt ~dest:root ~tag:tag_gather data ~pos:0 ~count;
+    [||]
+  end
+  else begin
+    let out = if n * count = 0 then [||] else Array.make (n * count) (Datatype.zero_elem dt) in
+    if count > 0 then Array.blit data 0 out (root * count) count;
+    for src = 0 to n - 1 do
+      if src <> root && count > 0 then begin
+        let st =
+          P2p.recv_into comm dt ~source:src ~tag:tag_gather ~pos:(src * count)
+            ~maxcount:count out
+        in
+        if Status.count st <> count then
+          Comm.error comm Errdefs.Err_count
+            "gather: rank %d sent %d elements, expected %d" src (Status.count st) count
+      end
+    done;
+    out
+  end
+
+let scatterv comm (dt : 'a Datatype.t) ~root ?send_counts (data : 'a array option) :
+    'a array =
+  prologue comm ~op:"scatterv";
+  check_root comm root;
+  charge_dense_scan comm;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  record comm ~op:"scatterv" ~bytes:0;
+  if r = root then begin
+    let data =
+      match data with
+      | Some d -> d
+      | None -> Errdefs.usage_error "scatterv: root must provide data"
+    in
+    let counts =
+      match send_counts with
+      | Some c when Array.length c = n -> c
+      | Some c ->
+          Errdefs.usage_error "scatterv: send_counts has length %d, expected %d"
+            (Array.length c) n
+      | None -> Errdefs.usage_error "scatterv: root must provide send_counts"
+    in
+    let displs = Array.make n 0 in
+    for i = 1 to n - 1 do
+      displs.(i) <- displs.(i - 1) + counts.(i - 1)
+    done;
+    if displs.(n - 1) + counts.(n - 1) <> Array.length data then
+      Errdefs.usage_error "scatterv: counts sum to %d but data has %d elements"
+        (displs.(n - 1) + counts.(n - 1))
+        (Array.length data);
+    for dest = 0 to n - 1 do
+      if dest <> root then
+        P2p.send_range comm dt ~dest ~tag:tag_scatter data ~pos:displs.(dest)
+          ~count:counts.(dest)
+    done;
+    Array.sub data displs.(root) counts.(root)
+  end
+  else begin
+    let d, _ = P2p.recv comm dt ~source:root ~tag:tag_scatter () in
+    d
+  end
+
+let scatter comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
+  prologue comm ~op:"scatter";
+  check_root comm root;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  record comm ~op:"scatter" ~bytes:0;
+  if r = root then begin
+    let data =
+      match data with
+      | Some d -> d
+      | None -> Errdefs.usage_error "scatter: root must provide data"
+    in
+    if Array.length data mod n <> 0 then
+      Errdefs.usage_error "scatter: data length %d not divisible by %d" (Array.length data) n;
+    let count = Array.length data / n in
+    for dest = 0 to n - 1 do
+      if dest <> root then
+        P2p.send_range comm dt ~dest ~tag:tag_scatter data ~pos:(dest * count) ~count
+    done;
+    Array.sub data (root * count) count
+  end
+  else begin
+    let d, _ = P2p.recv comm dt ~source:root ~tag:tag_scatter () in
+    d
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Allgather: Bruck concatenation (works for any p, O(log p) rounds) *)
+
+let allgather comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
+  prologue comm ~op:"allgather";
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let count = Array.length data in
+  record comm ~op:"allgather" ~bytes:(Datatype.size_of_count dt count);
+  if n = 1 then Array.copy data
+  else begin
+    (* [buf] holds blocks r, r+1, ..., r+held-1 (mod n), in that order. *)
+    let buf = ref (Array.copy data) in
+    let held = ref 1 in
+    while !held < n do
+      let send_blocks = Stdlib.min !held (n - !held) in
+      let dest = (r - !held + n) mod n in
+      let src = (r + !held) mod n in
+      (* Send our first [send_blocks] blocks (they become the receiver's
+         blocks [held..held+send_blocks-1]); receive symmetrically. *)
+      P2p.send_range comm dt ~dest ~tag:tag_allgather !buf ~pos:0
+        ~count:(send_blocks * count);
+      let incoming, _ = P2p.recv comm dt ~source:src ~tag:tag_allgather () in
+      buf := Array.append !buf incoming;
+      held := !held + send_blocks
+    done;
+    (* Rotate from local order (starting at r) to absolute order. *)
+    let total = n * count in
+    let out = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
+    if count > 0 then
+      for b = 0 to n - 1 do
+        let abs_block = (r + b) mod n in
+        Array.blit !buf (b * count) out (abs_block * count) count
+      done;
+    out
+  end
+
+(* Allgatherv: ring exchange with per-rank block sizes.  [recv_counts] must
+   be provided on every rank (MPI semantics); the binding layer is what
+   infers it when omitted (paper §III-A). *)
+let allgatherv comm (dt : 'a Datatype.t) ~(recv_counts : int array) (data : 'a array) :
+    'a array =
+  prologue comm ~op:"allgatherv";
+  charge_dense_scan comm;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  if Array.length recv_counts <> n then
+    Errdefs.usage_error "allgatherv: recv_counts has length %d, expected %d"
+      (Array.length recv_counts) n;
+  if recv_counts.(r) <> Array.length data then
+    Errdefs.usage_error "allgatherv: own recv_count %d does not match data length %d"
+      recv_counts.(r) (Array.length data);
+  record comm ~op:"allgatherv" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  let displs = Array.make n 0 in
+  for i = 1 to n - 1 do
+    displs.(i) <- displs.(i - 1) + recv_counts.(i - 1)
+  done;
+  let total = displs.(n - 1) + recv_counts.(n - 1) in
+  if total = 0 then [||]
+  else begin
+    let out = Array.make total (Datatype.zero_elem dt) in
+    Array.blit data 0 out displs.(r) recv_counts.(r);
+    if n > 1 then begin
+      let right = (r + 1) mod n in
+      let left = (r - 1 + n) mod n in
+      for s = 0 to n - 2 do
+        (* At step s we forward block (r - s) and receive block (r-s-1);
+           empty blocks still flow to keep the ring paired up. *)
+        let send_block = (r - s + n) mod n in
+        let recv_block = (send_block - 1 + n) mod n in
+        P2p.send_range comm dt ~dest:right ~tag:tag_allgatherv out
+          ~pos:displs.(send_block) ~count:recv_counts.(send_block);
+        let st =
+          P2p.recv_into comm dt ~source:left ~tag:tag_allgatherv ~pos:displs.(recv_block)
+            ~maxcount:recv_counts.(recv_block) out
+        in
+        if Status.count st <> recv_counts.(recv_block) then
+          Comm.error comm Errdefs.Err_count
+            "allgatherv: expected %d elements of block %d, got %d"
+            recv_counts.(recv_block) recv_block (Status.count st)
+      done
+    end;
+    out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Alltoall family: pairwise exchange *)
+
+let exclusive_prefix_sum (counts : int array) =
+  let n = Array.length counts in
+  let displs = Array.make n 0 in
+  for i = 1 to n - 1 do
+    displs.(i) <- displs.(i - 1) + counts.(i - 1)
+  done;
+  displs
+
+let alltoall comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
+  prologue comm ~op:"alltoall";
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  if Array.length data mod n <> 0 then
+    Errdefs.usage_error "alltoall: data length %d not divisible by %d" (Array.length data) n;
+  let count = Array.length data / n in
+  record comm ~op:"alltoall" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  let out = Array.copy data in
+  (* Self block. *)
+  if count > 0 then Array.blit data (r * count) out (r * count) count;
+  for s = 1 to n - 1 do
+    let dest = (r + s) mod n in
+    let src = (r - s + n) mod n in
+    P2p.send_range comm dt ~dest ~tag:tag_alltoall data ~pos:(dest * count) ~count;
+    let (_ : Status.t) =
+      P2p.recv_into comm dt ~source:src ~tag:tag_alltoall ~pos:(src * count)
+        ~maxcount:count out
+    in
+    ()
+  done;
+  out
+
+(* Variable alltoall.  Counts and displacements are all required, as in
+   MPI — computing sensible defaults is the binding layer's job (§III-A).
+   Empty pairs are skipped (both sides know the counts), but every rank
+   pays the O(p) count-array scan. *)
+let alltoallv comm (dt : 'a Datatype.t) ~(send_counts : int array)
+    ~(send_displs : int array) ~(recv_counts : int array) ~(recv_displs : int array)
+    (data : 'a array) : 'a array =
+  prologue comm ~op:"alltoallv";
+  charge_dense_scan comm;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  if Array.length send_counts <> n || Array.length recv_counts <> n then
+    Errdefs.usage_error "alltoallv: counts arrays must have length %d" n;
+  let sdispls = send_displs in
+  let rdispls = recv_displs in
+  let send_bytes =
+    Datatype.size_of_count dt (Array.fold_left ( + ) 0 send_counts)
+  in
+  record comm ~op:"alltoallv" ~bytes:send_bytes;
+  let total_recv = rdispls.(n - 1) + recv_counts.(n - 1) in
+  let seed = Datatype.zero_elem dt in
+  let out = if total_recv = 0 then [||] else Array.make total_recv seed in
+  (* Self block. *)
+  if send_counts.(r) > 0 then begin
+    if send_counts.(r) <> recv_counts.(r) then
+      Comm.error comm Errdefs.Err_count "alltoallv: self send/recv count mismatch";
+    Array.blit data sdispls.(r) out rdispls.(r) send_counts.(r)
+  end;
+  for s = 1 to n - 1 do
+    let dest = (r + s) mod n in
+    let src = (r - s + n) mod n in
+    if send_counts.(dest) > 0 then
+      P2p.send_range comm dt ~dest ~tag:tag_alltoallv data ~pos:sdispls.(dest)
+        ~count:send_counts.(dest);
+    if recv_counts.(src) > 0 then begin
+      let st =
+        P2p.recv_into comm dt ~source:src ~tag:tag_alltoallv ~pos:rdispls.(src)
+          ~maxcount:recv_counts.(src) out
+      in
+      if Status.count st <> recv_counts.(src) then
+        Comm.error comm Errdefs.Err_count
+          "alltoallv: expected %d elements from rank %d, got %d" recv_counts.(src) src
+          (Status.count st)
+    end
+  done;
+  out
+
+(* Alltoallw-style exchange: pays per-peer derived-datatype setup on every
+   rank and exchanges with *all* peers, empty or not.  This models why
+   lowering gatherv/alltoallv onto alltoallw (as MPL does) is costly and
+   limits scalability (paper §II, [9]). *)
+let alltoallw comm (dt : 'a Datatype.t) ~(send_counts : int array)
+    ~(recv_counts : int array) (data : 'a array) : 'a array =
+  prologue comm ~op:"alltoallw";
+  charge_dense_scan comm;
+  let rt = Comm.runtime comm in
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  if Array.length send_counts <> n || Array.length recv_counts <> n then
+    Errdefs.usage_error "alltoallw: counts arrays must have length %d" n;
+  (* Datatype setup: one derived datatype per peer, send and receive side. *)
+  Runtime.advance_clock rt (Comm.world_rank comm)
+    (2. *. float_of_int n *. rt.Runtime.model.Net_model.alltoallw_type_setup);
+  let sdispls = exclusive_prefix_sum send_counts in
+  let rdispls = exclusive_prefix_sum recv_counts in
+  record comm ~op:"alltoallw"
+    ~bytes:(Datatype.size_of_count dt (Array.fold_left ( + ) 0 send_counts));
+  let total_recv = rdispls.(n - 1) + recv_counts.(n - 1) in
+  let seed = Datatype.zero_elem dt in
+  let out = if total_recv = 0 then [||] else Array.make total_recv seed in
+  if send_counts.(r) > 0 then Array.blit data sdispls.(r) out rdispls.(r) send_counts.(r);
+  for s = 1 to n - 1 do
+    let dest = (r + s) mod n in
+    let src = (r - s + n) mod n in
+    (* No empty-pair skipping: a zero-size message still flows. *)
+    P2p.send_range comm dt ~dest ~tag:tag_alltoallw data ~pos:sdispls.(dest)
+      ~count:send_counts.(dest);
+    let st =
+      P2p.recv_into comm dt ~source:src ~tag:tag_alltoallw ~pos:rdispls.(src)
+        ~maxcount:recv_counts.(src) out
+    in
+    if Status.count st <> recv_counts.(src) then
+      Comm.error comm Errdefs.Err_count "alltoallw: count mismatch from rank %d" src
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Reductions *)
+
+let combine_into (op : 'a Reduce_op.t) ~(acc : 'a array) (other : 'a array) =
+  if Array.length acc <> Array.length other then
+    Errdefs.usage_error "reduce: element count mismatch (%d vs %d)" (Array.length acc)
+      (Array.length other);
+  for i = 0 to Array.length acc - 1 do
+    acc.(i) <- Reduce_op.apply op acc.(i) other.(i)
+  done
+
+(* Binomial-tree reduce for commutative operations; gather + ordered fold
+   for non-commutative ones (order must be rank order). *)
+let reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~root (data : 'a array) :
+    'a array =
+  prologue comm ~op:"reduce";
+  check_root comm root;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  record comm ~op:"reduce" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  if n = 1 then Array.copy data
+  else if not op.Reduce_op.commutative then begin
+    (* Rank-ordered fold at the root. *)
+    let gathered = gather comm dt ~root data in
+    if r <> root then [||]
+    else begin
+      let count = Array.length data in
+      let acc = Array.sub gathered 0 count in
+      for src = 1 to n - 1 do
+        combine_into op ~acc (Array.sub gathered (src * count) count)
+      done;
+      acc
+    end
+  end
+  else begin
+    let vrank = (r - root + n) mod n in
+    let real v = (v + root) mod n in
+    let acc = Array.copy data in
+    let mask = ref 1 in
+    let sent = ref false in
+    while (not !sent) && !mask < n do
+      if vrank land !mask <> 0 then begin
+        P2p.send_range comm dt ~dest:(real (vrank - !mask)) ~tag:tag_reduce acc ~pos:0
+          ~count:(Array.length acc);
+        sent := true
+      end
+      else begin
+        if vrank + !mask < n then begin
+          let other, _ = P2p.recv comm dt ~source:(real (vrank + !mask)) ~tag:tag_reduce () in
+          combine_into op ~acc other
+        end;
+        mask := !mask lsl 1
+      end
+    done;
+    if r = root then acc else [||]
+  end
+
+let allreduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
+  prologue comm ~op:"allreduce";
+  record comm ~op:"allreduce" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  let reduced = reduce comm dt op ~root:0 data in
+  let root_data = if Comm.rank comm = 0 then Some reduced else None in
+  bcast comm dt ~root:0 root_data
+
+(* Inclusive prefix (Hillis-Steele): O(log p) rounds, order-preserving, so
+   safe for non-commutative operations. *)
+let scan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
+  prologue comm ~op:"scan";
+  record comm ~op:"scan" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let acc = Array.copy data in
+  let d = ref 1 in
+  while !d < n do
+    if r + !d < n then
+      P2p.send_range comm dt ~dest:(r + !d) ~tag:tag_scan acc ~pos:0
+        ~count:(Array.length acc);
+    if r - !d >= 0 then begin
+      let earlier, _ = P2p.recv comm dt ~source:(r - !d) ~tag:tag_scan () in
+      (* [earlier] covers ranks before ours: combine on the left. *)
+      let combined = Array.copy earlier in
+      combine_into op ~acc:combined acc;
+      Array.blit combined 0 acc 0 (Array.length acc)
+    end;
+    d := !d * 2
+  done;
+  acc
+
+(* Exclusive prefix: rank 0 receives [None] (MPI leaves it undefined). *)
+let exscan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
+    'a array option =
+  prologue comm ~op:"exscan";
+  record comm ~op:"exscan" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let inclusive = scan comm dt op data in
+  (* Shift the inclusive result one rank to the right. *)
+  if r + 1 < n then
+    P2p.send_range comm dt ~dest:(r + 1) ~tag:tag_scan inclusive ~pos:0
+      ~count:(Array.length inclusive);
+  if r = 0 then None
+  else begin
+    let d, _ = P2p.recv comm dt ~source:(r - 1) ~tag:tag_scan () in
+    Some d
+  end
+
+(* Single-element conveniences used heavily by applications. *)
+let allreduce_single comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (x : 'a) : 'a =
+  (allreduce comm dt op [| x |]).(0)
+
+let scan_single comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (x : 'a) : 'a =
+  (scan comm dt op [| x |]).(0)
+
+let exscan_single comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (x : 'a) : 'a option =
+  match exscan comm dt op [| x |] with
+  | None -> None
+  | Some a -> Some a.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Neighborhood collectives (static graph topologies, §V-A) *)
+
+let topology_exn comm ~op =
+  match Comm.topology comm with
+  | Some t -> t
+  | None -> Errdefs.usage_error "%s: communicator has no graph topology" op
+
+(* Send [data] to every out-neighbor; receive one block per in-neighbor,
+   returned in source order. *)
+let neighbor_allgather comm (dt : 'a Datatype.t) (data : 'a array) : 'a array array =
+  prologue comm ~op:"neighbor_allgather";
+  let topo = topology_exn comm ~op:"neighbor_allgather" in
+  record comm ~op:"neighbor_allgather"
+    ~bytes:(Datatype.size_of_count dt (Array.length data));
+  Array.iter
+    (fun dest ->
+      P2p.send_range comm dt ~dest ~tag:tag_neighbor data ~pos:0
+        ~count:(Array.length data))
+    topo.Comm.destinations;
+  Array.map
+    (fun src ->
+      let d, _ = P2p.recv comm dt ~source:src ~tag:tag_neighbor () in
+      d)
+    topo.Comm.sources
+
+(* Variable-size neighbor exchange: block i of [data] goes to
+   destinations.(i); the result concatenates one block per source, with
+   [recv_counts] in source order. *)
+let neighbor_alltoallv comm (dt : 'a Datatype.t) ~(send_counts : int array)
+    ~(recv_counts : int array) (data : 'a array) : 'a array =
+  prologue comm ~op:"neighbor_alltoallv";
+  let topo = topology_exn comm ~op:"neighbor_alltoallv" in
+  let out_deg = Array.length topo.Comm.destinations in
+  let in_deg = Array.length topo.Comm.sources in
+  if Array.length send_counts <> out_deg then
+    Errdefs.usage_error "neighbor_alltoallv: send_counts length %d, expected out-degree %d"
+      (Array.length send_counts) out_deg;
+  if Array.length recv_counts <> in_deg then
+    Errdefs.usage_error "neighbor_alltoallv: recv_counts length %d, expected in-degree %d"
+      (Array.length recv_counts) in_deg;
+  record comm ~op:"neighbor_alltoallv"
+    ~bytes:(Datatype.size_of_count dt (Array.fold_left ( + ) 0 send_counts));
+  let sdispls = exclusive_prefix_sum send_counts in
+  Array.iteri
+    (fun i dest ->
+      if send_counts.(i) > 0 then
+        P2p.send_range comm dt ~dest ~tag:tag_neighbor data ~pos:sdispls.(i)
+          ~count:send_counts.(i))
+    topo.Comm.destinations;
+  let rdispls = exclusive_prefix_sum recv_counts in
+  let total = if in_deg = 0 then 0 else rdispls.(in_deg - 1) + recv_counts.(in_deg - 1) in
+  let seed = Datatype.zero_elem dt in
+  let out = if total = 0 then [||] else Array.make total seed in
+  Array.iteri
+    (fun i src ->
+      if recv_counts.(i) > 0 then begin
+        let st =
+          P2p.recv_into comm dt ~source:src ~tag:tag_neighbor ~pos:rdispls.(i)
+            ~maxcount:recv_counts.(i) out
+        in
+        if Status.count st <> recv_counts.(i) then
+          Comm.error comm Errdefs.Err_count "neighbor_alltoallv: count mismatch from %d" src
+      end)
+    topo.Comm.sources;
+  out
+
+(* Ring allgather: p-1 rounds of fixed-size block passing.  Bandwidth
+   optimal but with latency linear in p — kept alongside the default Bruck
+   algorithm for the algorithm-choice ablation (DESIGN.md §4). *)
+let allgather_ring comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
+  prologue comm ~op:"allgather_ring";
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let count = Array.length data in
+  record comm ~op:"allgather_ring" ~bytes:(Datatype.size_of_count dt count);
+  let out = if n * count = 0 then [||] else Array.make (n * count) (Datatype.zero_elem dt) in
+  if count > 0 then Array.blit data 0 out (r * count) count;
+  if n > 1 && count > 0 then begin
+    let right = (r + 1) mod n in
+    let left = (r - 1 + n) mod n in
+    for s = 0 to n - 2 do
+      let send_block = (r - s + n) mod n in
+      let recv_block = (send_block - 1 + n) mod n in
+      P2p.send_range comm dt ~dest:right ~tag:tag_allgather out ~pos:(send_block * count)
+        ~count;
+      let (_ : Status.t) =
+        P2p.recv_into comm dt ~source:left ~tag:tag_allgather ~pos:(recv_block * count)
+          ~maxcount:count out
+      in
+      ()
+    done
+  end;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Reduce-scatter: elementwise reduction whose result is scattered in
+   blocks (MPI_Reduce_scatter_block / MPI_Reduce_scatter). *)
+
+(* Equal block sizes: data has p * count elements; rank r receives the
+   reduced block r.  Implemented as reduce + scatter (the simple
+   tree-based lowering). *)
+let reduce_scatter_block comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    (data : 'a array) : 'a array =
+  prologue comm ~op:"reduce_scatter_block";
+  let n = Comm.size comm in
+  if Array.length data mod n <> 0 then
+    Errdefs.usage_error "reduce_scatter_block: data length %d not divisible by %d"
+      (Array.length data) n;
+  record comm ~op:"reduce_scatter_block"
+    ~bytes:(Datatype.size_of_count dt (Array.length data));
+  let reduced = reduce comm dt op ~root:0 data in
+  scatter comm dt ~root:0 (if Comm.rank comm = 0 then Some reduced else None)
+
+(* Per-rank block sizes: [recv_counts.(r)] elements of the reduced vector
+   go to rank r. *)
+let reduce_scatter comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    ~(recv_counts : int array) (data : 'a array) : 'a array =
+  prologue comm ~op:"reduce_scatter";
+  let n = Comm.size comm in
+  if Array.length recv_counts <> n then
+    Errdefs.usage_error "reduce_scatter: recv_counts must have length %d" n;
+  let total = Array.fold_left ( + ) 0 recv_counts in
+  if Array.length data <> total then
+    Errdefs.usage_error "reduce_scatter: data length %d does not match counts sum %d"
+      (Array.length data) total;
+  record comm ~op:"reduce_scatter" ~bytes:(Datatype.size_of_count dt total);
+  let reduced = reduce comm dt op ~root:0 data in
+  scatterv comm dt ~root:0 ~send_counts:recv_counts
+    (if Comm.rank comm = 0 then Some reduced else None)
+
+(* ------------------------------------------------------------------ *)
+(* Non-blocking collectives.
+
+   Progress semantics: like an MPI implementation without asynchronous
+   progress threads, the collective advances only inside wait/test — the
+   request defers the blocking algorithm to its finalization, which every
+   rank must reach.  This provides the deferred-start pattern (post now,
+   complete after independent work) without overlap guarantees. *)
+
+let deferred_collective comm ~opname (run : unit -> unit) : Request.t =
+  Runtime.record (Comm.runtime comm) ~op:opname ~bytes:0;
+  let cell = ref None in
+  Request.make
+    ~ready:(fun () -> true)
+    ~finalize:(fun () ->
+      (match !cell with
+      | Some () -> ()
+      | None ->
+          run ();
+          cell := Some ());
+      Status.make ~source:(Comm.rank comm) ~tag:0 ~count:0 ~bytes:0)
+    ~describe:(fun () -> opname)
+
+let ibcast comm (dt : 'a Datatype.t) ~root (data : 'a array option) :
+    Request.t * 'a array option ref =
+  let result = ref None in
+  let req =
+    deferred_collective comm ~opname:"ibcast" (fun () ->
+        result := Some (bcast comm dt ~root data))
+  in
+  (req, result)
+
+let iallreduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
+    Request.t * 'a array option ref =
+  let result = ref None in
+  let req =
+    deferred_collective comm ~opname:"iallreduce" (fun () ->
+        result := Some (allreduce comm dt op data))
+  in
+  (req, result)
+
+let ialltoallv comm (dt : 'a Datatype.t) ~send_counts ~send_displs ~recv_counts
+    ~recv_displs (data : 'a array) : Request.t * 'a array option ref =
+  let result = ref None in
+  let req =
+    deferred_collective comm ~opname:"ialltoallv" (fun () ->
+        result :=
+          Some (alltoallv comm dt ~send_counts ~send_displs ~recv_counts ~recv_displs data))
+  in
+  (req, result)

@@ -1,0 +1,164 @@
+(** Blocking collective operations, implemented with real algorithms on
+    top of the point-to-point layer (binomial trees, Bruck concatenation,
+    ring exchange, pairwise exchange, Hillis-Steele prefix), so modelled
+    cost emerges from each algorithm's message pattern.
+
+    This layer mirrors MPI's semantics: variable-size collectives require
+    counts (and, for alltoallv, displacements) as the standard does —
+    computing sensible defaults is the binding layer's job (paper §III-A).
+
+    Every collective raises ERR_REVOKED / ERR_PROC_FAILED per ULFM
+    semantics when the communicator is revoked or a member has failed,
+    and records its name in the strong-debug-mode trace. *)
+
+(** Exclusive prefix sum of a counts array (displacement helper). *)
+val exclusive_prefix_sum : int array -> int array
+
+(** {1 Synchronization} *)
+
+(** Dissemination barrier, O(log p) rounds. *)
+val barrier : Comm.t -> unit
+
+(** Non-blocking barrier, completed through the returned request.  The
+    NBX sparse all-to-all builds on it. *)
+val ibarrier : Comm.t -> Request.t
+
+(** {1 One-to-all / all-to-one} *)
+
+(** Binomial-tree broadcast.  The root passes [Some data]; all ranks
+    return the payload. *)
+val bcast : Comm.t -> 'a Datatype.t -> root:int -> 'a array option -> 'a array
+
+(** Equal-count gather; the root returns the rank-ordered concatenation,
+    others the empty array. *)
+val gather : Comm.t -> 'a Datatype.t -> root:int -> 'a array -> 'a array
+
+(** Variable-count gather; the root must supply [recv_counts]. *)
+val gatherv :
+  Comm.t -> 'a Datatype.t -> root:int -> ?recv_counts:int array -> 'a array -> 'a array
+
+(** Equal-count scatter; the root passes [Some data] with length divisible
+    by the communicator size. *)
+val scatter : Comm.t -> 'a Datatype.t -> root:int -> 'a array option -> 'a array
+
+(** Variable-count scatter; the root must supply [send_counts] and the
+    data. *)
+val scatterv :
+  Comm.t ->
+  'a Datatype.t ->
+  root:int ->
+  ?send_counts:int array ->
+  'a array option ->
+  'a array
+
+(** {1 All-to-all} *)
+
+(** Equal-count allgather (Bruck concatenation, O(log p) rounds). *)
+val allgather : Comm.t -> 'a Datatype.t -> 'a array -> 'a array
+
+(** Ring allgather: same result, p-1 rounds; kept for the
+    algorithm-choice ablation. *)
+val allgather_ring : Comm.t -> 'a Datatype.t -> 'a array -> 'a array
+
+(** Variable-count allgather (ring); [recv_counts] required on every rank
+    as in MPI. *)
+val allgatherv : Comm.t -> 'a Datatype.t -> recv_counts:int array -> 'a array -> 'a array
+
+(** Uniform all-to-all (pairwise exchange); data length must be a multiple
+    of the communicator size. *)
+val alltoall : Comm.t -> 'a Datatype.t -> 'a array -> 'a array
+
+(** Variable all-to-all.  All counts and displacements are required, as in
+    MPI.  Empty pairs are skipped, but every rank pays the O(p) count-scan
+    cost (paper §V-A). *)
+val alltoallv :
+  Comm.t ->
+  'a Datatype.t ->
+  send_counts:int array ->
+  send_displs:int array ->
+  recv_counts:int array ->
+  recv_displs:int array ->
+  'a array ->
+  'a array
+
+(** Alltoallw-style exchange: pays per-peer derived-datatype setup and
+    exchanges with every peer, empty or not — models why MPL's lowering of
+    vector collectives onto alltoallw is slow (paper §II). *)
+val alltoallw :
+  Comm.t ->
+  'a Datatype.t ->
+  send_counts:int array ->
+  recv_counts:int array ->
+  'a array ->
+  'a array
+
+(** {1 Reductions} *)
+
+(** Elementwise reduction to the root: binomial tree for commutative
+    operations, gather + rank-ordered fold otherwise. *)
+val reduce : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> root:int -> 'a array -> 'a array
+
+val allreduce : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
+
+(** Inclusive prefix (Hillis-Steele, order-preserving). *)
+val scan : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
+
+(** Exclusive prefix; [None] on rank 0 (undefined in MPI). *)
+val exscan : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array option
+
+val allreduce_single : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a -> 'a
+
+val scan_single : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a -> 'a
+
+val exscan_single : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a -> 'a option
+
+(** {1 Neighborhood collectives (graph topologies, §V-A)} *)
+
+(** Send one block to every out-neighbor; returns one block per
+    in-neighbor, in source order.  Requires a topology communicator. *)
+val neighbor_allgather : Comm.t -> 'a Datatype.t -> 'a array -> 'a array array
+
+(** Variable-size neighbor exchange: block [i] of the data goes to
+    [destinations.(i)]; the result concatenates one block per source. *)
+val neighbor_alltoallv :
+  Comm.t ->
+  'a Datatype.t ->
+  send_counts:int array ->
+  recv_counts:int array ->
+  'a array ->
+  'a array
+
+(** {1 Reduce-scatter} *)
+
+(** Elementwise reduction of a [p * count]-element vector whose reduced
+    block [r] is delivered to rank [r]. *)
+val reduce_scatter_block :
+  Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
+
+(** Per-rank block sizes: [recv_counts.(r)] reduced elements go to rank
+    [r]. *)
+val reduce_scatter :
+  Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> recv_counts:int array -> 'a array -> 'a array
+
+(** {1 Non-blocking collectives}
+
+    Progress semantics: as in an MPI implementation without asynchronous
+    progress, the collective advances only inside wait/test on the
+    returned request (which every rank must reach).  The result cell is
+    filled at completion. *)
+
+val ibcast :
+  Comm.t -> 'a Datatype.t -> root:int -> 'a array option -> Request.t * 'a array option ref
+
+val iallreduce :
+  Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> Request.t * 'a array option ref
+
+val ialltoallv :
+  Comm.t ->
+  'a Datatype.t ->
+  send_counts:int array ->
+  send_displs:int array ->
+  recv_counts:int array ->
+  recv_displs:int array ->
+  'a array ->
+  Request.t * 'a array option ref

@@ -1,0 +1,129 @@
+(** Communicators: a process group plus a private context id, so traffic
+    on different communicators never cross-matches.
+
+    Each rank holds its own handle ({!t}); the {!shared} record (context,
+    group, revocation flag, rendezvous state, debug trace) is common to
+    all member ranks.  Record internals are exposed for the collective
+    layer (which keeps rendezvous state for the non-blocking barrier and
+    ULFM shrink); applications should treat them as read-only. *)
+
+(** Largest tag usable by applications; larger tags are reserved for the
+    internal messages of collective algorithms. *)
+val max_user_tag : int
+
+type topology = { sources : int array; destinations : int array }
+(** Neighbor lists in comm ranks, for the neighborhood collectives
+    (§V-A). *)
+
+type ibarrier_state = {
+  ib_target : int;
+  mutable ib_entered : int;
+  mutable ib_max_clock : float;
+  mutable ib_finalized : int;
+}
+
+type shrink_state = {
+  sh_context : int;
+  mutable sh_arrived : int list;
+  mutable sh_max_clock : float;
+  mutable sh_done : int;
+}
+
+type shared = {
+  context : int;
+  group : Group.t;
+  inverse : (int, int) Hashtbl.t Lazy.t;
+  mutable revoked : bool;
+  ibarriers : (int, ibarrier_state) Hashtbl.t;
+  mutable pending_shrink : shrink_state option;
+  mutable op_trace : string list array option;
+}
+
+type t = {
+  rt : Runtime.t;
+  shared : shared;
+  rank : int;
+  mutable errhandler : Errdefs.handler;
+  mutable my_ibarrier_gen : int;
+  mutable my_agree_gen : int;
+  topology : topology option;
+}
+
+(** {1 Construction (used by the engine and communicator operations)} *)
+
+val create_shared : Runtime.t -> Group.t -> shared
+
+val register : Runtime.t -> shared -> unit
+
+val find_shared : Runtime.t -> context:int -> shared option
+
+(** Find or atomically create the shared record for (runtime, context);
+    raises if an existing record has a different group. *)
+val get_or_create_shared : Runtime.t -> context:int -> group:Group.t -> shared
+
+val all_shared : Runtime.t -> shared list
+
+val clear_registry : Runtime.t -> unit
+
+val create_registered_shared : Runtime.t -> Group.t -> shared
+
+(** Per-rank handle onto a shared record. *)
+val attach : ?topology:topology -> Runtime.t -> shared -> rank:int -> t
+
+(** {1 Accessors} *)
+
+val rank : t -> int
+
+val size : t -> int
+
+val context : t -> int
+
+val group : t -> Group.t
+
+val runtime : t -> Runtime.t
+
+(** This rank's world rank. *)
+val world_rank : t -> int
+
+(** World rank of a comm rank. *)
+val world_of_rank : t -> int -> int
+
+(** Comm rank of a world rank; raises if not a member. *)
+val rank_of_world : t -> int -> int
+
+val topology : t -> topology option
+
+(** {1 Revocation and error handling (§III-G, §V-B)} *)
+
+val is_revoked : t -> bool
+
+val revoke : t -> unit
+
+val set_errhandler : t -> Errdefs.handler -> unit
+
+val errhandler : t -> Errdefs.handler
+
+(** Raise (or otherwise dispatch) a runtime failure through the
+    communicator's error handler. *)
+val error : t -> Errdefs.code -> ('a, unit, string, 'b) format4 -> 'a
+
+(** {1 Checks} *)
+
+val check_rank : t -> int -> unit
+
+val check_user_tag : t -> int -> unit
+
+val any_member_failed : t -> bool
+
+(** Comm ranks of failed members. *)
+val failed_members : t -> int list
+
+(** Record a collective entry in the strong-debug-mode trace. *)
+val trace_collective : t -> string -> unit
+
+(** Cross-rank consistency check of the recorded collective sequences. *)
+val collective_trace_mismatch : shared -> string option
+
+(** Common collective prologue: revocation and failure checks plus trace
+    recording. *)
+val check_collective : t -> op:string -> unit

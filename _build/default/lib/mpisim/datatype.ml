@@ -1,0 +1,399 @@
+(* Typed datatype descriptors.
+
+   A ['a t] describes how values of type ['a] are laid out on the wire:
+   their per-element byte size, their type signature (for send/recv matching
+   checks), and pack/unpack functions.  This is the simulator-side analogue
+   of MPI_Datatype, and the substrate on which the binding layer's
+   compile-time type mapping (paper §III-D) is built:
+
+   - builtins ([int], [float], ...) correspond to MPI's basic types;
+   - [record2]..[record5] build gap-skipping struct types from field lists,
+     the analogue of MPI_Type_create_struct driven by PFR reflection: the
+     layout cannot go out of sync with the data because the fields *are*
+     the accessors;
+   - [blob] maps a trivially-copyable value to an opaque contiguous byte
+     block, the paper's preferred default (§III-D4): one bulk copy,
+     alignment gaps included on the wire;
+   - [contiguous], [pair], [option_], [create] cover derived and dynamic
+     (runtime-sized) types.
+
+   Derived types must be committed before use and freed afterwards; the
+   global pool tracks this so tests can assert the absence of resource
+   leaks (the paper notes MPL/RWTH-MPI leak committed types). *)
+
+type kind = Builtin | Derived
+
+type 'a t = {
+  name : string;
+  id : int;
+  kind : kind;
+  elem_size : int;  (* wire bytes per element *)
+  signature : Signature.t;  (* per element *)
+  pack : Wire.writer -> 'a -> unit;
+  unpack : Wire.reader -> 'a;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Commit/free pool *)
+
+type pool_entry = {
+  pe_name : string;
+  pe_kind : kind;
+  mutable committed : bool;
+  mutable freed : bool;
+}
+
+let pool : (int, pool_entry) Hashtbl.t = Hashtbl.create 64
+
+let next_id = ref 0
+
+let fresh_id ~name ~kind =
+  let id = !next_id in
+  incr next_id;
+  Hashtbl.replace pool id
+    { pe_name = name; pe_kind = kind; committed = (kind = Builtin); freed = false };
+  id
+
+let commit t =
+  match Hashtbl.find_opt pool t.id with
+  | None -> invalid_arg "Datatype.commit: unknown type"
+  | Some e ->
+      if e.freed then invalid_arg ("Datatype.commit: type already freed: " ^ t.name);
+      e.committed <- true
+
+let free t =
+  match Hashtbl.find_opt pool t.id with
+  | None -> invalid_arg "Datatype.free: unknown type"
+  | Some e ->
+      if t.kind = Builtin then invalid_arg "Datatype.free: cannot free builtin";
+      if e.freed then invalid_arg ("Datatype.free: double free: " ^ t.name);
+      e.freed <- true
+
+let is_committed t =
+  match Hashtbl.find_opt pool t.id with
+  | None -> false
+  | Some e -> e.committed && not e.freed
+
+(* Number of derived types that were committed but never freed; builtins are
+   permanently committed and not counted.  Tests use this to detect resource
+   leakage (the paper notes that MPL and RWTH-MPI leak committed types). *)
+let live_derived_count () =
+  Hashtbl.fold
+    (fun _id e acc ->
+      if e.pe_kind = Derived && e.committed && not e.freed then acc + 1 else acc)
+    pool 0
+
+let pool_reset_for_tests () = Hashtbl.reset pool
+
+(* ------------------------------------------------------------------ *)
+(* Builtins *)
+
+let builtin ~name ~size ~signature ~pack ~unpack =
+  { name; id = fresh_id ~name ~kind:Builtin; kind = Builtin; elem_size = size; signature; pack; unpack }
+
+let int : int t =
+  builtin ~name:"int" ~size:8
+    ~signature:(Signature.of_base Signature.Int64)
+    ~pack:Wire.put_int ~unpack:Wire.get_int
+
+let int32 : int32 t =
+  builtin ~name:"int32" ~size:4
+    ~signature:(Signature.of_base Signature.Int32)
+    ~pack:Wire.put_int32 ~unpack:Wire.get_int32
+
+let int64 : int64 t =
+  builtin ~name:"int64" ~size:8
+    ~signature:(Signature.of_base Signature.Int64)
+    ~pack:Wire.put_int64 ~unpack:Wire.get_int64
+
+let float : float t =
+  builtin ~name:"float" ~size:8
+    ~signature:(Signature.of_base Signature.Float64)
+    ~pack:Wire.put_float ~unpack:Wire.get_float
+
+let float32 : float t =
+  builtin ~name:"float32" ~size:4
+    ~signature:(Signature.of_base Signature.Float32)
+    ~pack:Wire.put_float32 ~unpack:Wire.get_float32
+
+let char : char t =
+  builtin ~name:"char" ~size:1
+    ~signature:(Signature.of_base Signature.Char)
+    ~pack:Wire.put_char ~unpack:Wire.get_char
+
+let byte : char t =
+  builtin ~name:"byte" ~size:1
+    ~signature:(Signature.of_base Signature.Blob)
+    ~pack:Wire.put_char ~unpack:Wire.get_char
+
+let bool : bool t =
+  builtin ~name:"bool" ~size:1
+    ~signature:(Signature.of_base Signature.Bool)
+    ~pack:Wire.put_bool ~unpack:Wire.get_bool
+
+(* ------------------------------------------------------------------ *)
+(* Derived-type constructors *)
+
+(* Fully custom ("dynamic", §III-D2): the caller supplies everything, with
+   sizes possibly known only at runtime. *)
+let create ~name ~size ~signature ~pack ~unpack =
+  if size < 0 then invalid_arg "Datatype.create: negative size";
+  { name; id = fresh_id ~name ~kind:Derived; kind = Derived; elem_size = size; signature; pack; unpack }
+
+let contiguous ~count (base : 'a t) : 'a array t =
+  if count < 0 then invalid_arg "Datatype.contiguous: negative count";
+  let name = Printf.sprintf "contiguous(%d,%s)" count base.name in
+  let pack w (a : 'a array) =
+    if Array.length a <> count then
+      invalid_arg
+        (Printf.sprintf "%s: expected %d elements, got %d" name count (Array.length a));
+    for i = 0 to count - 1 do
+      base.pack w (Array.unsafe_get a i)
+    done
+  in
+  let unpack r = Array.init count (fun _ -> base.unpack r) in
+  create ~name ~size:(count * base.elem_size)
+    ~signature:(Signature.repeat base.signature count)
+    ~pack ~unpack
+
+let pair (a : 'a t) (b : 'b t) : ('a * 'b) t =
+  let name = Printf.sprintf "pair(%s,%s)" a.name b.name in
+  create ~name ~size:(a.elem_size + b.elem_size)
+    ~signature:(Signature.append a.signature b.signature)
+    ~pack:(fun w (x, y) ->
+      a.pack w x;
+      b.pack w y)
+    ~unpack:(fun r ->
+      let x = a.unpack r in
+      let y = b.unpack r in
+      (x, y))
+
+let triple (a : 'a t) (b : 'b t) (c : 'c t) : ('a * 'b * 'c) t =
+  let name = Printf.sprintf "triple(%s,%s,%s)" a.name b.name c.name in
+  create ~name ~size:(a.elem_size + b.elem_size + c.elem_size)
+    ~signature:(Signature.concat [ a.signature; b.signature; c.signature ])
+    ~pack:(fun w (x, y, z) ->
+      a.pack w x;
+      b.pack w y;
+      c.pack w z)
+    ~unpack:(fun r ->
+      let x = a.unpack r in
+      let y = b.unpack r in
+      let z = c.unpack r in
+      (x, y, z))
+
+(* Fixed-size option: a presence byte plus space for the payload either way,
+   so that elements stay fixed-size (absent payloads are zero padding). *)
+let option_ (base : 'a t) : 'a option t =
+  let name = Printf.sprintf "option(%s)" base.name in
+  create ~name
+    ~size:(1 + base.elem_size)
+    ~signature:(Signature.append (Signature.of_base Signature.Bool)
+                  (Signature.of_base ~count:base.elem_size Signature.Blob))
+    ~pack:(fun w v ->
+      match v with
+      | None ->
+          Wire.put_bool w false;
+          Wire.put_padding w base.elem_size
+      | Some x ->
+          Wire.put_bool w true;
+          let before = Wire.length w in
+          base.pack w x;
+          let written = Wire.length w - before in
+          if written <> base.elem_size then
+            invalid_arg (name ^ ": payload size mismatch");
+          ())
+    ~unpack:(fun r ->
+      if Wire.get_bool r then Some (base.unpack r)
+      else begin
+        Wire.skip r base.elem_size;
+        None
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Struct types from field lists (the PFR/struct_type analogue) *)
+
+type ('r, 'a) field = {
+  fname : string;
+  ftype : 'a t;
+  fget : 'r -> 'a;
+  fpad_after : int;  (* alignment gap after this field (not sent) *)
+}
+
+let field ?(pad_after = 0) fname ftype fget =
+  if pad_after < 0 then invalid_arg "Datatype.field: negative padding";
+  { fname; ftype; fget; fpad_after = pad_after }
+
+(* Gap-skipping struct type: packs field by field, omitting padding from
+   the wire — the analogue of MPI_Type_create_struct. *)
+let record2 name (fa : ('r, 'a) field) (fb : ('r, 'b) field) (make : 'a -> 'b -> 'r) : 'r t =
+  create ~name
+    ~size:(fa.ftype.elem_size + fb.ftype.elem_size)
+    ~signature:(Signature.append fa.ftype.signature fb.ftype.signature)
+    ~pack:(fun w r ->
+      fa.ftype.pack w (fa.fget r);
+      fb.ftype.pack w (fb.fget r))
+    ~unpack:(fun rd ->
+      let a = fa.ftype.unpack rd in
+      let b = fb.ftype.unpack rd in
+      make a b)
+
+let record3 name (fa : ('r, 'a) field) (fb : ('r, 'b) field) (fc : ('r, 'c) field)
+    (make : 'a -> 'b -> 'c -> 'r) : 'r t =
+  create ~name
+    ~size:(fa.ftype.elem_size + fb.ftype.elem_size + fc.ftype.elem_size)
+    ~signature:
+      (Signature.concat [ fa.ftype.signature; fb.ftype.signature; fc.ftype.signature ])
+    ~pack:(fun w r ->
+      fa.ftype.pack w (fa.fget r);
+      fb.ftype.pack w (fb.fget r);
+      fc.ftype.pack w (fc.fget r))
+    ~unpack:(fun rd ->
+      let a = fa.ftype.unpack rd in
+      let b = fb.ftype.unpack rd in
+      let c = fc.ftype.unpack rd in
+      make a b c)
+
+let record4 name (fa : ('r, 'a) field) (fb : ('r, 'b) field) (fc : ('r, 'c) field)
+    (fd : ('r, 'd) field) (make : 'a -> 'b -> 'c -> 'd -> 'r) : 'r t =
+  create ~name
+    ~size:
+      (fa.ftype.elem_size + fb.ftype.elem_size + fc.ftype.elem_size + fd.ftype.elem_size)
+    ~signature:
+      (Signature.concat
+         [ fa.ftype.signature; fb.ftype.signature; fc.ftype.signature; fd.ftype.signature ])
+    ~pack:(fun w r ->
+      fa.ftype.pack w (fa.fget r);
+      fb.ftype.pack w (fb.fget r);
+      fc.ftype.pack w (fc.fget r);
+      fd.ftype.pack w (fd.fget r))
+    ~unpack:(fun rd ->
+      let a = fa.ftype.unpack rd in
+      let b = fb.ftype.unpack rd in
+      let c = fc.ftype.unpack rd in
+      let d = fd.ftype.unpack rd in
+      make a b c d)
+
+let record5 name (fa : ('r, 'a) field) (fb : ('r, 'b) field) (fc : ('r, 'c) field)
+    (fd : ('r, 'd) field) (fe : ('r, 'e) field) (make : 'a -> 'b -> 'c -> 'd -> 'e -> 'r) :
+    'r t =
+  create ~name
+    ~size:
+      (fa.ftype.elem_size + fb.ftype.elem_size + fc.ftype.elem_size + fd.ftype.elem_size
+     + fe.ftype.elem_size)
+    ~signature:
+      (Signature.concat
+         [
+           fa.ftype.signature;
+           fb.ftype.signature;
+           fc.ftype.signature;
+           fd.ftype.signature;
+           fe.ftype.signature;
+         ])
+    ~pack:(fun w r ->
+      fa.ftype.pack w (fa.fget r);
+      fb.ftype.pack w (fb.fget r);
+      fc.ftype.pack w (fc.fget r);
+      fd.ftype.pack w (fd.fget r);
+      fe.ftype.pack w (fe.fget r))
+    ~unpack:(fun rd ->
+      let a = fa.ftype.unpack rd in
+      let b = fb.ftype.unpack rd in
+      let c = fc.ftype.unpack rd in
+      let d = fd.ftype.unpack rd in
+      let e = fe.ftype.unpack rd in
+      make a b c d e)
+
+(* Gap-including struct type: like record*, but alignment gaps are sent as
+   zero padding in a single pass — the trivially-copyable "contiguous bytes"
+   default of §III-D4.  Wire size includes padding; the signature is Blob
+   so it matches any equally-sized blob. *)
+let record3_with_gaps name (fa : ('r, 'a) field) (fb : ('r, 'b) field) (fc : ('r, 'c) field)
+    (make : 'a -> 'b -> 'c -> 'r) : 'r t =
+  let size =
+    fa.ftype.elem_size + fa.fpad_after + fb.ftype.elem_size + fb.fpad_after
+    + fc.ftype.elem_size + fc.fpad_after
+  in
+  create ~name ~size
+    ~signature:(Signature.of_base ~count:size Signature.Blob)
+    ~pack:(fun w r ->
+      fa.ftype.pack w (fa.fget r);
+      Wire.put_padding w fa.fpad_after;
+      fb.ftype.pack w (fb.fget r);
+      Wire.put_padding w fb.fpad_after;
+      fc.ftype.pack w (fc.fget r);
+      Wire.put_padding w fc.fpad_after)
+    ~unpack:(fun rd ->
+      let a = fa.ftype.unpack rd in
+      Wire.skip rd fa.fpad_after;
+      let b = fb.ftype.unpack rd in
+      Wire.skip rd fb.fpad_after;
+      let c = fc.ftype.unpack rd in
+      Wire.skip rd fc.fpad_after;
+      make a b c)
+
+(* Opaque contiguous byte block for trivially-copyable values: a single bulk
+   write/read per element.  [write buf pos v] must fill exactly [size]
+   bytes at [pos]; [read buf pos] must read exactly [size] bytes. *)
+let blob ~name ~size ~(write : Bytes.t -> int -> 'a -> unit) ~(read : Bytes.t -> int -> 'a) :
+    'a t =
+  if size <= 0 then invalid_arg "Datatype.blob: size must be positive";
+  (* Single-pass, zero-copy: the value is written directly into (and read
+     directly from) the wire buffer. *)
+  let pack w v =
+    let buf, pos = Wire.reserve w size in
+    write buf pos v
+  in
+  let unpack r =
+    let buf, pos = Wire.read_raw r size in
+    read buf pos
+  in
+  create ~name ~size ~signature:(Signature.of_base ~count:size Signature.Blob) ~pack ~unpack
+
+(* ------------------------------------------------------------------ *)
+(* Array pack/unpack helpers used by the runtime *)
+
+let pack_array (t : 'a t) (w : Wire.writer) (a : 'a array) ~pos ~count =
+  if pos < 0 || count < 0 || pos + count > Array.length a then
+    invalid_arg "Datatype.pack_array: range out of bounds";
+  for i = pos to pos + count - 1 do
+    t.pack w (Array.unsafe_get a i)
+  done
+
+let unpack_array (t : 'a t) (r : Wire.reader) ~count : 'a array =
+  if count < 0 then invalid_arg "Datatype.unpack_array: negative count";
+  Array.init count (fun _ -> t.unpack r)
+
+let unpack_into (t : 'a t) (r : Wire.reader) (dst : 'a array) ~pos ~count =
+  if pos < 0 || count < 0 || pos + count > Array.length dst then
+    invalid_arg "Datatype.unpack_into: range out of bounds";
+  for i = pos to pos + count - 1 do
+    Array.unsafe_set dst i (t.unpack r)
+  done
+
+(* Scoped commit: commit [t] if needed, run [f t], and free [t] again if
+   we were the ones to commit it.  This is how the binding layer manages
+   derived types transparently (Construct-On-First-Use with guaranteed
+   cleanup, §III-D1) while the raw layer keeps MPI's manual discipline. *)
+let with_committed (t : 'a t) (f : 'a t -> 'b) : 'b =
+  if t.kind = Builtin || is_committed t then f t
+  else begin
+    commit t;
+    Fun.protect ~finally:(fun () -> free t) (fun () -> f t)
+  end
+
+(* A placeholder element decoded from zero bytes; used to seed freshly
+   allocated receive arrays when the receiver holds no local element of the
+   type.  All combinators in this module decode zero bytes successfully. *)
+let zero_elem (t : 'a t) : 'a =
+  let w = Wire.create_writer ~capacity:(Stdlib.max 1 t.elem_size) () in
+  Wire.put_padding w t.elem_size;
+  t.unpack (Wire.reader_of_bytes (Wire.contents w))
+
+let size_of_count (t : 'a t) n = t.elem_size * n
+
+let signature_of_count (t : 'a t) n = Signature.repeat t.signature n
+
+let name t = t.name
+
+let elem_size t = t.elem_size

@@ -1,0 +1,176 @@
+(** Typed datatype descriptors (the MPI_Datatype analogue, paper §III-D).
+
+    A ['a t] maps values of type ['a] to the wire: per-element byte size,
+    a {!Signature.t} for send/receive matching checks, and pack/unpack
+    functions.  Every message really is packed through its descriptor, so
+    layout decisions have genuine CPU and volume consequences.
+
+    - builtins correspond to MPI's basic types and are permanently
+      committed;
+    - [record2]..[record5] build gap-skipping struct types from field
+      lists — the analogue of MPI_Type_create_struct driven by PFR
+      reflection: the layout cannot drift from the data because the
+      fields {e are} the accessors;
+    - [blob] maps a trivially-copyable value to one contiguous byte block
+      (single bulk copy, alignment gaps included on the wire) — the
+      library's preferred default per §III-D4;
+    - [create] supports fully dynamic, runtime-sized types (§III-D2).
+
+    Derived types must be committed before use in communication and freed
+    afterwards; {!live_derived_count} lets tests assert the absence of
+    resource leaks.  {!with_committed} scopes commit/free automatically
+    (Construct-On-First-Use with guaranteed cleanup). *)
+
+type kind = Builtin | Derived
+
+type 'a t = {
+  name : string;
+  id : int;
+  kind : kind;
+  elem_size : int;  (** wire bytes per element *)
+  signature : Signature.t;  (** per element *)
+  pack : Wire.writer -> 'a -> unit;
+  unpack : Wire.reader -> 'a;
+}
+
+(** {1 Commit/free lifecycle} *)
+
+(** Mark a derived type ready for communication.  Raises
+    [Invalid_argument] if already freed. *)
+val commit : 'a t -> unit
+
+(** Release a derived type.  Raises [Invalid_argument] on double free or
+    on builtins. *)
+val free : 'a t -> unit
+
+val is_committed : 'a t -> bool
+
+(** Derived types currently committed and not freed (leak detector). *)
+val live_derived_count : unit -> int
+
+val pool_reset_for_tests : unit -> unit
+
+(** [with_committed t f] commits [t] if needed, runs [f t], and frees [t]
+    again if this call committed it. *)
+val with_committed : 'a t -> ('a t -> 'b) -> 'b
+
+(** {1 Builtins} *)
+
+val int : int t
+
+val int32 : int32 t
+
+val int64 : int64 t
+
+val float : float t
+
+(** 32-bit floats (lossy round-trip of OCaml floats). *)
+val float32 : float t
+
+val char : char t
+
+(** Like [char] but with an opaque [Blob] signature (MPI_BYTE). *)
+val byte : char t
+
+val bool : bool t
+
+(** {1 Derived-type constructors} *)
+
+(** Fully custom / dynamic type: sizes may be computed at runtime. *)
+val create :
+  name:string ->
+  size:int ->
+  signature:Signature.t ->
+  pack:(Wire.writer -> 'a -> unit) ->
+  unpack:(Wire.reader -> 'a) ->
+  'a t
+
+(** Fixed-count block of a base type; the array length is checked at
+    pack time. *)
+val contiguous : count:int -> 'a t -> 'a array t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+(** Fixed-size option: one presence byte plus (possibly padding) payload
+    space, so elements stay fixed-size. *)
+val option_ : 'a t -> 'a option t
+
+(** {1 Struct types from field lists} *)
+
+type ('r, 'a) field
+
+(** [field ?pad_after name dt get] describes one struct member;
+    [pad_after] models an alignment gap after it (only meaningful to the
+    gap-including constructors). *)
+val field : ?pad_after:int -> string -> 'a t -> ('r -> 'a) -> ('r, 'a) field
+
+val record2 : string -> ('r, 'a) field -> ('r, 'b) field -> ('a -> 'b -> 'r) -> 'r t
+
+val record3 :
+  string ->
+  ('r, 'a) field ->
+  ('r, 'b) field ->
+  ('r, 'c) field ->
+  ('a -> 'b -> 'c -> 'r) ->
+  'r t
+
+val record4 :
+  string ->
+  ('r, 'a) field ->
+  ('r, 'b) field ->
+  ('r, 'c) field ->
+  ('r, 'd) field ->
+  ('a -> 'b -> 'c -> 'd -> 'r) ->
+  'r t
+
+val record5 :
+  string ->
+  ('r, 'a) field ->
+  ('r, 'b) field ->
+  ('r, 'c) field ->
+  ('r, 'd) field ->
+  ('r, 'e) field ->
+  ('a -> 'b -> 'c -> 'd -> 'e -> 'r) ->
+  'r t
+
+(** Like {!record3} but alignment gaps are shipped as zero padding in one
+    pass — the trivially-copyable "contiguous bytes" default of §III-D4.
+    The signature is opaque ([Blob]). *)
+val record3_with_gaps :
+  string ->
+  ('r, 'a) field ->
+  ('r, 'b) field ->
+  ('r, 'c) field ->
+  ('a -> 'b -> 'c -> 'r) ->
+  'r t
+
+(** Opaque contiguous byte block written/read in place (zero-copy with the
+    wire buffer).  [write buf pos v] must fill exactly [size] bytes. *)
+val blob :
+  name:string ->
+  size:int ->
+  write:(Bytes.t -> int -> 'a -> unit) ->
+  read:(Bytes.t -> int -> 'a) ->
+  'a t
+
+(** {1 Bulk helpers} *)
+
+val pack_array : 'a t -> Wire.writer -> 'a array -> pos:int -> count:int -> unit
+
+val unpack_array : 'a t -> Wire.reader -> count:int -> 'a array
+
+val unpack_into : 'a t -> Wire.reader -> 'a array -> pos:int -> count:int -> unit
+
+(** A placeholder decoded from zero bytes; seeds freshly allocated receive
+    arrays. *)
+val zero_elem : 'a t -> 'a
+
+val size_of_count : 'a t -> int -> int
+
+val signature_of_count : 'a t -> int -> Signature.t
+
+val name : 'a t -> string
+
+val elem_size : 'a t -> int

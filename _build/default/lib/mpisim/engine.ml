@@ -1,0 +1,95 @@
+(* Top-level entry point: run an N-rank message-passing program.
+
+   [run ~ranks body] executes [body world_comm] on every rank as a
+   cooperative fiber, with deterministic scheduling, and returns a report
+   with per-rank virtual completion times and the profiling summary.
+
+   The virtual time of rank r combines the network model's communication
+   costs with either measured per-segment CPU time ([Measured], the
+   default) or explicitly charged compute ([Virtual_only]); see DESIGN.md.
+
+   A fiber that raises aborts the whole run (the exception is re-raised,
+   annotated with the rank) — except injected process failures
+   ([Runtime.Process_killed]), which just mark the rank failed. *)
+
+type report = {
+  ranks : int;
+  times : float array;  (* per-rank virtual completion time *)
+  max_time : float;
+  killed : int list;  (* ranks that died via failure injection *)
+  profile : Profiling.summary;
+  model : Net_model.t;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "ranks=%d max_time=%a killed=[%s]" r.ranks Sim_time.pp r.max_time
+    (String.concat "," (List.map string_of_int r.killed))
+
+(* Run [body] on every rank; collect each rank's result ([None] for killed
+   ranks).  Non-failure exceptions propagate as [Scheduler.Aborted]. *)
+let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
+    ?(assertion_level = 1) ~ranks (body : Comm.t -> 'a) : 'a option array * report =
+  let rt = Runtime.create ~clock_mode ~assertion_level ~model ~size:ranks () in
+  Fun.protect
+    ~finally:(fun () -> Comm.clear_registry rt)
+    (fun () ->
+      let world_shared = Comm.create_registered_shared rt (Group.world ~size:ranks) in
+      let results : 'a option array = Array.make ranks None in
+      let fiber rank =
+        let comm = Comm.attach rt world_shared ~rank in
+        results.(rank) <- Some (body comm)
+      in
+      let outcomes =
+        Scheduler.run
+          ~on_segment:(Runtime.on_cpu_segment rt)
+          ~kill_filter:Fault.is_kill_exn
+          ~progress:(fun () -> rt.Runtime.progress)
+          ~nfibers:ranks fiber
+      in
+      let killed = ref [] in
+      Array.iteri
+        (fun rank outcome ->
+          match outcome with
+          | Scheduler.Finished -> ()
+          | Scheduler.Raised (exn, _) when Fault.is_kill_exn exn ->
+              killed := rank :: !killed
+          | Scheduler.Raised (exn, bt) ->
+              (* Unreachable: the scheduler aborts on non-kill failures. *)
+              Printexc.raise_with_backtrace exn bt)
+        outcomes;
+      (* Strong debug mode: all ranks must have run the same collective
+         sequence on every communicator (§III-G, §III-H). *)
+      if assertion_level >= 2 && !killed = [] then
+        List.iter
+          (fun shared ->
+            match Comm.collective_trace_mismatch shared with
+            | Some msg -> raise (Errdefs.Usage_error msg)
+            | None -> ())
+          (Comm.all_shared rt);
+      let report =
+        {
+          ranks;
+          times = Array.copy rt.Runtime.clocks;
+          max_time = Runtime.max_clock rt;
+          killed = List.rev !killed;
+          profile = Profiling.snapshot rt.Runtime.profile;
+          model;
+        }
+      in
+      (results, report))
+
+let run ?model ?clock_mode ?assertion_level ~ranks (body : Comm.t -> unit) : report =
+  let _, report = run_collect ?model ?clock_mode ?assertion_level ~ranks body in
+  report
+
+(* Convenience for tests: run and return every rank's value, requiring all
+   ranks to survive. *)
+let run_values ?model ?clock_mode ?assertion_level ~ranks (body : Comm.t -> 'a) : 'a array
+    =
+  let results, report = run_collect ?model ?clock_mode ?assertion_level ~ranks body in
+  ignore report;
+  Array.map
+    (function
+      | Some v -> v
+      | None -> failwith "Engine.run_values: a rank was killed")
+    results

@@ -1,0 +1,55 @@
+(** Top-level entry point: run an N-rank message-passing program.
+
+    Every rank is a cooperative fiber with deterministic round-robin
+    scheduling.  Virtual time combines the network model's communication
+    costs with either measured per-segment CPU time ([Measured], the
+    default) or explicitly charged compute ([Virtual_only], bit-exactly
+    deterministic across runs).
+
+    A fiber that raises aborts the whole run ({!Scheduler.Aborted} is
+    re-raised with the rank); injected process failures
+    ([Runtime.Process_killed]) only mark the rank as killed. *)
+
+type report = {
+  ranks : int;
+  times : float array;  (** per-rank virtual completion time (seconds) *)
+  max_time : float;  (** makespan: the run's simulated duration *)
+  killed : int list;  (** ranks that died via failure injection *)
+  profile : Profiling.summary;  (** per-operation call/byte counters *)
+  model : Net_model.t;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [run_collect ~ranks body] executes [body world_comm] on every rank and
+    collects each rank's result ([None] for killed ranks).
+
+    @param model network cost model (default {!Net_model.omnipath})
+    @param clock_mode measured CPU (default) or fully virtual time
+    @param assertion_level 0 = none, 1 = cheap checks (default),
+           2 = heavy checks incl. the collective-order trace (§III-G) *)
+val run_collect :
+  ?model:Net_model.t ->
+  ?clock_mode:Runtime.clock_mode ->
+  ?assertion_level:int ->
+  ranks:int ->
+  (Comm.t -> 'a) ->
+  'a option array * report
+
+val run :
+  ?model:Net_model.t ->
+  ?clock_mode:Runtime.clock_mode ->
+  ?assertion_level:int ->
+  ranks:int ->
+  (Comm.t -> unit) ->
+  report
+
+(** Like {!run_collect} but requires every rank to survive; raises
+    [Failure] otherwise. *)
+val run_values :
+  ?model:Net_model.t ->
+  ?clock_mode:Runtime.clock_mode ->
+  ?assertion_level:int ->
+  ranks:int ->
+  (Comm.t -> 'a) ->
+  'a array

@@ -1,0 +1,19 @@
+(** Process-failure injection — the substrate of the ULFM plugin
+    (paper §V-B).
+
+    A failed rank's fiber terminates; other ranks observe the failure as
+    ERR_PROC_FAILED when they next depend on it (receives from it,
+    collectives including it). *)
+
+(** Terminate the calling rank as a process failure.  Never returns. *)
+val die : Comm.t -> 'a
+
+(** Mark a rank failed from outside (failure-injection schedules); the
+    victim observes it at its next runtime operation. *)
+val fail_world_rank : Runtime.t -> world_rank:int -> unit
+
+(** Recognizer for the failure exception (used as the engine's kill
+    filter). *)
+val is_kill_exn : exn -> bool
+
+val failed_ranks : Runtime.t -> int list

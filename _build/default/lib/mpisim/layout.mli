@@ -1,0 +1,46 @@
+(** MPL-style layouts: programmatic views over chunks of contiguous
+    memory (paper §II / §III-D2 — the dynamic-type construction approach
+    the authors plan to adopt).
+
+    A layout selects element positions out of a flat array; {!to_datatype}
+    turns (base type, layout) into a datatype that transfers exactly the
+    selection. *)
+
+type t
+
+(** Positions 0..n-1. *)
+val contiguous : int -> t
+
+(** [count] blocks of [blocklen] elements, [stride] apart (halo exchanges,
+    matrix columns, ...).  Requires [stride >= blocklen]. *)
+val vector : count:int -> blocklen:int -> stride:int -> t
+
+(** Explicit (displacement, length) blocks. *)
+val indexed : (int * int) list -> t
+
+(** Shift a layout by [k] positions. *)
+val offset : int -> t -> t
+
+(** Selections of each layout, in order. *)
+val concat : t list -> t
+
+(** Number of selected elements. *)
+val element_count : t -> int
+
+(** One past the highest selected position. *)
+val extent : t -> int
+
+val iter_positions : t -> (int -> unit) -> unit
+
+val positions : t -> int list
+
+(** Gather the selected elements into a fresh packed array. *)
+val extract : t -> 'a array -> 'a array
+
+(** Write packed elements back into the selected positions. *)
+val scatter_into : t -> packed:'a array -> 'a array -> unit
+
+(** A datatype whose single element is the whole flat array, transferring
+    exactly the layout's selection; unpacking yields the packed selection
+    (use {!scatter_into} to place it into strided storage). *)
+val to_datatype : 'a Datatype.t -> t -> 'a array Datatype.t

@@ -1,0 +1,149 @@
+(* Per-rank message matching.
+
+   Matching follows MPI semantics: a receive names (context, source, tag),
+   where source and tag may be wildcards; messages between a fixed
+   (context, source, tag) triple are non-overtaking.  We keep an exact-key
+   hash of FIFO queues for the common case and use global sequence numbers
+   to arbitrate wildcard matches (oldest message wins, as a sane
+   deterministic policy).
+
+   Posted receives live in a FIFO list; an arriving message matches the
+   oldest compatible posted receive, otherwise joins the unexpected store. *)
+
+let any_source = -1
+
+let any_tag = -1
+
+type key = { k_context : int; k_src : int; k_tag : int }
+
+type posted = {
+  p_context : int;
+  p_src : int;  (* may be [any_source] *)
+  p_tag : int;  (* may be [any_tag] *)
+  p_id : int;
+  p_clock : float;  (* receiver's virtual clock when the recv was posted *)
+  mutable p_msg : Message.t option;  (* set when matched *)
+  mutable p_cancelled : bool;
+}
+
+type t = {
+  unexpected : (key, Message.t Queue.t) Hashtbl.t;
+  mutable posted : posted list;  (* in posting order *)
+  mutable next_posted_id : int;
+}
+
+let create () = { unexpected = Hashtbl.create 16; posted = []; next_posted_id = 0 }
+
+let key_of_msg (m : Message.t) =
+  { k_context = m.Message.context; k_src = m.Message.src; k_tag = m.Message.tag }
+
+let posted_matches (p : posted) (m : Message.t) =
+  p.p_msg = None && (not p.p_cancelled)
+  && p.p_context = m.Message.context
+  && (p.p_src = any_source || p.p_src = m.Message.src)
+  && (p.p_tag = any_tag || p.p_tag = m.Message.tag)
+
+(* Deliver [m] to the oldest compatible posted receive, if any.  The match
+   time — which is when a synchronous sender may complete — is when both
+   the message has arrived AND the receiver was ready for it. *)
+let try_match_posted t (m : Message.t) =
+  let rec go = function
+    | [] -> false
+    | p :: rest ->
+        if posted_matches p m then begin
+          p.p_msg <- Some m;
+          m.Message.matched_time <- Float.max m.Message.arrival p.p_clock;
+          true
+        end
+        else go rest
+  in
+  go t.posted
+
+let enqueue_unexpected t (m : Message.t) =
+  let k = key_of_msg m in
+  let q =
+    match Hashtbl.find_opt t.unexpected k with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.unexpected k q;
+        q
+  in
+  Queue.add m q
+
+(* Entry point for the runtime: a message has arrived at this rank. *)
+let deliver t (m : Message.t) = if not (try_match_posted t m) then enqueue_unexpected t m
+
+(* Find (and optionally remove) the oldest unexpected message matching the
+   (context, src, tag) pattern. *)
+let find_unexpected ?(remove = true) t ~context ~src ~tag =
+  let candidate_queues =
+    if src <> any_source && tag <> any_tag then
+      match Hashtbl.find_opt t.unexpected { k_context = context; k_src = src; k_tag = tag } with
+      | Some q when not (Queue.is_empty q) -> [ q ]
+      | _ -> []
+    else
+      Hashtbl.fold
+        (fun k q acc ->
+          if
+            k.k_context = context
+            && (src = any_source || k.k_src = src)
+            && (tag = any_tag || k.k_tag = tag)
+            && not (Queue.is_empty q)
+          then q :: acc
+          else acc)
+        t.unexpected []
+  in
+  let best =
+    List.fold_left
+      (fun acc q ->
+        let m = Queue.peek q in
+        match acc with
+        | None -> Some (m, q)
+        | Some (m', _) -> if m.Message.seq < m'.Message.seq then Some (m, q) else acc)
+      None candidate_queues
+  in
+  match best with
+  | None -> None
+  | Some (m, q) ->
+      if remove then begin
+        let taken = Queue.pop q in
+        assert (taken == m)
+      end;
+      Some m
+
+(* Post a receive at receiver-clock [now].  If a compatible unexpected
+   message exists it is matched immediately (match time: both sides
+   ready). *)
+let post t ~context ~src ~tag ~now =
+  let p =
+    {
+      p_context = context;
+      p_src = src;
+      p_tag = tag;
+      p_id = t.next_posted_id;
+      p_clock = now;
+      p_msg = None;
+      p_cancelled = false;
+    }
+  in
+  t.next_posted_id <- t.next_posted_id + 1;
+  (match find_unexpected t ~context ~src ~tag with
+  | Some m ->
+      p.p_msg <- Some m;
+      m.Message.matched_time <- Float.max m.Message.arrival now
+  | None -> t.posted <- t.posted @ [ p ]);
+  p
+
+let cancel t p =
+  p.p_cancelled <- true;
+  t.posted <- List.filter (fun q -> q.p_id <> p.p_id) t.posted
+
+(* Once a posted receive has matched, drop it from the posted list. *)
+let retire t p = t.posted <- List.filter (fun q -> q.p_id <> p.p_id) t.posted
+
+let pending_counts t =
+  let unexpected =
+    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.unexpected 0
+  in
+  (unexpected, List.length t.posted)

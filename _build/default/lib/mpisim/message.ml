@@ -1,0 +1,44 @@
+(* In-flight messages.
+
+   A message is fully packed at injection time.  [arrival] is the virtual
+   time at which the payload is available at the receiver; [matched_time]
+   is set when a receive matches it (used by synchronous-send requests,
+   which complete only once the receiver has matched — the NBX sparse
+   all-to-all relies on this). *)
+
+type t = {
+  context : int;  (* communicator context id *)
+  src : int;  (* world rank of sender *)
+  dst : int;  (* world rank of receiver *)
+  tag : int;
+  payload : Bytes.t;
+  count : int;  (* element count *)
+  signature : Signature.t;  (* full signature of the payload *)
+  arrival : float;  (* virtual arrival time at the receiver *)
+  seq : int;  (* global injection sequence, for wildcard ordering *)
+  sync : bool;  (* synchronous send: sender completes on match *)
+  mutable matched_time : float;  (* -1.0 until matched *)
+}
+
+let make ~context ~src ~dst ~tag ~payload ~count ~signature ~arrival ~seq ~sync =
+  {
+    context;
+    src;
+    dst;
+    tag;
+    payload;
+    count;
+    signature;
+    arrival;
+    seq;
+    sync;
+    matched_time = -1.0;
+  }
+
+let is_matched t = t.matched_time >= 0.
+
+let bytes t = Bytes.length t.payload
+
+let pp ppf t =
+  Format.fprintf ppf "msg{ctx=%d; %d->%d; tag=%d; count=%d; %dB; arr=%a}" t.context
+    t.src t.dst t.tag t.count (bytes t) Sim_time.pp t.arrival

@@ -1,0 +1,376 @@
+(* Point-to-point communication.
+
+   Sends are eager (buffered): the payload is packed and injected
+   immediately, so a blocking [send] never deadlocks against another send.
+   [ssend] is synchronous: it completes only once the receiver has matched
+   the message — the property the NBX sparse all-to-all algorithm (§V-A)
+   depends on.
+
+   Receives may be dynamic ([recv] allocates an exact-size buffer from the
+   matched message) or MPI-style ([recv_into] with truncation checking).
+
+   All functions operate in communicator ranks; translation to world ranks
+   happens here. *)
+
+let any_source = Mailbox.any_source
+
+let any_tag = Mailbox.any_tag
+
+(* Internal tag space for collective algorithms. *)
+let internal_tag op_id = Comm.max_user_tag + 1 + op_id
+
+let check_alive_self comm = Runtime.check_alive (Comm.runtime comm) (Comm.world_rank comm)
+
+let check_dest_alive comm ~op dest =
+  let w = Comm.world_of_rank comm dest in
+  if Runtime.is_failed (Comm.runtime comm) w then
+    Comm.error comm Errdefs.Err_proc_failed "%s: destination rank %d has failed" op dest
+
+let check_revoked comm ~op =
+  if Comm.is_revoked comm then
+    Comm.error comm Errdefs.Err_revoked "%s: communicator revoked" op
+
+(* Pack [count] elements of [data] starting at [pos] and inject the message.
+   Returns the in-flight message. *)
+let inject_message comm (dt : 'a Datatype.t) ~op ~dest ~tag ~sync (data : 'a array) ~pos
+    ~count =
+  let rt = Comm.runtime comm in
+  check_alive_self comm;
+  check_revoked comm ~op;
+  check_dest_alive comm ~op dest;
+  if rt.Runtime.assertion_level >= 1 && not (Datatype.is_committed dt) then
+    Errdefs.usage_error "%s: datatype %s is not committed" op (Datatype.name dt);
+  let w = Wire.create_writer ~capacity:(max 8 (Datatype.size_of_count dt count)) () in
+  Datatype.pack_array dt w data ~pos ~count;
+  let payload = Wire.contents w in
+  Runtime.charge_copy rt (Comm.world_rank comm) ~bytes:(Bytes.length payload);
+  let msg =
+    Runtime.inject rt ~context:(Comm.context comm) ~src:(Comm.world_rank comm)
+      ~dst:(Comm.world_of_rank comm dest) ~tag ~payload ~count
+      ~signature:(Datatype.signature_of_count dt count)
+      ~sync
+  in
+  Runtime.record rt ~op ~bytes:(Bytes.length payload);
+  msg
+
+let send_range comm dt ~dest ?(tag = 0) (data : 'a array) ~pos ~count =
+  Comm.check_rank comm dest;
+  ignore (inject_message comm dt ~op:"send" ~dest ~tag ~sync:false data ~pos ~count)
+
+let send comm dt ~dest ?(tag = 0) (data : 'a array) =
+  Comm.check_user_tag comm tag;
+  send_range comm dt ~dest ~tag data ~pos:0 ~count:(Array.length data)
+
+(* Completion time of a synchronous send: the match time plus the latency
+   of the (modelled) acknowledgement. *)
+let ssend_complete_time rt (msg : Message.t) =
+  msg.Message.matched_time +. Net_model.transit_time rt.Runtime.model
+
+let issend_request comm (msg : Message.t) =
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  Request.make
+    ~ready:(fun () -> Message.is_matched msg)
+    ~finalize:(fun () ->
+      Runtime.sync_clock rt me (ssend_complete_time rt msg);
+      Status.make ~source:(Comm.rank comm) ~tag:msg.Message.tag ~count:msg.Message.count
+        ~bytes:(Message.bytes msg))
+    ~describe:(fun () -> Format.asprintf "issend %a" Message.pp msg)
+
+let ssend comm dt ~dest ?(tag = 0) (data : 'a array) =
+  Comm.check_user_tag comm tag;
+  Comm.check_rank comm dest;
+  let msg =
+    inject_message comm dt ~op:"ssend" ~dest ~tag ~sync:true data ~pos:0
+      ~count:(Array.length data)
+  in
+  ignore (Request.wait (issend_request comm msg))
+
+let isend comm dt ~dest ?(tag = 0) (data : 'a array) =
+  Comm.check_user_tag comm tag;
+  Comm.check_rank comm dest;
+  let count = Array.length data in
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  let msg = inject_message comm dt ~op:"isend" ~dest ~tag ~sync:false data ~pos:0 ~count in
+  let complete_at = Runtime.clock rt me in
+  Request.make
+    ~ready:(fun () -> true)
+    ~finalize:(fun () ->
+      Runtime.sync_clock rt me complete_at;
+      Status.make ~source:(Comm.rank comm) ~tag ~count ~bytes:(Message.bytes msg))
+    ~describe:(fun () -> "isend")
+
+let issend comm dt ~dest ?(tag = 0) (data : 'a array) =
+  Comm.check_user_tag comm tag;
+  Comm.check_rank comm dest;
+  let msg =
+    inject_message comm dt ~op:"issend" ~dest ~tag ~sync:true data ~pos:0
+      ~count:(Array.length data)
+  in
+  issend_request comm msg
+
+(* ------------------------------------------------------------------ *)
+(* Receives *)
+
+let my_mailbox comm =
+  (Comm.runtime comm).Runtime.mailboxes.(Comm.world_rank comm)
+
+let source_world comm source =
+  if source = any_source then any_source
+  else begin
+    Comm.check_rank comm source;
+    Comm.world_of_rank comm source
+  end
+
+let check_signature comm (dt : 'a Datatype.t) (msg : Message.t) ~op =
+  let rt = Comm.runtime comm in
+  if rt.Runtime.assertion_level >= 1 then begin
+    let expected = Datatype.signature_of_count dt msg.Message.count in
+    if not (Signature.matches expected msg.Message.signature) then
+      Comm.error comm Errdefs.Err_type
+        "%s: type signature mismatch: receiving as %s but message from rank %d has %s" op
+        (Signature.to_string expected) msg.Message.src
+        (Signature.to_string msg.Message.signature)
+  end
+
+(* Wait until the posted receive [p] matches, also waking on source failure.
+   Returns the matched message or raises. *)
+let await_posted comm ~op ~src_world (p : Mailbox.posted) =
+  let rt = Comm.runtime comm in
+  let failed_source () =
+    src_world <> any_source && Runtime.is_failed rt src_world && p.Mailbox.p_msg = None
+  in
+  let ready () = p.Mailbox.p_msg <> None || failed_source () || Comm.is_revoked comm in
+  if not (ready ()) then
+    Scheduler.park
+      ~describe:(fun () ->
+        Printf.sprintf "%s on rank %d (ctx %d, src %d, tag %d)" op (Comm.rank comm)
+          (Comm.context comm) p.Mailbox.p_src p.Mailbox.p_tag)
+      ~poll:(fun () -> if ready () then Some () else None);
+  match p.Mailbox.p_msg with
+  | Some msg -> msg
+  | None ->
+      Mailbox.cancel (my_mailbox comm) p;
+      if Comm.is_revoked comm then
+        Comm.error comm Errdefs.Err_revoked "%s: communicator revoked" op
+      else
+        Comm.error comm Errdefs.Err_proc_failed "%s: source rank has failed" op
+
+(* Finish a matched receive: signature check, clock accounting, status. *)
+let complete_matched comm dt ~op (msg : Message.t) =
+  let rt = Comm.runtime comm in
+  check_signature comm dt msg ~op;
+  Runtime.complete_receive rt (Comm.world_rank comm) msg;
+  Runtime.charge_copy rt (Comm.world_rank comm) ~bytes:(Message.bytes msg);
+  Runtime.record rt ~op ~bytes:(Message.bytes msg);
+  Status.make
+    ~source:(Comm.rank_of_world comm msg.Message.src)
+    ~tag:msg.Message.tag ~count:msg.Message.count ~bytes:(Message.bytes msg)
+
+(* Dynamic receive: allocates an exact-size result from the message. *)
+let recv comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) () :
+    'a array * Status.t =
+  check_alive_self comm;
+  let src_world = source_world comm source in
+  let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let msg = await_posted comm ~op:"recv" ~src_world p in
+  Mailbox.retire (my_mailbox comm) p;
+  let status = complete_matched comm dt ~op:"recv" msg in
+  let r = Wire.reader_of_bytes msg.Message.payload in
+  let data = Datatype.unpack_array dt r ~count:msg.Message.count in
+  (data, status)
+
+(* MPI-style receive into a caller-provided buffer. *)
+let recv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
+    ?(pos = 0) ?maxcount (into : 'a array) : Status.t =
+  check_alive_self comm;
+  let maxcount = match maxcount with Some c -> c | None -> Array.length into - pos in
+  if maxcount < 0 || pos < 0 || pos + maxcount > Array.length into then
+    Errdefs.usage_error "recv_into: invalid range (pos %d, maxcount %d, len %d)" pos
+      maxcount (Array.length into);
+  let src_world = source_world comm source in
+  let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let msg = await_posted comm ~op:"recv" ~src_world p in
+  Mailbox.retire (my_mailbox comm) p;
+  if msg.Message.count > maxcount then
+    Comm.error comm Errdefs.Err_truncate
+      "recv: message of %d elements truncated to buffer of %d" msg.Message.count maxcount;
+  let status = complete_matched comm dt ~op:"recv" msg in
+  let r = Wire.reader_of_bytes msg.Message.payload in
+  Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
+  status
+
+(* Non-blocking receive into a caller-provided buffer. *)
+let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
+    ?(pos = 0) ?maxcount (into : 'a array) : Request.t =
+  check_alive_self comm;
+  let maxcount = match maxcount with Some c -> c | None -> Array.length into - pos in
+  if maxcount < 0 || pos < 0 || pos + maxcount > Array.length into then
+    Errdefs.usage_error "irecv: invalid range";
+  let src_world = source_world comm source in
+  let mb = my_mailbox comm in
+  let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let rt = Comm.runtime comm in
+  let failed_source () =
+    src_world <> any_source && Runtime.is_failed rt src_world && p.Mailbox.p_msg = None
+  in
+  Request.make
+    ~ready:(fun () -> p.Mailbox.p_msg <> None || failed_source ())
+    ~finalize:(fun () ->
+      match p.Mailbox.p_msg with
+      | None ->
+          Mailbox.cancel mb p;
+          Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
+      | Some msg ->
+          Mailbox.retire mb p;
+          if msg.Message.count > maxcount then
+            Comm.error comm Errdefs.Err_truncate "irecv: message truncated";
+          let status = complete_matched comm dt ~op:"irecv" msg in
+          let r = Wire.reader_of_bytes msg.Message.payload in
+          Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
+          status)
+    ~describe:(fun () ->
+      Printf.sprintf "irecv on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
+
+(* ------------------------------------------------------------------ *)
+(* Probing *)
+
+let status_of_unmatched comm (msg : Message.t) =
+  Status.make
+    ~source:(Comm.rank_of_world comm msg.Message.src)
+    ~tag:msg.Message.tag ~count:msg.Message.count ~bytes:(Message.bytes msg)
+
+let iprobe comm ?(source = any_source) ?(tag = any_tag) () : Status.t option =
+  check_alive_self comm;
+  let rt = Comm.runtime comm in
+  Runtime.record rt ~op:"iprobe" ~bytes:0;
+  let src_world = source_world comm source in
+  match
+    Mailbox.find_unexpected ~remove:false (my_mailbox comm) ~context:(Comm.context comm)
+      ~src:src_world ~tag
+  with
+  | None -> None
+  | Some msg ->
+      (* Probing observes the message only once it has arrived. *)
+      Runtime.sync_clock rt (Comm.world_rank comm) msg.Message.arrival;
+      Some (status_of_unmatched comm msg)
+
+let probe comm ?(source = any_source) ?(tag = any_tag) () : Status.t =
+  check_alive_self comm;
+  let rt = Comm.runtime comm in
+  Runtime.record rt ~op:"probe" ~bytes:0;
+  let src_world = source_world comm source in
+  let find () =
+    Mailbox.find_unexpected ~remove:false (my_mailbox comm) ~context:(Comm.context comm)
+      ~src:src_world ~tag
+  in
+  let msg =
+    match find () with
+    | Some m -> m
+    | None ->
+        Scheduler.park
+          ~describe:(fun () ->
+            Printf.sprintf "probe on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
+          ~poll:find
+  in
+  Runtime.sync_clock rt (Comm.world_rank comm) msg.Message.arrival;
+  status_of_unmatched comm msg
+
+(* Combined send+receive, deadlock-free because sends are eager. *)
+let sendrecv comm dt ~dest ?(send_tag = 0) ~source ?(recv_tag = any_tag) (data : 'a array)
+    : 'a array * Status.t =
+  send comm dt ~dest ~tag:send_tag data;
+  recv comm dt ~source ~tag:recv_tag ()
+
+(* ------------------------------------------------------------------ *)
+(* Raw byte transfers (serialization fast path) and typed dynamic
+   non-blocking receives *)
+
+let blob_signature bytes_len = Signature.of_base ~count:bytes_len Signature.Blob
+
+(* Send a raw byte payload without datatype packing; matched by
+   [recv_bytes].  The element count equals the byte length. *)
+let send_bytes comm ~dest ?(tag = 0) (payload : Bytes.t) =
+  Comm.check_rank comm dest;
+  let rt = Comm.runtime comm in
+  check_alive_self comm;
+  check_revoked comm ~op:"send_bytes";
+  check_dest_alive comm ~op:"send_bytes" dest;
+  let len = Bytes.length payload in
+  ignore
+    (Runtime.inject rt ~context:(Comm.context comm) ~src:(Comm.world_rank comm)
+       ~dst:(Comm.world_of_rank comm dest) ~tag ~payload:(Bytes.copy payload) ~count:len
+       ~signature:(blob_signature len) ~sync:false);
+  Runtime.record rt ~op:"send" ~bytes:len
+
+let recv_bytes comm ?(source = any_source) ?(tag = any_tag) () : Bytes.t * Status.t =
+  check_alive_self comm;
+  let src_world = source_world comm source in
+  let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let msg = await_posted comm ~op:"recv" ~src_world p in
+  Mailbox.retire (my_mailbox comm) p;
+  let rt = Comm.runtime comm in
+  Runtime.complete_receive rt (Comm.world_rank comm) msg;
+  Runtime.charge_copy rt (Comm.world_rank comm) ~bytes:(Message.bytes msg);
+  Runtime.record rt ~op:"recv" ~bytes:(Message.bytes msg);
+  let status =
+    Status.make
+      ~source:(Comm.rank_of_world comm msg.Message.src)
+      ~tag:msg.Message.tag ~count:msg.Message.count ~bytes:(Message.bytes msg)
+  in
+  (Bytes.copy msg.Message.payload, status)
+
+(* A non-blocking receive whose buffer is allocated at completion time from
+   the matched message — the substrate for the binding layer's
+   ownership-safe non-blocking results (§III-E). *)
+type 'a dyn_request = { base : Request.t; cell : 'a array option ref }
+
+let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) () :
+    'a dyn_request =
+  check_alive_self comm;
+  let src_world = source_world comm source in
+  let mb = my_mailbox comm in
+  let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let rt = Comm.runtime comm in
+  let cell = ref None in
+  let failed_source () =
+    src_world <> any_source && Runtime.is_failed rt src_world && p.Mailbox.p_msg = None
+  in
+  let base =
+    Request.make
+      ~ready:(fun () -> p.Mailbox.p_msg <> None || failed_source ())
+      ~finalize:(fun () ->
+        match p.Mailbox.p_msg with
+        | None ->
+            Mailbox.cancel mb p;
+            Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
+        | Some msg ->
+            Mailbox.retire mb p;
+            let status = complete_matched comm dt ~op:"irecv" msg in
+            let r = Wire.reader_of_bytes msg.Message.payload in
+            cell := Some (Datatype.unpack_array dt r ~count:msg.Message.count);
+            status)
+      ~describe:(fun () ->
+        Printf.sprintf "irecv_dyn on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
+  in
+  { base; cell }
+
+let dyn_wait (r : 'a dyn_request) : 'a array * Status.t =
+  let status = Request.wait r.base in
+  match !(r.cell) with
+  | Some data -> (data, status)
+  | None -> Errdefs.usage_error "dyn_wait: request finalized without data"
+
+let dyn_test (r : 'a dyn_request) : ('a array * Status.t) option =
+  match Request.test r.base with
+  | None -> None
+  | Some status -> (
+      match !(r.cell) with
+      | Some data -> Some (data, status)
+      | None -> Errdefs.usage_error "dyn_test: request finalized without data")

@@ -1,0 +1,56 @@
+(* PMPI-style profiling: per-operation call and byte counters.
+
+   The paper uses MPI's profiling interface to verify that the binding
+   layer issues exactly the expected underlying MPI calls when it computes
+   default parameters (§III-H); tests here do the same with
+   [snapshot]/[diff]. *)
+
+type counter = { mutable calls : int; mutable bytes : int }
+
+type t = { table : (string, counter) Hashtbl.t; mutable enabled : bool }
+
+type summary = (string * int * int) list
+(* (op, calls, bytes), sorted by op name *)
+
+let create () = { table = Hashtbl.create 32; enabled = true }
+
+let record t ~op ~bytes =
+  if t.enabled then begin
+    let c =
+      match Hashtbl.find_opt t.table op with
+      | Some c -> c
+      | None ->
+          let c = { calls = 0; bytes = 0 } in
+          Hashtbl.replace t.table op c;
+          c
+    in
+    c.calls <- c.calls + 1;
+    c.bytes <- c.bytes + bytes
+  end
+
+let set_enabled t b = t.enabled <- b
+
+let snapshot t : summary =
+  Hashtbl.fold (fun op c acc -> (op, c.calls, c.bytes) :: acc) t.table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let calls t ~op =
+  match Hashtbl.find_opt t.table op with None -> 0 | Some c -> c.calls
+
+let bytes t ~op =
+  match Hashtbl.find_opt t.table op with None -> 0 | Some c -> c.bytes
+
+let total_calls t = Hashtbl.fold (fun _ c acc -> acc + c.calls) t.table 0
+
+(* [diff ~before ~after] lists ops whose call count changed, with deltas. *)
+let diff ~(before : summary) ~(after : summary) : summary =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (op, c, b) -> Hashtbl.replace tbl op (c, b)) before;
+  List.filter_map
+    (fun (op, c, b) ->
+      let c0, b0 = match Hashtbl.find_opt tbl op with Some x -> x | None -> (0, 0) in
+      if c - c0 = 0 && b - b0 = 0 then None else Some (op, c - c0, b - b0))
+    after
+
+let pp_summary ppf (s : summary) =
+  List.iter (fun (op, c, b) -> Format.fprintf ppf "%-24s %8d calls %12d bytes@." op c b) s

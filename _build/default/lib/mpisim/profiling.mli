@@ -1,0 +1,31 @@
+(** PMPI-style profiling: per-operation call and byte counters.
+
+    The paper verifies through MPI's profiling interface that the binding
+    layer issues exactly the expected underlying calls when it computes
+    default parameters (§III-H); tests here do the same via
+    {!snapshot}/{!diff}. *)
+
+type t
+
+type summary = (string * int * int) list
+(** (operation, calls, bytes), sorted by operation name. *)
+
+val create : unit -> t
+
+val record : t -> op:string -> bytes:int -> unit
+
+val set_enabled : t -> bool -> unit
+
+val snapshot : t -> summary
+
+val calls : t -> op:string -> int
+
+val bytes : t -> op:string -> int
+
+val total_calls : t -> int
+
+(** Operations whose counters changed between two snapshots, with
+    deltas. *)
+val diff : before:summary -> after:summary -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

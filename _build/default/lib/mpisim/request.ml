@@ -1,0 +1,82 @@
+(* Request objects for non-blocking operations.
+
+   A request separates cheap completion *detection* ([ready], safe to call
+   from the scheduler's poll loop) from *finalization* ([finalize], which
+   runs in the owning fiber: it unpacks data, updates the owner's clock and
+   may raise failure errors).  [test]/[wait] are idempotent after
+   completion, per MPI semantics for inactive requests. *)
+
+type t = {
+  mutable status : Status.t option;
+  ready : unit -> bool;
+  finalize : unit -> Status.t;
+  describe : unit -> string;
+}
+
+let make ~ready ~finalize ~describe = { status = None; ready; finalize; describe }
+
+(* A request that is already complete (e.g. for empty transfers). *)
+let completed status =
+  {
+    status = Some status;
+    ready = (fun () -> true);
+    finalize = (fun () -> status);
+    describe = (fun () -> "completed");
+  }
+
+let test t =
+  match t.status with
+  | Some s -> Some s
+  | None ->
+      if t.ready () then begin
+        let s = t.finalize () in
+        t.status <- Some s;
+        Some s
+      end
+      else None
+
+let wait t =
+  match t.status with
+  | Some s -> s
+  | None ->
+      Scheduler.park
+        ~describe:(fun () -> "wait: " ^ t.describe ())
+        ~poll:(fun () -> if t.ready () then Some () else None);
+      let s = t.finalize () in
+      t.status <- Some s;
+      s
+
+let is_complete t = t.status <> None
+
+let wait_all ts = List.map wait ts
+
+(* Wait until at least one request completes; returns its index and status.
+   Raises [Invalid_argument] on an empty list. *)
+let wait_any ts =
+  if ts = [] then invalid_arg "Request.wait_any: empty";
+  let arr = Array.of_list ts in
+  let find_ready () =
+    let rec go i =
+      if i >= Array.length arr then None
+      else if arr.(i).status <> None || arr.(i).ready () then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let i =
+    match find_ready () with
+    | Some i -> i
+    | None ->
+        Scheduler.park
+          ~describe:(fun () -> Printf.sprintf "wait_any over %d requests" (Array.length arr))
+          ~poll:find_ready
+  in
+  let s = wait arr.(i) in
+  (i, s)
+
+(* Complete every currently-ready request; returns (index, status) pairs.
+   Does not block. *)
+let test_some ts =
+  List.mapi (fun i t -> (i, t)) ts
+  |> List.filter_map (fun (i, t) ->
+         match test t with Some s -> Some (i, s) | None -> None)

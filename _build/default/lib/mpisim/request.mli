@@ -1,0 +1,36 @@
+(** Request objects for non-blocking operations.
+
+    A request separates cheap completion {e detection} ([ready], safe from
+    the scheduler's poll loop) from {e finalization} ([finalize], which
+    runs in the owning fiber: it unpacks data, updates the owner's clock,
+    and may raise failure errors).  [test]/[wait] are idempotent after
+    completion, matching MPI's inactive-request semantics. *)
+
+type t
+
+val make :
+  ready:(unit -> bool) ->
+  finalize:(unit -> Status.t) ->
+  describe:(unit -> string) ->
+  t
+
+(** An already-completed request (empty transfers etc.). *)
+val completed : Status.t -> t
+
+(** Non-blocking completion check; finalizes on first success. *)
+val test : t -> Status.t option
+
+(** Block (cooperatively) until complete. *)
+val wait : t -> Status.t
+
+val is_complete : t -> bool
+
+val wait_all : t list -> Status.t list
+
+(** Block until at least one request completes; returns its index and
+    status.  Raises [Invalid_argument] on the empty list. *)
+val wait_any : t list -> int * Status.t
+
+(** Complete every currently-ready request without blocking; returns
+    (index, status) pairs. *)
+val test_some : t list -> (int * Status.t) list

@@ -1,0 +1,177 @@
+(* One-sided communication: RMA windows with fence synchronization
+   (MPI_Win / MPI_Put / MPI_Get / MPI_Accumulate analogue).
+
+   The paper positions extending the MPI-standard coverage as future work
+   (§VI); boost-mpi3 is noted for one-sided support.  This module covers
+   the active-target (fence) subset:
+
+   - a window exposes each rank's local array to its peers;
+   - between two fences, ranks issue puts/gets/accumulates against any
+     peer's exposure;
+   - a fence completes all pending operations and synchronizes (barrier
+     semantics with the usual dissemination cost).
+
+   Model: operations are recorded as pending at the origin and applied at
+   the closing fence in (origin rank, issue order) — a deterministic
+   serialization consistent with MPI's "undefined unless synchronized"
+   semantics.  Costs: each operation charges its origin one message
+   (alpha + beta * bytes); gets additionally wait a round trip at the
+   fence.  Concurrent accumulates to the same location are well-defined
+   (applied in the deterministic order); overlapping puts follow the same
+   order (last origin wins). *)
+
+type 'a op =
+  | Put of { target : int; target_pos : int; data : 'a array }
+  | Get of { target : int; target_pos : int; count : int; into : 'a array; into_pos : int }
+  | Accumulate of {
+      target : int;
+      target_pos : int;
+      data : 'a array;
+      combine : 'a -> 'a -> 'a;
+    }
+
+type 'a shared = {
+  exposures : 'a array array;  (* world rank -> exposed local array *)
+  pending : (int * 'a op) list ref;  (* (origin world rank, op), reversed *)
+  mutable fences : int;  (* completed fence epochs *)
+}
+
+type 'a t = {
+  comm : Comm.t;
+  dt : 'a Datatype.t;
+  shared : 'a shared;
+}
+
+(* Registry so that all ranks share one window state per creation site.
+   Keyed by (runtime id, context, creation sequence).  The [Obj.t]
+   erasure is sound because window creation is collective and ends in a
+   barrier: every rank's k-th [create] on a communicator instantiates the
+   same window with the same element type, so all readers of a key agree
+   on 'a. *)
+let registry : (int * int * int, Obj.t) Hashtbl.t = Hashtbl.create 16
+
+let creation_counter : (int * int, int ref) Hashtbl.t = Hashtbl.create 16
+
+(* Create a window exposing [local].  Collective.  The arrays stay owned
+   by their ranks; remote access goes through the window operations. *)
+let create (comm : Comm.t) (dt : 'a Datatype.t) (local : 'a array) : 'a t =
+  Comm.check_collective comm ~op:"win_create";
+  Runtime.record (Comm.runtime comm) ~op:"win_create" ~bytes:0;
+  let rt = Comm.runtime comm in
+  let ckey = (rt.Runtime.id, Comm.context comm) in
+  let counter =
+    match Hashtbl.find_opt creation_counter ckey with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.replace creation_counter ckey c;
+        c
+  in
+  (* Each rank bumps its own view of the counter; since creation is
+     collective and deterministic, all ranks agree on the sequence
+     number.  The first arriver allocates the shared record. *)
+  let seq = !counter / Comm.size comm in
+  incr counter;
+  let key = (rt.Runtime.id, Comm.context comm, seq) in
+  let shared =
+    match Hashtbl.find_opt registry key with
+    | Some s -> (Obj.obj s : 'a shared)
+    | None ->
+        let s =
+          { exposures = Array.make rt.Runtime.size [||]; pending = ref []; fences = 0 } in
+        Hashtbl.replace registry key (Obj.repr s);
+        s
+  in
+  shared.exposures.(Comm.world_rank comm) <- local;
+  (* Windows become usable only after every rank registered. *)
+  Coll.barrier comm;
+  { comm; dt; shared }
+
+let charge_origin t ~bytes =
+  let rt = Comm.runtime t.comm in
+  let me = Comm.world_rank t.comm in
+  Runtime.advance_clock rt me (Net_model.send_busy_time rt.Runtime.model ~bytes);
+  Runtime.bump_progress rt
+
+(* Queue a put of [data] into [target]'s exposure at [target_pos].
+   Applied at the next fence. *)
+let put (t : 'a t) ~target ~target_pos (data : 'a array) : unit =
+  Comm.check_rank t.comm target;
+  Runtime.record (Comm.runtime t.comm) ~op:"rma_put"
+    ~bytes:(Datatype.size_of_count t.dt (Array.length data));
+  charge_origin t ~bytes:(Datatype.size_of_count t.dt (Array.length data));
+  let origin = Comm.world_rank t.comm in
+  t.shared.pending :=
+    (origin, Put { target = Comm.world_of_rank t.comm target; target_pos; data = Array.copy data })
+    :: !(t.shared.pending)
+
+(* Queue a get of [count] elements from [target]'s exposure into [into]
+   at [into_pos]; the data is valid after the next fence. *)
+let get (t : 'a t) ~target ~target_pos ~count (into : 'a array) ~into_pos : unit =
+  Comm.check_rank t.comm target;
+  Runtime.record (Comm.runtime t.comm) ~op:"rma_get"
+    ~bytes:(Datatype.size_of_count t.dt count);
+  charge_origin t ~bytes:0;
+  let origin = Comm.world_rank t.comm in
+  t.shared.pending :=
+    (origin, Get { target = Comm.world_of_rank t.comm target; target_pos; count; into; into_pos })
+    :: !(t.shared.pending)
+
+(* Queue an accumulate (well-defined under concurrency: all accumulates
+   are applied in the deterministic fence order). *)
+let accumulate (t : 'a t) ~target ~target_pos (op : 'a Reduce_op.t) (data : 'a array) :
+    unit =
+  Comm.check_rank t.comm target;
+  Runtime.record (Comm.runtime t.comm) ~op:"rma_accumulate"
+    ~bytes:(Datatype.size_of_count t.dt (Array.length data));
+  charge_origin t ~bytes:(Datatype.size_of_count t.dt (Array.length data));
+  let origin = Comm.world_rank t.comm in
+  t.shared.pending :=
+    ( origin,
+      Accumulate
+        {
+          target = Comm.world_of_rank t.comm target;
+          target_pos;
+          data = Array.copy data;
+          combine = Reduce_op.apply op;
+        } )
+    :: !(t.shared.pending)
+
+(* Close the access epoch: applies every pending operation in
+   deterministic (origin rank, issue order) and synchronizes all ranks.
+   Collective.  The first fiber through the entry barrier applies the
+   whole batch (deterministic under the round-robin scheduler); the exit
+   barrier keeps any rank from reading early. *)
+let fence (t : 'a t) : unit =
+  Comm.check_collective t.comm ~op:"win_fence";
+  Runtime.record (Comm.runtime t.comm) ~op:"win_fence" ~bytes:0;
+  Coll.barrier t.comm;
+  let ops = List.rev !(t.shared.pending) in
+  t.shared.pending := [];
+  if ops <> [] then begin
+    let stable = List.stable_sort (fun (o1, _) (o2, _) -> compare o1 o2) ops in
+    List.iter
+      (fun (_, op) ->
+        match op with
+        | Put { target; target_pos; data } ->
+            Array.blit data 0 t.shared.exposures.(target) target_pos (Array.length data)
+        | Get { target; target_pos; count; into; into_pos } ->
+            Array.blit t.shared.exposures.(target) target_pos into into_pos count
+        | Accumulate { target; target_pos; data; combine } ->
+            let tgt = t.shared.exposures.(target) in
+            Array.iteri
+              (fun i v -> tgt.(target_pos + i) <- combine tgt.(target_pos + i) v)
+              data)
+      stable
+  end;
+  t.shared.fences <- t.shared.fences + 1;
+  Coll.barrier t.comm
+
+(* This rank's exposed array (direct local access). *)
+let local (t : 'a t) : 'a array = t.shared.exposures.(Comm.world_rank t.comm)
+
+(* Free the window.  Collective. *)
+let free (t : 'a t) : unit =
+  Comm.check_collective t.comm ~op:"win_free";
+  Runtime.record (Comm.runtime t.comm) ~op:"win_free" ~bytes:0;
+  Coll.barrier t.comm

@@ -1,0 +1,35 @@
+(** One-sided communication: RMA windows with fence synchronization
+    (MPI_Win / MPI_Put / MPI_Get / MPI_Accumulate analogue) — part of the
+    standard-coverage extension the paper lists as future work (§VI).
+
+    Active-target model: between two {!fence}s, ranks queue puts, gets and
+    accumulates against any peer's exposed array; a fence applies all
+    pending operations in deterministic (origin rank, issue order) and
+    synchronizes.  Results of gets become valid after the fence.
+    Concurrent accumulates to one location are well-defined; overlapping
+    puts resolve in the same deterministic order. *)
+
+type 'a t
+
+(** Expose [local] to the peers.  Collective.  The array remains owned by
+    its rank; remote access goes through the window. *)
+val create : Comm.t -> 'a Datatype.t -> 'a array -> 'a t
+
+(** Queue a put into [target]'s exposure; applied at the next fence. *)
+val put : 'a t -> target:int -> target_pos:int -> 'a array -> unit
+
+(** Queue a get from [target]'s exposure into [into]; valid after the next
+    fence. *)
+val get : 'a t -> target:int -> target_pos:int -> count:int -> 'a array -> into_pos:int -> unit
+
+(** Queue an accumulate with [op] at [target]. *)
+val accumulate : 'a t -> target:int -> target_pos:int -> 'a Reduce_op.t -> 'a array -> unit
+
+(** Close the access epoch.  Collective. *)
+val fence : 'a t -> unit
+
+(** This rank's exposed array. *)
+val local : 'a t -> 'a array
+
+(** Collective. *)
+val free : 'a t -> unit

@@ -1,0 +1,138 @@
+(* Shared simulation state: clocks, mailboxes, cost charging, failures.
+
+   The hybrid clock (paper-reproduction design, see DESIGN.md §4): each rank
+   has a virtual clock that advances by
+
+   - the network model's costs for communication, and
+   - either measured real CPU time of its fiber segments ([Measured] mode)
+     or explicitly charged compute ([Virtual_only] mode).
+
+   All communication goes through [inject]: the payload is already packed;
+   we charge the sender, compute the arrival time, and hand the message to
+   the destination mailbox. *)
+
+(* Trace logging: enable with Logs.Src.set_level (e.g. in a debugging
+   session) to see every message injection, match and failure event.  The
+   level check makes this free when disabled. *)
+let log_src = Logs.Src.create "mpisim" ~doc:"Message-passing runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type clock_mode = Measured | Virtual_only
+
+type t = {
+  id : int;  (* unique per runtime; keys global registries *)
+  size : int;
+  model : Net_model.t;
+  clock_mode : clock_mode;
+  clocks : float array;
+  mailboxes : Mailbox.t array;
+  failed : bool array;
+  mutable n_failed : int;
+  profile : Profiling.t;
+  mutable progress : int;
+  mutable msg_seq : int;
+  mutable next_context : int;
+  (* Assertion level: 0 = none, 1 = cheap local checks, 2 = checks that the
+     real MPI library would need communication for (paper §III-G). *)
+  mutable assertion_level : int;
+}
+
+exception Process_killed of int
+
+let next_runtime_id = ref 0
+
+let create ?(clock_mode = Measured) ?(assertion_level = 1) ~model ~size () =
+  if size <= 0 then invalid_arg "Runtime.create: size must be positive";
+  let id = !next_runtime_id in
+  incr next_runtime_id;
+  {
+    id;
+    size;
+    model;
+    clock_mode;
+    clocks = Array.make size 0.;
+    mailboxes = Array.init size (fun _ -> Mailbox.create ());
+    failed = Array.make size false;
+    n_failed = 0;
+    profile = Profiling.create ();
+    progress = 0;
+    msg_seq = 0;
+    next_context = 0;
+    assertion_level;
+  }
+
+let bump_progress t = t.progress <- t.progress + 1
+
+let fresh_context t =
+  let c = t.next_context in
+  t.next_context <- c + 1;
+  c
+
+let clock t rank = t.clocks.(rank)
+
+let advance_clock t rank dt = if dt > 0. then t.clocks.(rank) <- t.clocks.(rank) +. dt
+
+let sync_clock t rank time =
+  if time > t.clocks.(rank) then t.clocks.(rank) <- time
+
+(* Measured CPU segments are reported by the engine through this hook. *)
+let on_cpu_segment t rank dt =
+  if t.clock_mode = Measured && rank >= 0 && rank < t.size then advance_clock t rank dt
+
+(* Charge modelled compute explicitly (used by Virtual_only programs and by
+   cost knobs that represent work our implementation does not perform). *)
+let charge_compute t rank seconds = advance_clock t rank seconds
+
+(* Pack/unpack cost: in Measured mode this CPU work is captured by segment
+   measurement; in Virtual_only mode we charge the model's copy rate. *)
+let charge_copy t rank ~bytes =
+  if t.clock_mode = Virtual_only then
+    advance_clock t rank (float_of_int bytes *. t.model.Net_model.copy_byte_time)
+
+let is_failed t rank = t.failed.(rank)
+
+let check_alive t rank =
+  if t.failed.(rank) then raise (Process_killed rank)
+
+let kill t rank =
+  if not t.failed.(rank) then begin
+    Log.info (fun f -> f "rank %d failed (injected)" rank);
+    t.failed.(rank) <- true;
+    t.n_failed <- t.n_failed + 1;
+    bump_progress t
+  end
+
+let any_failed t = t.n_failed > 0
+
+(* Inject a packed message.  Charges the sender; returns the message so the
+   caller can build a request around it (ssend completion etc.). *)
+let inject t ~context ~src ~dst ~tag ~payload ~count ~signature ~sync =
+  if dst < 0 || dst >= t.size then Errdefs.usage_error "send: invalid destination rank %d" dst;
+  let bytes = Bytes.length payload in
+  let busy = Net_model.send_busy_time t.model ~bytes in
+  advance_clock t src busy;
+  let arrival = t.clocks.(src) +. Net_model.transit_time t.model in
+  let seq = t.msg_seq in
+  t.msg_seq <- seq + 1;
+  let m =
+    Message.make ~context ~src ~dst ~tag ~payload ~count ~signature ~arrival ~seq ~sync
+  in
+  Log.debug (fun f ->
+      f "inject ctx=%d %d->%d tag=%d count=%d bytes=%d%s" context src dst tag count bytes
+        (if sync then " (sync)" else ""));
+  Mailbox.deliver t.mailboxes.(dst) m;
+  bump_progress t;
+  m
+
+(* Receiver-side completion accounting for a matched message: jump to the
+   arrival time and pay the receive overhead.  The unpack cost itself is
+   charged separately via [charge_copy] (or measured). *)
+let complete_receive t rank (m : Message.t) =
+  sync_clock t rank m.Message.arrival;
+  advance_clock t rank t.model.Net_model.recv_overhead;
+  bump_progress t
+
+let record t ~op ~bytes = Profiling.record t.profile ~op ~bytes
+
+let max_clock t = Array.fold_left Float.max 0. t.clocks

@@ -1,0 +1,92 @@
+(** Shared simulation state: per-rank virtual clocks, mailboxes, cost
+    charging, failure flags, profiling and context-id allocation.
+
+    The hybrid clock (DESIGN.md §4): communication advances a rank's clock
+    by the network model's costs; compute advances it either by measured
+    real CPU time of fiber segments ([Measured]) or by explicit charges
+    ([Virtual_only], bit-exactly deterministic). *)
+
+(** Logging source for runtime trace events (enable at debug level to see
+    every message injection). *)
+val log_src : Logs.src
+
+type clock_mode = Measured | Virtual_only
+
+type t = {
+  id : int;  (** unique per runtime; keys global registries *)
+  size : int;
+  model : Net_model.t;
+  clock_mode : clock_mode;
+  clocks : float array;
+  mailboxes : Mailbox.t array;
+  failed : bool array;
+  mutable n_failed : int;
+  profile : Profiling.t;
+  mutable progress : int;  (** monotone; drives deadlock detection *)
+  mutable msg_seq : int;
+  mutable next_context : int;
+  mutable assertion_level : int;
+      (** 0 = none, 1 = cheap local checks, 2 = heavy checks (§III-G) *)
+}
+
+(** Raised inside a fiber whose rank was failed by injection. *)
+exception Process_killed of int
+
+val create :
+  ?clock_mode:clock_mode -> ?assertion_level:int -> model:Net_model.t -> size:int -> unit -> t
+
+val bump_progress : t -> unit
+
+(** Allocate a fresh communicator context id. *)
+val fresh_context : t -> int
+
+val clock : t -> int -> float
+
+val advance_clock : t -> int -> float -> unit
+
+(** Move a rank's clock forward to [time] if it is behind. *)
+val sync_clock : t -> int -> float -> unit
+
+(** Measured CPU segments, reported by the engine. *)
+val on_cpu_segment : t -> int -> float -> unit
+
+(** Charge modelled compute explicitly (Virtual_only programs; modelled
+    work our implementation does not perform). *)
+val charge_compute : t -> int -> float -> unit
+
+(** Pack/unpack cost: charged from the model in Virtual_only mode (it is
+    measured for real in Measured mode). *)
+val charge_copy : t -> int -> bytes:int -> unit
+
+val is_failed : t -> int -> bool
+
+(** Raise {!Process_killed} if the rank has been failed. *)
+val check_alive : t -> int -> unit
+
+val kill : t -> int -> unit
+
+val any_failed : t -> bool
+
+(** Pack-and-send entry point: charges the sender, computes the arrival
+    time and delivers to the destination mailbox.  Returns the in-flight
+    message (synchronous-send requests watch its match flag). *)
+val inject :
+  t ->
+  context:int ->
+  src:int ->
+  dst:int ->
+  tag:int ->
+  payload:Bytes.t ->
+  count:int ->
+  signature:Signature.t ->
+  sync:bool ->
+  Message.t
+
+(** Receiver-side accounting for a matched message: jump to the arrival
+    time and pay the receive overhead. *)
+val complete_receive : t -> int -> Message.t -> unit
+
+val record : t -> op:string -> bytes:int -> unit
+
+(** The makespan: the largest per-rank clock. *)
+val max_clock : t -> float

@@ -1,0 +1,49 @@
+(** Cooperative fiber scheduler built on OCaml effects.
+
+    Each simulated rank is a fiber.  A fiber blocks by performing
+    {!park}: the scheduler parks it and re-polls on subsequent passes;
+    when the poll yields [Some v] the fiber resumes with [v].  Scheduling
+    is deterministic round-robin, so simulations are reproducible.
+
+    Deadlock detection: a full pass that runs nothing while the progress
+    counter is unchanged proves no poll can ever succeed again (all state
+    changes come from fibers); the run aborts with per-fiber wait
+    descriptions. *)
+
+type 'a poll = unit -> 'a option
+
+(** A fiber raised [exn]; parked peers were discontinued. *)
+exception Aborted of { rank : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Deadlock of { parked : (int * string) list; finished : int; total : int }
+
+(** Block the current fiber until [poll] returns [Some v]; returns [v].
+    Fast path: an immediately successful poll does not park.  [describe]
+    feeds the deadlock diagnostics.  Polls run in scheduler context and
+    must be cheap and side-effect-light. *)
+val park : describe:(unit -> string) -> poll:'a poll -> 'a
+
+(** Let every other runnable fiber run once. *)
+val yield : unit -> unit
+
+type outcome = Finished | Raised of exn * Printexc.raw_backtrace
+
+(** Raised into parked fibers when another fiber's failure aborts the
+    run. *)
+exception Abandoned_fiber
+
+(** [run ~progress ~nfibers body] executes [body rank] for every rank.
+
+    @param progress a monotone counter that changes whenever shared state
+           changes (drives deadlock detection)
+    @param on_segment receives (rank, real seconds) for every executed
+           fiber segment — the measured-compute feed of the hybrid clock
+    @param kill_filter exceptions representing injected process failures:
+           such fibers end as [Raised] without aborting the others *)
+val run :
+  ?on_segment:(int -> float -> unit) ->
+  ?kill_filter:(exn -> bool) ->
+  progress:(unit -> int) ->
+  nfibers:int ->
+  (int -> unit) ->
+  outcome array

@@ -1,0 +1,167 @@
+(* Byte-level wire format.
+
+   Every simulated message is really packed into bytes through its datatype
+   descriptor and unpacked at the receiver, so datatype layout decisions
+   (paper §III-D) have genuine CPU and byte-volume consequences.
+
+   All integers are little-endian.  [writer] is a growable buffer; [reader]
+   is a bounds-checked cursor over immutable bytes. *)
+
+exception Underflow of { wanted : int; available : int }
+
+type writer = { mutable buf : Bytes.t; mutable len : int }
+
+let create_writer ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Wire.create_writer: capacity < 1";
+  { buf = Bytes.create capacity; len = 0 }
+
+let length w = w.len
+
+let ensure w extra =
+  let needed = w.len + extra in
+  if needed > Bytes.length w.buf then begin
+    let cap = ref (Bytes.length w.buf * 2) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit w.buf 0 nb 0 w.len;
+    w.buf <- nb
+  end
+
+let put_char w c =
+  ensure w 1;
+  Bytes.unsafe_set w.buf w.len c;
+  w.len <- w.len + 1
+
+let put_uint8 w i =
+  if i < 0 || i > 255 then invalid_arg "Wire.put_uint8";
+  put_char w (Char.unsafe_chr i)
+
+let put_int64 w (v : int64) =
+  ensure w 8;
+  Bytes.set_int64_le w.buf w.len v;
+  w.len <- w.len + 8
+
+let put_int w (v : int) = put_int64 w (Int64.of_int v)
+
+let put_int32 w (v : int32) =
+  ensure w 4;
+  Bytes.set_int32_le w.buf w.len v;
+  w.len <- w.len + 4
+
+let put_float w (v : float) = put_int64 w (Int64.bits_of_float v)
+
+let put_float32 w (v : float) = put_int32 w (Int32.bits_of_float v)
+
+let put_bool w b = put_uint8 w (if b then 1 else 0)
+
+let put_bytes w (b : Bytes.t) ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Wire.put_bytes";
+  ensure w len;
+  Bytes.blit b pos w.buf w.len len;
+  w.len <- w.len + len
+
+let put_string w (s : string) =
+  let len = String.length s in
+  ensure w len;
+  Bytes.blit_string s 0 w.buf w.len len;
+  w.len <- w.len + len
+
+(* Pad with [n] zero bytes (used to model alignment gaps, §III-D4). *)
+let put_padding w n =
+  if n < 0 then invalid_arg "Wire.put_padding";
+  ensure w n;
+  Bytes.fill w.buf w.len n '\000';
+  w.len <- w.len + n
+
+(* Reserve [len] bytes and return (storage, offset) for in-place writing —
+   the single-bulk-copy path for trivially-copyable types. *)
+let reserve w len : Bytes.t * int =
+  if len < 0 then invalid_arg "Wire.reserve";
+  ensure w len;
+  let pos = w.len in
+  w.len <- pos + len;
+  (w.buf, pos)
+
+let contents w = Bytes.sub w.buf 0 w.len
+
+(* Hand out the underlying storage without copying; only valid as long as
+   the writer is not reused.  The runtime uses this to avoid double copies
+   when injecting messages. *)
+let unsafe_contents w = (w.buf, w.len)
+
+let reset w = w.len <- 0
+
+type reader = { data : Bytes.t; limit : int; mutable pos : int }
+
+let reader_of_bytes ?(pos = 0) ?len (data : Bytes.t) =
+  let limit =
+    match len with None -> Bytes.length data | Some l -> pos + l
+  in
+  if pos < 0 || limit > Bytes.length data || pos > limit then
+    invalid_arg "Wire.reader_of_bytes";
+  { data; limit; pos }
+
+let remaining r = r.limit - r.pos
+
+let check r n = if r.pos + n > r.limit then raise (Underflow { wanted = n; available = remaining r })
+
+let get_char r =
+  check r 1;
+  let c = Bytes.unsafe_get r.data r.pos in
+  r.pos <- r.pos + 1;
+  c
+
+let get_uint8 r = Char.code (get_char r)
+
+let get_int64 r =
+  check r 8;
+  let v = Bytes.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_int r = Int64.to_int (get_int64 r)
+
+let get_int32 r =
+  check r 4;
+  let v = Bytes.get_int32_le r.data r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let get_float r = Int64.float_of_bits (get_int64 r)
+
+let get_float32 r = Int32.float_of_bits (get_int32 r)
+
+let get_bool r =
+  match get_uint8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> invalid_arg (Printf.sprintf "Wire.get_bool: byte %d" n)
+
+let get_bytes r len =
+  check r len;
+  let b = Bytes.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  b
+
+let get_string r len =
+  check r len;
+  let s = Bytes.sub_string r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let skip r n =
+  if n < 0 then invalid_arg "Wire.skip";
+  check r n;
+  r.pos <- r.pos + n
+
+(* Zero-copy read access: returns (storage, offset) of the next [len]
+   bytes and advances the cursor.  The storage must not be mutated. *)
+let read_raw r len : Bytes.t * int =
+  if len < 0 then invalid_arg "Wire.read_raw";
+  check r len;
+  let pos = r.pos in
+  r.pos <- pos + len;
+  (r.data, pos)

@@ -1,0 +1,82 @@
+(** Byte-level wire format: every simulated message is really packed into
+    bytes through its datatype descriptor, so layout decisions (paper
+    §III-D) have genuine CPU and volume consequences.
+
+    All integers are little-endian.  A {!writer} is a growable buffer; a
+    {!reader} is a bounds-checked cursor over immutable bytes. *)
+
+exception Underflow of { wanted : int; available : int }
+
+type writer
+
+val create_writer : ?capacity:int -> unit -> writer
+
+val length : writer -> int
+
+val put_char : writer -> char -> unit
+
+val put_uint8 : writer -> int -> unit
+
+val put_int64 : writer -> int64 -> unit
+
+val put_int : writer -> int -> unit
+
+val put_int32 : writer -> int32 -> unit
+
+val put_float : writer -> float -> unit
+
+val put_float32 : writer -> float -> unit
+
+val put_bool : writer -> bool -> unit
+
+val put_bytes : writer -> Bytes.t -> pos:int -> len:int -> unit
+
+val put_string : writer -> string -> unit
+
+(** [n] zero bytes (models alignment gaps, §III-D4). *)
+val put_padding : writer -> int -> unit
+
+(** Reserve [len] bytes for in-place writing: (storage, offset) — the
+    single-bulk-copy path for trivially-copyable types. *)
+val reserve : writer -> int -> Bytes.t * int
+
+(** Copy of the written bytes. *)
+val contents : writer -> Bytes.t
+
+(** The underlying storage and length, without copying; invalidated by
+    further writes. *)
+val unsafe_contents : writer -> Bytes.t * int
+
+val reset : writer -> unit
+
+type reader
+
+val reader_of_bytes : ?pos:int -> ?len:int -> Bytes.t -> reader
+
+val remaining : reader -> int
+
+val get_char : reader -> char
+
+val get_uint8 : reader -> int
+
+val get_int64 : reader -> int64
+
+val get_int : reader -> int
+
+val get_int32 : reader -> int32
+
+val get_float : reader -> float
+
+val get_float32 : reader -> float
+
+val get_bool : reader -> bool
+
+val get_bytes : reader -> int -> Bytes.t
+
+val get_string : reader -> int -> string
+
+val skip : reader -> int -> unit
+
+(** Zero-copy access to the next [len] bytes: (storage, offset); the
+    storage must not be mutated. *)
+val read_raw : reader -> int -> Bytes.t * int

@@ -1,0 +1,1 @@
+lib/serial/archive.ml: Bytes Char Codec Int32 Mpisim String

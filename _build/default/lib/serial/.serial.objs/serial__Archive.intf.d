@@ -1,0 +1,1 @@
+lib/serial/archive.mli: Bytes Codec

@@ -1,0 +1,1 @@
+lib/serial/codec.ml: Array Bytes Hashtbl Lazy List Mpisim Printf Result String

@@ -1,0 +1,1 @@
+lib/serial/codec.mli: Bytes Hashtbl Mpisim Result

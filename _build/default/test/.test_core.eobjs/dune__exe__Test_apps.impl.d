@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Bfs Comm Engine Float Graphgen Hashtbl Int64 Kamping Label_propagation List Mpisim Phylo Printf Queue Sample_sort String Suffix_array Vector_allgather Xoshiro

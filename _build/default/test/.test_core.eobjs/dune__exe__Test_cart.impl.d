@@ -1,0 +1,1 @@
+test/test_cart.ml: Alcotest Array Cart Coll Comm Datatype Engine Fun Mpisim Net_model Option QCheck QCheck_alcotest Reduce_op Request Status Xoshiro

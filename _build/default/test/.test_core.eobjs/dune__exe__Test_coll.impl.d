@@ -1,0 +1,1 @@
+test/test_coll.ml: Alcotest Array Coll Comm Comm_ops Datatype Engine Errdefs Fun List Mpisim Net_model Printf QCheck QCheck_alcotest Reduce_op Runtime Scheduler Xoshiro

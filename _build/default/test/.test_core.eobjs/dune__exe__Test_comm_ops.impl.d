@@ -1,0 +1,1 @@
+test/test_comm_ops.ml: Alcotest Array Coll Comm Comm_ops Datatype Engine Errdefs Fault Group Mpisim Option P2p Reduce_op Scheduler

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Coll Comm Datatype Engine Fault Int64 Kamping Kamping_plugins List Mpisim P2p Printf Reduce_op Scheduler Xoshiro

@@ -1,0 +1,1 @@
+test/test_datatype.ml: Alcotest Array Comm Datatype Engine Errdefs Gen Int64 List Mpisim P2p QCheck QCheck_alcotest Scheduler Signature String Wire

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Coll Comm Datatype Engine Errdefs Fault Kamping List Mpisim Net_model P2p Reduce_op Runtime Scheduler String Sys

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Coll Comm Datatype Engine Fun Kamping Kamping_plugins Layout List Mpisim Net_model P2p Printf QCheck QCheck_alcotest Reduce_op Xoshiro

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Array Coll Comm Comm_ops Datatype Engine Errdefs Fault Fun Kamping List Mpisim Net_model P2p QCheck QCheck_alcotest Reduce_op Rma Runtime Scheduler Xoshiro

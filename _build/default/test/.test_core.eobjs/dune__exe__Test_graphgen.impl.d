@@ -1,0 +1,1 @@
+test/test_graphgen.ml: Alcotest Array Comm Distgraph Engine Gnm Graphgen Hashtbl Kamping List Mpisim Printf QCheck QCheck_alcotest Rgg2d Rhg

@@ -1,0 +1,1 @@
+test/test_kamping.ml: Alcotest Array Comm Datatype Engine Errdefs Fun Hashtbl Kamping List Mpisim Net_model Printf QCheck QCheck_alcotest Reduce_op Scheduler Serial String Xoshiro

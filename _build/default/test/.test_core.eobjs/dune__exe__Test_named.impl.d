@@ -1,0 +1,1 @@
+test/test_named.ml: Alcotest Array Comm Datatype Engine Errdefs Kamping List Mpisim Printf Reduce_op Scheduler String

@@ -1,0 +1,1 @@
+test/test_p2p.ml: Alcotest Array Bytes Coll Comm Datatype Engine Errdefs Fault List Mpisim P2p Request Runtime Scheduler Status

@@ -1,0 +1,1 @@
+test/test_plugins.ml: Alcotest Array Comm Datatype Engine Errdefs Fault Fun Int64 Kamping Kamping_plugins List Mpisim Net_model QCheck QCheck_alcotest Reduce_op Xoshiro

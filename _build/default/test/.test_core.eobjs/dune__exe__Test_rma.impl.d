@@ -1,0 +1,1 @@
+test/test_rma.ml: Alcotest Array Comm Datatype Engine Mpisim Printf Reduce_op Rma

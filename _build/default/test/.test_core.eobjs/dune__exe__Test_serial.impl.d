@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Bytes Gen Hashtbl Mpisim QCheck QCheck_alcotest Serial

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Coll Comm Datatype Engine List Mpisim Net_model QCheck QCheck_alcotest Reduce_op Runtime Xoshiro

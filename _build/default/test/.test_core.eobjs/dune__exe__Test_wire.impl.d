@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Float Int64 List Mpisim QCheck QCheck_alcotest String Wire

@@ -1,0 +1,292 @@
+(* Application-level integration tests: BFS against sequential BFS,
+   suffix arrays against the naive reference, sample sort variants against
+   Array.sort, across binding styles and exchangers. *)
+
+open Mpisim
+
+(* ------------------------------------------------------------------ *)
+(* Sample sort: all five binding styles produce the same global order. *)
+
+let gather_sorted ~p sorter =
+  let results =
+    Engine.run_values ~ranks:p (fun comm ->
+        let rng = Xoshiro.create ~seed:7 ~stream:(Comm.rank comm) in
+        let data = Array.init 300 (fun _ -> Xoshiro.next_int rng ~bound:10000) in
+        (data, sorter comm data))
+  in
+  let input = Array.concat (Array.to_list (Array.map fst results)) in
+  let output = Array.concat (Array.to_list (Array.map snd results)) in
+  (input, output)
+
+let check_sorter name sorter () =
+  let p = 5 in
+  let input, output = gather_sorted ~p sorter in
+  let expected = Array.copy input in
+  Array.sort compare expected;
+  Alcotest.(check (array int)) (name ^ " sorts correctly") expected output
+
+let sorter_tests =
+  [
+    Alcotest.test_case "sample sort mpi" `Quick (check_sorter "mpi" Sample_sort.Ss_mpi.sort);
+    Alcotest.test_case "sample sort boost" `Quick
+      (check_sorter "boost" Sample_sort.Ss_boost.sort);
+    Alcotest.test_case "sample sort mpl" `Quick (check_sorter "mpl" Sample_sort.Ss_mpl.sort);
+    Alcotest.test_case "sample sort rwth" `Quick
+      (check_sorter "rwth" Sample_sort.Ss_rwth.sort);
+    Alcotest.test_case "sample sort kamping" `Quick
+      (check_sorter "kamping" Sample_sort.Ss_kamping.sort);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Vector allgather: all five variants agree. *)
+
+let check_va name run () =
+  let p = 4 in
+  let results =
+    Engine.run_values ~ranks:p (fun comm ->
+        let r = Comm.rank comm in
+        run comm (Array.init (r + 2) (fun i -> (r * 10) + i)))
+  in
+  let expected =
+    Array.concat (List.init p (fun r -> Array.init (r + 2) (fun i -> (r * 10) + i)))
+  in
+  Array.iter (fun res -> Alcotest.(check (array int)) name expected res) results
+
+let va_tests =
+  [
+    Alcotest.test_case "vector allgather mpi" `Quick
+      (check_va "va mpi" Vector_allgather.Va_mpi.run);
+    Alcotest.test_case "vector allgather boost" `Quick
+      (check_va "va boost" Vector_allgather.Va_boost.run);
+    Alcotest.test_case "vector allgather rwth" `Quick
+      (check_va "va rwth" Vector_allgather.Va_rwth.run);
+    Alcotest.test_case "vector allgather mpl" `Quick
+      (check_va "va mpl" Vector_allgather.Va_mpl.run);
+    Alcotest.test_case "vector allgather kamping" `Quick
+      (check_va "va kamping" Vector_allgather.Va_kamping.run);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BFS: compare against a sequential BFS on the gathered graph. *)
+
+let sequential_bfs ~n (edges : (int * int) list) ~source : int array =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  dist
+
+(* Extract the edge list of a distributed graph (local endpoints only). *)
+let local_edges g =
+  let acc = ref [] in
+  for l = 0 to Graphgen.Distgraph.n_local g - 1 do
+    let u = Graphgen.Distgraph.global_of_local g l in
+    Graphgen.Distgraph.iter_neighbors g l (fun v -> if u < v then acc := (u, v) :: !acc)
+  done;
+  !acc
+
+let run_bfs_check ~p ~gen name bfs () =
+  let results =
+    Engine.run_values ~ranks:p (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let g = gen comm in
+        let dist = bfs mpi g ~source:0 in
+        (local_edges g, dist, Graphgen.Distgraph.n_global g))
+  in
+  let edges = List.concat_map (fun (e, _, _) -> e) (Array.to_list results) in
+  let _, _, n = results.(0) in
+  let expected = sequential_bfs ~n edges ~source:0 in
+  let got = Array.concat (List.map (fun (_, d, _) -> d) (Array.to_list results)) in
+  let got = Array.sub got 0 n in
+  Alcotest.(check (array int)) (name ^ " distances") expected got
+
+let gnm_gen comm = Graphgen.Gnm.generate comm ~n_per_rank:64 ~m_per_rank:192 ~seed:3
+
+let rgg_gen comm = Graphgen.Rgg2d.generate comm ~n_per_rank:64 ~seed:5 ()
+
+let rhg_gen comm = Graphgen.Rhg.generate comm ~n_per_rank:64 ~seed:7 ()
+
+let bfs_binding_tests =
+  [
+    Alcotest.test_case "bfs mpi (gnm)" `Quick
+      (run_bfs_check ~p:4 ~gen:gnm_gen "bfs mpi" Bfs.Bfs_mpi.bfs);
+    Alcotest.test_case "bfs kamping (gnm)" `Quick
+      (run_bfs_check ~p:4 ~gen:gnm_gen "bfs kamping" Bfs.Bfs_kamping.bfs);
+    Alcotest.test_case "bfs boost (gnm)" `Quick
+      (run_bfs_check ~p:4 ~gen:gnm_gen "bfs boost" Bfs.Bfs_boost.bfs);
+    Alcotest.test_case "bfs rwth (gnm)" `Quick
+      (run_bfs_check ~p:4 ~gen:gnm_gen "bfs rwth" Bfs.Bfs_rwth.bfs);
+    Alcotest.test_case "bfs mpl (gnm)" `Quick
+      (run_bfs_check ~p:4 ~gen:gnm_gen "bfs mpl" Bfs.Bfs_mpl.bfs);
+  ]
+
+let bfs_exchanger_tests =
+  List.concat_map
+    (fun (gname, gen) ->
+      List.map
+        (fun ex ->
+          Alcotest.test_case
+            (Printf.sprintf "bfs %s (%s)" (Bfs.Exchangers.exchanger_name ex) gname)
+            `Quick
+            (run_bfs_check ~p:4 ~gen
+               (Printf.sprintf "bfs %s" (Bfs.Exchangers.exchanger_name ex))
+               (fun mpi g ~source -> Bfs.Exchangers.bfs mpi g ~source ~exchanger:ex)))
+        Bfs.Exchangers.all)
+    [ ("gnm", gnm_gen); ("rgg", rgg_gen); ("rhg", rhg_gen) ]
+
+(* ------------------------------------------------------------------ *)
+(* Suffix array: both variants against the sequential reference. *)
+
+let check_suffix name builder ~textgen () =
+  let p = 4 in
+  let results =
+    Engine.run_values ~ranks:p (fun mpi ->
+        let text = textgen ~p ~rank:(Comm.rank mpi) in
+        (text, builder mpi text))
+  in
+  let text =
+    String.concat ""
+      (List.map
+         (fun (t, _) -> String.init (Array.length t) (Array.get t))
+         (Array.to_list results))
+  in
+  let expected = Suffix_array.Sa_common.sequential_suffix_array text in
+  let got = Array.concat (List.map snd (Array.to_list results)) in
+  Alcotest.(check (array int)) (name ^ " suffix array") expected got
+
+let random_text ~p ~rank = Suffix_array.Sa_common.random_text ~seed:11 ~alphabet:4 ~n:256 ~p ~rank
+
+let periodic_text ~p ~rank = Suffix_array.Sa_common.periodic_text ~period:3 ~n:120 ~p ~rank
+
+(* Texts sized beyond the DC3 base-case threshold to force distributed
+   recursion. *)
+let big_random_text ~p ~rank =
+  Suffix_array.Sa_common.random_text ~seed:31 ~alphabet:3 ~n:700 ~p ~rank
+
+let big_periodic_text ~p ~rank = Suffix_array.Sa_common.periodic_text ~period:4 ~n:640 ~p ~rank
+
+let suffix_tests =
+  [
+    Alcotest.test_case "suffix kamping (random)" `Quick
+      (check_suffix "kamping" Suffix_array.Sa_kamping.suffix_array ~textgen:random_text);
+    Alcotest.test_case "suffix mpi (random)" `Quick
+      (check_suffix "mpi" Suffix_array.Sa_mpi.suffix_array ~textgen:random_text);
+    Alcotest.test_case "suffix kamping (periodic)" `Quick
+      (check_suffix "kamping" Suffix_array.Sa_kamping.suffix_array ~textgen:periodic_text);
+    Alcotest.test_case "suffix mpi (periodic)" `Quick
+      (check_suffix "mpi" Suffix_array.Sa_mpi.suffix_array ~textgen:periodic_text);
+    Alcotest.test_case "suffix dcx (random, small)" `Quick
+      (check_suffix "dcx" Suffix_array.Sa_dcx.suffix_array ~textgen:random_text);
+    Alcotest.test_case "suffix dcx (periodic, small)" `Quick
+      (check_suffix "dcx" Suffix_array.Sa_dcx.suffix_array ~textgen:periodic_text);
+    Alcotest.test_case "suffix dcx (random, recursive)" `Quick
+      (check_suffix "dcx" Suffix_array.Sa_dcx.suffix_array ~textgen:big_random_text);
+    Alcotest.test_case "suffix dcx (periodic, recursive)" `Quick
+      (check_suffix "dcx" Suffix_array.Sa_dcx.suffix_array ~textgen:big_periodic_text);
+    Alcotest.test_case "suffix dcx (prefix-doubling agreement)" `Quick (fun () ->
+        let p = 5 in
+        let run builder =
+          let results =
+            Mpisim.Engine.run_values ~ranks:p (fun mpi ->
+                let text =
+                  Suffix_array.Sa_common.random_text ~seed:77 ~alphabet:2 ~n:500 ~p
+                    ~rank:(Mpisim.Comm.rank mpi)
+                in
+                builder mpi text)
+          in
+          Array.concat (Array.to_list results)
+        in
+        Alcotest.(check (array int))
+          "dcx = prefix doubling"
+          (run Suffix_array.Sa_kamping.suffix_array)
+          (run Suffix_array.Sa_dcx.suffix_array));
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Label propagation: the three layer variants agree exactly. *)
+
+let run_lp variant () =
+  let p = 4 in
+  let results =
+    Engine.run_values ~ranks:p (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let g = Graphgen.Rgg2d.generate comm ~n_per_rank:64 ~seed:13 () in
+        variant mpi g ~max_cluster_size:16 ~rounds:4)
+  in
+  Array.concat (Array.to_list results)
+
+let test_lp_variants_agree () =
+  let a = run_lp Label_propagation.Lp_mpi.run () in
+  let b = run_lp Label_propagation.Lp_kamping.run () in
+  let c = run_lp Label_propagation.Lp_specialized.run () in
+  Alcotest.(check (array int)) "mpi = kamping" a b;
+  Alcotest.(check (array int)) "kamping = specialized" b c
+
+let test_lp_coarsens () =
+  let labels = run_lp Label_propagation.Lp_kamping.run () in
+  let distinct = Hashtbl.create 64 in
+  Array.iter (fun l -> Hashtbl.replace distinct l ()) labels;
+  Alcotest.(check bool) "fewer clusters than vertices" true
+    (Hashtbl.length distinct < Array.length labels)
+
+let lp_tests =
+  [
+    Alcotest.test_case "lp variants agree" `Quick test_lp_variants_agree;
+    Alcotest.test_case "lp coarsens" `Quick test_lp_coarsens;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Phylo: both layers produce the identical score trajectory. *)
+
+let run_phylo layer =
+  let results =
+    Engine.run_values ~ranks:6 (fun comm ->
+        Phylo.Workload.run layer comm ~sites_per_rank:200 ~iterations:20 ~n_branches:32
+          ~n_partitions:4)
+  in
+  results.(0)
+
+let test_phylo_layers_agree () =
+  let a = run_phylo Phylo.Workload.handrolled in
+  let b = run_phylo Phylo.Workload.kamping in
+  Alcotest.(check bool) "identical final score" true
+    (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let test_phylo_score_finite () =
+  let a = run_phylo Phylo.Workload.kamping in
+  Alcotest.(check bool) "finite" true (Float.is_finite a)
+
+let phylo_tests =
+  [
+    Alcotest.test_case "phylo layers agree" `Quick test_phylo_layers_agree;
+    Alcotest.test_case "phylo score finite" `Quick test_phylo_score_finite;
+  ]
+
+let () =
+  Alcotest.run "apps"
+    [
+      ("sample_sort", sorter_tests);
+      ("vector_allgather", va_tests);
+      ("bfs_bindings", bfs_binding_tests);
+      ("bfs_exchangers", bfs_exchanger_tests);
+      ("suffix_array", suffix_tests);
+      ("label_propagation", lp_tests);
+      ("phylo", phylo_tests);
+    ]

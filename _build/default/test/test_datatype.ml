@@ -1,0 +1,186 @@
+(* Unit and property tests for the datatype system (paper §III-D). *)
+
+open Mpisim
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let roundtrip (dt : 'a Datatype.t) (v : 'a) : 'a =
+  let w = Wire.create_writer () in
+  dt.Datatype.pack w v;
+  dt.Datatype.unpack (Wire.reader_of_bytes (Wire.contents w))
+
+let test_builtin_sizes () =
+  Alcotest.(check int) "int" 8 (Datatype.elem_size Datatype.int);
+  Alcotest.(check int) "int32" 4 (Datatype.elem_size Datatype.int32);
+  Alcotest.(check int) "float" 8 (Datatype.elem_size Datatype.float);
+  Alcotest.(check int) "float32" 4 (Datatype.elem_size Datatype.float32);
+  Alcotest.(check int) "char" 1 (Datatype.elem_size Datatype.char);
+  Alcotest.(check int) "bool" 1 (Datatype.elem_size Datatype.bool)
+
+let test_builtins_committed () =
+  List.iter
+    (fun b -> Alcotest.(check bool) "committed" true b)
+    [
+      Datatype.is_committed Datatype.int;
+      Datatype.is_committed Datatype.float;
+      Datatype.is_committed Datatype.char;
+      Datatype.is_committed Datatype.bool;
+      Datatype.is_committed Datatype.byte;
+    ]
+
+let test_derived_commit_lifecycle () =
+  let dt = Datatype.pair Datatype.int Datatype.float in
+  Alcotest.(check bool) "fresh derived not committed" false (Datatype.is_committed dt);
+  Datatype.commit dt;
+  Alcotest.(check bool) "committed" true (Datatype.is_committed dt);
+  Datatype.free dt;
+  Alcotest.(check bool) "freed" false (Datatype.is_committed dt);
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Datatype.free: double free: pair(int,float)") (fun () ->
+      Datatype.free dt)
+
+let test_cannot_free_builtin () =
+  Alcotest.check_raises "free builtin"
+    (Invalid_argument "Datatype.free: cannot free builtin") (fun () ->
+      Datatype.free Datatype.int)
+
+let test_with_committed_scopes () =
+  let dt = Datatype.pair Datatype.int Datatype.int in
+  let before = Datatype.live_derived_count () in
+  Datatype.with_committed dt (fun dt' ->
+      Alcotest.(check bool) "committed inside" true (Datatype.is_committed dt'));
+  Alcotest.(check bool) "freed outside" false (Datatype.is_committed dt);
+  Alcotest.(check int) "no leak" before (Datatype.live_derived_count ())
+
+let test_uncommitted_send_rejected () =
+  let dt = Datatype.pair Datatype.int Datatype.int in
+  let failure = ref "" in
+  (try
+     ignore
+       (Engine.run ~ranks:2 (fun comm ->
+            if Comm.rank comm = 0 then P2p.send comm dt ~dest:1 [| (1, 2) |]
+            else ignore (P2p.recv comm dt ~source:0 ())))
+   with Scheduler.Aborted { exn = Errdefs.Usage_error msg; _ } -> failure := msg);
+  Alcotest.(check bool) "mentions commit" true
+    (String.length !failure > 0
+    && String.length !failure > 10
+    &&
+    let has_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    has_sub !failure "not committed")
+
+let test_signature_mismatch_detected () =
+  (* Send ints, receive as floats: same byte size, different signature. *)
+  let caught = ref false in
+  (try
+     ignore
+       (Engine.run ~ranks:2 (fun comm ->
+            if Comm.rank comm = 0 then P2p.send comm Datatype.int ~dest:1 [| 1; 2; 3 |]
+            else ignore (P2p.recv comm Datatype.float ~source:0 ())))
+   with Scheduler.Aborted { exn = Errdefs.Mpi_error { code = Errdefs.Err_type; _ }; _ } ->
+     caught := true);
+  Alcotest.(check bool) "type mismatch raises ERR_TYPE" true !caught
+
+let test_blob_matches_any_blob () =
+  (* byte <-> blob of equal total size must match (MPI_BYTE semantics). *)
+  let sig_a = Signature.of_base ~count:24 Signature.Blob in
+  let sig_b =
+    Signature.concat
+      [ Signature.of_base ~count:16 Signature.Blob; Signature.of_base ~count:8 Signature.Blob ]
+  in
+  Alcotest.(check bool) "normalized equal" true (Signature.matches sig_a sig_b)
+
+let test_zero_elem_decodes () =
+  Alcotest.(check int) "int" 0 (Datatype.zero_elem Datatype.int);
+  Alcotest.(check bool) "bool" false (Datatype.zero_elem Datatype.bool);
+  let dt = Datatype.option_ Datatype.float in
+  Alcotest.(check bool) "option" true (Datatype.zero_elem dt = None)
+
+type my_record = { ra : int; rb : float; rc : char }
+
+let my_record_dt =
+  Datatype.record3 "my_record"
+    (Datatype.field "ra" Datatype.int (fun r -> r.ra))
+    (Datatype.field "rb" Datatype.float (fun r -> r.rb))
+    (Datatype.field "rc" Datatype.char (fun r -> r.rc))
+    (fun ra rb rc -> { ra; rb; rc })
+
+let prop_record_roundtrip =
+  let gen = QCheck.(triple int float printable_char) in
+  QCheck.Test.make ~name:"record3 roundtrip" ~count:300 gen (fun (ra, rb, rc) ->
+      let v = { ra; rb; rc } in
+      let v' = roundtrip my_record_dt v in
+      v'.ra = ra && Int64.bits_of_float v'.rb = Int64.bits_of_float rb && v'.rc = rc)
+
+let prop_pair_roundtrip =
+  QCheck.Test.make ~name:"pair roundtrip" ~count:300
+    QCheck.(pair int int)
+    (fun v -> roundtrip (Datatype.pair Datatype.int Datatype.int) v = v)
+
+let prop_triple_roundtrip =
+  QCheck.Test.make ~name:"triple roundtrip" ~count:300
+    QCheck.(triple int bool int)
+    (fun v -> roundtrip (Datatype.triple Datatype.int Datatype.bool Datatype.int) v = v)
+
+let prop_option_roundtrip =
+  QCheck.Test.make ~name:"option roundtrip" ~count:300
+    QCheck.(option int)
+    (fun v -> roundtrip (Datatype.option_ Datatype.int) v = v)
+
+let prop_contiguous_roundtrip =
+  let gen = QCheck.(array_of_size (Gen.return 5) int) in
+  QCheck.Test.make ~name:"contiguous roundtrip" ~count:200 gen (fun v ->
+      roundtrip (Datatype.contiguous ~count:5 Datatype.int) v = v)
+
+let prop_array_pack_unpack =
+  let gen = QCheck.(array_of_size Gen.small_nat int) in
+  QCheck.Test.make ~name:"pack_array/unpack_array inverse" ~count:200 gen (fun v ->
+      let w = Wire.create_writer () in
+      Datatype.pack_array Datatype.int w v ~pos:0 ~count:(Array.length v);
+      let r = Wire.reader_of_bytes (Wire.contents w) in
+      Datatype.unpack_array Datatype.int r ~count:(Array.length v) = v)
+
+let prop_size_matches_packed_bytes =
+  let gen = QCheck.(triple int float printable_char) in
+  QCheck.Test.make ~name:"elem_size = packed bytes" ~count:200 gen (fun (ra, rb, rc) ->
+      let w = Wire.create_writer () in
+      my_record_dt.Datatype.pack w { ra; rb; rc };
+      Wire.length w = Datatype.elem_size my_record_dt)
+
+let test_gapped_vs_blob_sizes () =
+  let gapped =
+    Datatype.record3_with_gaps "gap_t"
+      (Datatype.field "a" Datatype.int (fun (a, _, _) -> a))
+      (Datatype.field ~pad_after:7 "b" Datatype.char (fun (_, b, _) -> b))
+      (Datatype.field "c" Datatype.float (fun (_, _, c) -> c))
+      (fun a b c -> (a, b, c))
+  in
+  Alcotest.(check int) "padded size" 24 (Datatype.elem_size gapped);
+  let v = (11, 'q', 2.5) in
+  Alcotest.(check bool) "roundtrip with gaps" true (roundtrip gapped v = v)
+
+let tests =
+  [
+    Alcotest.test_case "builtin sizes" `Quick test_builtin_sizes;
+    Alcotest.test_case "builtins committed" `Quick test_builtins_committed;
+    Alcotest.test_case "derived commit lifecycle" `Quick test_derived_commit_lifecycle;
+    Alcotest.test_case "cannot free builtin" `Quick test_cannot_free_builtin;
+    Alcotest.test_case "with_committed scopes" `Quick test_with_committed_scopes;
+    Alcotest.test_case "uncommitted send rejected" `Quick test_uncommitted_send_rejected;
+    Alcotest.test_case "signature mismatch" `Quick test_signature_mismatch_detected;
+    Alcotest.test_case "blob signature normalization" `Quick test_blob_matches_any_blob;
+    Alcotest.test_case "zero_elem decodes" `Quick test_zero_elem_decodes;
+    Alcotest.test_case "gapped struct size" `Quick test_gapped_vs_blob_sizes;
+    qtest prop_record_roundtrip;
+    qtest prop_pair_roundtrip;
+    qtest prop_triple_roundtrip;
+    qtest prop_option_roundtrip;
+    qtest prop_contiguous_roundtrip;
+    qtest prop_array_pack_unpack;
+    qtest prop_size_matches_packed_bytes;
+  ]
+
+let () = Alcotest.run "datatype" [ ("datatype", tests) ]

@@ -1,0 +1,158 @@
+(* Failure-injection coverage: every collective must surface
+   ERR_PROC_FAILED when a member has failed (ULFM semantics, §V-B), and
+   the Named front-end must agree with the labelled-argument API on random
+   inputs. *)
+
+open Mpisim
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Run a 4-rank program where rank 2 dies first; the others then attempt
+   [op] and must observe a failure (or revocation). *)
+let check_collective_fails name (op : Comm.t -> unit) () =
+  let observed = ref 0 in
+  let _, report =
+    Engine.run_collect ~ranks:4 (fun comm ->
+        if Comm.rank comm = 2 then Fault.die comm
+        else begin
+          (* Let the victim die first. *)
+          Scheduler.park
+            ~describe:(fun () -> "awaiting failure")
+            ~poll:(fun () ->
+              if Runtime.is_failed (Comm.runtime comm) 2 then Some () else None);
+          match op comm with
+          | () -> ()
+          | exception Errdefs.Mpi_error { code = Errdefs.Err_proc_failed; _ } ->
+              incr observed
+          | exception Errdefs.Mpi_error { code = Errdefs.Err_revoked; _ } -> incr observed
+        end)
+  in
+  Alcotest.(check (list int)) (name ^ ": victim recorded") [ 2 ] report.Engine.killed;
+  Alcotest.(check int) (name ^ ": all survivors observed the failure") 3 !observed
+
+let collective_failure_tests =
+  let ops : (string * (Comm.t -> unit)) list =
+    [
+      ("barrier", fun c -> Coll.barrier c);
+      ("bcast", fun c -> ignore (Coll.bcast c Datatype.int ~root:0 (if Comm.rank c = 0 then Some [| 1 |] else None)));
+      ("allgather", fun c -> ignore (Coll.allgather c Datatype.int [| 1 |]));
+      ( "allgatherv",
+        fun c ->
+          ignore (Coll.allgatherv c Datatype.int ~recv_counts:(Array.make 4 1) [| 1 |]) );
+      ("alltoall", fun c -> ignore (Coll.alltoall c Datatype.int (Array.make 4 1)));
+      ("gather", fun c -> ignore (Coll.gather c Datatype.int ~root:0 [| 1 |]));
+      ("reduce", fun c -> ignore (Coll.reduce c Datatype.int Reduce_op.int_sum ~root:0 [| 1 |]));
+      ( "allreduce",
+        fun c -> ignore (Coll.allreduce_single c Datatype.int Reduce_op.int_sum 1) );
+      ("scan", fun c -> ignore (Coll.scan_single c Datatype.int Reduce_op.int_sum 1));
+      ( "reduce_scatter_block",
+        fun c ->
+          ignore (Coll.reduce_scatter_block c Datatype.int Reduce_op.int_sum (Array.make 4 1)) );
+      ("comm_dup", fun c -> ignore (Comm_ops.dup c));
+      ("comm_split", fun c -> ignore (Comm_ops.split c ~color:0 ()));
+    ]
+  in
+  List.map
+    (fun (name, op) ->
+      Alcotest.test_case ("failure surfaces in " ^ name) `Quick
+        (check_collective_fails name op))
+    ops
+
+(* Send to a failed rank raises. *)
+let test_send_to_failed () =
+  let caught = ref false in
+  let _, _ =
+    Engine.run_collect ~ranks:2 (fun comm ->
+        if Comm.rank comm = 1 then Fault.die comm
+        else begin
+          Scheduler.park
+            ~describe:(fun () -> "awaiting failure")
+            ~poll:(fun () ->
+              if Runtime.is_failed (Comm.runtime comm) 1 then Some () else None);
+          match P2p.send comm Datatype.int ~dest:1 [| 1 |] with
+          | () -> ()
+          | exception Errdefs.Mpi_error { code = Errdefs.Err_proc_failed; _ } ->
+              caught := true
+        end)
+  in
+  Alcotest.(check bool) "send-to-dead raises" true !caught
+
+(* --- Named front-end equivalence --- *)
+
+let prop_named_equals_labelled_allgatherv =
+  QCheck.Test.make ~name:"Named.allgatherv = Collectives.allgatherv" ~count:40
+    QCheck.(pair (int_range 1 8) (int_bound 10000))
+    (fun (p, seed) ->
+      let results =
+        Engine.run_values ~model:Net_model.zero_cost ~ranks:p (fun mpi ->
+            let comm = Kamping.Communicator.of_mpi mpi in
+            let r = Comm.rank mpi in
+            let len = Xoshiro.hash_int ~seed ~stream:2 ~counter:r ~bound:5 in
+            let v = Array.init len (fun i -> (r * 100) + i) in
+            let labelled = Kamping.Collectives.allgatherv comm Datatype.int v in
+            let named =
+              Kamping.Named.(extract_recv_buf (allgatherv comm Datatype.int [ send_buf v ]))
+            in
+            labelled = named)
+      in
+      Array.for_all Fun.id results)
+
+let prop_named_equals_labelled_alltoallv =
+  QCheck.Test.make ~name:"Named.alltoallv = Collectives.alltoallv" ~count:40
+    QCheck.(pair (int_range 1 8) (int_bound 10000))
+    (fun (p, seed) ->
+      let results =
+        Engine.run_values ~model:Net_model.zero_cost ~ranks:p (fun mpi ->
+            let comm = Kamping.Communicator.of_mpi mpi in
+            let r = Comm.rank mpi in
+            let counts = Array.init p (fun d -> (seed + r + d) mod 3) in
+            let data =
+              Array.concat (List.init p (fun d -> Array.make counts.(d) ((r * 10) + d)))
+            in
+            let labelled =
+              Kamping.Collectives.alltoallv comm Datatype.int ~send_counts:counts data
+            in
+            let named =
+              Kamping.Named.(
+                extract_recv_buf
+                  (alltoallv comm Datatype.int [ send_buf data; send_counts counts ]))
+            in
+            labelled = named)
+      in
+      Array.for_all Fun.id results)
+
+(* --- RMA accumulate property --- *)
+
+let prop_rma_accumulate_sums =
+  QCheck.Test.make ~name:"RMA accumulate totals are exact" ~count:30
+    QCheck.(pair (int_range 2 8) (int_bound 10000))
+    (fun (p, seed) ->
+      let contributions r = Xoshiro.hash_int ~seed ~stream:r ~counter:0 ~bound:100 in
+      let results =
+        Engine.run_values ~model:Net_model.zero_cost ~ranks:p (fun comm ->
+            let win = Rma.create comm Datatype.int (Array.make 1 0) in
+            let r = Comm.rank comm in
+            Rma.accumulate win ~target:(r mod 2) ~target_pos:0 Reduce_op.int_sum
+              [| contributions r |];
+            Rma.fence win;
+            let v = (Rma.local win).(0) in
+            Rma.free win;
+            v)
+      in
+      let expected target =
+        List.fold_left
+          (fun acc r -> if r mod 2 = target then acc + contributions r else acc)
+          0 (List.init p Fun.id)
+      in
+      results.(0) = expected 0 && results.(1) = expected 1)
+
+let tests =
+  collective_failure_tests
+  @ [
+      Alcotest.test_case "send to failed" `Quick test_send_to_failed;
+      qtest prop_named_equals_labelled_allgatherv;
+      qtest prop_named_equals_labelled_alltoallv;
+      qtest prop_rma_accumulate_sums;
+    ]
+
+let () = Alcotest.run "failures" [ ("failures", tests) ]

@@ -1,0 +1,295 @@
+(* Unit tests for point-to-point semantics: matching, wildcards,
+   non-overtaking order, probing, synchronous sends, truncation, request
+   completion, failure observation. *)
+
+open Mpisim
+
+let run2 body = Engine.run_values ~ranks:2 body
+
+let test_basic_send_recv () =
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          P2p.send comm Datatype.int ~dest:1 [| 1; 2; 3 |];
+          [||]
+        end
+        else fst (P2p.recv comm Datatype.int ~source:0 ()))
+  in
+  Alcotest.(check (array int)) "payload" [| 1; 2; 3 |] results.(1)
+
+let test_status_fields () =
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          P2p.send comm Datatype.float ~dest:1 ~tag:7 [| 1.5; 2.5 |];
+          (0, 0, 0)
+        end
+        else begin
+          let _, st = P2p.recv comm Datatype.float ~source:0 () in
+          (Status.source st, Status.tag st, Status.count st)
+        end)
+  in
+  Alcotest.(check (triple int int int)) "status" (0, 7, 2) results.(1)
+
+let test_nonovertaking_same_pair () =
+  (* Two same-tag messages from the same sender must arrive in order. *)
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          P2p.send comm Datatype.int ~dest:1 [| 1 |];
+          P2p.send comm Datatype.int ~dest:1 [| 2 |];
+          P2p.send comm Datatype.int ~dest:1 [| 3 |];
+          []
+        end
+        else
+          List.init 3 (fun _ -> (fst (P2p.recv comm Datatype.int ~source:0 ())).(0)))
+  in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] results.(1)
+
+let test_tag_selectivity () =
+  (* A tagged receive must skip earlier messages with other tags. *)
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          P2p.send comm Datatype.int ~dest:1 ~tag:1 [| 100 |];
+          P2p.send comm Datatype.int ~dest:1 ~tag:2 [| 200 |];
+          []
+        end
+        else begin
+          let b, _ = P2p.recv comm Datatype.int ~source:0 ~tag:2 () in
+          let a, _ = P2p.recv comm Datatype.int ~source:0 ~tag:1 () in
+          [ b.(0); a.(0) ]
+        end)
+  in
+  Alcotest.(check (list int)) "tag selection" [ 200; 100 ] results.(1)
+
+let test_any_source_oldest_first () =
+  let results =
+    Engine.run_values ~ranks:3 (fun comm ->
+        (match Comm.rank comm with
+        | 1 -> P2p.send comm Datatype.int ~dest:0 [| 11 |]
+        | 2 -> P2p.send comm Datatype.int ~dest:0 [| 22 |]
+        | _ -> ());
+        (* Barrier so that both messages are unexpected at rank 0 before it
+           posts any wildcard receive. *)
+        Coll.barrier comm;
+        if Comm.rank comm = 0 then begin
+          let a, _ = P2p.recv comm Datatype.int () in
+          let b, _ = P2p.recv comm Datatype.int () in
+          [ a.(0); b.(0) ]
+        end
+        else [])
+  in
+  (* Deterministic scheduling: rank 1 injects before rank 2. *)
+  Alcotest.(check (list int)) "oldest first" [ 11; 22 ] results.(0)
+
+let test_probe_then_recv () =
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          P2p.send comm Datatype.int ~dest:1 ~tag:5 [| 7; 8; 9 |];
+          (0, [||])
+        end
+        else begin
+          let st = P2p.probe comm () in
+          let data, _ =
+            P2p.recv comm Datatype.int ~source:(Status.source st) ~tag:(Status.tag st) ()
+          in
+          (Status.count st, data)
+        end)
+  in
+  let count, data = results.(1) in
+  Alcotest.(check int) "probed count" 3 count;
+  Alcotest.(check (array int)) "probed data" [| 7; 8; 9 |] data
+
+let test_iprobe_empty () =
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then P2p.iprobe comm () = None else true)
+  in
+  Alcotest.(check bool) "no message" true results.(0)
+
+let test_truncation_error () =
+  let caught = ref false in
+  (try
+     ignore
+       (Engine.run ~ranks:2 (fun comm ->
+            if Comm.rank comm = 0 then P2p.send comm Datatype.int ~dest:1 [| 1; 2; 3; 4 |]
+            else begin
+              let buf = Array.make 2 0 in
+              ignore (P2p.recv_into comm Datatype.int ~source:0 buf)
+            end))
+   with Scheduler.Aborted { exn = Errdefs.Mpi_error { code = Errdefs.Err_truncate; _ }; _ }
+   -> caught := true);
+  Alcotest.(check bool) "truncation raises" true !caught
+
+let test_invalid_tag_rejected () =
+  let caught = ref false in
+  (try
+     ignore
+       (Engine.run ~ranks:2 (fun comm ->
+            if Comm.rank comm = 0 then
+              P2p.send comm Datatype.int ~dest:1 ~tag:(-3) [| 1 |]))
+   with Scheduler.Aborted { exn = Errdefs.Usage_error _; _ } -> caught := true);
+  Alcotest.(check bool) "negative tag rejected" true !caught
+
+let test_invalid_rank_rejected () =
+  let caught = ref false in
+  (try
+     ignore
+       (Engine.run ~ranks:2 (fun comm ->
+            if Comm.rank comm = 0 then P2p.send comm Datatype.int ~dest:5 [| 1 |]))
+   with Scheduler.Aborted { exn = Errdefs.Usage_error _; _ } -> caught := true);
+  Alcotest.(check bool) "bad rank rejected" true !caught
+
+let test_ssend_completes_after_match () =
+  (* The sender's clock after an ssend must be >= the receiver's matching
+     time: synchronous completion. *)
+  let times =
+    Engine.run_values ~ranks:2 (fun comm ->
+        let rt = Comm.runtime comm in
+        if Comm.rank comm = 0 then begin
+          P2p.ssend comm Datatype.int ~dest:1 [| 1 |];
+          Runtime.clock rt 0
+        end
+        else begin
+          (* Receive only after doing some "work". *)
+          Runtime.charge_compute rt 1 0.5;
+          ignore (P2p.recv comm Datatype.int ~source:0 ());
+          Runtime.clock rt 1
+        end)
+  in
+  Alcotest.(check bool) "sender waited for the late receiver" true (times.(0) >= 0.5)
+
+let test_send_is_eager () =
+  (* A plain send must NOT wait for the receiver. *)
+  let times =
+    Engine.run_values ~ranks:2 (fun comm ->
+        let rt = Comm.runtime comm in
+        if Comm.rank comm = 0 then begin
+          P2p.send comm Datatype.int ~dest:1 [| 1 |];
+          Runtime.clock rt 0
+        end
+        else begin
+          Runtime.charge_compute rt 1 0.5;
+          ignore (P2p.recv comm Datatype.int ~source:0 ());
+          0.
+        end)
+  in
+  Alcotest.(check bool) "sender did not wait" true (times.(0) < 0.4)
+
+let test_isend_irecv_wait () =
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          let req = P2p.isend comm Datatype.int ~dest:1 [| 5; 6 |] in
+          ignore (Request.wait req);
+          [||]
+        end
+        else begin
+          let buf = Array.make 2 0 in
+          let req = P2p.irecv_into comm Datatype.int ~source:0 buf in
+          ignore (Request.wait req);
+          buf
+        end)
+  in
+  Alcotest.(check (array int)) "irecv data" [| 5; 6 |] results.(1)
+
+let test_wait_any () =
+  let results =
+    Engine.run_values ~ranks:3 (fun comm ->
+        match Comm.rank comm with
+        | 0 ->
+            (* Two dynamic receives, completed in sender order. *)
+            let r1 = P2p.irecv_dyn comm Datatype.int ~source:1 () in
+            let r2 = P2p.irecv_dyn comm Datatype.int ~source:2 () in
+            let i, _ = Request.wait_any [ r1.P2p.base; r2.P2p.base ] in
+            ignore (P2p.dyn_wait r1);
+            ignore (P2p.dyn_wait r2);
+            i
+        | 1 ->
+            P2p.send comm Datatype.int ~dest:0 [| 1 |];
+            -1
+        | _ ->
+            P2p.send comm Datatype.int ~dest:0 [| 2 |];
+            -1)
+  in
+  Alcotest.(check bool) "wait_any returned a valid index" true
+    (results.(0) = 0 || results.(0) = 1)
+
+let test_request_idempotent () =
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          P2p.send comm Datatype.int ~dest:1 [| 9 |];
+          true
+        end
+        else begin
+          let r = P2p.irecv_dyn comm Datatype.int ~source:0 () in
+          let d1, _ = P2p.dyn_wait r in
+          let d2, _ = P2p.dyn_wait r in
+          d1 == d2
+        end)
+  in
+  Alcotest.(check bool) "wait is idempotent" true results.(1)
+
+let test_recv_from_failed_raises () =
+  let caught = ref false in
+  (try
+     ignore
+       (Engine.run ~ranks:2 (fun comm ->
+            if Comm.rank comm = 0 then Fault.die comm
+            else ignore (P2p.recv comm Datatype.int ~source:0 ())))
+   with
+  | Scheduler.Aborted { exn = Errdefs.Mpi_error { code = Errdefs.Err_proc_failed; _ }; _ }
+  -> caught := true);
+  Alcotest.(check bool) "recv-from-dead raises PROC_FAILED" true !caught
+
+let test_send_bytes_roundtrip () =
+  let payload = Bytes.of_string "hello wire" in
+  let results =
+    run2 (fun comm ->
+        if Comm.rank comm = 0 then begin
+          P2p.send_bytes comm ~dest:1 payload;
+          Bytes.empty
+        end
+        else fst (P2p.recv_bytes comm ~source:0 ()))
+  in
+  Alcotest.(check string) "bytes payload" "hello wire" (Bytes.to_string results.(1))
+
+let test_sendrecv () =
+  let results =
+    Engine.run_values ~ranks:4 (fun comm ->
+        let r = Comm.rank comm in
+        let n = Comm.size comm in
+        let data, _ =
+          P2p.sendrecv comm Datatype.int ~dest:((r + 1) mod n) ~source:((r + n - 1) mod n)
+            [| r |]
+        in
+        data.(0))
+  in
+  Alcotest.(check (array int)) "ring shift" [| 3; 0; 1; 2 |] results
+
+let tests =
+  [
+    Alcotest.test_case "basic send/recv" `Quick test_basic_send_recv;
+    Alcotest.test_case "status fields" `Quick test_status_fields;
+    Alcotest.test_case "non-overtaking order" `Quick test_nonovertaking_same_pair;
+    Alcotest.test_case "tag selectivity" `Quick test_tag_selectivity;
+    Alcotest.test_case "wildcard oldest-first" `Quick test_any_source_oldest_first;
+    Alcotest.test_case "probe then recv" `Quick test_probe_then_recv;
+    Alcotest.test_case "iprobe empty" `Quick test_iprobe_empty;
+    Alcotest.test_case "truncation error" `Quick test_truncation_error;
+    Alcotest.test_case "invalid tag rejected" `Quick test_invalid_tag_rejected;
+    Alcotest.test_case "invalid rank rejected" `Quick test_invalid_rank_rejected;
+    Alcotest.test_case "ssend synchronous completion" `Quick test_ssend_completes_after_match;
+    Alcotest.test_case "send is eager" `Quick test_send_is_eager;
+    Alcotest.test_case "isend/irecv/wait" `Quick test_isend_irecv_wait;
+    Alcotest.test_case "wait_any" `Quick test_wait_any;
+    Alcotest.test_case "request idempotence" `Quick test_request_idempotent;
+    Alcotest.test_case "recv from failed" `Quick test_recv_from_failed_raises;
+    Alcotest.test_case "raw bytes transfer" `Quick test_send_bytes_roundtrip;
+    Alcotest.test_case "sendrecv ring" `Quick test_sendrecv;
+  ]
+
+let () = Alcotest.run "p2p" [ ("p2p", tests) ]

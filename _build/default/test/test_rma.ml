@@ -1,0 +1,125 @@
+(* Tests for one-sided communication (RMA windows). *)
+
+open Mpisim
+
+let test_put_visible_after_fence () =
+  let results =
+    Engine.run_values ~ranks:4 (fun comm ->
+        let win = Rma.create comm Datatype.int (Array.make 4 0) in
+        let r = Comm.rank comm in
+        (* Everyone puts its rank into slot r of its right neighbor. *)
+        Rma.put win ~target:((r + 1) mod 4) ~target_pos:r [| r |];
+        Rma.fence win;
+        let v = Array.copy (Rma.local win) in
+        Rma.free win;
+        v)
+  in
+  Array.iteri
+    (fun r v ->
+      let left = (r + 3) mod 4 in
+      let expected = Array.make 4 0 in
+      expected.(left) <- left;
+      Alcotest.(check (array int)) (Printf.sprintf "rank %d" r) expected v)
+    results
+
+let test_get_after_fence () =
+  let results =
+    Engine.run_values ~ranks:3 (fun comm ->
+        let r = Comm.rank comm in
+        let win = Rma.create comm Datatype.int (Array.init 3 (fun i -> (r * 10) + i)) in
+        Rma.fence win;
+        (* read slot 1 of every peer *)
+        let into = Array.make 3 (-1) in
+        for t = 0 to 2 do
+          Rma.get win ~target:t ~target_pos:1 ~count:1 into ~into_pos:t
+        done;
+        Rma.fence win;
+        Rma.free win;
+        into)
+  in
+  Array.iter
+    (fun v -> Alcotest.(check (array int)) "gathered slot 1" [| 1; 11; 21 |] v)
+    results
+
+let test_accumulate_concurrent () =
+  (* All ranks accumulate into rank 0's slot: the sum must include every
+     contribution exactly once regardless of order. *)
+  let results =
+    Engine.run_values ~ranks:8 (fun comm ->
+        let win = Rma.create comm Datatype.int (Array.make 1 100) in
+        Rma.accumulate win ~target:0 ~target_pos:0 Reduce_op.int_sum
+          [| Comm.rank comm + 1 |];
+        Rma.fence win;
+        let v = (Rma.local win).(0) in
+        Rma.free win;
+        v)
+  in
+  Alcotest.(check int) "rank 0 accumulated all" (100 + 36) results.(0);
+  Alcotest.(check int) "rank 1 untouched" 100 results.(1)
+
+let test_put_get_epochs_isolated () =
+  (* Operations queued after a fence do not affect reads before it. *)
+  let results =
+    Engine.run_values ~ranks:2 (fun comm ->
+        let r = Comm.rank comm in
+        let win = Rma.create comm Datatype.int (Array.make 1 r) in
+        Rma.fence win;
+        let before = (Rma.local win).(0) in
+        if r = 0 then Rma.put win ~target:1 ~target_pos:0 [| 99 |];
+        Rma.fence win;
+        let after = (Rma.local win).(0) in
+        Rma.free win;
+        (before, after))
+  in
+  Alcotest.(check (pair int int)) "rank 1 sees the put only after the fence" (1, 99)
+    results.(1)
+
+let test_deterministic_overlapping_puts () =
+  (* Two ranks put to the same slot in one epoch: the deterministic order
+     (by origin rank) makes the higher origin win, every run. *)
+  let run () =
+    (Engine.run_values ~ranks:3 (fun comm ->
+         let r = Comm.rank comm in
+         let win = Rma.create comm Datatype.int (Array.make 1 0) in
+         if r = 1 then Rma.put win ~target:0 ~target_pos:0 [| 111 |];
+         if r = 2 then Rma.put win ~target:0 ~target_pos:0 [| 222 |];
+         Rma.fence win;
+         let v = (Rma.local win).(0) in
+         Rma.free win;
+         v)).(0)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "deterministic" a b;
+  Alcotest.(check int) "last origin wins" 222 a
+
+let test_multiple_windows () =
+  let results =
+    Engine.run_values ~ranks:2 (fun comm ->
+        let r = Comm.rank comm in
+        let w1 = Rma.create comm Datatype.int (Array.make 1 0) in
+        let w2 = Rma.create comm Datatype.int (Array.make 1 0) in
+        if r = 0 then begin
+          Rma.put w1 ~target:1 ~target_pos:0 [| 7 |];
+          Rma.put w2 ~target:1 ~target_pos:0 [| 8 |]
+        end;
+        Rma.fence w1;
+        Rma.fence w2;
+        let v = ((Rma.local w1).(0), (Rma.local w2).(0)) in
+        Rma.free w1;
+        Rma.free w2;
+        v)
+  in
+  Alcotest.(check (pair int int)) "windows independent" (7, 8) results.(1)
+
+let tests =
+  [
+    Alcotest.test_case "put visible after fence" `Quick test_put_visible_after_fence;
+    Alcotest.test_case "get after fence" `Quick test_get_after_fence;
+    Alcotest.test_case "concurrent accumulate" `Quick test_accumulate_concurrent;
+    Alcotest.test_case "epochs isolated" `Quick test_put_get_epochs_isolated;
+    Alcotest.test_case "deterministic overlapping puts" `Quick
+      test_deterministic_overlapping_puts;
+    Alcotest.test_case "multiple windows" `Quick test_multiple_windows;
+  ]
+
+let () = Alcotest.run "rma" [ ("rma", tests) ]
