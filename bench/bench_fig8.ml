@@ -58,6 +58,19 @@ let run ?(max_p = 64) ?(per_rank = 10_000) ?reps () =
       measurements
   in
   Bench_util.print_table ~header rows;
+  List.iter
+    (fun (p, per_variant) ->
+      List.iter
+        (fun (name, t) ->
+          Bench_util.emit_json ~bench:"fig8"
+            [
+              ("p", Bench_util.I p);
+              ("per_rank", Bench_util.I per_rank);
+              ("variant", Bench_util.S name);
+              ("sim_seconds", Bench_util.F t);
+            ])
+        per_variant)
+    measurements;
   (* Overhead summary at the largest p, from the same measurements. *)
   let p, per_variant = List.nth measurements (List.length measurements - 1) in
   let base = List.assoc "mpi" per_variant in

@@ -72,6 +72,13 @@ let run ?(model = Net_model.omnipath) () =
        (fun bytes ->
          let lat = pingpong ~model ~bytes ~iters:10 in
          let bw = bandwidth ~model ~bytes ~iters:10 in
+         Bench_util.emit_json ~bench:"pingpong"
+           [
+             ("model", Bench_util.S model.Net_model.name);
+             ("bytes", Bench_util.I bytes);
+             ("latency_seconds", Bench_util.F lat);
+             ("bandwidth_bytes_per_second", Bench_util.F bw);
+           ];
          [
            string_of_int bytes;
            Bench_util.time_str lat;
@@ -88,10 +95,21 @@ let run ?(model = Net_model.omnipath) () =
     ~header:[ "p"; "barrier"; "allreduce"; "bcast" ]
     (List.map
        (fun p ->
+         let barrier = coll_latency ~model ~ranks:p `Barrier in
+         let allreduce = coll_latency ~model ~ranks:p `Allreduce in
+         let bcast = coll_latency ~model ~ranks:p `Bcast in
+         Bench_util.emit_json ~bench:"coll_latency"
+           [
+             ("model", Bench_util.S model.Net_model.name);
+             ("p", Bench_util.I p);
+             ("barrier_seconds", Bench_util.F barrier);
+             ("allreduce_seconds", Bench_util.F allreduce);
+             ("bcast_seconds", Bench_util.F bcast);
+           ];
          [
            string_of_int p;
-           Bench_util.time_str (coll_latency ~model ~ranks:p `Barrier);
-           Bench_util.time_str (coll_latency ~model ~ranks:p `Allreduce);
-           Bench_util.time_str (coll_latency ~model ~ranks:p `Bcast);
+           Bench_util.time_str barrier;
+           Bench_util.time_str allreduce;
+           Bench_util.time_str bcast;
          ])
        ps)

@@ -139,3 +139,53 @@ let ns_string ns =
   else if ns < 1e6 then Printf.sprintf "%.2fus" (ns /. 1e3)
   else if ns < 1e9 then Printf.sprintf "%.2fms" (ns /. 1e6)
   else Printf.sprintf "%.3fs" (ns /. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results.
+
+   When BENCH_JSON names a file, every measurement also appends one JSON
+   object per line there (JSON Lines), so plots and regression checks can
+   consume benchmark output without scraping tables:
+
+     BENCH_JSON=results.jsonl dune exec bench/main.exe -- fig8 *)
+
+type json_value = S of string | I of int | F of float
+
+let json_path = Sys.getenv_opt "BENCH_JSON"
+
+let emit_json ~bench (fields : (string * json_value) list) =
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 128 in
+      let o = Mpisim.Json_out.start_obj buf in
+      Mpisim.Json_out.field_str o "bench" bench;
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | S s -> Mpisim.Json_out.field_str o k s
+          | I i -> Mpisim.Json_out.field_int o k i
+          | F f -> Mpisim.Json_out.field_float o k f)
+        fields;
+      Mpisim.Json_out.end_obj o;
+      Buffer.add_char buf '\n';
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc
+
+(* Append a full stats-registry dump as one JSON line (e.g. a run's
+   message-size/latency histograms next to its headline number). *)
+let emit_stats_json ~bench (stats : Mpisim.Stats.t) =
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 512 in
+      let o = Mpisim.Json_out.start_obj buf in
+      Mpisim.Json_out.field_str o "bench" bench;
+      Mpisim.Json_out.key o "stats";
+      Mpisim.Stats.json_into buf stats;
+      Mpisim.Json_out.end_obj o;
+      Buffer.add_char buf '\n';
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc

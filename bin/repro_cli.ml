@@ -24,25 +24,88 @@ let report_line (r : Engine.report) =
   Printf.printf "ranks=%d simulated_time=%s\n" r.Engine.ranks
     (Sim_time.to_string r.Engine.max_time)
 
+(* --- observability flags, shared by every subcommand --- *)
+
+type obs = { trace_file : string option; stats : bool }
+
+let obs_arg =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record an event trace and write it as Chrome trace-event JSON to \
+             $(docv) (loadable in chrome://tracing or ui.perfetto.dev).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the per-rank busy/blocked/idle breakdown, message-size and \
+             latency histograms, and the critical path bounding the makespan.")
+  in
+  Term.(const (fun trace_file stats -> { trace_file; stats }) $ trace_file $ stats)
+
+(* Run one experiment body under the observability flags: tracing is
+   enabled iff --trace or --stats was given (--stats needs the event trace
+   for the critical path), and the reports print after the run. *)
+let run_with_obs ~obs ~model ~ranks body =
+  let trace_capacity =
+    if obs.trace_file <> None || obs.stats then Some Trace.default_capacity else None
+  in
+  let report = Engine.run ~model ?trace_capacity ~ranks body in
+  report_line report;
+  (match obs.trace_file with
+  | Some file -> (
+      match Trace.write_chrome_file report.Engine.trace file with
+      | () ->
+          let dropped = Trace.total_dropped report.Engine.trace in
+          if dropped > 0 then
+            Printf.printf "trace written to %s (%d oldest events dropped)\n" file
+              dropped
+          else Printf.printf "trace written to %s\n" file
+      | exception Sys_error msg ->
+          Printf.eprintf "kamping-repro: cannot write trace: %s\n" msg;
+          exit 1)
+  | None -> ());
+  if obs.stats then begin
+    let ppf = Format.std_formatter in
+    Format.fprintf ppf "@.-- utilization --@.";
+    Trace_report.pp_utilization ppf ~busy:report.Engine.busy
+      ~blocked:report.Engine.blocked ~times:report.Engine.times
+      ~max_time:report.Engine.max_time;
+    let histo name fmt title =
+      let h = Stats.histogram report.Engine.stats name in
+      if Stats.total h > 0 then begin
+        Format.fprintf ppf "@.-- %s --@." title;
+        Stats.pp_histogram ~fmt ppf h
+      end
+    in
+    histo "msg_size_bytes" Stats.fmt_bytes "message size";
+    histo "msg_latency_seconds" Stats.fmt_seconds "message latency (send to consume)";
+    Format.fprintf ppf "@.-- critical path --@.";
+    Trace_report.pp_critical_path ppf report.Engine.trace ~times:report.Engine.times;
+    Format.pp_print_flush ppf ()
+  end
+
 (* --- sort --- *)
 
 let sort_cmd =
   let per_rank =
     Arg.(value & opt int 100_000 & info [ "per-rank" ] ~doc:"Elements per rank.")
   in
-  let run ranks per_rank model =
-    let report =
-      Engine.run ~model ~ranks (fun mpi ->
-          let comm = Kamping.Communicator.of_mpi mpi in
-          let rng = Xoshiro.create ~seed:1 ~stream:(Comm.rank mpi) in
-          let data = Array.init per_rank (fun _ -> Xoshiro.next_int rng ~bound:max_int) in
-          let sorted = Kamping_plugins.Sorter.sort comm Datatype.int data in
-          assert (Kamping_plugins.Sorter.is_globally_sorted comm Datatype.int sorted))
-    in
-    report_line report
+  let run ranks per_rank model obs =
+    run_with_obs ~obs ~model ~ranks (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let rng = Xoshiro.create ~seed:1 ~stream:(Comm.rank mpi) in
+        let data = Array.init per_rank (fun _ -> Xoshiro.next_int rng ~bound:max_int) in
+        let sorted = Kamping_plugins.Sorter.sort comm Datatype.int data in
+        assert (Kamping_plugins.Sorter.is_globally_sorted comm Datatype.int sorted))
   in
   Cmd.v (Cmd.info "sort" ~doc:"Distributed sample sort (Fig. 7/8 workload).")
-    Term.(const run $ ranks_arg $ per_rank $ model_arg)
+    Term.(const run $ ranks_arg $ per_rank $ model_arg $ obs_arg)
 
 (* --- bfs --- *)
 
@@ -64,42 +127,36 @@ let bfs_cmd =
   let n_per_rank =
     Arg.(value & opt int 4096 & info [ "vertices-per-rank" ] ~doc:"Vertices per rank.")
   in
-  let run ranks family exchanger n_per_rank model =
-    let report =
-      Engine.run ~model ~ranks (fun mpi ->
-          let comm = Kamping.Communicator.of_mpi mpi in
-          let g =
-            match family with
-            | `Gnm ->
-                Graphgen.Gnm.generate comm ~n_per_rank ~m_per_rank:(8 * n_per_rank) ~seed:1
-            | `Rgg -> Graphgen.Rgg2d.generate comm ~n_per_rank ~seed:1 ()
-            | `Rhg -> Graphgen.Rhg.generate comm ~n_per_rank ~seed:1 ()
-          in
-          ignore (Bfs.Exchangers.bfs mpi g ~source:0 ~exchanger))
-    in
-    report_line report
+  let run ranks family exchanger n_per_rank model obs =
+    run_with_obs ~obs ~model ~ranks (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let g =
+          match family with
+          | `Gnm ->
+              Graphgen.Gnm.generate comm ~n_per_rank ~m_per_rank:(8 * n_per_rank) ~seed:1
+          | `Rgg -> Graphgen.Rgg2d.generate comm ~n_per_rank ~seed:1 ()
+          | `Rhg -> Graphgen.Rhg.generate comm ~n_per_rank ~seed:1 ()
+        in
+        ignore (Bfs.Exchangers.bfs mpi g ~source:0 ~exchanger))
   in
   Cmd.v (Cmd.info "bfs" ~doc:"Distributed BFS (Fig. 9/10 workload).")
-    Term.(const run $ ranks_arg $ family $ exchanger $ n_per_rank $ model_arg)
+    Term.(const run $ ranks_arg $ family $ exchanger $ n_per_rank $ model_arg $ obs_arg)
 
 (* --- suffix --- *)
 
 let suffix_cmd =
   let length = Arg.(value & opt int 65_536 & info [ "length" ] ~doc:"Total text length.") in
-  let run ranks length model =
-    let report =
-      Engine.run ~model ~ranks (fun mpi ->
-          let text =
-            Suffix_array.Sa_common.random_text ~seed:2 ~alphabet:4 ~n:length ~p:ranks
-              ~rank:(Comm.rank mpi)
-          in
-          ignore (Suffix_array.Sa_kamping.suffix_array mpi text))
-    in
-    report_line report
+  let run ranks length model obs =
+    run_with_obs ~obs ~model ~ranks (fun mpi ->
+        let text =
+          Suffix_array.Sa_common.random_text ~seed:2 ~alphabet:4 ~n:length ~p:ranks
+            ~rank:(Comm.rank mpi)
+        in
+        ignore (Suffix_array.Sa_kamping.suffix_array mpi text))
   in
   Cmd.v
     (Cmd.info "suffix" ~doc:"Suffix array by prefix doubling (paper SIV-A workload).")
-    Term.(const run $ ranks_arg $ length $ model_arg)
+    Term.(const run $ ranks_arg $ length $ model_arg $ obs_arg)
 
 (* --- phylo --- *)
 
@@ -107,21 +164,18 @@ let phylo_cmd =
   let iterations =
     Arg.(value & opt int 200 & info [ "iterations" ] ~doc:"Optimizer iterations.")
   in
-  let run ranks iterations model =
+  let run ranks iterations model obs =
     let score = ref 0. in
-    let report =
-      Engine.run ~model ~ranks (fun comm ->
-          let s =
-            Phylo.Workload.run Phylo.Workload.kamping comm ~sites_per_rank:1000
-              ~iterations ~n_branches:128 ~n_partitions:16
-          in
-          if Comm.rank comm = 0 then score := s)
-    in
-    Printf.printf "final log-likelihood: %.6f\n" !score;
-    report_line report
+    run_with_obs ~obs ~model ~ranks (fun comm ->
+        let s =
+          Phylo.Workload.run Phylo.Workload.kamping comm ~sites_per_rank:1000 ~iterations
+            ~n_branches:128 ~n_partitions:16
+        in
+        if Comm.rank comm = 0 then score := s);
+    Printf.printf "final log-likelihood: %.6f\n" !score
   in
   Cmd.v (Cmd.info "phylo" ~doc:"Phylogenetic-inference workload (paper SIV-C).")
-    Term.(const run $ ranks_arg $ iterations $ model_arg)
+    Term.(const run $ ranks_arg $ iterations $ model_arg $ obs_arg)
 
 (* --- repro-reduce --- *)
 
@@ -129,24 +183,21 @@ let repro_cmd =
   let elements =
     Arg.(value & opt int 100_000 & info [ "elements" ] ~doc:"Total array length.")
   in
-  let run ranks elements model =
+  let run ranks elements model obs =
     let sum = ref 0. in
-    let report =
-      Engine.run ~model ~ranks (fun mpi ->
-          let comm = Kamping.Communicator.of_mpi mpi in
-          let chunk = (elements + ranks - 1) / ranks in
-          let lo = min elements (Comm.rank mpi * chunk) in
-          let hi = min elements (lo + chunk) in
-          let local = Array.init (hi - lo) (fun j -> cos (float_of_int (lo + j))) in
-          let s = Kamping_plugins.Repro_reduce.sum comm local in
-          if Comm.rank mpi = 0 then sum := s)
-    in
-    Printf.printf "reproducible sum: %.17g (bits %Lx)\n" !sum (Int64.bits_of_float !sum);
-    report_line report
+    run_with_obs ~obs ~model ~ranks (fun mpi ->
+        let comm = Kamping.Communicator.of_mpi mpi in
+        let chunk = (elements + ranks - 1) / ranks in
+        let lo = min elements (Comm.rank mpi * chunk) in
+        let hi = min elements (lo + chunk) in
+        let local = Array.init (hi - lo) (fun j -> cos (float_of_int (lo + j))) in
+        let s = Kamping_plugins.Repro_reduce.sum comm local in
+        if Comm.rank mpi = 0 then sum := s);
+    Printf.printf "reproducible sum: %.17g (bits %Lx)\n" !sum (Int64.bits_of_float !sum)
   in
   Cmd.v
     (Cmd.info "repro-reduce" ~doc:"Reproducible reduction (paper SV-C, Fig. 13).")
-    Term.(const run $ ranks_arg $ elements $ model_arg)
+    Term.(const run $ ranks_arg $ elements $ model_arg $ obs_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

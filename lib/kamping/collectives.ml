@@ -29,6 +29,14 @@ type comm = Communicator.t
 
 let c = Communicator.mpi
 
+(* Trace span around one binding-layer call.  Wrappers shadow the [_full]
+   variants (and direct entry points) below, so any default-parameter
+   communication — e.g. the count allgather of [allgatherv] — shows up
+   inside the kamping span, nested above the underlying [Coll] spans. *)
+let traced comm ~op f =
+  let mpi = c comm in
+  Runtime.with_span (Comm.runtime mpi) (Comm.world_rank mpi) ~cat:"kamping" ~name:op f
+
 (* Result record for vector collectives, with paper-style extractors. *)
 type 'a vector_result = {
   recv_buf : 'a array;
@@ -55,21 +63,23 @@ let exclusive_prefix_sum (counts : int array) =
 
 (* Root passes [~data]; other ranks omit it and receive by value. *)
 let bcast comm dt ~root ?data () : 'a array =
-  Coll.bcast (c comm) dt ~root data
+  traced comm ~op:"bcast" (fun () -> Coll.bcast (c comm) dt ~root data)
 
 let bcast_single comm dt ~root ?value () : 'a =
-  (Coll.bcast (c comm) dt ~root (Option.map (fun v -> [| v |]) value)).(0)
+  traced comm ~op:"bcast" (fun () ->
+      (Coll.bcast (c comm) dt ~root (Option.map (fun v -> [| v |]) value)).(0))
 
 (* ------------------------------------------------------------------ *)
 (* Allgather *)
 
 let allgather comm dt (send_buf : 'a array) : 'a array =
-  Coll.allgather (c comm) dt send_buf
+  traced comm ~op:"allgather" (fun () -> Coll.allgather (c comm) dt send_buf)
 
 (* In-place allgather (the send_recv_buf idiom, §III-G): element [rank]
    of [buf] is this rank's contribution; all other slots are filled.  The
    array is modified in place and also returned for pipeline style. *)
 let allgather_inplace comm dt (buf : 'a array) : 'a array =
+  traced comm ~op:"allgather" @@ fun () ->
   let n = Communicator.size comm in
   if Array.length buf mod n <> 0 then
     Errdefs.usage_error "allgather_inplace: buffer length %d not divisible by %d"
@@ -85,6 +95,7 @@ let allgather_inplace comm dt (buf : 'a array) : 'a array =
 
 let allgatherv_full comm dt ?send_count ?recv_counts ?recv_displs (send_buf : 'a array) :
     'a vector_result =
+  traced comm ~op:"allgatherv" @@ fun () ->
   let mpi = c comm in
   let send_count = match send_count with Some s -> s | None -> Array.length send_buf in
   let send_view =
@@ -114,10 +125,11 @@ let allgatherv_into comm dt ?(policy = Resize_policy.default) ?send_count ?recv_
 (* Gather / Gatherv / Scatter / Scatterv *)
 
 let gather comm dt ~root (send_buf : 'a array) : 'a array =
-  Coll.gather (c comm) dt ~root send_buf
+  traced comm ~op:"gather" (fun () -> Coll.gather (c comm) dt ~root send_buf)
 
 let gatherv_full comm dt ~root ?send_count ?recv_counts (send_buf : 'a array) :
     'a vector_result =
+  traced comm ~op:"gatherv" @@ fun () ->
   let mpi = c comm in
   let send_count = match send_count with Some s -> s | None -> Array.length send_buf in
   let send_view =
@@ -141,18 +153,21 @@ let gatherv_full comm dt ~root ?send_count ?recv_counts (send_buf : 'a array) :
 let gatherv comm dt ~root ?send_count ?recv_counts (send_buf : 'a array) : 'a array =
   (gatherv_full comm dt ~root ?send_count ?recv_counts send_buf).recv_buf
 
-let scatter comm dt ~root ?data () : 'a array = Coll.scatter (c comm) dt ~root data
+let scatter comm dt ~root ?data () : 'a array =
+  traced comm ~op:"scatter" (fun () -> Coll.scatter (c comm) dt ~root data)
 
 let scatterv comm dt ~root ?send_counts ?data () : 'a array =
-  Coll.scatterv (c comm) dt ~root ?send_counts data
+  traced comm ~op:"scatterv" (fun () -> Coll.scatterv (c comm) dt ~root ?send_counts data)
 
 (* ------------------------------------------------------------------ *)
 (* Alltoall / Alltoallv *)
 
-let alltoall comm dt (send_buf : 'a array) : 'a array = Coll.alltoall (c comm) dt send_buf
+let alltoall comm dt (send_buf : 'a array) : 'a array =
+  traced comm ~op:"alltoall" (fun () -> Coll.alltoall (c comm) dt send_buf)
 
 let alltoallv_full comm dt ~(send_counts : int array) ?send_displs ?recv_counts
     ?recv_displs (send_buf : 'a array) : 'a vector_result =
+  traced comm ~op:"alltoallv" @@ fun () ->
   let mpi = c comm in
   let recv_counts =
     match recv_counts with
@@ -184,26 +199,30 @@ let alltoallv_into comm dt ?(policy = Resize_policy.default) ~send_counts ?recv_
 (* Reductions *)
 
 let reduce comm dt op ~root (send_buf : 'a array) : 'a array =
-  Coll.reduce (c comm) dt op ~root send_buf
+  traced comm ~op:"reduce" (fun () -> Coll.reduce (c comm) dt op ~root send_buf)
 
 let allreduce comm dt op (send_buf : 'a array) : 'a array =
-  Coll.allreduce (c comm) dt op send_buf
+  traced comm ~op:"allreduce" (fun () -> Coll.allreduce (c comm) dt op send_buf)
 
-let allreduce_single comm dt op (x : 'a) : 'a = Coll.allreduce_single (c comm) dt op x
+let allreduce_single comm dt op (x : 'a) : 'a =
+  traced comm ~op:"allreduce" (fun () -> Coll.allreduce_single (c comm) dt op x)
 
-let scan comm dt op (send_buf : 'a array) : 'a array = Coll.scan (c comm) dt op send_buf
+let scan comm dt op (send_buf : 'a array) : 'a array =
+  traced comm ~op:"scan" (fun () -> Coll.scan (c comm) dt op send_buf)
 
-let scan_single comm dt op (x : 'a) : 'a = Coll.scan_single (c comm) dt op x
+let scan_single comm dt op (x : 'a) : 'a =
+  traced comm ~op:"scan" (fun () -> Coll.scan_single (c comm) dt op x)
 
 let exscan comm dt op (send_buf : 'a array) : 'a array option =
-  Coll.exscan (c comm) dt op send_buf
+  traced comm ~op:"exscan" (fun () -> Coll.exscan (c comm) dt op send_buf)
 
 (* Exclusive prefix with an explicit value on rank 0 — avoids the
    undefined-on-rank-0 footgun of MPI_Exscan. *)
 let exscan_or comm dt op ~(init : 'a array) (send_buf : 'a array) : 'a array =
-  match Coll.exscan (c comm) dt op send_buf with Some v -> v | None -> init
+  match exscan comm dt op send_buf with Some v -> v | None -> init
 
 let exscan_single_or comm dt op ~(init : 'a) (x : 'a) : 'a =
-  match Coll.exscan_single (c comm) dt op x with Some v -> v | None -> init
+  traced comm ~op:"exscan" (fun () ->
+      match Coll.exscan_single (c comm) dt op x with Some v -> v | None -> init)
 
-let barrier comm = Coll.barrier (c comm)
+let barrier comm = traced comm ~op:"barrier" (fun () -> Coll.barrier (c comm))

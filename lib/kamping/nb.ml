@@ -13,6 +13,14 @@ open Mpisim
 
 let c = Communicator.mpi
 
+(* Mark the post of a non-blocking operation on the trace ([a] = peer rank,
+   [-1] for wildcard receives); completion shows up through the runtime's
+   match/park events. *)
+let post_instant comm ~name ~peer =
+  let mpi = c comm in
+  Trace.instant (Comm.runtime mpi).Runtime.trace ~rank:(Comm.world_rank mpi)
+    ~cat:"kamping" ~name ~a:peer ~b:(-1) ~c:(-1)
+
 type 'a t = { request : Request.t; fetch : unit -> 'a; mutable fetched : 'a option }
 
 let of_request ~fetch request = { request; fetch; fetched = None }
@@ -46,11 +54,13 @@ let forget (t : 'a t) : unit t =
 (* Send with buffer ownership transfer: [data] is moved into the call and
    returned by [wait]/[test] once the operation has completed (Fig. 6). *)
 let isend comm dt ~dest ?tag (data : 'a array) : 'a array t =
+  post_instant comm ~name:"isend" ~peer:dest;
   let request = P2p.isend (c comm) dt ~dest ?tag data in
   of_request request ~fetch:(fun () -> data)
 
 (* Synchronous-mode send: completes only when the receiver has matched. *)
 let issend comm dt ~dest ?tag (data : 'a array) : 'a array t =
+  post_instant comm ~name:"issend" ~peer:dest;
   let request = P2p.issend (c comm) dt ~dest ?tag data in
   of_request request ~fetch:(fun () -> data)
 
@@ -58,6 +68,7 @@ let issend comm dt ~dest ?tag (data : 'a array) : 'a array t =
    with exactly the received size, so there is no window in which the user
    could observe a partially received buffer. *)
 let irecv comm dt ?source ?tag () : 'a array t =
+  post_instant comm ~name:"irecv" ~peer:(Option.value source ~default:(-1));
   let dreq = P2p.irecv_dyn (c comm) dt ?source ?tag () in
   of_request dreq.P2p.base ~fetch:(fun () ->
       match !(dreq.P2p.cell) with
@@ -66,6 +77,7 @@ let irecv comm dt ?source ?tag () : 'a array t =
 
 (* Receive with a known element count (capacity check only). *)
 let irecv_counted comm dt ?source ?tag ~count () : 'a array t =
+  post_instant comm ~name:"irecv" ~peer:(Option.value source ~default:(-1));
   let buf = Array.make count (Datatype.zero_elem dt) in
   let request = P2p.irecv_into (c comm) dt ?source ?tag buf in
   of_request request ~fetch:(fun () -> buf)

@@ -29,12 +29,18 @@ let now t =
   let mpi = Communicator.mpi t.comm in
   Runtime.clock (Comm.runtime mpi) (Comm.world_rank mpi)
 
-(* Begin timing [key] on this rank.  Raises on double start. *)
+(* Begin timing [key] on this rank.  Raises on double start.  Timer keys
+   double as trace spans (cat "timer"), so measured phases line up with
+   the operations they cover in the Chrome trace view. *)
 let start t key =
   let e = entry t key in
   match e.started_at with
   | Some _ -> Errdefs.usage_error "Timer.start: %S already running" key
-  | None -> e.started_at <- Some (now t)
+  | None ->
+      e.started_at <- Some (now t);
+      let mpi = Communicator.mpi t.comm in
+      Trace.span_begin (Comm.runtime mpi).Runtime.trace ~rank:(Comm.world_rank mpi)
+        ~cat:"timer" ~name:key
 
 (* Stop timing [key]; accumulates the elapsed virtual time. *)
 let stop t key =
@@ -44,7 +50,10 @@ let stop t key =
   | Some t0 ->
       e.started_at <- None;
       e.total <- e.total +. (now t -. t0);
-      e.count <- e.count + 1
+      e.count <- e.count + 1;
+      let mpi = Communicator.mpi t.comm in
+      Trace.span_end (Comm.runtime mpi).Runtime.trace ~rank:(Comm.world_rank mpi)
+        ~cat:"timer" ~name:key
 
 (* Time a closure under [key]. *)
 let time t key f =
@@ -62,32 +71,48 @@ let local t : (string * float * int) list =
 
 type aggregate = { key : string; min : float; mean : float; max : float; count : int }
 
+(* Componentwise (min, sum, max) on per-key triples: commutative and
+   associative, so a tree reduction is valid. *)
+let min_sum_max =
+  Reduce_op.custom ~commutative:true ~name:"min_sum_max"
+    (fun (m1, s1, x1) (m2, s2, x2) -> (Float.min m1 m2, s1 +. s2, Float.max x1 x2))
+
 (* Collective: reduce every key across ranks.  All ranks must have used
    the same keys in the same order (checked at assertion level 2 through
-   the collective trace). *)
+   the collective trace).
+
+   One allreduce total: each rank contributes a (total, total, total)
+   triple per key and the custom op folds them to (min, sum, max)
+   componentwise — not three allreduces per key, which dominated
+   aggregation cost for fine-grained timers. *)
 let aggregate (t : t) : aggregate list =
   let keys = List.rev t.order in
-  List.map
-    (fun key ->
-      let e = Hashtbl.find t.entries key in
-      if e.started_at <> None then Errdefs.usage_error "Timer.aggregate: %S still running" key;
-      let stats =
-        Collectives.allreduce t.comm Datatype.float Reduce_op.float_min [| e.total |]
-      in
-      let mx =
-        Collectives.allreduce t.comm Datatype.float Reduce_op.float_max [| e.total |]
-      in
-      let sum =
-        Collectives.allreduce t.comm Datatype.float Reduce_op.float_sum [| e.total |]
-      in
-      {
-        key;
-        min = stats.(0);
-        mean = sum.(0) /. float_of_int (Communicator.size t.comm);
-        max = mx.(0);
-        count = e.count;
-      })
-    keys
+  if keys = [] then []
+  else begin
+    let entries =
+      List.map
+        (fun key ->
+          let e = Hashtbl.find t.entries key in
+          if e.started_at <> None then
+            Errdefs.usage_error "Timer.aggregate: %S still running" key;
+          (key, e))
+        keys
+    in
+    let send =
+      Array.of_list (List.map (fun (_, e) -> (e.total, e.total, e.total)) entries)
+    in
+    let reduced =
+      Datatype.with_committed
+        (Datatype.triple Datatype.float Datatype.float Datatype.float)
+        (fun dt3 -> Collectives.allreduce t.comm dt3 min_sum_max send)
+    in
+    let size = float_of_int (Communicator.size t.comm) in
+    List.mapi
+      (fun i ((key, e) : string * entry) ->
+        let mn, sum, mx = reduced.(i) in
+        { key; min = mn; mean = sum /. size; max = mx; count = e.count })
+      entries
+  end
 
 let pp_aggregates ppf (aggs : aggregate list) =
   List.iter

@@ -54,6 +54,14 @@ let prologue comm ~op =
   Runtime.check_alive (Comm.runtime comm) (Comm.world_rank comm);
   Comm.check_collective comm ~op
 
+(* Trace span around one collective on the caller's virtual timeline.
+   Each public operation below is shadowed by a [traced] wrapper right
+   after its definition, so collectives lowered onto earlier ones
+   (allreduce onto reduce + bcast, reduce_scatter onto reduce + scatterv)
+   show up as nested spans. *)
+let traced comm ~op f =
+  Runtime.with_span (Comm.runtime comm) (Comm.world_rank comm) ~cat:"coll" ~name:op f
+
 let record comm ~op ~bytes = Runtime.record (Comm.runtime comm) ~op ~bytes
 
 (* Charge the O(p) cost of scanning per-rank count/displacement arrays in
@@ -81,6 +89,8 @@ let barrier comm =
     let (_ : int array * Status.t) = P2p.recv comm Datatype.int ~source:src ~tag:tag_barrier () in
     k := !k * 2
   done
+
+let barrier comm = traced comm ~op:"barrier" (fun () -> barrier comm)
 
 (* Non-blocking barrier via shared rendezvous.  Completion time is the
    latest entry clock plus a modelled dissemination term. *)
@@ -164,6 +174,8 @@ let bcast comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
   end;
   !buf
 
+let bcast comm dt ~root data = traced comm ~op:"bcast" (fun () -> bcast comm dt ~root data)
+
 (* ------------------------------------------------------------------ *)
 (* Gather / Scatter (rooted, direct exchange) *)
 
@@ -217,6 +229,9 @@ let gatherv comm (dt : 'a Datatype.t) ~root ?recv_counts (data : 'a array) : 'a 
     out
   end
 
+let gatherv comm dt ~root ?recv_counts data =
+  traced comm ~op:"gatherv" (fun () -> gatherv comm dt ~root ?recv_counts data)
+
 let gather comm (dt : 'a Datatype.t) ~root (data : 'a array) : 'a array =
   prologue comm ~op:"gather";
   check_root comm root;
@@ -246,6 +261,8 @@ let gather comm (dt : 'a Datatype.t) ~root (data : 'a array) : 'a array =
     done;
     out
   end
+
+let gather comm dt ~root data = traced comm ~op:"gather" (fun () -> gather comm dt ~root data)
 
 let scatterv comm (dt : 'a Datatype.t) ~root ?send_counts (data : 'a array option) :
     'a array =
@@ -289,6 +306,9 @@ let scatterv comm (dt : 'a Datatype.t) ~root ?send_counts (data : 'a array optio
     d
   end
 
+let scatterv comm dt ~root ?send_counts data =
+  traced comm ~op:"scatterv" (fun () -> scatterv comm dt ~root ?send_counts data)
+
 let scatter comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
   prologue comm ~op:"scatter";
   check_root comm root;
@@ -314,6 +334,8 @@ let scatter comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array 
     let d, _ = P2p.recv comm dt ~source:root ~tag:tag_scatter () in
     d
   end
+
+let scatter comm dt ~root data = traced comm ~op:"scatter" (fun () -> scatter comm dt ~root data)
 
 (* ------------------------------------------------------------------ *)
 (* Allgather: Bruck concatenation (works for any p, O(log p) rounds) *)
@@ -351,6 +373,8 @@ let allgather comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
       done;
     out
   end
+
+let allgather comm dt data = traced comm ~op:"allgather" (fun () -> allgather comm dt data)
 
 (* Allgatherv: ring exchange with per-rank block sizes.  [recv_counts] must
    be provided on every rank (MPI semantics); the binding layer is what
@@ -400,6 +424,9 @@ let allgatherv comm (dt : 'a Datatype.t) ~(recv_counts : int array) (data : 'a a
     out
   end
 
+let allgatherv comm dt ~recv_counts data =
+  traced comm ~op:"allgatherv" (fun () -> allgatherv comm dt ~recv_counts data)
+
 (* ------------------------------------------------------------------ *)
 (* Alltoall family: pairwise exchange *)
 
@@ -433,6 +460,8 @@ let alltoall comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
     ()
   done;
   out
+
+let alltoall comm dt data = traced comm ~op:"alltoall" (fun () -> alltoall comm dt data)
 
 (* Variable alltoall.  Counts and displacements are all required, as in
    MPI — computing sensible defaults is the binding layer's job (§III-A).
@@ -481,6 +510,10 @@ let alltoallv comm (dt : 'a Datatype.t) ~(send_counts : int array)
   done;
   out
 
+let alltoallv comm dt ~send_counts ~send_displs ~recv_counts ~recv_displs data =
+  traced comm ~op:"alltoallv" (fun () ->
+      alltoallv comm dt ~send_counts ~send_displs ~recv_counts ~recv_displs data)
+
 (* Alltoallw-style exchange: pays per-peer derived-datatype setup on every
    rank and exchanges with *all* peers, empty or not.  This models why
    lowering gatherv/alltoallv onto alltoallw (as MPL does) is costly and
@@ -519,6 +552,9 @@ let alltoallw comm (dt : 'a Datatype.t) ~(send_counts : int array)
       Comm.error comm Errdefs.Err_count "alltoallw: count mismatch from rank %d" src
   done;
   out
+
+let alltoallw comm dt ~send_counts ~recv_counts data =
+  traced comm ~op:"alltoallw" (fun () -> alltoallw comm dt ~send_counts ~recv_counts data)
 
 (* ------------------------------------------------------------------ *)
 (* Reductions *)
@@ -577,12 +613,16 @@ let reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~root (data : 'a arra
     if r = root then acc else [||]
   end
 
+let reduce comm dt op ~root data = traced comm ~op:"reduce" (fun () -> reduce comm dt op ~root data)
+
 let allreduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
   prologue comm ~op:"allreduce";
   record comm ~op:"allreduce" ~bytes:(Datatype.size_of_count dt (Array.length data));
   let reduced = reduce comm dt op ~root:0 data in
   let root_data = if Comm.rank comm = 0 then Some reduced else None in
   bcast comm dt ~root:0 root_data
+
+let allreduce comm dt op data = traced comm ~op:"allreduce" (fun () -> allreduce comm dt op data)
 
 (* Inclusive prefix (Hillis-Steele): O(log p) rounds, order-preserving, so
    safe for non-commutative operations. *)
@@ -608,6 +648,8 @@ let scan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a 
   done;
   acc
 
+let scan comm dt op data = traced comm ~op:"scan" (fun () -> scan comm dt op data)
+
 (* Exclusive prefix: rank 0 receives [None] (MPI leaves it undefined). *)
 let exscan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
     'a array option =
@@ -625,6 +667,8 @@ let exscan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
     let d, _ = P2p.recv comm dt ~source:(r - 1) ~tag:tag_scan () in
     Some d
   end
+
+let exscan comm dt op data = traced comm ~op:"exscan" (fun () -> exscan comm dt op data)
 
 (* Single-element conveniences used heavily by applications. *)
 let allreduce_single comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (x : 'a) : 'a =
@@ -663,6 +707,9 @@ let neighbor_allgather comm (dt : 'a Datatype.t) (data : 'a array) : 'a array ar
       let d, _ = P2p.recv comm dt ~source:src ~tag:tag_neighbor () in
       d)
     topo.Comm.sources
+
+let neighbor_allgather comm dt data =
+  traced comm ~op:"neighbor_allgather" (fun () -> neighbor_allgather comm dt data)
 
 (* Variable-size neighbor exchange: block i of [data] goes to
    destinations.(i); the result concatenates one block per source, with
@@ -705,6 +752,10 @@ let neighbor_alltoallv comm (dt : 'a Datatype.t) ~(send_counts : int array)
     topo.Comm.sources;
   out
 
+let neighbor_alltoallv comm dt ~send_counts ~recv_counts data =
+  traced comm ~op:"neighbor_alltoallv" (fun () ->
+      neighbor_alltoallv comm dt ~send_counts ~recv_counts data)
+
 (* Ring allgather: p-1 rounds of fixed-size block passing.  Bandwidth
    optimal but with latency linear in p — kept alongside the default Bruck
    algorithm for the algorithm-choice ablation (DESIGN.md §4). *)
@@ -733,6 +784,9 @@ let allgather_ring comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
   end;
   out
 
+let allgather_ring comm dt data =
+  traced comm ~op:"allgather_ring" (fun () -> allgather_ring comm dt data)
+
 (* ------------------------------------------------------------------ *)
 (* Reduce-scatter: elementwise reduction whose result is scattered in
    blocks (MPI_Reduce_scatter_block / MPI_Reduce_scatter). *)
@@ -752,6 +806,9 @@ let reduce_scatter_block comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
   let reduced = reduce comm dt op ~root:0 data in
   scatter comm dt ~root:0 (if Comm.rank comm = 0 then Some reduced else None)
 
+let reduce_scatter_block comm dt op data =
+  traced comm ~op:"reduce_scatter_block" (fun () -> reduce_scatter_block comm dt op data)
+
 (* Per-rank block sizes: [recv_counts.(r)] elements of the reduced vector
    go to rank r. *)
 let reduce_scatter comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
@@ -768,6 +825,9 @@ let reduce_scatter comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
   let reduced = reduce comm dt op ~root:0 data in
   scatterv comm dt ~root:0 ~send_counts:recv_counts
     (if Comm.rank comm = 0 then Some reduced else None)
+
+let reduce_scatter comm dt op ~recv_counts data =
+  traced comm ~op:"reduce_scatter" (fun () -> reduce_scatter comm dt op ~recv_counts data)
 
 (* ------------------------------------------------------------------ *)
 (* Non-blocking collectives.

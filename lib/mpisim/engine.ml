@@ -19,6 +19,10 @@ type report = {
   killed : int list;  (* ranks that died via failure injection *)
   profile : Profiling.summary;
   model : Net_model.t;
+  busy : float array;  (* per-rank virtual time spent working *)
+  blocked : float array;  (* per-rank virtual time spent waiting *)
+  stats : Stats.t;  (* the runtime's metrics registry *)
+  trace : Trace.t;  (* event recorder; empty unless [trace_capacity] set *)
 }
 
 let pp_report ppf r =
@@ -26,10 +30,18 @@ let pp_report ppf r =
     (String.concat "," (List.map string_of_int r.killed))
 
 (* Run [body] on every rank; collect each rank's result ([None] for killed
-   ranks).  Non-failure exceptions propagate as [Scheduler.Aborted]. *)
+   ranks).  Non-failure exceptions propagate as [Scheduler.Aborted].
+
+   [trace_capacity] enables event tracing with a per-rank ring buffer of
+   that many events; when absent the recorder stays disabled and costs
+   nothing on the hot paths. *)
 let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
-    ?(assertion_level = 1) ~ranks (body : Comm.t -> 'a) : 'a option array * report =
+    ?(assertion_level = 1) ?trace_capacity ~ranks (body : Comm.t -> 'a) :
+    'a option array * report =
   let rt = Runtime.create ~clock_mode ~assertion_level ~model ~size:ranks () in
+  (match trace_capacity with
+  | Some capacity -> Trace.enable ~capacity rt.Runtime.trace
+  | None -> ());
   Fun.protect
     ~finally:(fun () -> Comm.clear_registry rt)
     (fun () ->
@@ -39,9 +51,25 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
         let comm = Comm.attach rt world_shared ~rank in
         results.(rank) <- Some (body comm)
       in
+      (* Park/resume hooks: only wired when tracing, so untraced runs skip
+         the extra gettimeofday per park. *)
+      let on_park, on_resume =
+        if trace_capacity = None then (None, None)
+        else
+          ( Some
+              (fun rank ->
+                Trace.instant rt.Runtime.trace ~rank ~cat:"sched" ~name:"park" ~a:(-1)
+                  ~b:(-1) ~c:(-1)),
+            Some
+              (fun rank wall ->
+                Runtime.observe_park_wait rt wall;
+                Trace.instant rt.Runtime.trace ~rank ~cat:"sched" ~name:"resume" ~a:(-1)
+                  ~b:(-1) ~c:(-1)) )
+      in
       let outcomes =
         Scheduler.run
           ~on_segment:(Runtime.on_cpu_segment rt)
+          ?on_park ?on_resume
           ~kill_filter:Fault.is_kill_exn
           ~progress:(fun () -> rt.Runtime.progress)
           ~nfibers:ranks fiber
@@ -74,12 +102,19 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
           killed = List.rev !killed;
           profile = Profiling.snapshot rt.Runtime.profile;
           model;
+          busy = Array.copy rt.Runtime.busy;
+          blocked = Array.copy rt.Runtime.blocked;
+          stats = rt.Runtime.stats;
+          trace = rt.Runtime.trace;
         }
       in
       (results, report))
 
-let run ?model ?clock_mode ?assertion_level ~ranks (body : Comm.t -> unit) : report =
-  let _, report = run_collect ?model ?clock_mode ?assertion_level ~ranks body in
+let run ?model ?clock_mode ?assertion_level ?trace_capacity ~ranks (body : Comm.t -> unit)
+    : report =
+  let _, report =
+    run_collect ?model ?clock_mode ?assertion_level ?trace_capacity ~ranks body
+  in
   report
 
 (* Convenience for tests: run and return every rank's value, requiring all

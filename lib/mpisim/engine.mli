@@ -17,6 +17,13 @@ type report = {
   killed : int list;  (** ranks that died via failure injection *)
   profile : Profiling.summary;  (** per-operation call/byte counters *)
   model : Net_model.t;
+  busy : float array;
+      (** per-rank virtual time spent working;
+          [busy.(r) +. blocked.(r) = times.(r)] *)
+  blocked : float array;  (** per-rank virtual time spent waiting *)
+  stats : Stats.t;  (** the runtime's metrics registry *)
+  trace : Trace.t;
+      (** event recorder; empty unless [trace_capacity] was passed *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -27,11 +34,14 @@ val pp_report : Format.formatter -> report -> unit
     @param model network cost model (default {!Net_model.omnipath})
     @param clock_mode measured CPU (default) or fully virtual time
     @param assertion_level 0 = none, 1 = cheap checks (default),
-           2 = heavy checks incl. the collective-order trace (§III-G) *)
+           2 = heavy checks incl. the collective-order trace (§III-G)
+    @param trace_capacity enable event tracing with a per-rank ring buffer
+           of this many events (disabled — and free — when absent) *)
 val run_collect :
   ?model:Net_model.t ->
   ?clock_mode:Runtime.clock_mode ->
   ?assertion_level:int ->
+  ?trace_capacity:int ->
   ranks:int ->
   (Comm.t -> 'a) ->
   'a option array * report
@@ -40,6 +50,7 @@ val run :
   ?model:Net_model.t ->
   ?clock_mode:Runtime.clock_mode ->
   ?assertion_level:int ->
+  ?trace_capacity:int ->
   ranks:int ->
   (Comm.t -> unit) ->
   report

@@ -1,0 +1,70 @@
+(* Minimal JSON emission on top of [Buffer].
+
+   The observability layer (Chrome-trace export, stats dumps, benchmark
+   records) only ever *writes* JSON, so a tiny append-only emitter keeps
+   the simulator dependency-free.  Numbers are printed with enough digits
+   to round-trip doubles; strings are escaped per RFC 8259. *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let str buf s = escape_into buf s
+
+let int buf i = Buffer.add_string buf (string_of_int i)
+
+(* JSON has no NaN/Infinity; clamp them to null so output always parses. *)
+let float buf f =
+  if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string buf "null"
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let bool buf b = Buffer.add_string buf (if b then "true" else "false")
+
+(* Comma-separated sequences: [sep] tracks whether a separator is due. *)
+type seq = { buf : Buffer.t; mutable first : bool }
+
+let start_obj buf =
+  Buffer.add_char buf '{';
+  { buf; first = true }
+
+let start_arr buf =
+  Buffer.add_char buf '[';
+  { buf; first = true }
+
+let sep s =
+  if s.first then s.first <- false else Buffer.add_char s.buf ','
+
+(* Add one [key: ...] slot to an object; the caller then writes the value. *)
+let key s k =
+  sep s;
+  escape_into s.buf k;
+  Buffer.add_char s.buf ':'
+
+let end_obj s = Buffer.add_char s.buf '}'
+
+let end_arr s = Buffer.add_char s.buf ']'
+
+(* Shorthands for scalar object fields. *)
+let field_str s k v =
+  key s k;
+  str s.buf v
+
+let field_int s k v =
+  key s k;
+  int s.buf v
+
+let field_float s k v =
+  key s k;
+  float s.buf v

@@ -30,9 +30,20 @@ type t = {
   unexpected : (key, Message.t Queue.t) Hashtbl.t;
   mutable posted : posted list;  (* in posting order *)
   mutable next_posted_id : int;
+  (* O(1) depth counters so the runtime can histogram queue depths without
+     walking the structures on every delivery. *)
+  mutable n_unexpected : int;
+  mutable n_posted : int;
 }
 
-let create () = { unexpected = Hashtbl.create 16; posted = []; next_posted_id = 0 }
+let create () =
+  {
+    unexpected = Hashtbl.create 16;
+    posted = [];
+    next_posted_id = 0;
+    n_unexpected = 0;
+    n_posted = 0;
+  }
 
 let key_of_msg (m : Message.t) =
   { k_context = m.Message.context; k_src = m.Message.src; k_tag = m.Message.tag }
@@ -69,10 +80,17 @@ let enqueue_unexpected t (m : Message.t) =
         Hashtbl.replace t.unexpected k q;
         q
   in
-  Queue.add m q
+  Queue.add m q;
+  t.n_unexpected <- t.n_unexpected + 1
 
-(* Entry point for the runtime: a message has arrived at this rank. *)
-let deliver t (m : Message.t) = if not (try_match_posted t m) then enqueue_unexpected t m
+(* Entry point for the runtime: a message has arrived at this rank.
+   Returns [true] if the message matched an already-posted receive. *)
+let deliver t (m : Message.t) =
+  if try_match_posted t m then true
+  else begin
+    enqueue_unexpected t m;
+    false
+  end
 
 (* Find (and optionally remove) the oldest unexpected message matching the
    (context, src, tag) pattern. *)
@@ -108,7 +126,8 @@ let find_unexpected ?(remove = true) t ~context ~src ~tag =
   | Some (m, q) ->
       if remove then begin
         let taken = Queue.pop q in
-        assert (taken == m)
+        assert (taken == m);
+        t.n_unexpected <- t.n_unexpected - 1
       end;
       Some m
 
@@ -132,18 +151,25 @@ let post t ~context ~src ~tag ~now =
   | Some m ->
       p.p_msg <- Some m;
       m.Message.matched_time <- Float.max m.Message.arrival now
-  | None -> t.posted <- t.posted @ [ p ]);
+  | None ->
+      t.posted <- t.posted @ [ p ];
+      t.n_posted <- t.n_posted + 1);
   p
+
+let drop_posted t p =
+  let before = List.length t.posted in
+  t.posted <- List.filter (fun q -> q.p_id <> p.p_id) t.posted;
+  t.n_posted <- t.n_posted - (before - List.length t.posted)
 
 let cancel t p =
   p.p_cancelled <- true;
-  t.posted <- List.filter (fun q -> q.p_id <> p.p_id) t.posted
+  drop_posted t p
 
 (* Once a posted receive has matched, drop it from the posted list. *)
-let retire t p = t.posted <- List.filter (fun q -> q.p_id <> p.p_id) t.posted
+let retire t p = drop_posted t p
 
-let pending_counts t =
-  let unexpected =
-    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.unexpected 0
-  in
-  (unexpected, List.length t.posted)
+let unexpected_depth t = t.n_unexpected
+
+let posted_depth t = t.n_posted
+
+let pending_counts t = (t.n_unexpected, t.n_posted)

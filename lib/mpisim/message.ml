@@ -14,13 +14,14 @@ type t = {
   payload : Bytes.t;
   count : int;  (* element count *)
   signature : Signature.t;  (* full signature of the payload *)
+  sent_at : float;  (* sender's virtual clock at injection (post send-busy) *)
   arrival : float;  (* virtual arrival time at the receiver *)
   seq : int;  (* global injection sequence, for wildcard ordering *)
   sync : bool;  (* synchronous send: sender completes on match *)
   mutable matched_time : float;  (* -1.0 until matched *)
 }
 
-let make ~context ~src ~dst ~tag ~payload ~count ~signature ~arrival ~seq ~sync =
+let make ~context ~src ~dst ~tag ~payload ~count ~signature ~sent_at ~arrival ~seq ~sync =
   {
     context;
     src;
@@ -29,6 +30,7 @@ let make ~context ~src ~dst ~tag ~payload ~count ~signature ~arrival ~seq ~sync 
     payload;
     count;
     signature;
+    sent_at;
     arrival;
     seq;
     sync;

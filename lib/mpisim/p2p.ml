@@ -30,6 +30,12 @@ let check_revoked comm ~op =
   if Comm.is_revoked comm then
     Comm.error comm Errdefs.Err_revoked "%s: communicator revoked" op
 
+(* Trace span around a blocking point-to-point operation.  Eager sends are
+   not wrapped (the runtime's "send" instant already marks them); blocking
+   receives, synchronous sends and probes are where virtual time is spent. *)
+let traced comm ~op f =
+  Runtime.with_span (Comm.runtime comm) (Comm.world_rank comm) ~cat:"p2p" ~name:op f
+
 (* Pack [count] elements of [data] starting at [pos] and inject the message.
    Returns the in-flight message. *)
 let inject_message comm (dt : 'a Datatype.t) ~op ~dest ~tag ~sync (data : 'a array) ~pos
@@ -85,6 +91,9 @@ let ssend comm dt ~dest ?(tag = 0) (data : 'a array) =
       ~count:(Array.length data)
   in
   ignore (Request.wait (issend_request comm msg))
+
+let ssend comm dt ~dest ?tag data =
+  traced comm ~op:"ssend" (fun () -> ssend comm dt ~dest ?tag data)
 
 let isend comm dt ~dest ?(tag = 0) (data : 'a array) =
   Comm.check_user_tag comm tag;
@@ -182,6 +191,8 @@ let recv comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) () :
   let data = Datatype.unpack_array dt r ~count:msg.Message.count in
   (data, status)
 
+let recv comm dt ?source ?tag () = traced comm ~op:"recv" (fun () -> recv comm dt ?source ?tag ())
+
 (* MPI-style receive into a caller-provided buffer. *)
 let recv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
     ?(pos = 0) ?maxcount (into : 'a array) : Status.t =
@@ -202,6 +213,9 @@ let recv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
   let r = Wire.reader_of_bytes msg.Message.payload in
   Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
   status
+
+let recv_into comm dt ?source ?tag ?pos ?maxcount into =
+  traced comm ~op:"recv_into" (fun () -> recv_into comm dt ?source ?tag ?pos ?maxcount into)
 
 (* Non-blocking receive into a caller-provided buffer. *)
 let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
@@ -280,6 +294,8 @@ let probe comm ?(source = any_source) ?(tag = any_tag) () : Status.t =
   Runtime.sync_clock rt (Comm.world_rank comm) msg.Message.arrival;
   status_of_unmatched comm msg
 
+let probe comm ?source ?tag () = traced comm ~op:"probe" (fun () -> probe comm ?source ?tag ())
+
 (* Combined send+receive, deadlock-free because sends are eager. *)
 let sendrecv comm dt ~dest ?(send_tag = 0) ~source ?(recv_tag = any_tag) (data : 'a array)
     : 'a array * Status.t =
@@ -324,6 +340,9 @@ let recv_bytes comm ?(source = any_source) ?(tag = any_tag) () : Bytes.t * Statu
       ~tag:msg.Message.tag ~count:msg.Message.count ~bytes:(Message.bytes msg)
   in
   (Bytes.copy msg.Message.payload, status)
+
+let recv_bytes comm ?source ?tag () =
+  traced comm ~op:"recv_bytes" (fun () -> recv_bytes comm ?source ?tag ())
 
 (* A non-blocking receive whose buffer is allocated at completion time from
    the matched message — the substrate for the binding layer's

@@ -3,54 +3,88 @@
    The paper uses MPI's profiling interface to verify that the binding
    layer issues exactly the expected underlying MPI calls when it computes
    default parameters (§III-H); tests here do the same with
-   [snapshot]/[diff]. *)
+   [snapshot]/[diff].
 
-type counter = { mutable calls : int; mutable bytes : int }
+   The table is a facade over a {!Stats.t} registry: each op owns a pair
+   of [Stats] counters ([mpi.<op>.calls] / [mpi.<op>.bytes]), so the same
+   numbers appear in the general metrics exports (text and JSON) without
+   being recorded twice.  The handle pair is cached per op, keeping
+   [record] at one hash lookup, as before. *)
 
-type t = { table : (string, counter) Hashtbl.t; mutable enabled : bool }
+type handles = { calls_c : Stats.counter; bytes_c : Stats.counter }
+
+type t = {
+  stats : Stats.t;
+  table : (string, handles) Hashtbl.t;
+  mutable enabled : bool;
+}
 
 type summary = (string * int * int) list
 (* (op, calls, bytes), sorted by op name *)
 
-let create () = { table = Hashtbl.create 32; enabled = true }
+let create ?stats () =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  { stats; table = Hashtbl.create 32; enabled = true }
+
+let handles t op =
+  match Hashtbl.find_opt t.table op with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          calls_c = Stats.counter t.stats ("mpi." ^ op ^ ".calls");
+          bytes_c = Stats.counter t.stats ("mpi." ^ op ^ ".bytes");
+        }
+      in
+      Hashtbl.replace t.table op h;
+      h
 
 let record t ~op ~bytes =
   if t.enabled then begin
-    let c =
-      match Hashtbl.find_opt t.table op with
-      | Some c -> c
-      | None ->
-          let c = { calls = 0; bytes = 0 } in
-          Hashtbl.replace t.table op c;
-          c
-    in
-    c.calls <- c.calls + 1;
-    c.bytes <- c.bytes + bytes
+    let h = handles t op in
+    Stats.incr h.calls_c;
+    Stats.add h.bytes_c bytes
   end
 
 let set_enabled t b = t.enabled <- b
 
 let snapshot t : summary =
-  Hashtbl.fold (fun op c acc -> (op, c.calls, c.bytes) :: acc) t.table []
+  Hashtbl.fold
+    (fun op h acc -> (op, Stats.count h.calls_c, Stats.count h.bytes_c) :: acc)
+    t.table []
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let calls t ~op =
-  match Hashtbl.find_opt t.table op with None -> 0 | Some c -> c.calls
+  match Hashtbl.find_opt t.table op with None -> 0 | Some h -> Stats.count h.calls_c
 
 let bytes t ~op =
-  match Hashtbl.find_opt t.table op with None -> 0 | Some c -> c.bytes
+  match Hashtbl.find_opt t.table op with None -> 0 | Some h -> Stats.count h.bytes_c
 
-let total_calls t = Hashtbl.fold (fun _ c acc -> acc + c.calls) t.table 0
+let total_calls t =
+  Hashtbl.fold (fun _ h acc -> acc + Stats.count h.calls_c) t.table 0
 
-(* [diff ~before ~after] lists ops whose call count changed, with deltas. *)
+(* [diff ~before ~after] lists ops whose call or byte count changed, with
+   deltas.  The diff is symmetric: an op present only in [before] (e.g.
+   hidden by a reset or rename) shows up with negative deltas rather than
+   being silently dropped. *)
 let diff ~(before : summary) ~(after : summary) : summary =
   let tbl = Hashtbl.create 32 in
   List.iter (fun (op, c, b) -> Hashtbl.replace tbl op (c, b)) before;
-  List.filter_map
-    (fun (op, c, b) ->
-      let c0, b0 = match Hashtbl.find_opt tbl op with Some x -> x | None -> (0, 0) in
-      if c - c0 = 0 && b - b0 = 0 then None else Some (op, c - c0, b - b0))
-    after
+  let forward =
+    List.filter_map
+      (fun (op, c, b) ->
+        let c0, b0 = match Hashtbl.find_opt tbl op with Some x -> x | None -> (0, 0) in
+        Hashtbl.remove tbl op;
+        if c - c0 = 0 && b - b0 = 0 then None else Some (op, c - c0, b - b0))
+      after
+  in
+  (* Whatever is left in [tbl] existed only in [before]. *)
+  let vanished =
+    Hashtbl.fold
+      (fun op (c, b) acc -> if c = 0 && b = 0 then acc else (op, -c, -b) :: acc)
+      tbl []
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) (forward @ vanished)
 
 let pp_summary ppf (s : summary) =
   List.iter (fun (op, c, b) -> Format.fprintf ppf "%-24s %8d calls %12d bytes@." op c b) s

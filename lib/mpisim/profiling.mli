@@ -3,14 +3,20 @@
     The paper verifies through MPI's profiling interface that the binding
     layer issues exactly the expected underlying calls when it computes
     default parameters (§III-H); tests here do the same via
-    {!snapshot}/{!diff}. *)
+    {!snapshot}/{!diff}.
+
+    The table is a facade over a {!Stats.t} registry: each op owns the
+    counter pair [mpi.<op>.calls] / [mpi.<op>.bytes], so the same numbers
+    appear in the general metrics exports. *)
 
 type t
 
 type summary = (string * int * int) list
 (** (operation, calls, bytes), sorted by operation name. *)
 
-val create : unit -> t
+(** [create ?stats ()] registers the op counters in [stats] (a private
+    registry if omitted). *)
+val create : ?stats:Stats.t -> unit -> t
 
 val record : t -> op:string -> bytes:int -> unit
 
@@ -24,8 +30,9 @@ val bytes : t -> op:string -> int
 
 val total_calls : t -> int
 
-(** Operations whose counters changed between two snapshots, with
-    deltas. *)
+(** Operations whose counters changed between two snapshots, with deltas.
+    Symmetric: ops present only in [before] appear with negative deltas
+    (a reset or rename cannot hide a change). *)
 val diff : before:summary -> after:summary -> summary
 
 val pp_summary : Format.formatter -> summary -> unit

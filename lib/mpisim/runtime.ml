@@ -20,6 +20,16 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type clock_mode = Measured | Virtual_only
 
+(* Cached handles into the stats registry for hot-path observations. *)
+type metrics = {
+  msg_size : Stats.histogram;  (* payload bytes per injected message *)
+  msg_latency : Stats.histogram;  (* consumed-at minus sent-at, virtual seconds *)
+  queue_depth : Stats.histogram;  (* receiver's unexpected-queue depth after delivery *)
+  park_wait : Stats.histogram;  (* wall-clock seconds a fiber spent parked *)
+  msgs_sent : Stats.counter;
+  msgs_unexpected : Stats.counter;  (* delivered before a matching receive was posted *)
+}
+
 type t = {
   id : int;  (* unique per runtime; keys global registries *)
   size : int;
@@ -30,6 +40,15 @@ type t = {
   failed : bool array;
   mutable n_failed : int;
   profile : Profiling.t;
+  stats : Stats.t;
+  trace : Trace.t;
+  metrics : metrics;
+  (* Virtual-time accounting: every clock movement is either [busy] (cost
+     charged by [advance_clock]: compute, send busy time, overheads) or
+     [blocked] (a [sync_clock] jump: waiting for a message or a barrier),
+     so busy.(r) +. blocked.(r) = clocks.(r) at all times. *)
+  busy : float array;
+  blocked : float array;
   mutable progress : int;
   mutable msg_seq : int;
   mutable next_context : int;
@@ -46,16 +65,33 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ~model ~size () =
   if size <= 0 then invalid_arg "Runtime.create: size must be positive";
   let id = !next_runtime_id in
   incr next_runtime_id;
+  let clocks = Array.make size 0. in
+  let stats = Stats.create () in
+  let metrics =
+    {
+      msg_size = Stats.histogram stats "msg_size_bytes";
+      msg_latency = Stats.histogram stats "msg_latency_seconds";
+      queue_depth = Stats.histogram stats "mailbox_unexpected_depth";
+      park_wait = Stats.histogram stats "fiber_park_wall_seconds";
+      msgs_sent = Stats.counter stats "msg.sent";
+      msgs_unexpected = Stats.counter stats "msg.unexpected";
+    }
+  in
   {
     id;
     size;
     model;
     clock_mode;
-    clocks = Array.make size 0.;
+    clocks;
     mailboxes = Array.init size (fun _ -> Mailbox.create ());
     failed = Array.make size false;
     n_failed = 0;
-    profile = Profiling.create ();
+    profile = Profiling.create ~stats ();
+    stats;
+    trace = Trace.create ~clocks;
+    metrics;
+    busy = Array.make size 0.;
+    blocked = Array.make size 0.;
     progress = 0;
     msg_seq = 0;
     next_context = 0;
@@ -71,14 +107,26 @@ let fresh_context t =
 
 let clock t rank = t.clocks.(rank)
 
-let advance_clock t rank dt = if dt > 0. then t.clocks.(rank) <- t.clocks.(rank) +. dt
+let advance_clock t rank dt =
+  if dt > 0. then begin
+    t.clocks.(rank) <- t.clocks.(rank) +. dt;
+    t.busy.(rank) <- t.busy.(rank) +. dt
+  end
 
 let sync_clock t rank time =
-  if time > t.clocks.(rank) then t.clocks.(rank) <- time
+  if time > t.clocks.(rank) then begin
+    t.blocked.(rank) <- t.blocked.(rank) +. (time -. t.clocks.(rank));
+    t.clocks.(rank) <- time
+  end
 
-(* Measured CPU segments are reported by the engine through this hook. *)
+(* Measured CPU segments are reported by the engine through this hook.
+   When tracing, the segment becomes a complete span on the rank's CPU
+   track, reaching back from the post-advance clock. *)
 let on_cpu_segment t rank dt =
-  if t.clock_mode = Measured && rank >= 0 && rank < t.size then advance_clock t rank dt
+  if t.clock_mode = Measured && rank >= 0 && rank < t.size then begin
+    advance_clock t rank dt;
+    if dt > 0. then Trace.complete t.trace ~rank ~cat:"sched" ~name:"segment" ~dur:dt
+  end
 
 (* Charge modelled compute explicitly (used by Virtual_only programs and by
    cost knobs that represent work our implementation does not perform). *)
@@ -98,6 +146,7 @@ let check_alive t rank =
 let kill t rank =
   if not t.failed.(rank) then begin
     Log.info (fun f -> f "rank %d failed (injected)" rank);
+    Trace.instant t.trace ~rank ~cat:"sim" ~name:"kill" ~a:(-1) ~b:(-1) ~c:(-1);
     t.failed.(rank) <- true;
     t.n_failed <- t.n_failed + 1;
     bump_progress t
@@ -112,16 +161,26 @@ let inject t ~context ~src ~dst ~tag ~payload ~count ~signature ~sync =
   let bytes = Bytes.length payload in
   let busy = Net_model.send_busy_time t.model ~bytes in
   advance_clock t src busy;
-  let arrival = t.clocks.(src) +. Net_model.transit_time t.model in
+  let sent_at = t.clocks.(src) in
+  let arrival = sent_at +. Net_model.transit_time t.model in
   let seq = t.msg_seq in
   t.msg_seq <- seq + 1;
   let m =
-    Message.make ~context ~src ~dst ~tag ~payload ~count ~signature ~arrival ~seq ~sync
+    Message.make ~context ~src ~dst ~tag ~payload ~count ~signature ~sent_at ~arrival ~seq
+      ~sync
   in
   Log.debug (fun f ->
       f "inject ctx=%d %d->%d tag=%d count=%d bytes=%d%s" context src dst tag count bytes
         (if sync then " (sync)" else ""));
-  Mailbox.deliver t.mailboxes.(dst) m;
+  Stats.incr t.metrics.msgs_sent;
+  Stats.observe_int t.metrics.msg_size bytes;
+  Trace.instant t.trace ~rank:src ~cat:"sim" ~name:"send" ~a:dst ~b:seq ~c:bytes;
+  let matched = Mailbox.deliver t.mailboxes.(dst) m in
+  if not matched then begin
+    Stats.incr t.metrics.msgs_unexpected;
+    Stats.observe_int t.metrics.queue_depth
+      (Mailbox.unexpected_depth t.mailboxes.(dst))
+  end;
   bump_progress t;
   m
 
@@ -129,10 +188,24 @@ let inject t ~context ~src ~dst ~tag ~payload ~count ~signature ~sync =
    arrival time and pay the receive overhead.  The unpack cost itself is
    charged separately via [charge_copy] (or measured). *)
 let complete_receive t rank (m : Message.t) =
+  let was_waiting = m.Message.arrival > t.clocks.(rank) in
   sync_clock t rank m.Message.arrival;
+  (* Consumed-at latency: how long after the sender released the message
+     the receiver actually absorbed it (transit + queueing + skew). *)
+  Stats.observe t.metrics.msg_latency (t.clocks.(rank) -. m.Message.sent_at);
+  Trace.instant t.trace ~rank ~cat:"sim"
+    ~name:(if was_waiting then "match_wait" else "match")
+    ~a:m.Message.src ~b:m.Message.seq ~c:(Message.bytes m);
   advance_clock t rank t.model.Net_model.recv_overhead;
   bump_progress t
 
 let record t ~op ~bytes = Profiling.record t.profile ~op ~bytes
+
+(* Wall-clock park duration, reported by the engine's scheduler hooks. *)
+let observe_park_wait t seconds = Stats.observe t.metrics.park_wait seconds
+
+(* Trace span around [f] on [rank]'s virtual timeline; a plain call when
+   tracing is disabled. *)
+let with_span t rank ~cat ~name f = Trace.with_span t.trace ~rank ~cat ~name f
 
 let max_clock t = Array.fold_left Float.max 0. t.clocks

@@ -12,6 +12,16 @@ val log_src : Logs.src
 
 type clock_mode = Measured | Virtual_only
 
+(** Cached handles into the stats registry for hot-path observations. *)
+type metrics = {
+  msg_size : Stats.histogram;  (** payload bytes per injected message *)
+  msg_latency : Stats.histogram;  (** consumed-at minus sent-at, virtual seconds *)
+  queue_depth : Stats.histogram;  (** unexpected-queue depth after delivery *)
+  park_wait : Stats.histogram;  (** wall-clock seconds a fiber spent parked *)
+  msgs_sent : Stats.counter;
+  msgs_unexpected : Stats.counter;
+}
+
 type t = {
   id : int;  (** unique per runtime; keys global registries *)
   size : int;
@@ -22,6 +32,14 @@ type t = {
   failed : bool array;
   mutable n_failed : int;
   profile : Profiling.t;
+  stats : Stats.t;  (** metrics registry; also backs [profile] *)
+  trace : Trace.t;  (** event recorder; disabled unless enabled explicitly *)
+  metrics : metrics;
+  busy : float array;
+      (** per-rank virtual time charged by [advance_clock] (compute, send
+          busy time, overheads); [busy.(r) +. blocked.(r) = clocks.(r)] *)
+  blocked : float array;
+      (** per-rank virtual time jumped over by [sync_clock] (waiting) *)
   mutable progress : int;  (** monotone; drives deadlock detection *)
   mutable msg_seq : int;
   mutable next_context : int;
@@ -87,6 +105,13 @@ val inject :
 val complete_receive : t -> int -> Message.t -> unit
 
 val record : t -> op:string -> bytes:int -> unit
+
+(** Wall-clock park duration, reported by the engine's scheduler hooks. *)
+val observe_park_wait : t -> float -> unit
+
+(** Trace span around a closure on a rank's virtual timeline; a plain call
+    when tracing is disabled. *)
+val with_span : t -> int -> cat:string -> name:string -> (unit -> 'a) -> 'a
 
 (** The makespan: the largest per-rank clock. *)
 val max_clock : t -> float

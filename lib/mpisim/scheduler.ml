@@ -56,6 +56,7 @@ type parked =
       poll : 'a poll;
       describe : unit -> string;
       k : ('a, unit) Effect.Deep.continuation;
+      parked_at : float;  (* wall clock at park; 0. when hooks are off *)
     }
       -> parked
 
@@ -69,6 +70,11 @@ type t = {
   mutable current : int;
   on_segment : int -> float -> unit;
   mutable seg_start : float;
+  (* Park/resume observability hooks.  [track_park] gates the extra
+     gettimeofday per park so unhooked runs pay nothing. *)
+  on_park : int -> unit;
+  on_resume : int -> float -> unit;  (* rank, wall seconds parked *)
+  track_park : bool;
   (* A fiber may exit by raising [kill_filter]-matching exceptions without
      aborting the whole simulation (process-failure injection). *)
   kill_filter : exn -> bool;
@@ -103,18 +109,32 @@ let handler (t : t) (rank : int) : (unit, unit) Effect.Deep.handler =
                 | Some v -> Effect.Deep.continue k v
                 | None ->
                     close_segment t;
-                    t.states.(rank) <- Waiting (Parked { poll; describe; k }))
+                    let parked_at =
+                      if t.track_park then begin
+                        t.on_park rank;
+                        now ()
+                      end
+                      else 0.
+                    in
+                    t.states.(rank) <- Waiting (Parked { poll; describe; k; parked_at }))
         | Yield ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 close_segment t;
                 (* Always-ready poll: the fiber resumes on the next pass,
                    after every other runnable fiber has had a turn.  Being
-                   always ready, it can never trip deadlock detection. *)
+                   always ready, it can never trip deadlock detection.
+                   Yields are voluntary, not waits, so park hooks skip
+                   them. *)
                 t.states.(rank) <-
                   Waiting
                     (Parked
-                       { poll = (fun () -> Some ()); describe = (fun () -> "yield"); k }))
+                       {
+                         poll = (fun () -> Some ());
+                         describe = (fun () -> "yield");
+                         k;
+                         parked_at = 0.;
+                       }))
         | _ -> None);
   }
 
@@ -154,15 +174,20 @@ exception Abandoned_fiber
    deadlock detection.  [kill_filter exn] returns true for exceptions that
    represent an injected process failure: such fibers end in [Raised] but do
    not abort the other fibers. *)
-let run ?(on_segment = fun _ _ -> ()) ?(kill_filter = fun _ -> false)
-    ~progress ~nfibers (body : int -> unit) : outcome array =
+let run ?(on_segment = fun _ _ -> ()) ?on_park ?on_resume
+    ?(kill_filter = fun _ -> false) ~progress ~nfibers (body : int -> unit) :
+    outcome array =
   if nfibers <= 0 then invalid_arg "Scheduler.run: nfibers must be positive";
+  let track_park = on_park <> None || on_resume <> None in
   let t =
     {
       states = Array.init nfibers (fun r -> Ready (fun () -> body r));
       live = nfibers;
       current = -1;
       on_segment;
+      on_park = (match on_park with Some f -> f | None -> fun _ -> ());
+      on_resume = (match on_resume with Some f -> f | None -> fun _ _ -> ());
+      track_park;
       seg_start = 0.;
       kill_filter;
     }
@@ -202,6 +227,10 @@ let run ?(on_segment = fun _ _ -> ()) ?(kill_filter = fun _ -> false)
               match p.poll () with
               | Some v ->
                   ran := true;
+                  (* Yield parks carry [parked_at = 0.] and are not real
+                     waits; skip the resume hook for them. *)
+                  if t.track_park && p.parked_at > 0. then
+                    t.on_resume rank (now () -. p.parked_at);
                   resume_fiber t rank p.k v;
                   check_fatal rank
               | None -> ()

@@ -38,10 +38,19 @@ exception Abandoned_fiber
            changes (drives deadlock detection)
     @param on_segment receives (rank, real seconds) for every executed
            fiber segment — the measured-compute feed of the hybrid clock
+    @param on_park called when a fiber actually parks (its poll failed);
+           voluntary yields do not count
+    @param on_resume called with (rank, wall seconds parked) when a parked
+           fiber's poll succeeds and it is about to resume
     @param kill_filter exceptions representing injected process failures:
-           such fibers end as [Raised] without aborting the others *)
+           such fibers end as [Raised] without aborting the others
+
+    The park/resume hooks cost one extra [gettimeofday] per park when
+    supplied and nothing when absent. *)
 val run :
   ?on_segment:(int -> float -> unit) ->
+  ?on_park:(int -> unit) ->
+  ?on_resume:(int -> float -> unit) ->
   ?kill_filter:(exn -> bool) ->
   progress:(unit -> int) ->
   nfibers:int ->

@@ -1,0 +1,218 @@
+(* Structured event tracing for the simulator.
+
+   Each rank owns a bounded ring buffer of events stamped on the hybrid
+   virtual clock (the same clock the scaling figures report).  Spans mark
+   the extent of operations — scheduler CPU segments, mpisim collectives
+   and point-to-point calls, kamping-layer calls, timer keys — and
+   instants mark point happenings (message injection, match, park/resume,
+   failure injection).
+
+   The recorder is created disabled and compiles down to a no-op in that
+   state: every emit function first reads a single mutable bool and
+   returns, without allocating, so the zero-overhead microbenchmarks are
+   unaffected by the mere presence of instrumentation.  Because the
+   emitters read the timestamp themselves (the recorder holds the
+   runtime's clock array), call sites never box a float argument on the
+   disabled path.
+
+   When the buffer of a rank overflows, the oldest events are evicted and
+   counted; exports mention the loss rather than silently truncating. *)
+
+type kind = Begin | End | Instant | Complete
+
+type event = {
+  kind : kind;
+  cat : string;  (* layer: "sched" | "sim" | "coll" | "p2p" | "kamping" | "timer" *)
+  name : string;
+  ts : float;  (* virtual time; for [Complete], the span's *end* *)
+  dur : float;  (* span length, [Complete] only *)
+  a : int;  (* event-specific args, -1 when unused: *)
+  b : int;  (* send: a=dst b=seq c=bytes; match: a=src b=seq c=bytes *)
+  c : int;
+}
+
+type ring = {
+  mutable ev : event array;
+  mutable start : int;  (* index of oldest event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+type t = {
+  mutable enabled : bool;
+  clocks : float array;  (* the runtime's per-rank virtual clocks *)
+  rings : ring array;
+}
+
+let dummy_event =
+  { kind = Instant; cat = ""; name = ""; ts = 0.; dur = 0.; a = -1; b = -1; c = -1 }
+
+let default_capacity = 1 lsl 16
+
+let create ~clocks =
+  {
+    enabled = false;
+    clocks;
+    rings =
+      Array.map (fun _ -> { ev = [||]; start = 0; len = 0; dropped = 0 }) clocks;
+  }
+
+let ranks t = Array.length t.rings
+
+let enabled t = t.enabled
+
+let enable ?(capacity = default_capacity) t =
+  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+  Array.iter
+    (fun r ->
+      if Array.length r.ev <> capacity then r.ev <- Array.make capacity dummy_event;
+      r.start <- 0;
+      r.len <- 0;
+      r.dropped <- 0)
+    t.rings;
+  t.enabled <- true
+
+let disable t = t.enabled <- false
+
+let push r e =
+  let cap = Array.length r.ev in
+  if r.len < cap then begin
+    r.ev.((r.start + r.len) mod cap) <- e;
+    r.len <- r.len + 1
+  end
+  else begin
+    (* Full: evict the oldest event. *)
+    r.ev.(r.start) <- e;
+    r.start <- (r.start + 1) mod cap;
+    r.dropped <- r.dropped + 1
+  end
+
+let emit t rank kind cat name a b c =
+  push t.rings.(rank)
+    { kind; cat; name; ts = t.clocks.(rank); dur = 0.; a; b; c }
+
+let span_begin t ~rank ~cat ~name = if t.enabled then emit t rank Begin cat name (-1) (-1) (-1)
+
+let span_end t ~rank ~cat ~name = if t.enabled then emit t rank End cat name (-1) (-1) (-1)
+
+let instant t ~rank ~cat ~name ~a ~b ~c = if t.enabled then emit t rank Instant cat name a b c
+
+(* A complete span reported after the fact (scheduler CPU segments): the
+   timestamp is the current clock, [dur] reaches back. *)
+let complete t ~rank ~cat ~name ~dur =
+  if t.enabled then
+    push t.rings.(rank)
+      { kind = Complete; cat; name; ts = t.clocks.(rank); dur; a = -1; b = -1; c = -1 }
+
+(* [with_span t ~rank ~cat ~name f] wraps [f] in a span; on the disabled
+   path it is just a call through. *)
+let with_span t ~rank ~cat ~name f =
+  if not t.enabled then f ()
+  else begin
+    span_begin t ~rank ~cat ~name;
+    Fun.protect ~finally:(fun () -> span_end t ~rank ~cat ~name) f
+  end
+
+let dropped t rank = t.rings.(rank).dropped
+
+let total_dropped t = Array.fold_left (fun acc r -> acc + r.dropped) 0 t.rings
+
+let length t rank = t.rings.(rank).len
+
+(* Events of one rank in chronological (emission) order. *)
+let events t rank : event list =
+  let r = t.rings.(rank) in
+  let cap = Array.length r.ev in
+  List.init r.len (fun i -> r.ev.((r.start + i) mod cap))
+
+let iter_events t rank f =
+  let r = t.rings.(rank) in
+  let cap = Array.length r.ev in
+  for i = 0 to r.len - 1 do
+    f r.ev.((r.start + i) mod cap)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export (chrome://tracing, Perfetto).
+
+   One "thread" per rank on the virtual timeline; scheduler CPU segments
+   ([Complete] events) go to a separate per-rank track so their overlap
+   with operation spans cannot break B/E nesting.  Timestamps are
+   microseconds, as the format requires. *)
+
+let us ts = ts *. 1e6
+
+let write_event buf ~tid (e : event) =
+  let o = Json_out.start_obj buf in
+  Json_out.field_str o "name" e.name;
+  Json_out.field_str o "cat" e.cat;
+  Json_out.field_str o "ph"
+    (match e.kind with Begin -> "B" | End -> "E" | Instant -> "i" | Complete -> "X");
+  Json_out.field_int o "pid" 0;
+  Json_out.field_int o "tid" tid;
+  (match e.kind with
+  | Complete ->
+      Json_out.field_float o "ts" (us (e.ts -. e.dur));
+      Json_out.field_float o "dur" (us e.dur)
+  | Begin | End -> Json_out.field_float o "ts" (us e.ts)
+  | Instant ->
+      Json_out.field_float o "ts" (us e.ts);
+      Json_out.field_str o "s" "t");
+  if e.a >= 0 || e.b >= 0 || e.c >= 0 then begin
+    Json_out.key o "args";
+    let args = Json_out.start_obj buf in
+    if e.a >= 0 then Json_out.field_int args "a" e.a;
+    if e.b >= 0 then Json_out.field_int args "b" e.b;
+    if e.c >= 0 then Json_out.field_int args "c" e.c;
+    Json_out.end_obj args
+  end;
+  Json_out.end_obj o
+
+let write_thread_name buf ~tid ~name =
+  let o = Json_out.start_obj buf in
+  Json_out.field_str o "name" "thread_name";
+  Json_out.field_str o "ph" "M";
+  Json_out.field_int o "pid" 0;
+  Json_out.field_int o "tid" tid;
+  Json_out.key o "args";
+  let args = Json_out.start_obj buf in
+  Json_out.field_str args "name" name;
+  Json_out.end_obj args;
+  Json_out.end_obj o
+
+let chrome_json_into buf t =
+  let n = ranks t in
+  let root = Json_out.start_obj buf in
+  Json_out.field_str root "displayTimeUnit" "ms";
+  Json_out.key root "otherData";
+  let od = Json_out.start_obj buf in
+  Json_out.field_int od "droppedEvents" (total_dropped t);
+  Json_out.end_obj od;
+  Json_out.key root "traceEvents";
+  let arr = Json_out.start_arr buf in
+  for rank = 0 to n - 1 do
+    Json_out.sep arr;
+    write_thread_name buf ~tid:rank ~name:(Printf.sprintf "rank %d" rank);
+    Json_out.sep arr;
+    write_thread_name buf ~tid:(n + rank) ~name:(Printf.sprintf "rank %d cpu" rank);
+    iter_events t rank (fun e ->
+        Json_out.sep arr;
+        let tid = if e.kind = Complete then n + rank else rank in
+        write_event buf ~tid e)
+  done;
+  Json_out.end_arr arr;
+  Json_out.end_obj root
+
+let to_chrome_json t =
+  let buf = Buffer.create 65536 in
+  chrome_json_into buf t;
+  Buffer.contents buf
+
+let write_chrome_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      chrome_json_into buf t;
+      Buffer.output_buffer oc buf)

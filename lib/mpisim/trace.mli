@@ -1,0 +1,85 @@
+(** Structured event tracing on the hybrid virtual clock.
+
+    Each rank owns a bounded ring buffer of events; spans mark operation
+    extents (scheduler segments, collectives, p2p calls, kamping calls,
+    timer keys) and instants mark point happenings (message injection and
+    match, park/resume, failure injection).
+
+    The recorder is created {e disabled}: every emitter first checks a
+    single mutable bool and returns without allocating, so instrumented
+    hot paths cost one branch when tracing is off.  Emitters read the
+    timestamp themselves from the runtime's clock array, so call sites
+    never box a float on the disabled path.
+
+    On overflow the oldest events of a rank are evicted and counted
+    ({!dropped}); exporters report the loss instead of hiding it. *)
+
+type kind = Begin | End | Instant | Complete
+
+type event = {
+  kind : kind;
+  cat : string;  (** layer: ["sched"], ["sim"], ["coll"], ["p2p"], ["kamping"], ["timer"] *)
+  name : string;
+  ts : float;  (** virtual time; for [Complete], the span's {e end} *)
+  dur : float;  (** span length, [Complete] only *)
+  a : int;  (** event args, [-1] when unused. [send]: a=dst b=seq c=bytes; *)
+  b : int;  (** [match]/[match_wait]: a=src b=seq c=bytes; [park]/[resume]: none *)
+  c : int;
+}
+
+type t
+
+(** [create ~clocks] builds a disabled recorder with one ring per entry of
+    [clocks] (the runtime's per-rank virtual clocks, read at emit time). *)
+val create : clocks:float array -> t
+
+val ranks : t -> int
+
+val enabled : t -> bool
+
+val default_capacity : int
+
+(** Allocate the per-rank rings (default {!default_capacity} events each)
+    and start recording.  Resets previously recorded events. *)
+val enable : ?capacity:int -> t -> unit
+
+val disable : t -> unit
+
+val span_begin : t -> rank:int -> cat:string -> name:string -> unit
+
+val span_end : t -> rank:int -> cat:string -> name:string -> unit
+
+val instant : t -> rank:int -> cat:string -> name:string -> a:int -> b:int -> c:int -> unit
+
+(** A complete span reported after the fact (scheduler CPU segments): the
+    timestamp is the current clock and [dur] reaches back. *)
+val complete : t -> rank:int -> cat:string -> name:string -> dur:float -> unit
+
+(** Wrap a closure in a span (exception-safe); a plain call when
+    disabled. *)
+val with_span : t -> rank:int -> cat:string -> name:string -> (unit -> 'a) -> 'a
+
+(** Events evicted from [rank]'s ring so far. *)
+val dropped : t -> int -> int
+
+val total_dropped : t -> int
+
+(** Events currently buffered for [rank]. *)
+val length : t -> int -> int
+
+(** Chronological event list of one rank. *)
+val events : t -> int -> event list
+
+val iter_events : t -> int -> (event -> unit) -> unit
+
+(** {1 Chrome trace-event export}
+
+    Loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+    One thread per rank on the virtual timeline; scheduler CPU segments go
+    to a separate per-rank track. *)
+
+val chrome_json_into : Buffer.t -> t -> unit
+
+val to_chrome_json : t -> string
+
+val write_chrome_file : t -> string -> unit

@@ -1,0 +1,177 @@
+(* Post-run analysis of the virtual-time accounting and the event trace.
+
+   Two views:
+
+   - [pp_utilization]: per-rank busy / blocked / idle breakdown.  This
+     needs no trace: the runtime splits every clock movement into busy
+     (charged cost) and blocked (sync jump), and idle is the tail between
+     a rank's finish time and the makespan.
+
+   - [critical_path]: the chain of operations that bounds the makespan.
+     Starting from the rank that finished last, walk backwards through
+     "match_wait" instants (a receive that actually waited) to the send
+     that released it, hop to the sending rank, and repeat.  Each hop is
+     named after the tightest enclosing traced span (collective, kamping
+     call or p2p op) so the report reads as "rank 3 waited in allgatherv
+     for rank 1", not as raw message sequence numbers. *)
+
+let pct ~of_ v = if of_ <= 0. then 0. else 100. *. v /. of_
+
+let pp_utilization ppf ~busy ~blocked ~times ~max_time =
+  let n = Array.length times in
+  Format.fprintf ppf "rank        busy           blocked        idle@.";
+  for r = 0 to n - 1 do
+    let idle = Float.max 0. (max_time -. times.(r)) in
+    Format.fprintf ppf "%4d  %9s (%5.1f%%) %9s (%5.1f%%) %9s (%5.1f%%)@." r
+      (Sim_time.to_string busy.(r))
+      (pct ~of_:max_time busy.(r))
+      (Sim_time.to_string blocked.(r))
+      (pct ~of_:max_time blocked.(r))
+      (Sim_time.to_string idle)
+      (pct ~of_:max_time idle)
+  done;
+  let total f = Array.fold_left ( +. ) 0. f in
+  let denom = float_of_int (max 1 n) *. max_time in
+  Format.fprintf ppf "mean  busy %.1f%%  blocked %.1f%%  idle %.1f%%  (makespan %s)@."
+    (pct ~of_:denom (total busy))
+    (pct ~of_:denom (total blocked))
+    (pct ~of_:denom (Float.max 0. (denom -. total busy -. total blocked)))
+    (Sim_time.to_string max_time)
+
+(* ------------------------------------------------------------------ *)
+(* Critical path *)
+
+type hop = {
+  hop_rank : int;
+  hop_from : float;  (* start of the segment on this rank *)
+  hop_to : float;  (* end of the segment (= previous hop's trigger) *)
+  hop_name : string;  (* "cat/name" of the tightest enclosing span *)
+  via_src : int;  (* sender that released this rank; -1 for the first segment *)
+  via_seq : int;
+  via_bytes : int;
+}
+
+(* Reconstruct span intervals of one rank from its Begin/End/Complete
+   events.  Eviction can orphan an End (its Begin was dropped) — such Ends
+   are skipped; Begins still open at the end of the run close at the
+   rank's finish time. *)
+let spans_of_rank tr ~times rank =
+  let stack = ref [] in
+  let acc = ref [] in
+  Trace.iter_events tr rank (fun (ev : Trace.event) ->
+      match ev.kind with
+      | Trace.Begin -> stack := (ev.cat, ev.name, ev.ts) :: !stack
+      | Trace.End -> (
+          match !stack with
+          | (cat, name, t0) :: rest ->
+              stack := rest;
+              acc := (t0, ev.ts, cat, name) :: !acc
+          | [] -> ())
+      | Trace.Complete -> acc := (ev.ts -. ev.dur, ev.ts, ev.cat, ev.name) :: !acc
+      | Trace.Instant -> ());
+  List.iter (fun (cat, name, t0) -> acc := (t0, times.(rank), cat, name) :: !acc) !stack;
+  !acc
+
+(* Name the operation active at time [at]: the tightest enclosing span,
+   preferring semantic layers (coll/kamping/timer) over raw p2p ops. *)
+let name_at spans ~at =
+  let best = ref None in
+  List.iter
+    (fun (lo, hi, cat, name) ->
+      let pri =
+        match cat with
+        | "coll" | "kamping" | "timer" -> 0
+        | "p2p" -> 1
+        | _ -> 2
+      in
+      if pri < 2 && lo <= at && at <= hi then begin
+        let key = (pri, hi -. lo) in
+        match !best with
+        | Some (bkey, _) when bkey <= key -> ()
+        | _ -> best := Some (key, cat ^ "/" ^ name)
+      end)
+    spans;
+  match !best with Some (_, n) -> n | None -> "compute"
+
+let max_hops = 64
+
+let critical_path tr ~times =
+  let ranks = Trace.ranks tr in
+  if ranks = 0 || Array.length times = 0 then []
+  else begin
+    (* Global send table: message seq -> (sender, send time, bytes). *)
+    let sends = Hashtbl.create 1024 in
+    (* Per-rank match_wait instants, reverse chronological. *)
+    let waits = Array.make ranks [] in
+    for r = 0 to ranks - 1 do
+      Trace.iter_events tr r (fun (ev : Trace.event) ->
+          if ev.kind = Trace.Instant && ev.cat = "sim" then
+            if ev.name = "send" then Hashtbl.replace sends ev.b (r, ev.ts, ev.c)
+            else if ev.name = "match_wait" then waits.(r) <- ev :: waits.(r))
+    done;
+    let spans = Array.init ranks (fun r -> spans_of_rank tr ~times r) in
+    let finish = ref 0 in
+    Array.iteri (fun i v -> if v > times.(!finish) then finish := i) times;
+    let hops = ref [] in
+    let rec walk rank t budget =
+      match List.find_opt (fun (ev : Trace.event) -> ev.ts <= t) waits.(rank) with
+      | None ->
+          hops :=
+            {
+              hop_rank = rank;
+              hop_from = 0.;
+              hop_to = t;
+              hop_name = name_at spans.(rank) ~at:t;
+              via_src = -1;
+              via_seq = -1;
+              via_bytes = -1;
+            }
+            :: !hops
+      | Some m ->
+          hops :=
+            {
+              hop_rank = rank;
+              hop_from = m.ts;
+              hop_to = t;
+              hop_name = name_at spans.(rank) ~at:m.ts;
+              via_src = m.a;
+              via_seq = m.b;
+              via_bytes = m.c;
+            }
+            :: !hops;
+          if budget > 0 then begin
+            match Hashtbl.find_opt sends m.b with
+            | Some (src_rank, send_ts, _) when send_ts < m.ts ->
+                (* Guarantees strictly decreasing time, so the walk
+                   terminates even on malformed traces. *)
+                walk src_rank send_ts (budget - 1)
+            | _ -> ()  (* send evicted from the ring, or inconsistent *)
+          end
+    in
+    walk !finish times.(!finish) max_hops;
+    !hops (* prepended finish-first, so this is start -> finish order *)
+  end
+
+let pp_critical_path ppf tr ~times =
+  match critical_path tr ~times with
+  | [] -> Format.fprintf ppf "critical path: no trace events recorded@."
+  | hops ->
+      let finish = List.length hops - 1 in
+      Format.fprintf ppf "critical path (%d hops, finish at %s):@." (List.length hops)
+        (Sim_time.to_string
+           (List.fold_left (fun acc h -> Float.max acc h.hop_to) 0. hops));
+      List.iteri
+        (fun i h ->
+          Format.fprintf ppf "  %2d. rank %d  [%s .. %s]  %s" i h.hop_rank
+            (Sim_time.to_string h.hop_from)
+            (Sim_time.to_string h.hop_to)
+            h.hop_name;
+          if h.via_src >= 0 then
+            Format.fprintf ppf "  (released by %d B msg #%d from rank %d)" h.via_bytes
+              h.via_seq h.via_src
+          else if i <> finish then Format.fprintf ppf "  (start of chain)";
+          Format.fprintf ppf "@.")
+        hops;
+      if Trace.total_dropped tr > 0 then
+        Format.fprintf ppf "  (ring buffers dropped %d events; path may be truncated)@."
+          (Trace.total_dropped tr)

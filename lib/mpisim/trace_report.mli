@@ -1,0 +1,38 @@
+(** Post-run analysis of the virtual-time accounting and the event trace:
+    per-rank busy/blocked/idle utilization and the makespan-bounding
+    critical path. *)
+
+(** Per-rank busy / blocked / idle table.  Needs no trace: the runtime
+    splits every clock movement into busy (charged cost) and blocked
+    (sync jump); idle is the tail between a rank's finish time and the
+    makespan. *)
+val pp_utilization :
+  Format.formatter ->
+  busy:float array ->
+  blocked:float array ->
+  times:float array ->
+  max_time:float ->
+  unit
+
+(** One segment of the critical path: rank [hop_rank] was occupied on
+    [hop_from .. hop_to] inside [hop_name] ("cat/name" of the tightest
+    enclosing traced span, or ["compute"]); the segment started when the
+    message [via_seq] from [via_src] arrived ([via_src = -1] for the
+    chain's first segment). *)
+type hop = {
+  hop_rank : int;
+  hop_from : float;
+  hop_to : float;
+  hop_name : string;
+  via_src : int;
+  via_seq : int;
+  via_bytes : int;
+}
+
+(** Walk back from the rank that finished last through "match_wait"
+    instants to the sends that released them (at most 64 hops; stops
+    early if the trace ring evicted the relevant send).  Returns hops in
+    start-to-finish order; [[]] when tracing was disabled. *)
+val critical_path : Trace.t -> times:float array -> hop list
+
+val pp_critical_path : Format.formatter -> Trace.t -> times:float array -> unit
