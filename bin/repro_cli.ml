@@ -26,7 +26,7 @@ let report_line (r : Engine.report) =
 
 (* --- observability flags, shared by every subcommand --- *)
 
-type obs = { trace_file : string option; stats : bool }
+type obs = { trace_file : string option; stats : bool; check : Check.level option }
 
 let obs_arg =
   let trace_file =
@@ -46,7 +46,24 @@ let obs_arg =
             "Print the per-rank busy/blocked/idle breakdown, message-size and \
              latency histograms, and the critical path bounding the makespan.")
   in
-  Term.(const (fun trace_file stats -> { trace_file; stats }) $ trace_file $ stats)
+  let check =
+    let levels =
+      [ ("off", Check.Off); ("light", Check.Light); ("heavy", Check.Heavy) ]
+    in
+    Arg.(
+      value
+      & opt (some (enum levels)) None
+      & info [ "check" ] ~docv:"LEVEL"
+          ~doc:
+            "Run the correctness sanitizer at $(docv) (off, light or heavy): \
+             collective call-order consistency, request-lifecycle and deadlock \
+             diagnosis at $(b,light); plus send-buffer integrity and \
+             wildcard-race detection at $(b,heavy).  Defaults to the \
+             $(b,MPISIM_CHECK) environment variable, else off.")
+  in
+  Term.(
+    const (fun trace_file stats check -> { trace_file; stats; check })
+    $ trace_file $ stats $ check)
 
 (* Run one experiment body under the observability flags: tracing is
    enabled iff --trace or --stats was given (--stats needs the event trace
@@ -55,7 +72,7 @@ let run_with_obs ~obs ~model ~ranks body =
   let trace_capacity =
     if obs.trace_file <> None || obs.stats then Some Trace.default_capacity else None
   in
-  let report = Engine.run ~model ?trace_capacity ~ranks body in
+  let report = Engine.run ~model ?check_level:obs.check ?trace_capacity ~ranks body in
   report_line report;
   (match obs.trace_file with
   | Some file -> (

@@ -29,7 +29,12 @@ let wait (t : 'a t) : 'a =
   match t.fetched with
   | Some v -> v
   | None ->
-      let (_ : Status.t) = Request.wait t.request in
+      (* An already-complete request (pool drain, [forget]-shared handles)
+         only needs its payload fetched; re-entering [Request.wait] would
+         count as a double-wait for the sanitizer, which is reserved for
+         user code waiting a raw request twice. *)
+      if not (Request.is_complete t.request) then
+        ignore (Request.wait t.request : Status.t);
       let v = t.fetch () in
       t.fetched <- Some v;
       v
@@ -51,18 +56,36 @@ let is_complete (t : 'a t) = t.fetched <> None || Request.is_complete t.request
 let forget (t : 'a t) : unit t =
   { request = t.request; fetch = (fun () -> ignore (t.fetch ())); fetched = None }
 
+(* Heavy-level send-buffer integrity: hash the buffer when the send is
+   posted and hand back a fetch that re-hashes at completion — a mismatch
+   means the program mutated a buffer whose ownership it had transferred.
+   At lighter levels the fetch is the plain identity closure. *)
+let guarded_send_fetch comm ~op (data : 'a array) =
+  let mpi = c comm in
+  let chk = (Comm.runtime mpi).Runtime.check in
+  if not (Check.heavy chk) then fun () -> data
+  else begin
+    let posted = Check.buffer_hash data in
+    fun () ->
+      Check.check_send_buffer chk ~rank:(Comm.world_rank mpi) ~op ~posted
+        ~now:(Check.buffer_hash data);
+      data
+  end
+
 (* Send with buffer ownership transfer: [data] is moved into the call and
    returned by [wait]/[test] once the operation has completed (Fig. 6). *)
 let isend comm dt ~dest ?tag (data : 'a array) : 'a array t =
   post_instant comm ~name:"isend" ~peer:dest;
+  let fetch = guarded_send_fetch comm ~op:"isend" data in
   let request = P2p.isend (c comm) dt ~dest ?tag data in
-  of_request request ~fetch:(fun () -> data)
+  of_request request ~fetch
 
 (* Synchronous-mode send: completes only when the receiver has matched. *)
 let issend comm dt ~dest ?tag (data : 'a array) : 'a array t =
   post_instant comm ~name:"issend" ~peer:dest;
+  let fetch = guarded_send_fetch comm ~op:"issend" data in
   let request = P2p.issend (c comm) dt ~dest ?tag data in
-  of_request request ~fetch:(fun () -> data)
+  of_request request ~fetch
 
 (* Dynamic non-blocking receive: the result buffer is created on completion
    with exactly the received size, so there is no window in which the user

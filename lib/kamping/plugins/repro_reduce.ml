@@ -108,7 +108,7 @@ let repro_tag = 4243
 let reduce (comm : Kamping.Communicator.t) ~(op : float -> float -> float)
     (local : float array) : float =
   let mpi = Kamping.Communicator.mpi comm in
-  Comm.check_collective mpi ~op:"repro_reduce";
+  Comm.check_collective mpi ~op:"repro_reduce" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime mpi) ~op:"repro_reduce" ~bytes:0;
   let n = Kamping.Communicator.size comm in
   let r = Kamping.Communicator.rank comm in

@@ -23,7 +23,7 @@ let sparse_tag = 4242
 let alltoallv (comm : Kamping.Communicator.t) (dt : 'a Datatype.t)
     (outgoing : (int * 'a array) list) : (int * 'a array) list =
   let mpi = Kamping.Communicator.mpi comm in
-  Comm.check_collective mpi ~op:"sparse_alltoallv";
+  Comm.check_collective mpi ~op:"sparse_alltoallv" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime mpi) ~op:"sparse_alltoallv" ~bytes:0;
   let send_requests =
     List.map (fun (dest, data) -> P2p.issend mpi dt ~dest ~tag:sparse_tag data) outgoing

@@ -30,7 +30,7 @@ let bcast_tag = P2p.internal_tag 32
 (* Binomial-tree broadcast of a serialized value; root passes [~value]. *)
 let bcast comm (codec : 'a Serial.Codec.t) ~root ?value () : 'a =
   let mpi = c comm in
-  Comm.check_collective mpi ~op:"bcast_serialized";
+  Comm.check_collective mpi ~op:"bcast_serialized" ~root ~ty:"";
   Runtime.record (Comm.runtime mpi) ~op:"bcast_serialized" ~bytes:0;
   let n = Communicator.size comm in
   let r = Communicator.rank comm in
@@ -70,7 +70,7 @@ let bcast comm (codec : 'a Serial.Codec.t) ~root ?value () : 'a =
    order); non-roots receive the empty list. *)
 let gather comm (codec : 'a Serial.Codec.t) ~root (value : 'a) : 'a list =
   let mpi = c comm in
-  Comm.check_collective mpi ~op:"gather_serialized";
+  Comm.check_collective mpi ~op:"gather_serialized" ~root ~ty:"";
   Runtime.record (Comm.runtime mpi) ~op:"gather_serialized" ~bytes:0;
   let n = Communicator.size comm in
   let r = Communicator.rank comm in

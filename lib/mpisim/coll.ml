@@ -50,9 +50,12 @@ let tag_neighbor = P2p.internal_tag 11
 
 let empty_int : int array = [||]
 
-let prologue comm ~op =
+(* [root] is the comm-rank root (-1 for unrooted collectives) and [ty] the
+   element-type name ("" for untyped ops): plain immediates, so the
+   sanitizer-off path stays allocation-free. *)
+let prologue comm ~op ~root ~ty =
   Runtime.check_alive (Comm.runtime comm) (Comm.world_rank comm);
-  Comm.check_collective comm ~op
+  Comm.check_collective comm ~op ~root ~ty
 
 (* Trace span around one collective on the caller's virtual timeline.
    Each public operation below is shadowed by a [traced] wrapper right
@@ -77,7 +80,7 @@ let check_root comm root = Comm.check_rank comm root
 (* Barrier: dissemination *)
 
 let barrier comm =
-  prologue comm ~op:"barrier";
+  prologue comm ~op:"barrier" ~root:(-1) ~ty:"";
   record comm ~op:"barrier" ~bytes:0;
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -95,7 +98,7 @@ let barrier comm = traced comm ~op:"barrier" (fun () -> barrier comm)
 (* Non-blocking barrier via shared rendezvous.  Completion time is the
    latest entry clock plus a modelled dissemination term. *)
 let ibarrier comm =
-  prologue comm ~op:"ibarrier";
+  prologue comm ~op:"ibarrier" ~root:(-1) ~ty:"";
   record comm ~op:"ibarrier" ~bytes:0;
   let rt = Comm.runtime comm in
   let n = Comm.size comm in
@@ -121,21 +124,26 @@ let ibarrier comm =
     float_of_int rounds
     *. (rt.Runtime.model.Net_model.latency +. rt.Runtime.model.Net_model.send_overhead)
   in
-  Request.make
-    ~ready:(fun () -> state.Comm.ib_entered >= state.Comm.ib_target)
-    ~finalize:(fun () ->
-      Runtime.sync_clock rt me (state.Comm.ib_max_clock +. dissemination_cost);
-      state.Comm.ib_finalized <- state.Comm.ib_finalized + 1;
-      if state.Comm.ib_finalized >= state.Comm.ib_target then
-        Hashtbl.remove shared.Comm.ibarriers gen;
-      Status.make ~source:(Comm.rank comm) ~tag:0 ~count:0 ~bytes:0)
-    ~describe:(fun () -> Printf.sprintf "ibarrier gen %d" gen)
+  let req =
+    Request.make
+      ~ready:(fun () -> state.Comm.ib_entered >= state.Comm.ib_target)
+      ~finalize:(fun () ->
+        Runtime.sync_clock rt me (state.Comm.ib_max_clock +. dissemination_cost);
+        state.Comm.ib_finalized <- state.Comm.ib_finalized + 1;
+        if state.Comm.ib_finalized >= state.Comm.ib_target then
+          Hashtbl.remove shared.Comm.ibarriers gen;
+        Status.make ~source:(Comm.rank comm) ~tag:0 ~count:0 ~bytes:0)
+      ~describe:(fun () -> Printf.sprintf "ibarrier gen %d" gen)
+  in
+  if Check.enabled rt.Runtime.check then
+    Check.track_request rt.Runtime.check ~rank:me ~kind:"ibarrier" req;
+  req
 
 (* ------------------------------------------------------------------ *)
 (* Broadcast: binomial tree *)
 
 let bcast comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
-  prologue comm ~op:"bcast";
+  prologue comm ~op:"bcast" ~root ~ty:(Datatype.name dt);
   check_root comm root;
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -180,7 +188,7 @@ let bcast comm dt ~root data = traced comm ~op:"bcast" (fun () -> bcast comm dt 
 (* Gather / Scatter (rooted, direct exchange) *)
 
 let gatherv comm (dt : 'a Datatype.t) ~root ?recv_counts (data : 'a array) : 'a array =
-  prologue comm ~op:"gatherv";
+  prologue comm ~op:"gatherv" ~root ~ty:(Datatype.name dt);
   check_root comm root;
   charge_dense_scan comm;
   let n = Comm.size comm in
@@ -233,7 +241,7 @@ let gatherv comm dt ~root ?recv_counts data =
   traced comm ~op:"gatherv" (fun () -> gatherv comm dt ~root ?recv_counts data)
 
 let gather comm (dt : 'a Datatype.t) ~root (data : 'a array) : 'a array =
-  prologue comm ~op:"gather";
+  prologue comm ~op:"gather" ~root ~ty:(Datatype.name dt);
   check_root comm root;
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -266,7 +274,7 @@ let gather comm dt ~root data = traced comm ~op:"gather" (fun () -> gather comm 
 
 let scatterv comm (dt : 'a Datatype.t) ~root ?send_counts (data : 'a array option) :
     'a array =
-  prologue comm ~op:"scatterv";
+  prologue comm ~op:"scatterv" ~root ~ty:(Datatype.name dt);
   check_root comm root;
   charge_dense_scan comm;
   let n = Comm.size comm in
@@ -310,7 +318,7 @@ let scatterv comm dt ~root ?send_counts data =
   traced comm ~op:"scatterv" (fun () -> scatterv comm dt ~root ?send_counts data)
 
 let scatter comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
-  prologue comm ~op:"scatter";
+  prologue comm ~op:"scatter" ~root ~ty:(Datatype.name dt);
   check_root comm root;
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -341,7 +349,7 @@ let scatter comm dt ~root data = traced comm ~op:"scatter" (fun () -> scatter co
 (* Allgather: Bruck concatenation (works for any p, O(log p) rounds) *)
 
 let allgather comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
-  prologue comm ~op:"allgather";
+  prologue comm ~op:"allgather" ~root:(-1) ~ty:(Datatype.name dt);
   let n = Comm.size comm in
   let r = Comm.rank comm in
   let count = Array.length data in
@@ -381,7 +389,7 @@ let allgather comm dt data = traced comm ~op:"allgather" (fun () -> allgather co
    infers it when omitted (paper §III-A). *)
 let allgatherv comm (dt : 'a Datatype.t) ~(recv_counts : int array) (data : 'a array) :
     'a array =
-  prologue comm ~op:"allgatherv";
+  prologue comm ~op:"allgatherv" ~root:(-1) ~ty:(Datatype.name dt);
   charge_dense_scan comm;
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -439,7 +447,7 @@ let exclusive_prefix_sum (counts : int array) =
   displs
 
 let alltoall comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
-  prologue comm ~op:"alltoall";
+  prologue comm ~op:"alltoall" ~root:(-1) ~ty:(Datatype.name dt);
   let n = Comm.size comm in
   let r = Comm.rank comm in
   if Array.length data mod n <> 0 then
@@ -470,7 +478,7 @@ let alltoall comm dt data = traced comm ~op:"alltoall" (fun () -> alltoall comm 
 let alltoallv comm (dt : 'a Datatype.t) ~(send_counts : int array)
     ~(send_displs : int array) ~(recv_counts : int array) ~(recv_displs : int array)
     (data : 'a array) : 'a array =
-  prologue comm ~op:"alltoallv";
+  prologue comm ~op:"alltoallv" ~root:(-1) ~ty:(Datatype.name dt);
   charge_dense_scan comm;
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -520,7 +528,7 @@ let alltoallv comm dt ~send_counts ~send_displs ~recv_counts ~recv_displs data =
    limits scalability (paper §II, [9]). *)
 let alltoallw comm (dt : 'a Datatype.t) ~(send_counts : int array)
     ~(recv_counts : int array) (data : 'a array) : 'a array =
-  prologue comm ~op:"alltoallw";
+  prologue comm ~op:"alltoallw" ~root:(-1) ~ty:(Datatype.name dt);
   charge_dense_scan comm;
   let rt = Comm.runtime comm in
   let n = Comm.size comm in
@@ -571,7 +579,7 @@ let combine_into (op : 'a Reduce_op.t) ~(acc : 'a array) (other : 'a array) =
    for non-commutative ones (order must be rank order). *)
 let reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~root (data : 'a array) :
     'a array =
-  prologue comm ~op:"reduce";
+  prologue comm ~op:"reduce" ~root ~ty:(Datatype.name dt);
   check_root comm root;
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -616,7 +624,7 @@ let reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~root (data : 'a arra
 let reduce comm dt op ~root data = traced comm ~op:"reduce" (fun () -> reduce comm dt op ~root data)
 
 let allreduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
-  prologue comm ~op:"allreduce";
+  prologue comm ~op:"allreduce" ~root:(-1) ~ty:(Datatype.name dt);
   record comm ~op:"allreduce" ~bytes:(Datatype.size_of_count dt (Array.length data));
   let reduced = reduce comm dt op ~root:0 data in
   let root_data = if Comm.rank comm = 0 then Some reduced else None in
@@ -627,7 +635,7 @@ let allreduce comm dt op data = traced comm ~op:"allreduce" (fun () -> allreduce
 (* Inclusive prefix (Hillis-Steele): O(log p) rounds, order-preserving, so
    safe for non-commutative operations. *)
 let scan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
-  prologue comm ~op:"scan";
+  prologue comm ~op:"scan" ~root:(-1) ~ty:(Datatype.name dt);
   record comm ~op:"scan" ~bytes:(Datatype.size_of_count dt (Array.length data));
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -653,7 +661,7 @@ let scan comm dt op data = traced comm ~op:"scan" (fun () -> scan comm dt op dat
 (* Exclusive prefix: rank 0 receives [None] (MPI leaves it undefined). *)
 let exscan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
     'a array option =
-  prologue comm ~op:"exscan";
+  prologue comm ~op:"exscan" ~root:(-1) ~ty:(Datatype.name dt);
   record comm ~op:"exscan" ~bytes:(Datatype.size_of_count dt (Array.length data));
   let n = Comm.size comm in
   let r = Comm.rank comm in
@@ -693,7 +701,7 @@ let topology_exn comm ~op =
 (* Send [data] to every out-neighbor; receive one block per in-neighbor,
    returned in source order. *)
 let neighbor_allgather comm (dt : 'a Datatype.t) (data : 'a array) : 'a array array =
-  prologue comm ~op:"neighbor_allgather";
+  prologue comm ~op:"neighbor_allgather" ~root:(-1) ~ty:(Datatype.name dt);
   let topo = topology_exn comm ~op:"neighbor_allgather" in
   record comm ~op:"neighbor_allgather"
     ~bytes:(Datatype.size_of_count dt (Array.length data));
@@ -716,7 +724,7 @@ let neighbor_allgather comm dt data =
    [recv_counts] in source order. *)
 let neighbor_alltoallv comm (dt : 'a Datatype.t) ~(send_counts : int array)
     ~(recv_counts : int array) (data : 'a array) : 'a array =
-  prologue comm ~op:"neighbor_alltoallv";
+  prologue comm ~op:"neighbor_alltoallv" ~root:(-1) ~ty:(Datatype.name dt);
   let topo = topology_exn comm ~op:"neighbor_alltoallv" in
   let out_deg = Array.length topo.Comm.destinations in
   let in_deg = Array.length topo.Comm.sources in
@@ -760,7 +768,7 @@ let neighbor_alltoallv comm dt ~send_counts ~recv_counts data =
    optimal but with latency linear in p — kept alongside the default Bruck
    algorithm for the algorithm-choice ablation (DESIGN.md §4). *)
 let allgather_ring comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
-  prologue comm ~op:"allgather_ring";
+  prologue comm ~op:"allgather_ring" ~root:(-1) ~ty:(Datatype.name dt);
   let n = Comm.size comm in
   let r = Comm.rank comm in
   let count = Array.length data in
@@ -796,7 +804,7 @@ let allgather_ring comm dt data =
    tree-based lowering). *)
 let reduce_scatter_block comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
     (data : 'a array) : 'a array =
-  prologue comm ~op:"reduce_scatter_block";
+  prologue comm ~op:"reduce_scatter_block" ~root:(-1) ~ty:(Datatype.name dt);
   let n = Comm.size comm in
   if Array.length data mod n <> 0 then
     Errdefs.usage_error "reduce_scatter_block: data length %d not divisible by %d"
@@ -813,7 +821,7 @@ let reduce_scatter_block comm dt op data =
    go to rank r. *)
 let reduce_scatter comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
     ~(recv_counts : int array) (data : 'a array) : 'a array =
-  prologue comm ~op:"reduce_scatter";
+  prologue comm ~op:"reduce_scatter" ~root:(-1) ~ty:(Datatype.name dt);
   let n = Comm.size comm in
   if Array.length recv_counts <> n then
     Errdefs.usage_error "reduce_scatter: recv_counts must have length %d" n;
@@ -839,18 +847,24 @@ let reduce_scatter comm dt op ~recv_counts data =
    complete after independent work) without overlap guarantees. *)
 
 let deferred_collective comm ~opname (run : unit -> unit) : Request.t =
-  Runtime.record (Comm.runtime comm) ~op:opname ~bytes:0;
+  let rt = Comm.runtime comm in
+  Runtime.record rt ~op:opname ~bytes:0;
   let cell = ref None in
-  Request.make
-    ~ready:(fun () -> true)
-    ~finalize:(fun () ->
-      (match !cell with
-      | Some () -> ()
-      | None ->
-          run ();
-          cell := Some ());
-      Status.make ~source:(Comm.rank comm) ~tag:0 ~count:0 ~bytes:0)
-    ~describe:(fun () -> opname)
+  let req =
+    Request.make
+      ~ready:(fun () -> true)
+      ~finalize:(fun () ->
+        (match !cell with
+        | Some () -> ()
+        | None ->
+            run ();
+            cell := Some ());
+        Status.make ~source:(Comm.rank comm) ~tag:0 ~count:0 ~bytes:0)
+      ~describe:(fun () -> opname)
+  in
+  if Check.enabled rt.Runtime.check then
+    Check.track_request rt.Runtime.check ~rank:(Comm.world_rank comm) ~kind:opname req;
+  req
 
 let ibcast comm (dt : 'a Datatype.t) ~root (data : 'a array option) :
     Request.t * 'a array option ref =

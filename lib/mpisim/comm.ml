@@ -248,10 +248,17 @@ let collective_trace_mismatch shared =
         check 1
       end
 
-(* Entry checks common to all collectives. *)
-let check_collective t ~op =
+(* Entry checks common to all collectives.  [root] is the comm-rank root
+   (-1 for unrooted collectives) and [ty] the element-type name ("" when
+   untyped); both are plain immediates so the sanitizer-off path allocates
+   nothing.  When the sanitizer is on, this is also the hook that feeds the
+   collective call-order consistency check. *)
+let check_collective t ~op ~root ~ty =
   if is_revoked t then error t Errdefs.Err_revoked "%s: communicator revoked" op;
   if any_member_failed t then
     error t Errdefs.Err_proc_failed "%s: failed ranks %s" op
       (String.concat "," (List.map string_of_int (failed_members t)));
-  trace_collective t op
+  trace_collective t op;
+  if Check.enabled t.rt.Runtime.check then
+    Check.on_collective t.rt.Runtime.check ~context:t.shared.context ~rank:t.rank
+      ~world_rank:(world_rank t) ~op ~root ~ty

@@ -124,6 +124,10 @@ val trace_collective : t -> string -> unit
 (** Cross-rank consistency check of the recorded collective sequences. *)
 val collective_trace_mismatch : shared -> string option
 
-(** Common collective prologue: revocation and failure checks plus trace
-    recording. *)
-val check_collective : t -> op:string -> unit
+(** Common collective prologue: revocation and failure checks, trace
+    recording, and — when the sanitizer is enabled — the collective
+    call-order consistency check.  [root] is the comm-rank root ([-1] for
+    unrooted collectives); [ty] the element-type name ({!Datatype.name},
+    [""] when untyped).  Both are passed as plain immediates so the
+    sanitizer-off path allocates nothing. *)
+val check_collective : t -> op:string -> root:int -> ty:string -> unit

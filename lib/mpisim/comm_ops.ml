@@ -15,7 +15,7 @@ let tag_comm = P2p.internal_tag 12
 
 let dup comm =
   Runtime.check_alive (Comm.runtime comm) (Comm.world_rank comm);
-  Comm.check_collective comm ~op:"comm_dup";
+  Comm.check_collective comm ~op:"comm_dup" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime comm) ~op:"comm_dup" ~bytes:0;
   let rt = Comm.runtime comm in
   let context =
@@ -33,7 +33,7 @@ let dup comm =
    new communicator, ordered by (key, old rank). *)
 let split comm ~color ?(key = 0) () : Comm.t option =
   Runtime.check_alive (Comm.runtime comm) (Comm.world_rank comm);
-  Comm.check_collective comm ~op:"comm_split";
+  Comm.check_collective comm ~op:"comm_split" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime comm) ~op:"comm_split" ~bytes:0;
   let rt = Comm.runtime comm in
   let n = Comm.size comm in
@@ -126,7 +126,7 @@ let create_from_group comm (g : Group.t) : Comm.t option =
 let dist_graph_create_adjacent comm ~(sources : int array) ~(destinations : int array) :
     Comm.t =
   Runtime.check_alive (Comm.runtime comm) (Comm.world_rank comm);
-  Comm.check_collective comm ~op:"dist_graph_create_adjacent";
+  Comm.check_collective comm ~op:"dist_graph_create_adjacent" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime comm) ~op:"dist_graph_create_adjacent" ~bytes:0;
   let rt = Comm.runtime comm in
   let n = Comm.size comm in

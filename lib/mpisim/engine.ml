@@ -36,9 +36,9 @@ let pp_report ppf r =
    that many events; when absent the recorder stays disabled and costs
    nothing on the hot paths. *)
 let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
-    ?(assertion_level = 1) ?trace_capacity ~ranks (body : Comm.t -> 'a) :
+    ?(assertion_level = 1) ?check_level ?trace_capacity ~ranks (body : Comm.t -> 'a) :
     'a option array * report =
-  let rt = Runtime.create ~clock_mode ~assertion_level ~model ~size:ranks () in
+  let rt = Runtime.create ~clock_mode ~assertion_level ?check_level ~model ~size:ranks () in
   (match trace_capacity with
   | Some capacity -> Trace.enable ~capacity rt.Runtime.trace
   | None -> ());
@@ -67,12 +67,20 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
                   ~b:(-1) ~c:(-1)) )
       in
       let outcomes =
-        Scheduler.run
-          ~on_segment:(Runtime.on_cpu_segment rt)
-          ?on_park ?on_resume
-          ~kill_filter:Fault.is_kill_exn
-          ~progress:(fun () -> rt.Runtime.progress)
-          ~nfibers:ranks fiber
+        try
+          Scheduler.run
+            ~on_segment:(Runtime.on_cpu_segment rt)
+            ?on_park ?on_resume
+            ~kill_filter:Fault.is_kill_exn
+            ~progress:(fun () -> rt.Runtime.progress)
+            ~nfibers:ranks fiber
+        with
+        | Scheduler.Deadlock { parked; finished; total }
+          when Check.enabled rt.Runtime.check ->
+            (* Upgrade the flat parked-fiber list to a named wait-for
+               cycle built from the sanitizer's pending-operation table. *)
+            Errdefs.mpi_error Errdefs.Err_deadlock "%s"
+              (Check.deadlock_report rt.Runtime.check ~parked ~finished ~total)
       in
       let killed = ref [] in
       Array.iteri
@@ -94,6 +102,10 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
             | Some msg -> raise (Errdefs.Usage_error msg)
             | None -> ())
           (Comm.all_shared rt);
+      (* Sanitizer teardown scan (leaked requests, collective counts) —
+         only meaningful for runs no rank of which was killed. *)
+      if !killed = [] && Check.enabled rt.Runtime.check then
+        Check.finalize_scan rt.Runtime.check;
       let report =
         {
           ranks;
@@ -110,10 +122,11 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
       in
       (results, report))
 
-let run ?model ?clock_mode ?assertion_level ?trace_capacity ~ranks (body : Comm.t -> unit)
-    : report =
+let run ?model ?clock_mode ?assertion_level ?check_level ?trace_capacity ~ranks
+    (body : Comm.t -> unit) : report =
   let _, report =
-    run_collect ?model ?clock_mode ?assertion_level ?trace_capacity ~ranks body
+    run_collect ?model ?clock_mode ?assertion_level ?check_level ?trace_capacity ~ranks
+      body
   in
   report
 

@@ -35,12 +35,18 @@ val pp_report : Format.formatter -> report -> unit
     @param clock_mode measured CPU (default) or fully virtual time
     @param assertion_level 0 = none, 1 = cheap checks (default),
            2 = heavy checks incl. the collective-order trace (§III-G)
+    @param check_level {!Check} sanitizer level (defaults to the
+           [MPISIM_CHECK] environment variable, else off).  With the
+           sanitizer on, deadlocks are reported as
+           [Mpi_error ERR_DEADLOCK] with a named wait-for cycle, and a
+           clean run ends with a leak scan over non-blocking requests.
     @param trace_capacity enable event tracing with a per-rank ring buffer
            of this many events (disabled — and free — when absent) *)
 val run_collect :
   ?model:Net_model.t ->
   ?clock_mode:Runtime.clock_mode ->
   ?assertion_level:int ->
+  ?check_level:Check.level ->
   ?trace_capacity:int ->
   ranks:int ->
   (Comm.t -> 'a) ->
@@ -50,6 +56,7 @@ val run :
   ?model:Net_model.t ->
   ?clock_mode:Runtime.clock_mode ->
   ?assertion_level:int ->
+  ?check_level:Check.level ->
   ?trace_capacity:int ->
   ranks:int ->
   (Comm.t -> unit) ->

@@ -40,10 +40,19 @@ exception Mpi_error of { code : code; msg : string }
 
 exception Usage_error of string
 
+(* A sanitizer finding (Check module): the class of check that fired, the
+   world rank at the violation site and a full report.  Kept separate from
+   [Mpi_error] because a violation is a bug in the *program under
+   simulation*, not a recoverable runtime failure. *)
+exception Check_violation of { check : string; rank : int; msg : string }
+
 let mpi_error code fmt =
   Printf.ksprintf (fun msg -> raise (Mpi_error { code; msg })) fmt
 
 let usage_error fmt = Printf.ksprintf (fun msg -> raise (Usage_error msg)) fmt
+
+let check_violation ~check ~rank fmt =
+  Printf.ksprintf (fun msg -> raise (Check_violation { check; rank; msg })) fmt
 
 (* Per-communicator error-handling strategy (MPI_Errhandler analogue). *)
 type handler =
@@ -56,4 +65,6 @@ let () =
     | Mpi_error { code; msg } ->
         Some (Printf.sprintf "Mpi_error(%s): %s" (code_name code) msg)
     | Usage_error msg -> Some (Printf.sprintf "Usage_error: %s" msg)
+    | Check_violation { check; rank; msg } ->
+        Some (Printf.sprintf "Check_violation(%s) on rank %d:\n%s" check rank msg)
     | _ -> None)

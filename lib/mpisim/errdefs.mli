@@ -29,11 +29,20 @@ exception Mpi_error of { code : code; msg : string }
 
 exception Usage_error of string
 
+(** A sanitizer finding from the {!Check} layer: which check class fired
+    ("collective", "request-leak", "double-wait", "send-buffer",
+    "deadlock", "wildcard"), the world rank at the violation site and the
+    full report.  Separate from {!Mpi_error} because a violation is a bug
+    in the program under simulation, not a recoverable runtime failure. *)
+exception Check_violation of { check : string; rank : int; msg : string }
+
 (** [mpi_error code fmt ...] raises {!Mpi_error} with a formatted
     message. *)
 val mpi_error : code -> ('a, unit, string, 'b) format4 -> 'a
 
 val usage_error : ('a, unit, string, 'b) format4 -> 'a
+
+val check_violation : check:string -> rank:int -> ('a, unit, string, 'b) format4 -> 'a
 
 (** Per-communicator error-handling strategy (MPI_Errhandler analogue).
     [Errors_custom] is the plugin hook of §III-G; a handler that returns

@@ -131,6 +131,22 @@ let find_unexpected ?(remove = true) t ~context ~src ~tag =
       end;
       Some m
 
+(* Number of unexpected messages a (context, src, tag) pattern could match
+   right now.  The sanitizer's wildcard-race check calls this (heavy level
+   only) just before posting a wildcard receive: two or more eligible
+   candidates mean the match is arbitrated by sequence number — i.e. by the
+   schedule — and a real MPI run could return a different message. *)
+let count_eligible t ~context ~src ~tag =
+  Hashtbl.fold
+    (fun k q acc ->
+      if
+        k.k_context = context
+        && (src = any_source || k.k_src = src)
+        && (tag = any_tag || k.k_tag = tag)
+      then acc + Queue.length q
+      else acc)
+    t.unexpected 0
+
 (* Post a receive at receiver-clock [now].  If a compatible unexpected
    message exists it is matched immediately (match time: both sides
    ready). *)

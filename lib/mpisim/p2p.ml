@@ -36,6 +36,22 @@ let check_revoked comm ~op =
 let traced comm ~op f =
   Runtime.with_span (Comm.runtime comm) (Comm.world_rank comm) ~cat:"p2p" ~name:op f
 
+(* Sanitizer hooks.  All are guarded on the checker's level at the call
+   site so the off path is one load and branch, no allocation.
+
+   The waiting table feeds the deadlock wait-for graph: an entry is set
+   just before a fiber parks on a blocking operation and cleared on normal
+   resume.  Error paths deliberately leave the entry in place — when the
+   scheduler aborts parked fibers on deadlock, the stale entries are
+   exactly the data the cycle report needs. *)
+let checker comm = (Comm.runtime comm).Runtime.check
+
+let set_waiting_recv comm ~op ~src_world ~tag =
+  Check.set_waiting (checker comm) ~rank:(Comm.world_rank comm)
+    (Check.Wrecv { src = src_world; tag; ctx = Comm.context comm; op })
+
+let clear_waiting comm = Check.clear_waiting (checker comm) ~rank:(Comm.world_rank comm)
+
 (* Pack [count] elements of [data] starting at [pos] and inject the message.
    Returns the in-flight message. *)
 let inject_message comm (dt : 'a Datatype.t) ~op ~dest ~tag ~sync (data : 'a array) ~pos
@@ -90,7 +106,12 @@ let ssend comm dt ~dest ?(tag = 0) (data : 'a array) =
     inject_message comm dt ~op:"ssend" ~dest ~tag ~sync:true data ~pos:0
       ~count:(Array.length data)
   in
-  ignore (Request.wait (issend_request comm msg))
+  let chk = checker comm in
+  if Check.enabled chk then
+    Check.set_waiting chk ~rank:(Comm.world_rank comm)
+      (Check.Wssend { dst = Comm.world_of_rank comm dest; tag; op = "ssend" });
+  ignore (Request.wait (issend_request comm msg));
+  if Check.enabled chk then clear_waiting comm
 
 let ssend comm dt ~dest ?tag data =
   traced comm ~op:"ssend" (fun () -> ssend comm dt ~dest ?tag data)
@@ -103,12 +124,17 @@ let isend comm dt ~dest ?(tag = 0) (data : 'a array) =
   let me = Comm.world_rank comm in
   let msg = inject_message comm dt ~op:"isend" ~dest ~tag ~sync:false data ~pos:0 ~count in
   let complete_at = Runtime.clock rt me in
-  Request.make
-    ~ready:(fun () -> true)
-    ~finalize:(fun () ->
-      Runtime.sync_clock rt me complete_at;
-      Status.make ~source:(Comm.rank comm) ~tag ~count ~bytes:(Message.bytes msg))
-    ~describe:(fun () -> "isend")
+  let req =
+    Request.make
+      ~ready:(fun () -> true)
+      ~finalize:(fun () ->
+        Runtime.sync_clock rt me complete_at;
+        Status.make ~source:(Comm.rank comm) ~tag ~count ~bytes:(Message.bytes msg))
+      ~describe:(fun () -> "isend")
+  in
+  if Check.enabled rt.Runtime.check then
+    Check.track_request rt.Runtime.check ~rank:me ~kind:"isend" req;
+  req
 
 let issend comm dt ~dest ?(tag = 0) (data : 'a array) =
   Comm.check_user_tag comm tag;
@@ -117,7 +143,11 @@ let issend comm dt ~dest ?(tag = 0) (data : 'a array) =
     inject_message comm dt ~op:"issend" ~dest ~tag ~sync:true data ~pos:0
       ~count:(Array.length data)
   in
-  issend_request comm msg
+  let req = issend_request comm msg in
+  let chk = checker comm in
+  if Check.enabled chk then
+    Check.track_request chk ~rank:(Comm.world_rank comm) ~kind:"issend" req;
+  req
 
 (* ------------------------------------------------------------------ *)
 (* Receives *)
@@ -130,6 +160,22 @@ let source_world comm source =
   else begin
     Comm.check_rank comm source;
     Comm.world_of_rank comm source
+  end
+
+(* Wildcard-race detection (heavy): a wildcard receive that could match
+   two or more already-queued messages is resolved by arrival order, i.e.
+   by the schedule.  Receives that park and match on delivery see exactly
+   one candidate, so probing the queue just before posting captures every
+   ambiguous match. *)
+let note_wildcard comm ~src_world ~tag =
+  if src_world = any_source || tag = any_tag then begin
+    let eligible =
+      Mailbox.count_eligible (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world
+        ~tag
+    in
+    if eligible >= 2 then
+      Check.on_wildcard_match (checker comm) ~rank:(Comm.world_rank comm) ~src:src_world
+        ~tag ~eligible
   end
 
 let check_signature comm (dt : 'a Datatype.t) (msg : Message.t) ~op =
@@ -151,12 +197,16 @@ let await_posted comm ~op ~src_world (p : Mailbox.posted) =
     src_world <> any_source && Runtime.is_failed rt src_world && p.Mailbox.p_msg = None
   in
   let ready () = p.Mailbox.p_msg <> None || failed_source () || Comm.is_revoked comm in
-  if not (ready ()) then
+  if not (ready ()) then begin
+    if Check.enabled (checker comm) then
+      set_waiting_recv comm ~op ~src_world ~tag:p.Mailbox.p_tag;
     Scheduler.park
       ~describe:(fun () ->
         Printf.sprintf "%s on rank %d (ctx %d, src %d, tag %d)" op (Comm.rank comm)
           (Comm.context comm) p.Mailbox.p_src p.Mailbox.p_tag)
       ~poll:(fun () -> if ready () then Some () else None);
+    if Check.enabled (checker comm) then clear_waiting comm
+  end;
   match p.Mailbox.p_msg with
   | Some msg -> msg
   | None ->
@@ -183,6 +233,7 @@ let recv comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) () :
   check_alive_self comm;
   let src_world = source_world comm source in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
   let msg = await_posted comm ~op:"recv" ~src_world p in
   Mailbox.retire (my_mailbox comm) p;
@@ -203,6 +254,7 @@ let recv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
       maxcount (Array.length into);
   let src_world = source_world comm source in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
   let msg = await_posted comm ~op:"recv" ~src_world p in
   Mailbox.retire (my_mailbox comm) p;
@@ -227,28 +279,35 @@ let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
   let src_world = source_world comm source in
   let mb = my_mailbox comm in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  let chk = checker comm in
+  if Check.heavy chk then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
   let rt = Comm.runtime comm in
   let failed_source () =
     src_world <> any_source && Runtime.is_failed rt src_world && p.Mailbox.p_msg = None
   in
-  Request.make
-    ~ready:(fun () -> p.Mailbox.p_msg <> None || failed_source ())
-    ~finalize:(fun () ->
-      match p.Mailbox.p_msg with
-      | None ->
-          Mailbox.cancel mb p;
-          Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
-      | Some msg ->
-          Mailbox.retire mb p;
-          if msg.Message.count > maxcount then
-            Comm.error comm Errdefs.Err_truncate "irecv: message truncated";
-          let status = complete_matched comm dt ~op:"irecv" msg in
-          let r = Wire.reader_of_bytes msg.Message.payload in
-          Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
-          status)
-    ~describe:(fun () ->
-      Printf.sprintf "irecv on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
+  let req =
+    Request.make
+      ~ready:(fun () -> p.Mailbox.p_msg <> None || failed_source ())
+      ~finalize:(fun () ->
+        match p.Mailbox.p_msg with
+        | None ->
+            Mailbox.cancel mb p;
+            Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
+        | Some msg ->
+            Mailbox.retire mb p;
+            if msg.Message.count > maxcount then
+              Comm.error comm Errdefs.Err_truncate "irecv: message truncated";
+            let status = complete_matched comm dt ~op:"irecv" msg in
+            let r = Wire.reader_of_bytes msg.Message.payload in
+            Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
+            status)
+      ~describe:(fun () ->
+        Printf.sprintf "irecv on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
+  in
+  if Check.enabled chk then
+    Check.track_request chk ~rank:(Comm.world_rank comm) ~kind:"irecv" req;
+  req
 
 (* ------------------------------------------------------------------ *)
 (* Probing *)
@@ -286,10 +345,16 @@ let probe comm ?(source = any_source) ?(tag = any_tag) () : Status.t =
     match find () with
     | Some m -> m
     | None ->
-        Scheduler.park
-          ~describe:(fun () ->
-            Printf.sprintf "probe on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
-          ~poll:find
+        if Check.enabled (checker comm) then
+          set_waiting_recv comm ~op:"probe" ~src_world ~tag;
+        let m =
+          Scheduler.park
+            ~describe:(fun () ->
+              Printf.sprintf "probe on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
+            ~poll:find
+        in
+        if Check.enabled (checker comm) then clear_waiting comm;
+        m
   in
   Runtime.sync_clock rt (Comm.world_rank comm) msg.Message.arrival;
   status_of_unmatched comm msg
@@ -327,6 +392,7 @@ let recv_bytes comm ?(source = any_source) ?(tag = any_tag) () : Bytes.t * Statu
   check_alive_self comm;
   let src_world = source_world comm source in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
   let msg = await_posted comm ~op:"recv" ~src_world p in
   Mailbox.retire (my_mailbox comm) p;
@@ -355,6 +421,8 @@ let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) 
   let src_world = source_world comm source in
   let mb = my_mailbox comm in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
+  let chk = checker comm in
+  if Check.heavy chk then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
   let rt = Comm.runtime comm in
   let cell = ref None in
@@ -378,6 +446,8 @@ let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) 
       ~describe:(fun () ->
         Printf.sprintf "irecv_dyn on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
   in
+  if Check.enabled chk then
+    Check.track_request chk ~rank:(Comm.world_rank comm) ~kind:"irecv_dyn" base;
   { base; cell }
 
 let dyn_wait (r : 'a dyn_request) : 'a array * Status.t =

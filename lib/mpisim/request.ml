@@ -4,16 +4,30 @@
    from the scheduler's poll loop) from *finalization* ([finalize], which
    runs in the owning fiber: it unpacks data, updates the owner's clock and
    may raise failure errors).  [test]/[wait] are idempotent after
-   completion, per MPI semantics for inactive requests. *)
+   completion, per MPI semantics for inactive requests.
+
+   Observer hook: the sanitizer ([Check]) may attach an observer to a
+   request it tracks; [wait] reports through it when called on a request
+   that has already completed (an MPI "wait on inactive request", which
+   MUST-style tools flag as a use of a freed request).  Requests without an
+   observer pay one pointer comparison. *)
+
+type observer = { on_rewait : unit -> unit }
 
 type t = {
   mutable status : Status.t option;
   ready : unit -> bool;
   finalize : unit -> Status.t;
   describe : unit -> string;
+  mutable observer : observer option;
 }
 
-let make ~ready ~finalize ~describe = { status = None; ready; finalize; describe }
+let make ~ready ~finalize ~describe =
+  { status = None; ready; finalize; describe; observer = None }
+
+let set_observer t o = t.observer <- Some o
+
+let describe t = t.describe ()
 
 (* A request that is already complete (e.g. for empty transfers). *)
 let completed status =
@@ -22,6 +36,7 @@ let completed status =
     ready = (fun () -> true);
     finalize = (fun () -> status);
     describe = (fun () -> "completed");
+    observer = None;
   }
 
 let test t =
@@ -37,7 +52,9 @@ let test t =
 
 let wait t =
   match t.status with
-  | Some s -> s
+  | Some s ->
+      (match t.observer with Some o -> o.on_rewait () | None -> ());
+      s
   | None ->
       Scheduler.park
         ~describe:(fun () -> "wait: " ^ t.describe ())
@@ -71,7 +88,17 @@ let wait_any ts =
           ~describe:(fun () -> Printf.sprintf "wait_any over %d requests" (Array.length arr))
           ~poll:find_ready
   in
-  let s = wait arr.(i) in
+  (* Complete in place rather than via [wait]: the request may already hold
+     a status (then [wait] would count as a re-wait of an inactive
+     request, which the sanitizer flags for user code). *)
+  let s =
+    match arr.(i).status with
+    | Some s -> s
+    | None ->
+        let s = arr.(i).finalize () in
+        arr.(i).status <- Some s;
+        s
+  in
   (i, s)
 
 (* Complete every currently-ready request; returns (index, status) pairs.

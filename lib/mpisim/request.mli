@@ -8,11 +8,23 @@
 
 type t
 
+(** Sanitizer hook: [on_rewait] is called when {!wait} is invoked on a
+    request that already completed (MPI's "wait on an inactive request",
+    which MUST-style tools flag as use of a freed request). *)
+type observer = { on_rewait : unit -> unit }
+
 val make :
   ready:(unit -> bool) ->
   finalize:(unit -> Status.t) ->
   describe:(unit -> string) ->
   t
+
+(** Attach an observer (used by the {!Check} sanitizer on tracked
+    requests).  Requests without one pay a single pointer comparison. *)
+val set_observer : t -> observer -> unit
+
+(** Human-readable description of the pending operation. *)
+val describe : t -> string
 
 (** An already-completed request (empty transfers etc.). *)
 val completed : Status.t -> t

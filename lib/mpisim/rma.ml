@@ -55,7 +55,7 @@ let creation_counter : (int * int, int ref) Hashtbl.t = Hashtbl.create 16
 (* Create a window exposing [local].  Collective.  The arrays stay owned
    by their ranks; remote access goes through the window operations. *)
 let create (comm : Comm.t) (dt : 'a Datatype.t) (local : 'a array) : 'a t =
-  Comm.check_collective comm ~op:"win_create";
+  Comm.check_collective comm ~op:"win_create" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime comm) ~op:"win_create" ~bytes:0;
   let rt = Comm.runtime comm in
   let ckey = (rt.Runtime.id, Comm.context comm) in
@@ -143,7 +143,7 @@ let accumulate (t : 'a t) ~target ~target_pos (op : 'a Reduce_op.t) (data : 'a a
    whole batch (deterministic under the round-robin scheduler); the exit
    barrier keeps any rank from reading early. *)
 let fence (t : 'a t) : unit =
-  Comm.check_collective t.comm ~op:"win_fence";
+  Comm.check_collective t.comm ~op:"win_fence" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime t.comm) ~op:"win_fence" ~bytes:0;
   Coll.barrier t.comm;
   let ops = List.rev !(t.shared.pending) in
@@ -172,6 +172,6 @@ let local (t : 'a t) : 'a array = t.shared.exposures.(Comm.world_rank t.comm)
 
 (* Free the window.  Collective. *)
 let free (t : 'a t) : unit =
-  Comm.check_collective t.comm ~op:"win_free";
+  Comm.check_collective t.comm ~op:"win_free" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime t.comm) ~op:"win_free" ~bytes:0;
   Coll.barrier t.comm

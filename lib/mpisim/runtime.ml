@@ -42,6 +42,7 @@ type t = {
   profile : Profiling.t;
   stats : Stats.t;
   trace : Trace.t;
+  check : Check.t;
   metrics : metrics;
   (* Virtual-time accounting: every clock movement is either [busy] (cost
      charged by [advance_clock]: compute, send busy time, overheads) or
@@ -61,7 +62,20 @@ exception Process_killed of int
 
 let next_runtime_id = ref 0
 
-let create ?(clock_mode = Measured) ?(assertion_level = 1) ~model ~size () =
+(* Default sanitizer level: the MPISIM_CHECK environment variable
+   (off|light|heavy), so any program can be checked without a code or CLI
+   change.  Unset or unparsable means Off. *)
+let default_check_level () =
+  match Sys.getenv_opt "MPISIM_CHECK" with
+  | None -> Check.Off
+  | Some s -> (
+      match Check.level_of_string (String.lowercase_ascii (String.trim s)) with
+      | Some l -> l
+      | None ->
+          Log.warn (fun f -> f "ignoring invalid MPISIM_CHECK=%S (want off|light|heavy)" s);
+          Check.Off)
+
+let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ~model ~size () =
   if size <= 0 then invalid_arg "Runtime.create: size must be positive";
   let id = !next_runtime_id in
   incr next_runtime_id;
@@ -77,6 +91,10 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ~model ~size () =
       msgs_unexpected = Stats.counter stats "msg.unexpected";
     }
   in
+  let trace = Trace.create ~clocks in
+  let check = Check.create ~stats ~trace ~size () in
+  Check.set_level check
+    (match check_level with Some l -> l | None -> default_check_level ());
   {
     id;
     size;
@@ -88,7 +106,8 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ~model ~size () =
     n_failed = 0;
     profile = Profiling.create ~stats ();
     stats;
-    trace = Trace.create ~clocks;
+    trace;
+    check;
     metrics;
     busy = Array.make size 0.;
     blocked = Array.make size 0.;

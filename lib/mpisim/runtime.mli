@@ -34,6 +34,7 @@ type t = {
   profile : Profiling.t;
   stats : Stats.t;  (** metrics registry; also backs [profile] *)
   trace : Trace.t;  (** event recorder; disabled unless enabled explicitly *)
+  check : Check.t;  (** correctness sanitizer; inert at level [Off] *)
   metrics : metrics;
   busy : float array;
       (** per-rank virtual time charged by [advance_clock] (compute, send
@@ -50,8 +51,17 @@ type t = {
 (** Raised inside a fiber whose rank was failed by injection. *)
 exception Process_killed of int
 
+(** [create] builds the shared state of one simulation.  [check_level]
+    selects the {!Check} sanitizer level; it defaults to the
+    [MPISIM_CHECK] environment variable (off|light|heavy), or [Off]. *)
 val create :
-  ?clock_mode:clock_mode -> ?assertion_level:int -> model:Net_model.t -> size:int -> unit -> t
+  ?clock_mode:clock_mode ->
+  ?assertion_level:int ->
+  ?check_level:Check.level ->
+  model:Net_model.t ->
+  size:int ->
+  unit ->
+  t
 
 val bump_progress : t -> unit
 

@@ -1,0 +1,154 @@
+(* Intentionally-buggy programs, one per sanitizer check class.
+
+   Each fixture runs a small program containing a real bug under
+   [--check heavy] and exits 0 only if the sanitizer reports the
+   expected violation — so CI proves every check class actually fires
+   on the kind of program it was built for, not just in unit tests.
+
+     dune exec test/fixtures/check_fixtures.exe -- all
+     dune exec test/fixtures/check_fixtures.exe -- deadlock *)
+
+open Mpisim
+
+let run body = Engine.run ~model:Net_model.zero_cost ~check_level:Check.Heavy ~ranks:2 body
+
+(* Run a buggy [body], expecting a Check_violation of class [cls]. *)
+let expect_violation ~cls body =
+  match run body with
+  | (_ : Engine.report) ->
+      Printf.eprintf "FAIL: expected a %S violation, run succeeded\n" cls;
+      false
+  | exception Errdefs.Check_violation { check; _ }
+  | exception Scheduler.Aborted { exn = Errdefs.Check_violation { check; _ }; _ } ->
+      if check = cls then true
+      else begin
+        Printf.eprintf "FAIL: expected a %S violation, got %S\n" cls check;
+        false
+      end
+  | exception exn ->
+      Printf.eprintf "FAIL: expected a %S violation, got %s\n" cls
+        (Printexc.to_string exn);
+      false
+
+(* One rank calls barrier, the other allgather: divergent collective order. *)
+let collective_mismatch () =
+  expect_violation ~cls:"collective" (fun mpi ->
+      if Comm.rank mpi = 0 then Coll.barrier mpi
+      else ignore (Coll.allgather mpi Datatype.int [| 1 |]))
+
+(* An isend whose request is never completed: leaked at finalize. *)
+let request_leak () =
+  expect_violation ~cls:"request-leak" (fun mpi ->
+      if Comm.rank mpi = 0 then ignore (P2p.isend mpi Datatype.int ~dest:1 [| 1 |])
+      else ignore (P2p.recv mpi Datatype.int ~source:0 ()))
+
+(* The same request waited twice: the second wait reads a freed request. *)
+let double_wait () =
+  expect_violation ~cls:"double-wait" (fun mpi ->
+      if Comm.rank mpi = 0 then begin
+        let req = P2p.isend mpi Datatype.int ~dest:1 [| 1 |] in
+        ignore (Request.wait req : Status.t);
+        ignore (Request.wait req : Status.t)
+      end
+      else ignore (P2p.recv mpi Datatype.int ~source:0 ()))
+
+(* A send buffer mutated while the synchronous send is still in flight. *)
+let send_buffer () =
+  expect_violation ~cls:"send-buffer" (fun mpi ->
+      let comm = Kamping.Communicator.of_mpi mpi in
+      if Comm.rank mpi = 0 then begin
+        let data = [| 1; 2; 3 |] in
+        let nb = Kamping.Nb.issend comm Datatype.int ~dest:1 data in
+        data.(0) <- 99;
+        ignore (Kamping.Nb.wait nb)
+      end
+      else ignore (P2p.recv mpi Datatype.int ~source:0 ()))
+
+(* Classic head-to-head receive deadlock: the report must name the cycle. *)
+let deadlock () =
+  match
+    run (fun mpi ->
+        let peer = 1 - Comm.rank mpi in
+        ignore (P2p.recv mpi Datatype.int ~source:peer ()))
+  with
+  | (_ : Engine.report) ->
+      Printf.eprintf "FAIL: expected a deadlock, run succeeded\n";
+      false
+  | exception Errdefs.Mpi_error { code = Errdefs.Err_deadlock; msg } ->
+      let contains needle =
+        let nh = String.length msg and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub msg i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if contains "wait-for cycle" && contains "recv(src=" then true
+      else begin
+        Printf.eprintf "FAIL: deadlock report lacks a named cycle:\n%s\n" msg;
+        false
+      end
+  | exception exn ->
+      Printf.eprintf "FAIL: expected Err_deadlock, got %s\n" (Printexc.to_string exn);
+      false
+
+(* A wildcard receive with two eligible queued messages: counted, not
+   raised — the run completes but the race counter must be non-zero. *)
+let wildcard_race () =
+  match
+    run (fun mpi ->
+        if Comm.rank mpi = 0 then begin
+          P2p.send mpi Datatype.int ~dest:1 ~tag:1 [| 10 |];
+          P2p.send mpi Datatype.int ~dest:1 ~tag:2 [| 20 |];
+          P2p.send mpi Datatype.int ~dest:1 ~tag:9 [| 0 |]
+        end
+        else begin
+          ignore (P2p.recv mpi Datatype.int ~source:0 ~tag:9 ());
+          ignore (P2p.recv mpi Datatype.int ());
+          ignore (P2p.recv mpi Datatype.int ())
+        end)
+  with
+  | report ->
+      let races = Stats.count (Stats.counter report.Engine.stats "check.wildcard_race") in
+      if races >= 1 then true
+      else begin
+        Printf.eprintf "FAIL: wildcard race not recorded\n";
+        false
+      end
+  | exception exn ->
+      Printf.eprintf "FAIL: wildcard fixture raised %s\n" (Printexc.to_string exn);
+      false
+
+let fixtures =
+  [
+    ("collective", collective_mismatch);
+    ("leak", request_leak);
+    ("double-wait", double_wait);
+    ("send-buffer", send_buffer);
+    ("deadlock", deadlock);
+    ("wildcard", wildcard_race);
+  ]
+
+let () =
+  (* The fixtures print scary sanitizer output on purpose; keep the error
+     log quiet so CI output stays readable. *)
+  Logs.set_level (Some Logs.App);
+  let names =
+    match Array.to_list Sys.argv with
+    | _ :: [] | _ :: [ "all" ] -> List.map fst fixtures
+    | _ :: rest -> rest
+    | [] -> []
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name fixtures with
+      | None ->
+          Printf.eprintf "unknown fixture %S (have: %s)\n" name
+            (String.concat ", " (List.map fst fixtures));
+          incr failed
+      | Some f ->
+          if f () then Printf.printf "ok   %s\n%!" name
+          else begin
+            Printf.printf "FAIL %s\n%!" name;
+            incr failed
+          end)
+    names;
+  exit (if !failed > 0 then 1 else 0)

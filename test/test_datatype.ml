@@ -93,6 +93,55 @@ let test_blob_matches_any_blob () =
   in
   Alcotest.(check bool) "normalized equal" true (Signature.matches sig_a sig_b)
 
+let test_signature_zero_count () =
+  (* A zero-count run is not a run at all: it must normalize to the empty
+     signature, not a [(base, 0)] entry that would break [matches]. *)
+  Alcotest.(check bool) "of_base ~count:0 is empty" true
+    (Signature.of_base ~count:0 Signature.Int64 = Signature.empty);
+  Alcotest.(check bool) "empty is left identity" true
+    (Signature.append Signature.empty (Signature.of_base Signature.Char)
+    = Signature.of_base Signature.Char);
+  Alcotest.(check bool) "empty is right identity" true
+    (Signature.append (Signature.of_base Signature.Char) Signature.empty
+    = Signature.of_base Signature.Char);
+  Alcotest.(check int) "empty has no bytes" 0 (Signature.size_in_bytes Signature.empty)
+
+let test_signature_normalization () =
+  let open Signature in
+  (* Adjacent equal bases merge across every constructor. *)
+  Alcotest.(check bool) "append merges runs" true
+    (append (of_base ~count:2 Int64) (of_base ~count:3 Int64) = of_base ~count:5 Int64);
+  Alcotest.(check bool) "concat merges runs" true
+    (concat [ of_base Float64; of_base Float64; of_base ~count:2 Float64 ]
+    = of_base ~count:4 Float64);
+  Alcotest.(check bool) "repeat of a single run scales the count" true
+    (repeat (of_base ~count:2 Char) 3 = of_base ~count:6 Char);
+  Alcotest.(check bool) "repeat zero times is empty" true
+    (repeat (of_base ~count:2 Char) 0 = empty);
+  (* A multi-run repeat must keep the alternation (no bogus merge across
+     the repetition boundary when the bases differ). *)
+  let unit_sig = append (of_base Int64) (of_base Char) in
+  Alcotest.(check bool) "multi-run repeat alternates" true
+    (repeat unit_sig 2 = concat [ of_base Int64; of_base Char; of_base Int64; of_base Char ]);
+  Alcotest.(check int) "repeat byte size" (2 * size_in_bytes unit_sig)
+    (size_in_bytes (repeat unit_sig 2))
+
+let test_blob_segmentation_independent () =
+  let open Signature in
+  (* MPI_BYTE semantics: how a byte region was assembled must not affect
+     matching — only the total byte count does. *)
+  Alcotest.(check bool) "2+2 blob matches 4 blob" true
+    (matches (concat [ of_base ~count:2 Blob; of_base ~count:2 Blob ]) (of_base ~count:4 Blob));
+  Alcotest.(check bool) "repeat-built blob matches" true
+    (matches (repeat (of_base ~count:3 Blob) 4) (of_base ~count:12 Blob));
+  Alcotest.(check bool) "different byte counts do not match" false
+    (matches (of_base ~count:4 Blob) (of_base ~count:5 Blob));
+  (* Segmentation independence must also hold for blob runs embedded
+     between typed runs. *)
+  let a = concat [ of_base Int64; of_base ~count:2 Blob; of_base ~count:6 Blob ] in
+  let b = concat [ of_base Int64; of_base ~count:8 Blob ] in
+  Alcotest.(check bool) "embedded blob runs merge" true (matches a b)
+
 let test_zero_elem_decodes () =
   Alcotest.(check int) "int" 0 (Datatype.zero_elem Datatype.int);
   Alcotest.(check bool) "bool" false (Datatype.zero_elem Datatype.bool);
@@ -172,6 +221,10 @@ let tests =
     Alcotest.test_case "uncommitted send rejected" `Quick test_uncommitted_send_rejected;
     Alcotest.test_case "signature mismatch" `Quick test_signature_mismatch_detected;
     Alcotest.test_case "blob signature normalization" `Quick test_blob_matches_any_blob;
+    Alcotest.test_case "zero-count signature" `Quick test_signature_zero_count;
+    Alcotest.test_case "signature normalization" `Quick test_signature_normalization;
+    Alcotest.test_case "blob segmentation independence" `Quick
+      test_blob_segmentation_independent;
     Alcotest.test_case "zero_elem decodes" `Quick test_zero_elem_decodes;
     Alcotest.test_case "gapped struct size" `Quick test_gapped_vs_blob_sizes;
     qtest prop_record_roundtrip;
