@@ -100,13 +100,17 @@ let call_accounting () =
   in
   Bench_util.print_table ~header rows
 
-let run () =
+let results_file = "BENCH_OVERHEAD.json"
+
+let run ?(smoke = false) () =
   Bench_util.section
     "Zero-overhead check: binding layer vs raw interface (wall clock, Bechamel)";
   Printf.printf "program: %d x allgatherv of %d ints on %d ranks, zero-cost network\n\n"
     calls elems ranks;
   let estimates =
-    Bench_util.bechamel_estimates ~name:"overhead"
+    Bench_util.bechamel_estimates
+      ~quota:(if smoke then 0.25 else 1.5)
+      ~name:"overhead"
       (List.map
          (fun v -> (variant_name v, run_wall v))
          [ Raw; Kamping_explicit; Named_explicit; Kamping_inferred ])
@@ -117,6 +121,12 @@ let run () =
         ~header:[ "variant"; "wall time/run"; "vs raw" ]
         (List.map
            (fun (n, ns) ->
+             Bench_util.emit_json_file ~file:results_file ~bench:"overhead"
+               [
+                 ("variant", Bench_util.S n);
+                 ("wall_ns_per_run", Bench_util.F ns);
+                 ("vs_raw", Bench_util.F (ns /. base));
+               ];
              [ n; Bench_util.ns_string ns; Printf.sprintf "%+.1f%%" ((ns /. base -. 1.) *. 100.) ])
            estimates)
   | [] -> Printf.printf "bechamel produced no estimates\n");

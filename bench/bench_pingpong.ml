@@ -60,37 +60,99 @@ let coll_latency ~model ~ranks (which : [ `Barrier | `Allreduce | `Bcast ]) : fl
   in
   report.Engine.max_time /. float_of_int iters
 
-let run ?(model = Net_model.omnipath) () =
+(* Wall-clock cost of the data-movement plane itself: the identical
+   ping-pong program over the bulk fast path (committed [byte] carries a
+   kernel) and the same type forced onto the general per-element path
+   ([Datatype.without_bulk]).  Zero-cost network, virtual-only clock — the
+   measured time is real pack/unpack/mailbox CPU work, the component the
+   zero-copy plane is supposed to shrink. *)
+let pingpong_wall (dt : char Datatype.t) ~bytes ~iters () =
+  ignore
+    (Engine.run ~model:Net_model.zero_cost ~clock_mode:Runtime.Virtual_only ~ranks:2
+       (fun comm ->
+         let payload = Array.make bytes 'x' in
+         if Comm.rank comm = 0 then
+           for _ = 1 to iters do
+             P2p.send comm dt ~dest:1 payload;
+             ignore (P2p.recv comm dt ~source:1 ())
+           done
+         else
+           for _ = 1 to iters do
+             ignore (P2p.recv comm dt ~source:0 ());
+             P2p.send comm dt ~dest:0 payload
+           done))
+
+let results_file = "BENCH_PINGPONG.json"
+
+let fast_path_series ~smoke =
+  Printf.printf "\n-- wall clock: bulk fast path vs general per-element path --\n";
+  let sizes = if smoke then [ 256; 4096 ] else [ 1024; 65536; 1048576 ] in
+  let iters = if smoke then 4 else 20 in
+  let runs = if smoke then 3 else 5 in
+  let general = Datatype.without_bulk Datatype.byte in
+  Bench_util.print_table
+    ~header:[ "bytes"; "general (before)"; "bulk (after)"; "speedup" ]
+    (List.map
+       (fun bytes ->
+         let t_general, () =
+           Bench_util.wall_median ~runs (pingpong_wall general ~bytes ~iters)
+         in
+         let t_fast, () =
+           Bench_util.wall_median ~runs (pingpong_wall Datatype.byte ~bytes ~iters)
+         in
+         Bench_util.emit_json_file ~file:results_file ~bench:"pingpong_fast_path"
+           [
+             ("bytes", Bench_util.I bytes);
+             ("iters", Bench_util.I iters);
+             ("general_wall_seconds", Bench_util.F t_general);
+             ("bulk_wall_seconds", Bench_util.F t_fast);
+             ("speedup", Bench_util.F (t_general /. t_fast));
+           ];
+         [
+           string_of_int bytes;
+           Printf.sprintf "%.2fms" (t_general *. 1e3);
+           Printf.sprintf "%.2fms" (t_fast *. 1e3);
+           Bench_util.speedup_string ~baseline:t_fast t_general;
+         ])
+       sizes)
+
+let run ?(model = Net_model.omnipath) ?(smoke = false) () =
   Bench_util.section
     (Printf.sprintf "Point-to-point and collective microbenchmarks (model: %s)"
        model.Net_model.name);
   Printf.printf "\n-- ping-pong latency / streaming bandwidth vs message size --\n";
-  let sizes = [ 1; 64; 1024; 16384; 262144; 4194304 ] in
+  let sizes =
+    if smoke then [ 64; 16384 ] else [ 1; 64; 1024; 16384; 262144; 4194304 ]
+  in
   Bench_util.print_table
     ~header:[ "bytes"; "latency (one-way)"; "bandwidth" ]
     (List.map
        (fun bytes ->
          let lat = pingpong ~model ~bytes ~iters:10 in
          let bw = bandwidth ~model ~bytes ~iters:10 in
-         Bench_util.emit_json ~bench:"pingpong"
+         let fields =
            [
              ("model", Bench_util.S model.Net_model.name);
              ("bytes", Bench_util.I bytes);
              ("latency_seconds", Bench_util.F lat);
              ("bandwidth_bytes_per_second", Bench_util.F bw);
-           ];
+           ]
+         in
+         Bench_util.emit_json ~bench:"pingpong" fields;
+         Bench_util.emit_json_file ~file:results_file ~bench:"pingpong" fields;
          [
            string_of_int bytes;
            Bench_util.time_str lat;
            Printf.sprintf "%.2f GB/s" (bw /. 1e9);
          ])
        sizes);
+  fast_path_series ~smoke;
   Printf.printf
     "(Should approach the model: alpha = %.2gus, 1/beta = %.3g GB/s.)\n"
     (model.Net_model.latency *. 1e6)
     (1. /. model.Net_model.byte_time /. 1e9);
   Printf.printf "\n-- collective latency vs p (empty payloads) --\n";
-  let ps = [ 2; 8; 32; 128 ] in
+  let ps = if smoke then [ 2; 8 ] else [ 2; 8; 32; 128 ] in
   Bench_util.print_table
     ~header:[ "p"; "barrier"; "allreduce"; "bcast" ]
     (List.map

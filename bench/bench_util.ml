@@ -110,7 +110,7 @@ let speedup_string ~baseline t = Printf.sprintf "%.2fx" (t /. baseline)
 (* ------------------------------------------------------------------ *)
 (* Bechamel wrapper: run closures under OLS analysis, return ns/run. *)
 
-let bechamel_estimates ~name (tests : (string * (unit -> unit)) list) :
+let bechamel_estimates ?(quota = 1.5) ~name (tests : (string * (unit -> unit)) list) :
     (string * float) list =
   let open Bechamel in
   let elements =
@@ -118,7 +118,7 @@ let bechamel_estimates ~name (tests : (string * (unit -> unit)) list) :
   in
   let grouped = Test.make_grouped ~name ~fmt:"%s/%s" elements in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 1.5) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None () in
   let raws = Benchmark.all cfg [ instance ] grouped in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Bechamel.Measure.run |]
@@ -153,25 +153,41 @@ type json_value = S of string | I of int | F of float
 
 let json_path = Sys.getenv_opt "BENCH_JSON"
 
+let append_json_line ~path ~bench (fields : (string * json_value) list) =
+  let buf = Buffer.create 128 in
+  let o = Mpisim.Json_out.start_obj buf in
+  Mpisim.Json_out.field_str o "bench" bench;
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | S s -> Mpisim.Json_out.field_str o k s
+      | I i -> Mpisim.Json_out.field_int o k i
+      | F f -> Mpisim.Json_out.field_float o k f)
+    fields;
+  Mpisim.Json_out.end_obj o;
+  Buffer.add_char buf '\n';
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
 let emit_json ~bench (fields : (string * json_value) list) =
   match json_path with
   | None -> ()
-  | Some path ->
-      let buf = Buffer.create 128 in
-      let o = Mpisim.Json_out.start_obj buf in
-      Mpisim.Json_out.field_str o "bench" bench;
-      List.iter
-        (fun (k, v) ->
-          match v with
-          | S s -> Mpisim.Json_out.field_str o k s
-          | I i -> Mpisim.Json_out.field_int o k i
-          | F f -> Mpisim.Json_out.field_float o k f)
-        fields;
-      Mpisim.Json_out.end_obj o;
-      Buffer.add_char buf '\n';
-      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-      output_string oc (Buffer.contents buf);
-      close_out oc
+  | Some path -> append_json_line ~path ~bench fields
+
+(* Dedicated per-benchmark result files (BENCH_PINGPONG.json etc.), written
+   unconditionally so CI can upload them as artifacts without configuring
+   BENCH_JSON.  [emit_json_file] truncates on first write per process so a
+   rerun does not append to stale series. *)
+let json_files_started : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let emit_json_file ~file ~bench (fields : (string * json_value) list) =
+  if not (Hashtbl.mem json_files_started file) then begin
+    Hashtbl.replace json_files_started file ();
+    let oc = open_out file in
+    close_out oc
+  end;
+  append_json_line ~path:file ~bench fields
 
 (* Append a full stats-registry dump as one JSON line (e.g. a run's
    message-size/latency histograms next to its headline number). *)

@@ -4,11 +4,12 @@
      dune exec bench/main.exe                 -- all experiments, scaled-down defaults
      dune exec bench/main.exe -- table1 fig8  -- a subset
      dune exec bench/main.exe -- --full       -- full-size runs (slow)
+     dune exec bench/main.exe -- --smoke ...  -- minimal sizes (CI sanity runs)
 
    Experiments: table1, fig8, fig10, overhead, types, repro_reduce,
    sparse, suffix, label_prop, raxml, ulfm, ablation, pingpong. *)
 
-let experiments ~full =
+let experiments ~full ~smoke =
   [
     ("table1", fun () -> Bench_table1.run ());
     ( "fig8",
@@ -19,7 +20,7 @@ let experiments ~full =
       fun () ->
         if full then Bench_fig10.run ~max_p:256 ~n_per_rank:512 ~m_per_rank:2048 ~reps:1 ()
         else Bench_fig10.run () );
-    ("overhead", fun () -> Bench_overhead.run ());
+    ("overhead", fun () -> Bench_overhead.run ~smoke ());
     ("types", fun () -> Bench_types.run ());
     ( "repro_reduce",
       fun () -> if full then Bench_repro.run ~max_p:128 () else Bench_repro.run () );
@@ -33,14 +34,15 @@ let experiments ~full =
     ("ulfm", fun () -> if full then Bench_ulfm.run ~max_p:256 () else Bench_ulfm.run ());
     ( "ablation",
       fun () -> if full then Bench_ablation.run ~max_p:1024 () else Bench_ablation.run () );
-    ("pingpong", fun () -> Bench_pingpong.run ());
+    ("pingpong", fun () -> Bench_pingpong.run ~smoke ());
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let selected = List.filter (fun a -> a <> "--full") args in
-  let table = experiments ~full in
+  let smoke = List.mem "--smoke" args in
+  let selected = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
+  let table = experiments ~full ~smoke in
   let to_run =
     if selected = [] then table
     else

@@ -42,13 +42,17 @@ let wait (t : 'a t) : 'a =
 let test (t : 'a t) : 'a option =
   match t.fetched with
   | Some v -> Some v
-  | None -> (
-      match Request.test t.request with
-      | None -> None
-      | Some (_ : Status.t) ->
-          let v = t.fetch () in
-          t.fetched <- Some v;
-          Some v)
+  | None ->
+      (* Same guard as [wait]: a request completed elsewhere ([forget]-shared
+         handles, pool drains) only needs its payload fetched, and testing it
+         again through [Request.test] would read as a completion call on an
+         inactive request to the sanitizer. *)
+      if Request.is_complete t.request || Request.test t.request <> None then begin
+        let v = t.fetch () in
+        t.fetched <- Some v;
+        Some v
+      end
+      else None
 
 let is_complete (t : 'a t) = t.fetched <> None || Request.is_complete t.request
 

@@ -23,6 +23,20 @@
 
 type kind = Builtin | Derived
 
+(* Bulk fast-path kernel for fixed-size, contiguously-encoded element
+   types (builtins, [blob], and compositions of them): [bk_write buf pos v]
+   stores exactly [elem_size] bytes at [pos]; [bk_read buf pos] loads them.
+   [pack_array]/[unpack_array]/[unpack_into] use it to do ONE bounds check
+   and buffer reservation for a whole run of elements and a tight
+   direct-store loop — no closure dispatch, no [Wire] cursor updates per
+   element.  The kernel is chosen once when the type is constructed (for
+   builtins, that is commit time: they are born committed), so the
+   per-message cost of the dispatch is a single branch. *)
+type 'a bulk_kernel = {
+  bk_write : Bytes.t -> int -> 'a -> unit;
+  bk_read : Bytes.t -> int -> 'a;
+}
+
 type 'a t = {
   name : string;
   id : int;
@@ -31,6 +45,7 @@ type 'a t = {
   signature : Signature.t;  (* per element *)
   pack : Wire.writer -> 'a -> unit;
   unpack : Wire.reader -> 'a;
+  bulk : 'a bulk_kernel option;  (* fast path; [None] = general path *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -88,77 +103,174 @@ let pool_reset_for_tests () = Hashtbl.reset pool
 (* ------------------------------------------------------------------ *)
 (* Builtins *)
 
-let builtin ~name ~size ~signature ~pack ~unpack =
-  { name; id = fresh_id ~name ~kind:Builtin; kind = Builtin; elem_size = size; signature; pack; unpack }
+let builtin ~name ~size ~signature ~pack ~unpack ~bulk =
+  {
+    name;
+    id = fresh_id ~name ~kind:Builtin;
+    kind = Builtin;
+    elem_size = size;
+    signature;
+    pack;
+    unpack;
+    bulk = Some bulk;
+  }
+
+(* Each builtin kernel must produce exactly the bytes its [Wire] put/get
+   pair would — the fast-path≡general-path qcheck property enforces this. *)
 
 let int : int t =
   builtin ~name:"int" ~size:8
     ~signature:(Signature.of_base Signature.Int64)
     ~pack:Wire.put_int ~unpack:Wire.get_int
+    ~bulk:
+      {
+        bk_write = (fun b p v -> Bytes.set_int64_le b p (Int64.of_int v));
+        bk_read = (fun b p -> Int64.to_int (Bytes.get_int64_le b p));
+      }
 
 let int32 : int32 t =
   builtin ~name:"int32" ~size:4
     ~signature:(Signature.of_base Signature.Int32)
     ~pack:Wire.put_int32 ~unpack:Wire.get_int32
+    ~bulk:
+      { bk_write = (fun b p v -> Bytes.set_int32_le b p v); bk_read = Bytes.get_int32_le }
 
 let int64 : int64 t =
   builtin ~name:"int64" ~size:8
     ~signature:(Signature.of_base Signature.Int64)
     ~pack:Wire.put_int64 ~unpack:Wire.get_int64
+    ~bulk:
+      { bk_write = (fun b p v -> Bytes.set_int64_le b p v); bk_read = Bytes.get_int64_le }
 
 let float : float t =
   builtin ~name:"float" ~size:8
     ~signature:(Signature.of_base Signature.Float64)
     ~pack:Wire.put_float ~unpack:Wire.get_float
+    ~bulk:
+      {
+        bk_write = (fun b p v -> Bytes.set_int64_le b p (Int64.bits_of_float v));
+        bk_read = (fun b p -> Int64.float_of_bits (Bytes.get_int64_le b p));
+      }
 
 let float32 : float t =
   builtin ~name:"float32" ~size:4
     ~signature:(Signature.of_base Signature.Float32)
     ~pack:Wire.put_float32 ~unpack:Wire.get_float32
+    ~bulk:
+      {
+        bk_write = (fun b p v -> Bytes.set_int32_le b p (Int32.bits_of_float v));
+        bk_read = (fun b p -> Int32.float_of_bits (Bytes.get_int32_le b p));
+      }
+
+let char_kernel =
+  { bk_write = (fun b p c -> Bytes.unsafe_set b p c); bk_read = Bytes.get }
 
 let char : char t =
   builtin ~name:"char" ~size:1
     ~signature:(Signature.of_base Signature.Char)
-    ~pack:Wire.put_char ~unpack:Wire.get_char
+    ~pack:Wire.put_char ~unpack:Wire.get_char ~bulk:char_kernel
 
 let byte : char t =
   builtin ~name:"byte" ~size:1
     ~signature:(Signature.of_base Signature.Blob)
-    ~pack:Wire.put_char ~unpack:Wire.get_char
+    ~pack:Wire.put_char ~unpack:Wire.get_char ~bulk:char_kernel
 
 let bool : bool t =
   builtin ~name:"bool" ~size:1
     ~signature:(Signature.of_base Signature.Bool)
     ~pack:Wire.put_bool ~unpack:Wire.get_bool
+    ~bulk:
+      {
+        bk_write = (fun b p v -> Bytes.set b p (if v then '\001' else '\000'));
+        bk_read =
+          (fun b p ->
+            match Bytes.get b p with
+            | '\000' -> false
+            | '\001' -> true
+            | c ->
+                raise
+                  (Wire.Decode_error { what = "bool must be 0 or 1"; got = Char.code c }));
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Derived-type constructors *)
 
+(* Internal constructor: derived type with an explicit (optional) bulk
+   kernel.  The public [create] takes opaque pack/unpack closures, about
+   which nothing can be assumed, so it always gets the general path. *)
+let create_k ~name ~size ~signature ~pack ~unpack ~bulk =
+  if size < 0 then invalid_arg "Datatype.create: negative size";
+  {
+    name;
+    id = fresh_id ~name ~kind:Derived;
+    kind = Derived;
+    elem_size = size;
+    signature;
+    pack;
+    unpack;
+    bulk;
+  }
+
 (* Fully custom ("dynamic", §III-D2): the caller supplies everything, with
    sizes possibly known only at runtime. *)
 let create ~name ~size ~signature ~pack ~unpack =
-  if size < 0 then invalid_arg "Datatype.create: negative size";
-  { name; id = fresh_id ~name ~kind:Derived; kind = Derived; elem_size = size; signature; pack; unpack }
+  create_k ~name ~size ~signature ~pack ~unpack ~bulk:None
 
 let contiguous ~count (base : 'a t) : 'a array t =
   if count < 0 then invalid_arg "Datatype.contiguous: negative count";
   let name = Printf.sprintf "contiguous(%d,%s)" count base.name in
-  let pack w (a : 'a array) =
+  let length_check (a : 'a array) =
     if Array.length a <> count then
       invalid_arg
-        (Printf.sprintf "%s: expected %d elements, got %d" name count (Array.length a));
+        (Printf.sprintf "%s: expected %d elements, got %d" name count (Array.length a))
+  in
+  let pack w (a : 'a array) =
+    length_check a;
     for i = 0 to count - 1 do
       base.pack w (Array.unsafe_get a i)
     done
   in
   let unpack r = Array.init count (fun _ -> base.unpack r) in
-  create ~name ~size:(count * base.elem_size)
+  (* A fixed run of a bulk-capable base is itself bulk-capable: the block
+     kernel inherits the per-element stores. *)
+  let bulk =
+    match base.bulk with
+    | None -> None
+    | Some k ->
+        let sz = base.elem_size in
+        Some
+          {
+            bk_write =
+              (fun buf pos (a : 'a array) ->
+                length_check a;
+                for i = 0 to count - 1 do
+                  k.bk_write buf (pos + (i * sz)) (Array.unsafe_get a i)
+                done);
+            bk_read =
+              (fun buf pos -> Array.init count (fun i -> k.bk_read buf (pos + (i * sz))));
+          }
+  in
+  create_k ~name ~size:(count * base.elem_size)
     ~signature:(Signature.repeat base.signature count)
-    ~pack ~unpack
+    ~pack ~unpack ~bulk
 
 let pair (a : 'a t) (b : 'b t) : ('a * 'b) t =
   let name = Printf.sprintf "pair(%s,%s)" a.name b.name in
-  create ~name ~size:(a.elem_size + b.elem_size)
+  let bulk =
+    match (a.bulk, b.bulk) with
+    | Some ka, Some kb ->
+        let sza = a.elem_size in
+        Some
+          {
+            bk_write =
+              (fun buf pos (x, y) ->
+                ka.bk_write buf pos x;
+                kb.bk_write buf (pos + sza) y);
+            bk_read = (fun buf pos -> (ka.bk_read buf pos, kb.bk_read buf (pos + sza)));
+          }
+    | _ -> None
+  in
+  create_k ~name ~size:(a.elem_size + b.elem_size)
     ~signature:(Signature.append a.signature b.signature)
     ~pack:(fun w (x, y) ->
       a.pack w x;
@@ -167,6 +279,7 @@ let pair (a : 'a t) (b : 'b t) : ('a * 'b) t =
       let x = a.unpack r in
       let y = b.unpack r in
       (x, y))
+    ~bulk
 
 let triple (a : 'a t) (b : 'b t) (c : 'c t) : ('a * 'b * 'c) t =
   let name = Printf.sprintf "triple(%s,%s,%s)" a.name b.name c.name in
@@ -348,28 +461,70 @@ let blob ~name ~size ~(write : Bytes.t -> int -> 'a -> unit) ~(read : Bytes.t ->
     let buf, pos = Wire.read_raw r size in
     read buf pos
   in
-  create ~name ~size ~signature:(Signature.of_base ~count:size Signature.Blob) ~pack ~unpack
+  create_k ~name ~size
+    ~signature:(Signature.of_base ~count:size Signature.Blob)
+    ~pack ~unpack
+    ~bulk:(Some { bk_write = write; bk_read = read })
 
 (* ------------------------------------------------------------------ *)
 (* Array pack/unpack helpers used by the runtime *)
 
+(* Each helper dispatches ONCE on the type's kernel: the fast path does a
+   single [Wire.reserve]/[read_raw] for the whole run and a tight
+   direct-store loop; the general path keeps per-element closure calls
+   (derived/struct types, dynamic sizes). *)
+
 let pack_array (t : 'a t) (w : Wire.writer) (a : 'a array) ~pos ~count =
   if pos < 0 || count < 0 || pos + count > Array.length a then
     invalid_arg "Datatype.pack_array: range out of bounds";
-  for i = pos to pos + count - 1 do
-    t.pack w (Array.unsafe_get a i)
-  done
+  match t.bulk with
+  | Some k ->
+      let sz = t.elem_size in
+      let buf, base = Wire.reserve w (count * sz) in
+      let off = ref base in
+      for i = pos to pos + count - 1 do
+        k.bk_write buf !off (Array.unsafe_get a i);
+        off := !off + sz
+      done
+  | None ->
+      for i = pos to pos + count - 1 do
+        t.pack w (Array.unsafe_get a i)
+      done
 
 let unpack_array (t : 'a t) (r : Wire.reader) ~count : 'a array =
   if count < 0 then invalid_arg "Datatype.unpack_array: negative count";
-  Array.init count (fun _ -> t.unpack r)
+  match t.bulk with
+  | Some k ->
+      let sz = t.elem_size in
+      let buf, base = Wire.read_raw r (count * sz) in
+      Array.init count (fun i -> k.bk_read buf (base + (i * sz)))
+  | None -> Array.init count (fun _ -> t.unpack r)
 
 let unpack_into (t : 'a t) (r : Wire.reader) (dst : 'a array) ~pos ~count =
   if pos < 0 || count < 0 || pos + count > Array.length dst then
     invalid_arg "Datatype.unpack_into: range out of bounds";
-  for i = pos to pos + count - 1 do
-    Array.unsafe_set dst i (t.unpack r)
-  done
+  match t.bulk with
+  | Some k ->
+      let sz = t.elem_size in
+      let buf, base = Wire.read_raw r (count * sz) in
+      let off = ref base in
+      for i = pos to pos + count - 1 do
+        Array.unsafe_set dst i (k.bk_read buf !off);
+        off := !off + sz
+      done
+  | None ->
+      for i = pos to pos + count - 1 do
+        Array.unsafe_set dst i (t.unpack r)
+      done
+
+(* Whether the type has a bulk kernel (i.e. takes the fast path). *)
+let bulk_available t = t.bulk <> None
+
+(* The same type with its kernel stripped: forced onto the general path.
+   Benchmarks and the fast≡general equivalence property use this as the
+   "before" side; it is NOT registered as a separate pool entry (same id,
+   same commit state). *)
+let without_bulk (t : 'a t) : 'a t = { t with bulk = None }
 
 (* Scoped commit: commit [t] if needed, run [f t], and free [t] again if
    we were the ones to commit it.  This is how the binding layer manages

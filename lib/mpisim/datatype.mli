@@ -23,6 +23,13 @@
 
 type kind = Builtin | Derived
 
+(** Bulk fast-path kernel for fixed-size, contiguously-encoded element
+    types: one buffer reservation and a direct-store loop per element run,
+    no per-element closure dispatch.  Chosen once at type-construction
+    (= commit for builtins) time; [None] means the general per-element
+    path. *)
+type 'a bulk_kernel
+
 type 'a t = {
   name : string;
   id : int;
@@ -31,6 +38,7 @@ type 'a t = {
   signature : Signature.t;  (** per element *)
   pack : Wire.writer -> 'a -> unit;
   unpack : Wire.reader -> 'a;
+  bulk : 'a bulk_kernel option;
 }
 
 (** {1 Commit/free lifecycle} *)
@@ -157,11 +165,24 @@ val blob :
 
 (** {1 Bulk helpers} *)
 
+(** The bulk helpers dispatch once on the type's kernel: builtins, [blob]
+    and fixed compositions of them ([contiguous], [pair]) take a
+    single-reservation fast path; everything else packs element by
+    element. *)
+
 val pack_array : 'a t -> Wire.writer -> 'a array -> pos:int -> count:int -> unit
 
 val unpack_array : 'a t -> Wire.reader -> count:int -> 'a array
 
 val unpack_into : 'a t -> Wire.reader -> 'a array -> pos:int -> count:int -> unit
+
+(** Whether the type carries a bulk kernel (takes the fast path). *)
+val bulk_available : 'a t -> bool
+
+(** The same type forced onto the general per-element path (same id and
+    commit state) — the "before" side for equivalence tests and overhead
+    benchmarks. *)
+val without_bulk : 'a t -> 'a t
 
 (** A placeholder decoded from zero bytes; seeds freshly allocated receive
     arrays. *)

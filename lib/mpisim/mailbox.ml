@@ -7,14 +7,24 @@
    to arbitrate wildcard matches (oldest message wins, as a sane
    deterministic policy).
 
-   Posted receives live in a FIFO list; an arriving message matches the
-   oldest compatible posted receive, otherwise joins the unexpected store. *)
+   Hot-path data structures are O(1) amortized:
+
+   - posted receives live in a FIFO queue; retiring or cancelling marks a
+     tombstone that is reclaimed lazily (popped when it reaches the front,
+     compacted when tombstones outnumber live entries), so post/retire
+     never walk the queue the way the previous list-append design did;
+   - unexpected messages are indexed context-first: an exact-key receive
+     is two hash lookups, and a wildcard scan folds only over the keys of
+     its own context instead of the whole table;
+   - a per-key queue that drains is removed from the index immediately, so
+     long runs with many distinct (src, tag) pairs cannot grow the table
+     without bound. *)
 
 let any_source = -1
 
 let any_tag = -1
 
-type key = { k_context : int; k_src : int; k_tag : int }
+type key = { k_src : int; k_tag : int }
 
 type posted = {
   p_context : int;
@@ -24,11 +34,14 @@ type posted = {
   p_clock : float;  (* receiver's virtual clock when the recv was posted *)
   mutable p_msg : Message.t option;  (* set when matched *)
   mutable p_cancelled : bool;
+  mutable p_dead : bool;  (* tombstone: retired or cancelled, skip on scan *)
 }
 
 type t = {
-  unexpected : (key, Message.t Queue.t) Hashtbl.t;
-  mutable posted : posted list;  (* in posting order *)
+  (* context id -> (src, tag) -> FIFO of unexpected messages *)
+  unexpected : (int, (key, Message.t Queue.t) Hashtbl.t) Hashtbl.t;
+  posted : posted Queue.t;  (* in posting order, with tombstones *)
+  mutable n_tombstones : int;
   mutable next_posted_id : int;
   (* O(1) depth counters so the runtime can histogram queue depths without
      walking the structures on every delivery. *)
@@ -38,15 +51,13 @@ type t = {
 
 let create () =
   {
-    unexpected = Hashtbl.create 16;
-    posted = [];
+    unexpected = Hashtbl.create 4;
+    posted = Queue.create ();
+    n_tombstones = 0;
     next_posted_id = 0;
     n_unexpected = 0;
     n_posted = 0;
   }
-
-let key_of_msg (m : Message.t) =
-  { k_context = m.Message.context; k_src = m.Message.src; k_tag = m.Message.tag }
 
 let posted_matches (p : posted) (m : Message.t) =
   p.p_msg = None && (not p.p_cancelled)
@@ -56,28 +67,52 @@ let posted_matches (p : posted) (m : Message.t) =
 
 (* Deliver [m] to the oldest compatible posted receive, if any.  The match
    time — which is when a synchronous sender may complete — is when both
-   the message has arrived AND the receiver was ready for it. *)
+   the message has arrived AND the receiver was ready for it.  The scan
+   visits entries in posting order and stops at the first live match;
+   tombstones are skipped (and reclaimed when they reach the front). *)
 let try_match_posted t (m : Message.t) =
-  let rec go = function
-    | [] -> false
-    | p :: rest ->
-        if posted_matches p m then begin
-          p.p_msg <- Some m;
-          m.Message.matched_time <- Float.max m.Message.arrival p.p_clock;
-          true
-        end
-        else go rest
+  (* Reclaim any dead prefix first: cheap, and it keeps the common
+     post/match/retire cycle from accumulating queue nodes. *)
+  let rec drop_dead_prefix () =
+    match Queue.peek_opt t.posted with
+    | Some p when p.p_dead ->
+        ignore (Queue.pop t.posted);
+        t.n_tombstones <- t.n_tombstones - 1;
+        drop_dead_prefix ()
+    | _ -> ()
   in
-  go t.posted
+  drop_dead_prefix ();
+  let matched = ref false in
+  (try
+     Queue.iter
+       (fun p ->
+         if (not p.p_dead) && posted_matches p m then begin
+           p.p_msg <- Some m;
+           m.Message.matched_time <- Float.max m.Message.arrival p.p_clock;
+           matched := true;
+           raise Exit
+         end)
+       t.posted
+   with Exit -> ());
+  !matched
+
+let context_table t ~context =
+  match Hashtbl.find_opt t.unexpected context with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.unexpected context tbl;
+      tbl
 
 let enqueue_unexpected t (m : Message.t) =
-  let k = key_of_msg m in
+  let tbl = context_table t ~context:m.Message.context in
+  let k = { k_src = m.Message.src; k_tag = m.Message.tag } in
   let q =
-    match Hashtbl.find_opt t.unexpected k with
+    match Hashtbl.find_opt tbl k with
     | Some q -> q
     | None ->
         let q = Queue.create () in
-        Hashtbl.replace t.unexpected k q;
+        Hashtbl.replace tbl k q;
         q
   in
   Queue.add m q;
@@ -93,43 +128,47 @@ let deliver t (m : Message.t) =
   end
 
 (* Find (and optionally remove) the oldest unexpected message matching the
-   (context, src, tag) pattern. *)
+   (context, src, tag) pattern.  Exact patterns are two hash lookups;
+   wildcards fold over the keys of their context only.  Removal that
+   drains a queue reclaims its table entry immediately. *)
 let find_unexpected ?(remove = true) t ~context ~src ~tag =
-  let candidate_queues =
-    if src <> any_source && tag <> any_tag then
-      match Hashtbl.find_opt t.unexpected { k_context = context; k_src = src; k_tag = tag } with
-      | Some q when not (Queue.is_empty q) -> [ q ]
-      | _ -> []
-    else
-      Hashtbl.fold
-        (fun k q acc ->
-          if
-            k.k_context = context
-            && (src = any_source || k.k_src = src)
-            && (tag = any_tag || k.k_tag = tag)
-            && not (Queue.is_empty q)
-          then q :: acc
-          else acc)
-        t.unexpected []
-  in
-  let best =
-    List.fold_left
-      (fun acc q ->
-        let m = Queue.peek q in
-        match acc with
-        | None -> Some (m, q)
-        | Some (m', _) -> if m.Message.seq < m'.Message.seq then Some (m, q) else acc)
-      None candidate_queues
-  in
-  match best with
+  match Hashtbl.find_opt t.unexpected context with
   | None -> None
-  | Some (m, q) ->
-      if remove then begin
-        let taken = Queue.pop q in
-        assert (taken == m);
-        t.n_unexpected <- t.n_unexpected - 1
-      end;
-      Some m
+  | Some tbl ->
+      let best =
+        if src <> any_source && tag <> any_tag then
+          match Hashtbl.find_opt tbl { k_src = src; k_tag = tag } with
+          | Some q when not (Queue.is_empty q) -> Some (Queue.peek q, q, { k_src = src; k_tag = tag })
+          | _ -> None
+        else
+          Hashtbl.fold
+            (fun k q acc ->
+              if
+                (src = any_source || k.k_src = src)
+                && (tag = any_tag || k.k_tag = tag)
+                && not (Queue.is_empty q)
+              then begin
+                let m = Queue.peek q in
+                match acc with
+                | Some (m', _, _) when m'.Message.seq <= m.Message.seq -> acc
+                | _ -> Some (m, q, k)
+              end
+              else acc)
+            tbl None
+      in
+      (match best with
+      | None -> None
+      | Some (m, q, k) ->
+          if remove then begin
+            let taken = Queue.pop q in
+            assert (taken == m);
+            t.n_unexpected <- t.n_unexpected - 1;
+            if Queue.is_empty q then begin
+              Hashtbl.remove tbl k;
+              if Hashtbl.length tbl = 0 then Hashtbl.remove t.unexpected context
+            end
+          end;
+          Some m)
 
 (* Number of unexpected messages a (context, src, tag) pattern could match
    right now.  The sanitizer's wildcard-race check calls this (heavy level
@@ -137,15 +176,15 @@ let find_unexpected ?(remove = true) t ~context ~src ~tag =
    candidates mean the match is arbitrated by sequence number — i.e. by the
    schedule — and a real MPI run could return a different message. *)
 let count_eligible t ~context ~src ~tag =
-  Hashtbl.fold
-    (fun k q acc ->
-      if
-        k.k_context = context
-        && (src = any_source || k.k_src = src)
-        && (tag = any_tag || k.k_tag = tag)
-      then acc + Queue.length q
-      else acc)
-    t.unexpected 0
+  match Hashtbl.find_opt t.unexpected context with
+  | None -> 0
+  | Some tbl ->
+      Hashtbl.fold
+        (fun k q acc ->
+          if (src = any_source || k.k_src = src) && (tag = any_tag || k.k_tag = tag) then
+            acc + Queue.length q
+          else acc)
+        tbl 0
 
 (* Post a receive at receiver-clock [now].  If a compatible unexpected
    message exists it is matched immediately (match time: both sides
@@ -160,6 +199,7 @@ let post t ~context ~src ~tag ~now =
       p_clock = now;
       p_msg = None;
       p_cancelled = false;
+      p_dead = false;
     }
   in
   t.next_posted_id <- t.next_posted_id + 1;
@@ -168,16 +208,39 @@ let post t ~context ~src ~tag ~now =
       p.p_msg <- Some m;
       m.Message.matched_time <- Float.max m.Message.arrival now
   | None ->
-      t.posted <- t.posted @ [ p ];
+      Queue.add p t.posted;
       t.n_posted <- t.n_posted + 1);
   p
 
-let drop_posted t p =
-  let before = List.length t.posted in
-  t.posted <- List.filter (fun q -> q.p_id <> p.p_id) t.posted;
-  t.n_posted <- t.n_posted - (before - List.length t.posted)
+(* Rebuild the posted queue without tombstones.  Amortized O(1): it runs
+   only when tombstones outnumber live entries, and each removed entry was
+   added exactly once. *)
+let compact_posted t =
+  let live = Queue.create () in
+  Queue.iter (fun p -> if not p.p_dead then Queue.add p live) t.posted;
+  Queue.clear t.posted;
+  Queue.transfer live t.posted;
+  t.n_tombstones <- 0
 
+let drop_posted t (p : posted) =
+  if not p.p_dead then begin
+    p.p_dead <- true;
+    t.n_posted <- t.n_posted - 1;
+    t.n_tombstones <- t.n_tombstones + 1;
+    if t.n_tombstones > t.n_posted + 16 then compact_posted t
+  end
+
+(* Cancel a posted receive that has NOT matched.  Per MPI semantics a
+   receive that has already been matched must complete — cancelling it
+   here would silently drop the matched message. *)
 let cancel t p =
+  (match p.p_msg with
+  | Some m ->
+      Errdefs.usage_error
+        "Mailbox.cancel: receive already matched message from rank %d (tag %d); a \
+         matched receive must be completed, not cancelled"
+        m.Message.src m.Message.tag
+  | None -> ());
   p.p_cancelled <- true;
   drop_posted t p
 
@@ -189,3 +252,11 @@ let unexpected_depth t = t.n_unexpected
 let posted_depth t = t.n_posted
 
 let pending_counts t = (t.n_unexpected, t.n_posted)
+
+(* Structure-size observers for tests: live (key, queue) entries in the
+   unexpected index, and physical entries (live + tombstones) in the
+   posted queue. *)
+let unexpected_key_count t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.unexpected 0
+
+let posted_physical_length t = Queue.length t.posted

@@ -53,26 +53,32 @@ let set_waiting_recv comm ~op ~src_world ~tag =
 let clear_waiting comm = Check.clear_waiting (checker comm) ~rank:(Comm.world_rank comm)
 
 (* Pack [count] elements of [data] starting at [pos] and inject the message.
-   Returns the in-flight message. *)
+   Returns the in-flight message.
+
+   Zero-copy plane: the pack goes into a pooled per-rank writer, and the
+   writer's storage is transferred into the message via [unsafe_contents]
+   — no [Wire.contents] copy.  The storage returns to a pool when the
+   receiver finishes unpacking ([Runtime.recycle_payload]). *)
 let inject_message comm (dt : 'a Datatype.t) ~op ~dest ~tag ~sync (data : 'a array) ~pos
     ~count =
   let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
   check_alive_self comm;
   check_revoked comm ~op;
   check_dest_alive comm ~op dest;
   if rt.Runtime.assertion_level >= 1 && not (Datatype.is_committed dt) then
     Errdefs.usage_error "%s: datatype %s is not committed" op (Datatype.name dt);
-  let w = Wire.create_writer ~capacity:(max 8 (Datatype.size_of_count dt count)) () in
+  let w = Runtime.acquire_writer rt me ~capacity:(max 8 (Datatype.size_of_count dt count)) in
   Datatype.pack_array dt w data ~pos ~count;
-  let payload = Wire.contents w in
-  Runtime.charge_copy rt (Comm.world_rank comm) ~bytes:(Bytes.length payload);
+  let payload, payload_len = Wire.unsafe_contents w in
+  Runtime.charge_copy rt me ~bytes:payload_len;
   let msg =
-    Runtime.inject rt ~context:(Comm.context comm) ~src:(Comm.world_rank comm)
-      ~dst:(Comm.world_of_rank comm dest) ~tag ~payload ~count
+    Runtime.inject rt ~context:(Comm.context comm) ~src:me
+      ~dst:(Comm.world_of_rank comm dest) ~tag ~payload ~payload_off:0 ~payload_len ~count
       ~signature:(Datatype.signature_of_count dt count)
       ~sync
   in
-  Runtime.record rt ~op ~bytes:(Bytes.length payload);
+  Runtime.record rt ~op ~bytes:payload_len;
   msg
 
 let send_range comm dt ~dest ?(tag = 0) (data : 'a array) ~pos ~count =
@@ -238,8 +244,9 @@ let recv comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) () :
   let msg = await_posted comm ~op:"recv" ~src_world p in
   Mailbox.retire (my_mailbox comm) p;
   let status = complete_matched comm dt ~op:"recv" msg in
-  let r = Wire.reader_of_bytes msg.Message.payload in
+  let r = Message.reader msg in
   let data = Datatype.unpack_array dt r ~count:msg.Message.count in
+  Runtime.recycle_payload (Comm.runtime comm) msg;
   (data, status)
 
 let recv comm dt ?source ?tag () = traced comm ~op:"recv" (fun () -> recv comm dt ?source ?tag ())
@@ -262,8 +269,9 @@ let recv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
     Comm.error comm Errdefs.Err_truncate
       "recv: message of %d elements truncated to buffer of %d" msg.Message.count maxcount;
   let status = complete_matched comm dt ~op:"recv" msg in
-  let r = Wire.reader_of_bytes msg.Message.payload in
+  let r = Message.reader msg in
   Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
+  Runtime.recycle_payload (Comm.runtime comm) msg;
   status
 
 let recv_into comm dt ?source ?tag ?pos ?maxcount into =
@@ -299,8 +307,9 @@ let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
             if msg.Message.count > maxcount then
               Comm.error comm Errdefs.Err_truncate "irecv: message truncated";
             let status = complete_matched comm dt ~op:"irecv" msg in
-            let r = Wire.reader_of_bytes msg.Message.payload in
+            let r = Message.reader msg in
             Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
+            Runtime.recycle_payload rt msg;
             status)
       ~describe:(fun () ->
         Printf.sprintf "irecv on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)
@@ -374,18 +383,25 @@ let sendrecv comm dt ~dest ?(send_tag = 0) ~source ?(recv_tag = any_tag) (data :
 let blob_signature bytes_len = Signature.of_base ~count:bytes_len Signature.Blob
 
 (* Send a raw byte payload without datatype packing; matched by
-   [recv_bytes].  The element count equals the byte length. *)
+   [recv_bytes].  The element count equals the byte length.  The single
+   defensive copy (the caller keeps ownership of [payload]) goes straight
+   into a pooled wire buffer, so the path allocates nothing once the pool
+   is warm. *)
 let send_bytes comm ~dest ?(tag = 0) (payload : Bytes.t) =
   Comm.check_rank comm dest;
   let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
   check_alive_self comm;
   check_revoked comm ~op:"send_bytes";
   check_dest_alive comm ~op:"send_bytes" dest;
   let len = Bytes.length payload in
+  let w = Runtime.acquire_writer rt me ~capacity:(max 8 len) in
+  Wire.put_bytes w payload ~pos:0 ~len;
+  let storage, payload_len = Wire.unsafe_contents w in
   ignore
-    (Runtime.inject rt ~context:(Comm.context comm) ~src:(Comm.world_rank comm)
-       ~dst:(Comm.world_of_rank comm dest) ~tag ~payload:(Bytes.copy payload) ~count:len
-       ~signature:(blob_signature len) ~sync:false);
+    (Runtime.inject rt ~context:(Comm.context comm) ~src:me
+       ~dst:(Comm.world_of_rank comm dest) ~tag ~payload:storage ~payload_off:0
+       ~payload_len ~count:len ~signature:(blob_signature len) ~sync:false);
   Runtime.record rt ~op:"send" ~bytes:len
 
 let recv_bytes comm ?(source = any_source) ?(tag = any_tag) () : Bytes.t * Status.t =
@@ -405,7 +421,9 @@ let recv_bytes comm ?(source = any_source) ?(tag = any_tag) () : Bytes.t * Statu
       ~source:(Comm.rank_of_world comm msg.Message.src)
       ~tag:msg.Message.tag ~count:msg.Message.count ~bytes:(Message.bytes msg)
   in
-  (Bytes.copy msg.Message.payload, status)
+  let data = Message.payload_copy msg in
+  Runtime.recycle_payload rt msg;
+  (data, status)
 
 let recv_bytes comm ?source ?tag () =
   traced comm ~op:"recv_bytes" (fun () -> recv_bytes comm ?source ?tag ())
@@ -440,8 +458,9 @@ let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) 
         | Some msg ->
             Mailbox.retire mb p;
             let status = complete_matched comm dt ~op:"irecv" msg in
-            let r = Wire.reader_of_bytes msg.Message.payload in
+            let r = Message.reader msg in
             cell := Some (Datatype.unpack_array dt r ~count:msg.Message.count);
+            Runtime.recycle_payload rt msg;
             status)
       ~describe:(fun () ->
         Printf.sprintf "irecv_dyn on rank %d (src %d, tag %d)" (Comm.rank comm) source tag)

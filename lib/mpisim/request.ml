@@ -7,7 +7,8 @@
    completion, per MPI semantics for inactive requests.
 
    Observer hook: the sanitizer ([Check]) may attach an observer to a
-   request it tracks; [wait] reports through it when called on a request
+   request it tracks; every completion entry point — [wait], [test],
+   [wait_any], [test_some] — reports through it when invoked on a request
    that has already completed (an MPI "wait on inactive request", which
    MUST-style tools flag as a use of a freed request).  Requests without an
    observer pay one pointer comparison. *)
@@ -39,9 +40,17 @@ let completed status =
     observer = None;
   }
 
+(* Shared by every entry point that touches an already-completed request:
+   completion on an inactive request is the same misuse whether it arrives
+   through [wait], [test], [wait_any] or [test_some]. *)
+let notify_rewait t =
+  match t.observer with Some o -> o.on_rewait () | None -> ()
+
 let test t =
   match t.status with
-  | Some s -> Some s
+  | Some s ->
+      notify_rewait t;
+      Some s
   | None ->
       if t.ready () then begin
         let s = t.finalize () in
@@ -53,7 +62,7 @@ let test t =
 let wait t =
   match t.status with
   | Some s ->
-      (match t.observer with Some o -> o.on_rewait () | None -> ());
+      notify_rewait t;
       s
   | None ->
       Scheduler.park
@@ -88,12 +97,13 @@ let wait_any ts =
           ~describe:(fun () -> Printf.sprintf "wait_any over %d requests" (Array.length arr))
           ~poll:find_ready
   in
-  (* Complete in place rather than via [wait]: the request may already hold
-     a status (then [wait] would count as a re-wait of an inactive
-     request, which the sanitizer flags for user code). *)
   let s =
     match arr.(i).status with
-    | Some s -> s
+    | Some s ->
+        (* Selecting an already-inactive request is the same misuse as
+           waiting on one directly; report it instead of hiding it. *)
+        notify_rewait arr.(i);
+        s
     | None ->
         let s = arr.(i).finalize () in
         arr.(i).status <- Some s;

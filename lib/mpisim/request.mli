@@ -8,9 +8,10 @@
 
 type t
 
-(** Sanitizer hook: [on_rewait] is called when {!wait} is invoked on a
-    request that already completed (MPI's "wait on an inactive request",
-    which MUST-style tools flag as use of a freed request). *)
+(** Sanitizer hook: [on_rewait] is called when any completion entry point
+    — {!wait}, {!test}, {!wait_any} or {!test_some} — touches a request
+    that already completed (MPI's "wait on an inactive request", which
+    MUST-style tools flag as use of a freed request). *)
 type observer = { on_rewait : unit -> unit }
 
 val make :

@@ -37,6 +37,10 @@ type t = {
   clock_mode : clock_mode;
   clocks : float array;
   mailboxes : Mailbox.t array;
+  (* Per-rank pooled wire buffers: sends pack into a pooled writer whose
+     storage is transferred (no copy) into the injected message; the
+     receiver returns it via [recycle_payload] after unpacking. *)
+  wire_pools : Wire.pool array;
   failed : bool array;
   mutable n_failed : int;
   profile : Profiling.t;
@@ -102,6 +106,7 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ~model ~
     clock_mode;
     clocks;
     mailboxes = Array.init size (fun _ -> Mailbox.create ());
+    wire_pools = Array.init size (fun _ -> Wire.create_pool ());
     failed = Array.make size false;
     n_failed = 0;
     profile = Profiling.create ~stats ();
@@ -173,11 +178,30 @@ let kill t rank =
 
 let any_failed t = t.n_failed > 0
 
-(* Inject a packed message.  Charges the sender; returns the message so the
-   caller can build a request around it (ssend completion etc.). *)
-let inject t ~context ~src ~dst ~tag ~payload ~count ~signature ~sync =
+(* A pooled writer for packing one outgoing message on [rank].  Its
+   storage must end up either in an injected message (via
+   [Wire.unsafe_contents]) or back in the pool. *)
+let acquire_writer t rank ~capacity = Wire.acquire t.wire_pools.(rank) ~capacity
+
+(* Return a consumed message's payload storage to the receiver's pool.
+   Safe to call at most once per message; callers do so only after the
+   payload has been fully unpacked or copied out. *)
+let recycle_payload t (m : Message.t) =
+  if not m.Message.consumed then begin
+    m.Message.consumed <- true;
+    if m.Message.dst >= 0 && m.Message.dst < t.size then
+      Wire.recycle t.wire_pools.(m.Message.dst) m.Message.payload
+  end
+
+(* Inject a packed message.  The payload is a (storage, offset, length)
+   slice whose storage the message now owns — typically a pooled writer's
+   buffer handed over without a copy.  Charges the sender; returns the
+   message so the caller can build a request around it (ssend completion
+   etc.). *)
+let inject t ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count ~signature
+    ~sync =
   if dst < 0 || dst >= t.size then Errdefs.usage_error "send: invalid destination rank %d" dst;
-  let bytes = Bytes.length payload in
+  let bytes = payload_len in
   let busy = Net_model.send_busy_time t.model ~bytes in
   advance_clock t src busy;
   let sent_at = t.clocks.(src) in
@@ -185,8 +209,8 @@ let inject t ~context ~src ~dst ~tag ~payload ~count ~signature ~sync =
   let seq = t.msg_seq in
   t.msg_seq <- seq + 1;
   let m =
-    Message.make ~context ~src ~dst ~tag ~payload ~count ~signature ~sent_at ~arrival ~seq
-      ~sync
+    Message.make ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count
+      ~signature ~sent_at ~arrival ~seq ~sync
   in
   Log.debug (fun f ->
       f "inject ctx=%d %d->%d tag=%d count=%d bytes=%d%s" context src dst tag count bytes

@@ -29,6 +29,8 @@ type t = {
   clock_mode : clock_mode;
   clocks : float array;
   mailboxes : Mailbox.t array;
+  wire_pools : Wire.pool array;
+      (** per-rank pooled wire buffers for the zero-copy send path *)
   failed : bool array;
   mutable n_failed : int;
   profile : Profiling.t;
@@ -95,9 +97,22 @@ val kill : t -> int -> unit
 
 val any_failed : t -> bool
 
+(** A pooled writer for packing one outgoing message on [rank].  Its
+    storage must end up either in an injected message (via
+    [Wire.unsafe_contents]) or back in the pool. *)
+val acquire_writer : t -> int -> capacity:int -> Wire.writer
+
+(** Return a consumed message's payload storage to the receiver's pool.
+    Idempotent; call only after the payload has been fully unpacked or
+    copied out — any reader over the slice is dead afterwards. *)
+val recycle_payload : t -> Message.t -> unit
+
 (** Pack-and-send entry point: charges the sender, computes the arrival
-    time and delivers to the destination mailbox.  Returns the in-flight
-    message (synchronous-send requests watch its match flag). *)
+    time and delivers to the destination mailbox.  The payload is a
+    (storage, offset, length) slice whose storage the message takes over —
+    typically a pooled writer's buffer handed over without a copy.
+    Returns the in-flight message (synchronous-send requests watch its
+    match flag). *)
 val inject :
   t ->
   context:int ->
@@ -105,6 +120,8 @@ val inject :
   dst:int ->
   tag:int ->
   payload:Bytes.t ->
+  payload_off:int ->
+  payload_len:int ->
   count:int ->
   signature:Signature.t ->
   sync:bool ->

@@ -9,6 +9,20 @@
 
 exception Underflow of { wanted : int; available : int }
 
+(* A syntactically invalid encoding (e.g. a boolean byte that is neither 0
+   nor 1).  Like [Underflow], this is a wire-decode error — corrupt or
+   mistyped input — not a programming error at the call site, so it gets
+   its own exception rather than [Invalid_argument]. *)
+exception Decode_error of { what : string; got : int }
+
+let () =
+  Printexc.register_printer (function
+    | Underflow { wanted; available } ->
+        Some (Printf.sprintf "Wire.Underflow: wanted %d bytes, %d available" wanted available)
+    | Decode_error { what; got } ->
+        Some (Printf.sprintf "Wire.Decode_error: %s (byte %d)" what got)
+    | _ -> None)
+
 type writer = { mutable buf : Bytes.t; mutable len : int }
 
 let create_writer ?(capacity = 64) () =
@@ -138,7 +152,7 @@ let get_bool r =
   match get_uint8 r with
   | 0 -> false
   | 1 -> true
-  | n -> invalid_arg (Printf.sprintf "Wire.get_bool: byte %d" n)
+  | n -> raise (Decode_error { what = "bool must be 0 or 1"; got = n })
 
 let get_bytes r len =
   check r len;
@@ -165,3 +179,50 @@ let read_raw r len : Bytes.t * int =
   let pos = r.pos in
   r.pos <- pos + len;
   (r.data, pos)
+
+(* ------------------------------------------------------------------ *)
+(* Writer-storage pool.
+
+   The runtime keeps one pool per rank: a send packs into a pooled buffer,
+   [unsafe_contents] transfers the storage into the injected message
+   without a copy, and the consumer returns it with [recycle] once the
+   payload has been unpacked.  Ownership rule: between acquire and recycle
+   the storage belongs to exactly one message; after recycle any slice of
+   it is dead.
+
+   The pool is bounded both in buffer count and in retained buffer size so
+   a single huge transfer cannot pin memory for the rest of the run. *)
+
+type pool = {
+  mutable free : Bytes.t list;
+  mutable n_free : int;
+  max_buffers : int;
+  max_retain : int;  (* buffers larger than this are dropped on recycle *)
+  mutable hits : int;  (* acquires served from the free list *)
+  mutable misses : int;  (* acquires that had to allocate *)
+}
+
+let create_pool ?(max_buffers = 8) ?(max_retain = 1 lsl 24) () =
+  if max_buffers < 0 || max_retain < 1 then invalid_arg "Wire.create_pool";
+  { free = []; n_free = 0; max_buffers; max_retain; hits = 0; misses = 0 }
+
+(* A fresh writer over pooled storage.  The hint only sizes a miss; a
+   pooled buffer grows on demand like any other writer. *)
+let acquire pool ~capacity =
+  match pool.free with
+  | b :: rest ->
+      pool.free <- rest;
+      pool.n_free <- pool.n_free - 1;
+      pool.hits <- pool.hits + 1;
+      { buf = b; len = 0 }
+  | [] ->
+      pool.misses <- pool.misses + 1;
+      create_writer ~capacity:(max 1 capacity) ()
+
+let recycle pool (b : Bytes.t) =
+  if pool.n_free < pool.max_buffers && Bytes.length b <= pool.max_retain then begin
+    pool.free <- b :: pool.free;
+    pool.n_free <- pool.n_free + 1
+  end
+
+let pool_stats pool = (pool.hits, pool.misses, pool.n_free)

@@ -7,6 +7,11 @@
 
 exception Underflow of { wanted : int; available : int }
 
+(** A syntactically invalid encoding (e.g. a boolean byte that is neither
+    0 nor 1): corrupt or mistyped input, reported like {!Underflow} rather
+    than as a call-site [Invalid_argument]. *)
+exception Decode_error of { what : string; got : int }
+
 type writer
 
 val create_writer : ?capacity:int -> unit -> writer
@@ -80,3 +85,28 @@ val skip : reader -> int -> unit
 (** Zero-copy access to the next [len] bytes: (storage, offset); the
     storage must not be mutated. *)
 val read_raw : reader -> int -> Bytes.t * int
+
+(** {1 Writer-storage pool}
+
+    One pool per rank in the runtime: a send packs into a pooled buffer,
+    {!unsafe_contents} transfers the storage into the message without a
+    copy, and the consumer hands it back with {!recycle} after unpacking.
+    Between acquire and recycle the storage belongs to exactly one
+    message; after recycle any slice of it is dead. *)
+
+type pool
+
+(** [create_pool ()] keeps at most [max_buffers] free buffers and drops
+    buffers larger than [max_retain] bytes on recycle, so one huge
+    transfer cannot pin memory. *)
+val create_pool : ?max_buffers:int -> ?max_retain:int -> unit -> pool
+
+(** A fresh writer over pooled (or, on a miss, newly allocated) storage.
+    [capacity] only sizes a miss; pooled buffers grow on demand. *)
+val acquire : pool -> capacity:int -> writer
+
+(** Return detached writer storage to the pool. *)
+val recycle : pool -> Bytes.t -> unit
+
+(** (hits, misses, currently free) — for tests and diagnostics. *)
+val pool_stats : pool -> int * int * int

@@ -118,6 +118,30 @@ let test_double_wait () =
   in
   Alcotest.(check bool) "explains the rule" true (contains ~needle:"exactly once" msg)
 
+(* Completion-on-inactive must be flagged whichever entry point it comes
+   through: [test] and [wait_any] report exactly like [wait]. *)
+let test_double_completion_via_test () =
+  ignore
+    (expect_violation ~cls:"double-wait" (fun () ->
+         run_light (fun mpi ->
+             if Comm.rank mpi = 0 then begin
+               let req = P2p.isend mpi Datatype.int ~dest:1 [| 1 |] in
+               ignore (Request.wait req);
+               ignore (Request.test req)
+             end
+             else ignore (P2p.recv mpi Datatype.int ~source:0 ()))))
+
+let test_double_completion_via_wait_any () =
+  ignore
+    (expect_violation ~cls:"double-wait" (fun () ->
+         run_light (fun mpi ->
+             if Comm.rank mpi = 0 then begin
+               let req = P2p.isend mpi Datatype.int ~dest:1 [| 1 |] in
+               ignore (Request.wait req);
+               ignore (Request.wait_any [ req ])
+             end
+             else ignore (P2p.recv mpi Datatype.int ~source:0 ()))))
+
 (* Pool drains and [forget]-shared handles complete requests internally;
    none of that may count as a double-wait or leak. *)
 let test_nb_pool_clean () =
@@ -286,6 +310,10 @@ let () =
           Alcotest.test_case "clean collectives under heavy" `Quick test_collective_clean_heavy;
           Alcotest.test_case "request leak" `Quick test_request_leak;
           Alcotest.test_case "double wait" `Quick test_double_wait;
+          Alcotest.test_case "double completion via test" `Quick
+            test_double_completion_via_test;
+          Alcotest.test_case "double completion via wait_any" `Quick
+            test_double_completion_via_wait_any;
           Alcotest.test_case "pool drain is not a double wait" `Quick test_nb_pool_clean;
           Alcotest.test_case "send buffer modified in flight" `Quick test_send_buffer_modified;
           Alcotest.test_case "send buffer clean after wait" `Quick test_send_buffer_clean;

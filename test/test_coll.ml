@@ -324,6 +324,27 @@ let test_gatherv_empty_then_nonempty () =
   Alcotest.(check (array int)) "first gather" [| 10 |] g1;
   Alcotest.(check (array int)) "second gather" [| 20; 21; 22 |] g2
 
+(* Exact wire volume of the allgatherv ring: every block travels p-1 hops,
+   so total send (= recv) bytes are (p-1) x the gathered size.  Pooled
+   buffers and slice hand-off must change ownership, never volume. *)
+let test_allgatherv_byte_volume () =
+  let p = 4 and elems = 8 in
+  let report =
+    Engine.run ~model:Net_model.zero_cost ~ranks:p (fun comm ->
+        let r = Comm.rank comm in
+        let data = Array.init elems (fun i -> (r * 100) + i) in
+        ignore (Coll.allgatherv comm Datatype.int ~recv_counts:(Array.make p elems) data))
+  in
+  let bytes_of op =
+    match List.find_opt (fun (o, _, _) -> o = op) report.Engine.profile with
+    | Some (_, _, b) -> b
+    | None -> 0
+  in
+  let total = p * elems * Datatype.elem_size Datatype.int in
+  Alcotest.(check int) "ring sends (p-1) x total" ((p - 1) * total) (bytes_of "send");
+  Alcotest.(check int) "recv volume mirrors send" ((p - 1) * total) (bytes_of "recv");
+  Alcotest.(check int) "per-rank contribution recorded" total (bytes_of "allgatherv")
+
 let tests =
   [
     qtest prop_allgatherv;
@@ -345,6 +366,7 @@ let tests =
       test_collective_trace_mismatch_detected;
     Alcotest.test_case "gatherv empty-then-nonempty" `Quick
       test_gatherv_empty_then_nonempty;
+    Alcotest.test_case "allgatherv byte volume" `Quick test_allgatherv_byte_volume;
   ]
 
 let () = Alcotest.run "coll" [ ("coll", tests) ]

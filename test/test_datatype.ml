@@ -199,6 +199,84 @@ let prop_size_matches_packed_bytes =
       my_record_dt.Datatype.pack w { ra; rb; rc };
       Wire.length w = Datatype.elem_size my_record_dt)
 
+(* ------------------------------------------------------------------ *)
+(* Bulk fast path: the kernel dispatch must be an implementation detail.
+   For every type that carries a kernel, packing through it and through
+   the same type forced onto the general per-element path
+   ([Datatype.without_bulk]) must produce byte-identical wire images, and
+   each image must unpack correctly through either path. *)
+
+let test_bulk_dispatch () =
+  List.iter
+    (fun (name, has) -> Alcotest.(check bool) name true has)
+    [
+      ("int has kernel", Datatype.bulk_available Datatype.int);
+      ("float has kernel", Datatype.bulk_available Datatype.float);
+      ("char has kernel", Datatype.bulk_available Datatype.char);
+      ("byte has kernel", Datatype.bulk_available Datatype.byte);
+      ("bool has kernel", Datatype.bulk_available Datatype.bool);
+      ( "contiguous of builtin composes",
+        Datatype.bulk_available (Datatype.contiguous ~count:3 Datatype.int) );
+      ( "pair of builtins composes",
+        Datatype.bulk_available (Datatype.pair Datatype.int Datatype.float) );
+    ];
+  Alcotest.(check bool) "record3 takes the general path" false
+    (Datatype.bulk_available my_record_dt);
+  Alcotest.(check bool) "without_bulk strips the kernel" false
+    (Datatype.bulk_available (Datatype.without_bulk Datatype.int))
+
+let bulk_equiv (type elt) ?(eq : elt -> elt -> bool = ( = )) (dt : elt Datatype.t)
+    (v : elt array) : bool =
+  let count = Array.length v in
+  let general = Datatype.without_bulk dt in
+  let pack_image d =
+    let w = Wire.create_writer () in
+    Datatype.pack_array d w v ~pos:0 ~count;
+    Wire.contents w
+  in
+  let img_fast = pack_image dt and img_general = pack_image general in
+  let arr_eq a b = Array.length a = Array.length b && Array.for_all2 eq a b in
+  (* Cross-unpack both images through both paths, plus the in-place
+     variant through the fast path. *)
+  let into =
+    let buf = Array.make count (Datatype.zero_elem dt) in
+    Datatype.unpack_into dt (Wire.reader_of_bytes img_general) buf ~pos:0 ~count;
+    buf
+  in
+  Bytes.equal img_fast img_general
+  && arr_eq v (Datatype.unpack_array dt (Wire.reader_of_bytes img_general) ~count)
+  && arr_eq v (Datatype.unpack_array general (Wire.reader_of_bytes img_fast) ~count)
+  && arr_eq v into
+
+let float_bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let prop_bulk_equals_general =
+  let open QCheck in
+  let arr ?(n = 32) g = Gen.(array_size (int_bound n) g) in
+  let gen =
+    Gen.oneof
+      [
+        Gen.map (fun a -> `Int a) (arr Gen.int);
+        Gen.map (fun a -> `Float a) (arr Gen.float);
+        Gen.map (fun a -> `Char a) (arr Gen.char);
+        Gen.map (fun a -> `Bool a) (arr Gen.bool);
+        Gen.map (fun a -> `Pair a) (arr ~n:16 Gen.(pair int float));
+        Gen.map (fun a -> `Rows a) (arr ~n:8 Gen.(array_size (return 3) int));
+      ]
+  in
+  QCheck.Test.make ~name:"bulk fast path = general path (wire images)" ~count:300
+    (QCheck.make gen) (function
+    | `Int a -> bulk_equiv Datatype.int a
+    | `Float a -> bulk_equiv ~eq:float_bits_eq Datatype.float a
+    | `Char a -> bulk_equiv Datatype.char a
+    | `Bool a -> bulk_equiv Datatype.bool a
+    | `Pair a ->
+        bulk_equiv
+          ~eq:(fun (i, f) (i', f') -> i = i' && float_bits_eq f f')
+          (Datatype.pair Datatype.int Datatype.float)
+          a
+    | `Rows a -> bulk_equiv (Datatype.contiguous ~count:3 Datatype.int) a)
+
 let test_gapped_vs_blob_sizes () =
   let gapped =
     Datatype.record3_with_gaps "gap_t"
@@ -227,6 +305,8 @@ let tests =
       test_blob_segmentation_independent;
     Alcotest.test_case "zero_elem decodes" `Quick test_zero_elem_decodes;
     Alcotest.test_case "gapped struct size" `Quick test_gapped_vs_blob_sizes;
+    Alcotest.test_case "bulk kernel dispatch" `Quick test_bulk_dispatch;
+    qtest prop_bulk_equals_general;
     qtest prop_record_roundtrip;
     qtest prop_pair_roundtrip;
     qtest prop_triple_roundtrip;

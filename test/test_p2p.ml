@@ -270,6 +270,108 @@ let test_sendrecv () =
   in
   Alcotest.(check (array int)) "ring shift" [| 3; 0; 1; 2 |] results
 
+(* ------------------------------------------------------------------ *)
+(* Mailbox unit tests: the O(1) structures must keep MPI matching
+   semantics, reclaim drained state, and refuse to cancel a matched
+   receive. *)
+
+let mk_msg ?(context = 0) ~src ~tag ~seq () =
+  Message.make ~context ~src ~dst:0 ~tag ~payload:(Bytes.create 8) ~payload_off:0
+    ~payload_len:8 ~count:8
+    ~signature:(Signature.of_base ~count:8 Signature.Blob)
+    ~sent_at:0. ~arrival:0. ~seq ~sync:false
+
+let test_mailbox_cancel_after_match_fails () =
+  let mb = Mailbox.create () in
+  let p = Mailbox.post mb ~context:0 ~src:1 ~tag:5 ~now:0. in
+  Alcotest.(check bool) "message matches the posted recv" true
+    (Mailbox.deliver mb (mk_msg ~src:1 ~tag:5 ~seq:0 ()));
+  let raised =
+    try
+      Mailbox.cancel mb p;
+      false
+    with Errdefs.Usage_error _ -> true
+  in
+  Alcotest.(check bool) "cancel after match is a usage error" true raised;
+  Mailbox.retire mb p;
+  (* An unmatched posted receive still cancels fine. *)
+  let q = Mailbox.post mb ~context:0 ~src:1 ~tag:6 ~now:0. in
+  Mailbox.cancel mb q;
+  Alcotest.(check int) "posted set empty again" 0 (Mailbox.posted_depth mb)
+
+let test_mailbox_unexpected_reclaim () =
+  let mb = Mailbox.create () in
+  for i = 0 to 9 do
+    Alcotest.(check bool) "unexpected" false
+      (Mailbox.deliver mb (mk_msg ~src:i ~tag:i ~seq:i ()))
+  done;
+  Alcotest.(check int) "one live key per (src, tag)" 10
+    (Mailbox.unexpected_key_count mb);
+  for i = 0 to 9 do
+    if Mailbox.find_unexpected mb ~context:0 ~src:i ~tag:i = None then
+      Alcotest.fail "delivered message not found"
+  done;
+  Alcotest.(check int) "drained keys reclaimed" 0 (Mailbox.unexpected_key_count mb);
+  Alcotest.(check int) "no unexpected left" 0 (Mailbox.unexpected_depth mb)
+
+let test_mailbox_posted_tombstone_bound () =
+  let mb = Mailbox.create () in
+  (* A long-lived receive parked at the front stops front-pruning, so the
+     bound must come from compaction. *)
+  let keep = Mailbox.post mb ~context:0 ~src:99 ~tag:99 ~now:0. in
+  for i = 0 to 199 do
+    let p = Mailbox.post mb ~context:0 ~src:1 ~tag:(i mod 7) ~now:0. in
+    Mailbox.cancel mb p
+  done;
+  Alcotest.(check int) "one live posted recv" 1 (Mailbox.posted_depth mb);
+  Alcotest.(check bool) "tombstones compacted away" true
+    (Mailbox.posted_physical_length mb <= 32);
+  Mailbox.cancel mb keep
+
+let test_mailbox_wildcard_oldest_across_keys () =
+  let mb = Mailbox.create () in
+  (* Arrival order deliberately disagrees with key hash order. *)
+  ignore (Mailbox.deliver mb (mk_msg ~src:3 ~tag:1 ~seq:7 ()));
+  ignore (Mailbox.deliver mb (mk_msg ~src:1 ~tag:2 ~seq:2 ()));
+  ignore (Mailbox.deliver mb (mk_msg ~src:2 ~tag:3 ~seq:5 ()));
+  match
+    Mailbox.find_unexpected mb ~context:0 ~src:Mailbox.any_source ~tag:Mailbox.any_tag
+  with
+  | Some m -> Alcotest.(check int) "oldest seq wins" 2 m.Message.seq
+  | None -> Alcotest.fail "wildcard found nothing"
+
+(* The data plane must move exactly the bytes the program sends: pooled
+   buffers and slice hand-off change ownership, never volume. *)
+let test_pingpong_byte_volume () =
+  let iters = 5 and bytes = 64 in
+  let report =
+    Engine.run ~ranks:2 (fun comm ->
+        let payload = Array.make bytes 'x' in
+        if Comm.rank comm = 0 then
+          for _ = 1 to iters do
+            P2p.send comm Datatype.byte ~dest:1 payload;
+            ignore (P2p.recv comm Datatype.byte ~source:1 ())
+          done
+        else
+          for _ = 1 to iters do
+            ignore (P2p.recv comm Datatype.byte ~source:0 ());
+            P2p.send comm Datatype.byte ~dest:0 payload
+          done)
+  in
+  let find op =
+    match List.find_opt (fun (o, _, _) -> o = op) report.Engine.profile with
+    | Some (_, calls, b) -> (calls, b)
+    | None -> (0, 0)
+  in
+  Alcotest.(check (pair int int))
+    "send calls and bytes"
+    (2 * iters, 2 * iters * bytes)
+    (find "send");
+  Alcotest.(check (pair int int))
+    "recv calls and bytes"
+    (2 * iters, 2 * iters * bytes)
+    (find "recv")
+
 let tests =
   [
     Alcotest.test_case "basic send/recv" `Quick test_basic_send_recv;
@@ -290,6 +392,15 @@ let tests =
     Alcotest.test_case "recv from failed" `Quick test_recv_from_failed_raises;
     Alcotest.test_case "raw bytes transfer" `Quick test_send_bytes_roundtrip;
     Alcotest.test_case "sendrecv ring" `Quick test_sendrecv;
+    Alcotest.test_case "mailbox: cancel after match fails" `Quick
+      test_mailbox_cancel_after_match_fails;
+    Alcotest.test_case "mailbox: drained keys reclaimed" `Quick
+      test_mailbox_unexpected_reclaim;
+    Alcotest.test_case "mailbox: tombstones bounded" `Quick
+      test_mailbox_posted_tombstone_bound;
+    Alcotest.test_case "mailbox: wildcard oldest across keys" `Quick
+      test_mailbox_wildcard_oldest_across_keys;
+    Alcotest.test_case "pingpong byte volume" `Quick test_pingpong_byte_volume;
   ]
 
 let () = Alcotest.run "p2p" [ ("p2p", tests) ]

@@ -41,6 +41,44 @@ let test_underflow () =
   Alcotest.check_raises "underflow" (Wire.Underflow { wanted = 8; available = 4 })
     (fun () -> ignore (Wire.get_int64 r))
 
+let test_decode_error () =
+  (* A corrupt boolean byte is a decode error (the payload is framed
+     correctly but holds a value outside the type's domain), distinct from
+     Underflow (truncated frame) and from Invalid_argument (caller bug). *)
+  let w = Wire.create_writer () in
+  Wire.put_uint8 w 7;
+  let r = Wire.reader_of_bytes (Wire.contents w) in
+  Alcotest.check_raises "corrupt bool"
+    (Wire.Decode_error { what = "bool must be 0 or 1"; got = 7 }) (fun () ->
+      ignore (Wire.get_bool r))
+
+let test_pool_reuse () =
+  let pool = Wire.create_pool ~max_buffers:2 () in
+  let w1 = Wire.acquire pool ~capacity:64 in
+  Wire.put_int w1 42;
+  let storage, len = Wire.unsafe_contents w1 in
+  Alcotest.(check int) "written length" 8 len;
+  Wire.recycle pool storage;
+  let w2 = Wire.acquire pool ~capacity:32 in
+  let storage2, len2 = Wire.unsafe_contents w2 in
+  Alcotest.(check bool) "storage is reused" true (storage == storage2);
+  Alcotest.(check int) "recycled writer starts empty" 0 len2;
+  let hits, misses, _ = Wire.pool_stats pool in
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "one miss" 1 misses
+
+let test_pool_bounds () =
+  let pool = Wire.create_pool ~max_buffers:1 ~max_retain:128 () in
+  (* A buffer over the retain limit is dropped, not cached. *)
+  Wire.recycle pool (Bytes.create 4096);
+  let _, _, free = Wire.pool_stats pool in
+  Alcotest.(check int) "oversized buffer not retained" 0 free;
+  (* The free list itself is bounded. *)
+  Wire.recycle pool (Bytes.create 16);
+  Wire.recycle pool (Bytes.create 16);
+  let _, _, free = Wire.pool_stats pool in
+  Alcotest.(check int) "free list capped" 1 free
+
 let test_padding_and_skip () =
   let w = Wire.create_writer () in
   Wire.put_padding w 5;
@@ -118,6 +156,9 @@ let tests =
   [
     Alcotest.test_case "primitive roundtrip" `Quick test_primitive_roundtrip;
     Alcotest.test_case "underflow detection" `Quick test_underflow;
+    Alcotest.test_case "decode error on corrupt bool" `Quick test_decode_error;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "pool bounds" `Quick test_pool_bounds;
     Alcotest.test_case "padding and skip" `Quick test_padding_and_skip;
     Alcotest.test_case "reserve = put" `Quick test_reserve_matches_put;
     Alcotest.test_case "growth" `Quick test_growth;
