@@ -35,6 +35,7 @@ let experiments ~full ~smoke =
     ( "ablation",
       fun () -> if full then Bench_ablation.run ~max_p:1024 () else Bench_ablation.run () );
     ("pingpong", fun () -> Bench_pingpong.run ~smoke ());
+    ("chaos", fun () -> Bench_chaos.run ~smoke ());
   ]
 
 let () =

@@ -26,7 +26,12 @@ let report_line (r : Engine.report) =
 
 (* --- observability flags, shared by every subcommand --- *)
 
-type obs = { trace_file : string option; stats : bool; check : Check.level option }
+type obs = {
+  trace_file : string option;
+  stats : bool;
+  check : Check.level option;
+  chaos : Chaos.config option;
+}
 
 let obs_arg =
   let trace_file =
@@ -61,9 +66,31 @@ let obs_arg =
              wildcard-race detection at $(b,heavy).  Defaults to the \
              $(b,MPISIM_CHECK) environment variable, else off.")
   in
+  let chaos =
+    let chaos_conv =
+      ( (fun s ->
+          match Chaos.config_of_string s with
+          | Ok c -> `Ok c
+          | Error msg -> `Error msg),
+        fun ppf c -> Format.pp_print_string ppf (Chaos.config_to_string c) )
+    in
+    Arg.(
+      value
+      & opt (some chaos_conv) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Run under the fault-injection plane.  $(docv) is either a bare \
+             integer (shorthand for $(b,seed=N;lossy): seeded lossy network) \
+             or ';'-separated clauses: $(b,seed=N), $(b,lossy), $(b,drop=F), \
+             $(b,dup=F), $(b,reorder=F), $(b,corrupt=F), $(b,jitter=F), \
+             $(b,retries=N), $(b,rto=F), $(b,link=A>B:drop=F,...), \
+             $(b,fail=R\\@ops:K), $(b,fail=R\\@t:T), $(b,droplink=A>B\\@N), \
+             $(b,partition=R,S\\@T1-T2).  The run prints a replay line; the \
+             same spec reproduces the same faults byte for byte.")
+  in
   Term.(
-    const (fun trace_file stats check -> { trace_file; stats; check })
-    $ trace_file $ stats $ check)
+    const (fun trace_file stats check chaos -> { trace_file; stats; check; chaos })
+    $ trace_file $ stats $ check $ chaos)
 
 (* Run one experiment body under the observability flags: tracing is
    enabled iff --trace or --stats was given (--stats needs the event trace
@@ -72,8 +99,38 @@ let run_with_obs ~obs ~model ~ranks body =
   let trace_capacity =
     if obs.trace_file <> None || obs.stats then Some Trace.default_capacity else None
   in
-  let report = Engine.run ~model ?check_level:obs.check ?trace_capacity ~ranks body in
+  (match obs.chaos with
+  | Some cfg ->
+      Printf.printf "chaos: replay with --chaos '%s'\n%!" (Chaos.config_to_string cfg)
+  | None -> ());
+  let report =
+    try
+      Engine.run ~model ?check_level:obs.check ?chaos:obs.chaos ?trace_capacity ~ranks
+        body
+    with
+    | Scheduler.Aborted { rank; exn = Errdefs.Mpi_error { code; msg }; _ } ->
+        (* A chaos run ending in a clean MPI error is a valid outcome; report
+           it without an OCaml backtrace so the replay line above is usable. *)
+        Printf.printf "rank %d failed cleanly: %s: %s\n" rank (Errdefs.code_name code)
+          msg;
+        exit 3
+    | Errdefs.Mpi_error { code; msg } ->
+        Printf.printf "run failed cleanly: %s: %s\n" (Errdefs.code_name code) msg;
+        exit 3
+  in
   report_line report;
+  (match (obs.chaos, report.Engine.chaos_log) with
+  | Some _, Some log ->
+      let count name = Stats.count (Stats.counter report.Engine.stats name) in
+      Printf.printf
+        "chaos: %d events (dropped=%d dup=%d reordered=%d corrupted=%d \
+         retransmits=%d escalations=%d plan_failures=%d) killed=[%s]\n"
+        (List.length (String.split_on_char '\n' log) - 1)
+        (count "chaos.dropped") (count "chaos.duplicated") (count "chaos.reordered")
+        (count "chaos.corrupted") (count "chaos.retransmits")
+        (count "chaos.escalations") (count "chaos.plan_failures")
+        (String.concat "," (List.map string_of_int report.Engine.killed))
+  | _ -> ());
   (match obs.trace_file with
   | Some file -> (
       match Trace.write_chrome_file report.Engine.trace file with

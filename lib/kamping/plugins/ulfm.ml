@@ -34,15 +34,27 @@ let agree = Kamping.Communicator.agree
 (* Fig. 12 as a combinator: run [attempt] on [comm]; on failure, revoke,
    shrink, and retry on the surviving communicator, at most [max_retries]
    times.  Returns the result together with the (possibly shrunk)
-   communicator it was obtained on. *)
+   communicator it was obtained on.
+
+   Recovery itself must be failure-tolerant: a rank can die while the
+   survivors are inside the shrink collective (chaos runs do this
+   routinely).  A [Failure_detected] out of [shrink] therefore consumes a
+   retry and re-runs recovery rather than escaping to the caller; the
+   shrunken communicator may likewise still contain a member that died
+   mid-shrink, which the next round's failed attempt shrinks out. *)
 let run_with_recovery ?(max_retries = 3) (comm : Kamping.Communicator.t)
     (attempt : Kamping.Communicator.t -> 'a) : 'a * Kamping.Communicator.t =
+  let rec recover comm retries =
+    if not (is_revoked comm) then revoke comm;
+    match detect (fun () -> shrink comm) with
+    | comm' -> (comm', retries)
+    | exception Failure_detected _ when retries > 0 -> recover comm (retries - 1)
+  in
   let rec go comm retries =
     match detect (fun () -> attempt comm) with
     | v -> (v, comm)
     | exception Failure_detected _ when retries > 0 ->
-        if not (is_revoked comm) then revoke comm;
-        let comm = shrink comm in
-        go comm (retries - 1)
+        let comm, retries = recover comm (retries - 1) in
+        go comm retries
   in
   go comm max_retries

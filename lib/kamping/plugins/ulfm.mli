@@ -19,9 +19,11 @@ val agree : Kamping.Communicator.t -> bool -> bool
 
 (** Fig. 12 as a combinator: run [attempt]; on failure revoke, shrink,
     retry (at most [max_retries] times).  Returns the result and the
-    communicator it was obtained on.  NOTE: survivors of an iterative
-    computation must additionally agree on the resume point — see
-    examples/fault_tolerance.ml. *)
+    communicator it was obtained on.  A failure detected {e during}
+    recovery (a rank dying inside the shrink collective) also consumes a
+    retry and re-runs recovery instead of escaping.  NOTE: survivors of
+    an iterative computation must additionally agree on the resume
+    point — see examples/fault_tolerance.ml. *)
 val run_with_recovery :
   ?max_retries:int ->
   Kamping.Communicator.t ->

@@ -1,0 +1,481 @@
+(* The chaos plane: a seeded, fully deterministic fault-injection engine.
+
+   Everything random is drawn from one xoshiro256** stream in simulation
+   order; because the scheduler is deterministic round-robin, identical
+   (seed, fault plan, program) triples replay the exact same chaos event
+   sequence — the event log is byte-identical across runs.
+
+   The module owns fault *decisions*; the runtime *acts* on them (kills
+   ranks, adjusts arrival times, raises errors), so [Chaos] depends only
+   on the model/PRNG/observability layers and never on [Runtime].
+
+   Reliable delivery is modelled at injection time: a simulated send is a
+   synchronous call, so instead of literally re-entering the network we
+   roll the per-attempt faults in a loop — each lost or corrupted attempt
+   adds an exponential-backoff timeout to the arrival time and a
+   retransmission to the sender's costs; when the attempt budget is
+   exhausted the transfer escalates (the sender's failure detector
+   declares the peer dead: ERR_PROC_FAILED, the ULFM path).  Consequences:
+
+   - duplicates are counted and logged but never enqueued (the layer's
+     receive-side sequence numbers discard them);
+   - corruption is detected by the payload CRC, so a corrupted attempt is
+     a retransmission, never silent bad data.  The [deliver_corrupt] test
+     knob instead delivers the corrupted payload so the receiver-side CRC
+     backstop can be exercised;
+   - reordering only shifts arrival timestamps: matching order is
+     restored by the sequence numbers, as in any reliable transport. *)
+
+type config = {
+  seed : int;
+  rates : Net_model.link_rates option;
+      (* default per-link rates; [None] falls back to the model's fault
+         profile (or, with [lossy], the standard lossy rates) *)
+  links : ((int * int) * Net_model.link_rates) list;  (* per-link overrides *)
+  lossy : bool;  (* start from [Net_model.lossy_rates] when [rates] is None *)
+  plan : Fault_plan.t;
+  max_retries : int;  (* retransmissions before escalating *)
+  rto : float option;  (* base retransmit timeout; default 4 x latency *)
+  deliver_corrupt : bool;  (* test knob: deliver corrupted payloads *)
+}
+
+let config ?(seed = 1) ?rates ?(links = []) ?(lossy = false) ?(plan = Fault_plan.empty)
+    ?(max_retries = 8) ?rto ?(deliver_corrupt = false) () =
+  { seed; rates; links; lossy; plan; max_retries; rto; deliver_corrupt }
+
+(* A deterministic plan trigger with a fired latch (so `ops >= k` cannot
+   re-fire after the threshold passes). *)
+type fail_trigger = {
+  ft_rank : int;
+  ft_kind : [ `Ops of int | `Time of float ];
+  mutable ft_fired : bool;
+}
+
+type t = {
+  cfg : config;
+  rng : Xoshiro.t;
+  size : int;
+  profile : Net_model.fault_profile;
+  rto : float;
+  latency : float;
+  send_overhead : float;
+  trace : Trace.t;
+  (* counters and the RTT histogram, exposed through the Stats registry *)
+  c_dropped : Stats.counter;
+  c_duplicated : Stats.counter;
+  c_corrupted : Stats.counter;
+  c_reordered : Stats.counter;
+  c_retransmits : Stats.counter;
+  c_escalations : Stats.counter;
+  c_plan_failures : Stats.counter;
+  h_rtt : Stats.histogram;
+  (* deterministic event log (byte-identical for identical seed + plan) *)
+  log : Buffer.t;
+  mutable n_events : int;
+  op_counts : int array;  (* per-rank runtime-operation counter *)
+  triggers : fail_trigger list;
+  drop_nth : ((int * int) * int) list;
+  partitions : (int list * float * float) list;
+  link_counts : (int * int, int ref) Hashtbl.t;
+}
+
+(* Cap the replay log so a long lossy soak cannot grow memory without
+   bound; the cap is deterministic, so determinism comparisons survive
+   truncation. *)
+let max_log_events = 200_000
+
+let create ~size ~(model : Net_model.t) ~stats ~trace (cfg : config) : t =
+  let profile =
+    match cfg.rates with
+    | Some r -> { Net_model.default_rates = r; link_overrides = cfg.links }
+    | None ->
+        if cfg.lossy then
+          {
+            Net_model.default_rates = Net_model.lossy_rates ~latency:model.Net_model.latency;
+            link_overrides = cfg.links;
+          }
+        else (
+          match model.Net_model.faults with
+          | Some p -> { p with Net_model.link_overrides = cfg.links @ p.Net_model.link_overrides }
+          | None -> { Net_model.default_rates = Net_model.perfect_link; link_overrides = cfg.links })
+  in
+  let triggers, drop_nth, partitions =
+    List.fold_left
+      (fun (ts, ds, ps) -> function
+        | Fault_plan.Fail_at_ops { rank; ops } ->
+            ({ ft_rank = rank; ft_kind = `Ops ops; ft_fired = false } :: ts, ds, ps)
+        | Fault_plan.Fail_at_time { rank; time } ->
+            ({ ft_rank = rank; ft_kind = `Time time; ft_fired = false } :: ts, ds, ps)
+        | Fault_plan.Drop_nth { src; dst; n } -> (ts, ((src, dst), n) :: ds, ps)
+        | Fault_plan.Partition { ranks; t_start; t_end } ->
+            (ts, ds, (ranks, t_start, t_end) :: ps))
+      ([], [], []) cfg.plan
+  in
+  {
+    cfg;
+    rng = Xoshiro.create ~seed:cfg.seed ~stream:0xC4A05;
+    size;
+    profile;
+    rto = (match cfg.rto with Some r -> r | None -> 4. *. model.Net_model.latency);
+    latency = model.Net_model.latency;
+    send_overhead = model.Net_model.send_overhead;
+    trace;
+    c_dropped = Stats.counter stats "chaos.dropped";
+    c_duplicated = Stats.counter stats "chaos.duplicated";
+    c_corrupted = Stats.counter stats "chaos.corrupted";
+    c_reordered = Stats.counter stats "chaos.reordered";
+    c_retransmits = Stats.counter stats "chaos.retransmits";
+    c_escalations = Stats.counter stats "chaos.escalations";
+    c_plan_failures = Stats.counter stats "chaos.plan_failures";
+    h_rtt = Stats.histogram stats "reliable.rtt";
+    log = Buffer.create 256;
+    n_events = 0;
+    op_counts = Array.make size 0;
+    triggers;
+    drop_nth;
+    partitions;
+    link_counts = Hashtbl.create 16;
+  }
+
+let seed t = t.cfg.seed
+
+let deliver_corrupt t = t.cfg.deliver_corrupt
+
+let events t = t.n_events
+
+let log_contents t = Buffer.contents t.log
+
+(* One event: counter + replay-log line + (when tracing) an instant on
+   the source rank's track. *)
+let event t ~rank ~name fmt =
+  Printf.ksprintf
+    (fun detail ->
+      t.n_events <- t.n_events + 1;
+      if t.n_events <= max_log_events then begin
+        Buffer.add_string t.log
+          (Printf.sprintf "[%d] %s %s\n" (t.n_events - 1) name detail);
+        if t.n_events = max_log_events then
+          Buffer.add_string t.log "[...] chaos log truncated\n"
+      end;
+      if rank >= 0 && rank < t.size then
+        Trace.instant t.trace ~rank ~cat:"chaos" ~name ~a:(-1) ~b:(-1) ~c:(-1))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Plan triggers *)
+
+(* Count one runtime operation of [rank] (called from Runtime.check_alive,
+   which every MPI-level operation passes through) and report whether a
+   plan trigger says the rank dies here.  [now] is the rank's own clock. *)
+let tick t ~rank ~now : bool =
+  t.op_counts.(rank) <- t.op_counts.(rank) + 1;
+  let ops = t.op_counts.(rank) in
+  List.exists
+    (fun ft ->
+      if ft.ft_fired || ft.ft_rank <> rank then false
+      else
+        let due =
+          match ft.ft_kind with `Ops k -> ops >= k | `Time time -> now >= time
+        in
+        if due then begin
+          ft.ft_fired <- true;
+          Stats.incr t.c_plan_failures;
+          (match ft.ft_kind with
+          | `Ops k -> event t ~rank ~name:"plan_fail" "rank=%d ops=%d" rank k
+          | `Time time -> event t ~rank ~name:"plan_fail" "rank=%d t=%g" rank time)
+        end;
+        due)
+    t.triggers
+
+(* Time-based triggers whose deadline has passed at global progress point
+   [now] (a sender's clock): returns the ranks that must die now even if
+   their own fibers are parked.  The caller kills them; the scheduler's
+   wake check discontinues their fibers. *)
+let due_time_failures t ~now : int list =
+  List.filter_map
+    (fun ft ->
+      match ft.ft_kind with
+      | `Time time when (not ft.ft_fired) && now >= time ->
+          ft.ft_fired <- true;
+          Stats.incr t.c_plan_failures;
+          event t ~rank:ft.ft_rank ~name:"plan_fail" "rank=%d t=%g" ft.ft_rank time;
+          Some ft.ft_rank
+      | _ -> None)
+    t.triggers
+
+(* ------------------------------------------------------------------ *)
+(* Per-transfer fault interpretation (the reliable-delivery model) *)
+
+type transfer = {
+  tr_escalated : bool;
+      (* every attempt was lost: the sender's failure detector declares
+         the peer dead (ERR_PROC_FAILED) *)
+  tr_attempts : int;  (* 1 = clean first transmission *)
+  tr_delay : float;  (* extra arrival delay: backoff + jitter + reorder *)
+  tr_sender_busy : float;  (* retransmission cost charged to the sender *)
+  tr_corrupt : bool;  (* payload delivered corrupted (deliver_corrupt) *)
+  tr_link_seq : int;  (* this link's reliable-layer sequence number *)
+}
+
+let partition_active t ~src ~dst ~at =
+  List.exists
+    (fun (ranks, t0, t1) ->
+      at >= t0 && at < t1 && List.mem src ranks <> List.mem dst ranks)
+    t.partitions
+
+let draw t p = p > 0. && Xoshiro.next_float t.rng < p
+
+(* Decide the fate of one logical message on link [src -> dst] injected at
+   sender time [now].  Deterministic given (seed, plan, call order). *)
+let on_transfer t ~src ~dst ~seq ~bytes ~now : transfer =
+  let rates = Net_model.rates_for t.profile ~src ~dst in
+  let link_seq =
+    let c =
+      match Hashtbl.find_opt t.link_counts (src, dst) with
+      | Some c -> c
+      | None ->
+          let c = ref 0 in
+          Hashtbl.replace t.link_counts (src, dst) c;
+          c
+    in
+    incr c;
+    !c
+  in
+  let forced_drop =
+    List.exists (fun ((s, d), n) -> s = src && d = dst && n = link_seq) t.drop_nth
+  in
+  let max_attempts = t.cfg.max_retries + 1 in
+  let rec attempt i ~delay ~busy =
+    if i > max_attempts then begin
+      Stats.incr t.c_escalations;
+      event t ~rank:src ~name:"escalate" "%d->%d seq=%d attempts=%d" src dst seq
+        max_attempts;
+      {
+        tr_escalated = true;
+        tr_attempts = max_attempts;
+        tr_delay = delay;
+        tr_sender_busy = busy;
+        tr_corrupt = false;
+        tr_link_seq = link_seq;
+      }
+    end
+    else begin
+      let at = now +. delay in
+      let lost =
+        if partition_active t ~src ~dst ~at then begin
+          Stats.incr t.c_dropped;
+          event t ~rank:src ~name:"partition_drop" "%d->%d seq=%d attempt=%d t=%g" src
+            dst seq i at;
+          true
+        end
+        else if i = 1 && forced_drop then begin
+          Stats.incr t.c_dropped;
+          event t ~rank:src ~name:"plan_drop" "%d->%d link_seq=%d" src dst link_seq;
+          true
+        end
+        else if draw t rates.Net_model.drop then begin
+          Stats.incr t.c_dropped;
+          event t ~rank:src ~name:"drop" "%d->%d seq=%d attempt=%d" src dst seq i;
+          true
+        end
+        else if draw t rates.Net_model.corrupt && not t.cfg.deliver_corrupt then begin
+          (* CRC fails at the receiver; to the reliable layer that is a
+             lost attempt like any other. *)
+          Stats.incr t.c_corrupted;
+          event t ~rank:src ~name:"corrupt" "%d->%d seq=%d attempt=%d (retransmit)" src
+            dst seq i;
+          true
+        end
+        else false
+      in
+      if lost then begin
+        Stats.incr t.c_retransmits;
+        let backoff = t.rto *. Float.of_int (1 lsl (i - 1)) in
+        attempt (i + 1) ~delay:(delay +. backoff) ~busy:(busy +. t.send_overhead)
+      end
+      else begin
+        let corrupt_delivered =
+          t.cfg.deliver_corrupt && draw t rates.Net_model.corrupt
+        in
+        if corrupt_delivered then begin
+          Stats.incr t.c_corrupted;
+          event t ~rank:src ~name:"corrupt" "%d->%d seq=%d (delivered)" src dst seq
+        end;
+        if draw t rates.Net_model.duplicate then begin
+          (* The duplicate arrives but the receive side's sequence numbers
+             discard it; nothing is enqueued twice. *)
+          Stats.incr t.c_duplicated;
+          event t ~rank:src ~name:"duplicate" "%d->%d seq=%d" src dst seq
+        end;
+        let delay =
+          if draw t rates.Net_model.reorder then begin
+            Stats.incr t.c_reordered;
+            event t ~rank:src ~name:"reorder" "%d->%d seq=%d" src dst seq;
+            delay +. t.latency
+          end
+          else delay
+        in
+        let delay =
+          if rates.Net_model.jitter > 0. then
+            delay +. (rates.Net_model.jitter *. Xoshiro.next_float t.rng)
+          else delay
+        in
+        Stats.observe t.h_rtt (t.latency +. delay);
+        ignore bytes;
+        {
+          tr_escalated = false;
+          tr_attempts = i;
+          tr_delay = delay;
+          tr_sender_busy = busy;
+          tr_corrupt = corrupt_delivered;
+          tr_link_seq = link_seq;
+        }
+      end
+    end
+  in
+  attempt 1 ~delay:0. ~busy:0.
+
+(* Flip one deterministic-random bit of the payload slice (the
+   [deliver_corrupt] path; the CRC was computed over the pristine bytes,
+   so the receiver's check must fire). *)
+let corrupt_payload t (payload : Bytes.t) ~pos ~len =
+  if len > 0 then begin
+    let byte = pos + Xoshiro.next_int t.rng ~bound:len in
+    let bit = Xoshiro.next_int t.rng ~bound:8 in
+    Bytes.set payload byte
+      (Char.chr (Char.code (Bytes.get payload byte) lxor (1 lsl bit)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing: the full --chaos argument.
+
+   Clauses, ';'-separated:
+     seed=N                         PRNG seed (default 1)
+     lossy                          start from Net_model.lossy_rates
+     drop|dup|duplicate|reorder|corrupt=F   default-rate fields
+     jitter=F                       uniform extra delay bound (seconds)
+     retries=N                      retransmissions before escalation
+     rto=F                          base retransmit timeout (seconds)
+     deliver_corrupt                deliver corrupted payloads (test knob)
+     link=A>B:drop=F,jitter=F,...   per-link override
+     fail=R@ops:K | fail=R@t:T | droplink=A>B@N | partition=R,S@T1-T2
+                                    fault-plan clauses (see Fault_plan)
+   A spec that is a bare integer is shorthand for seed=N;lossy. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_rate clause s =
+  match float_of_string_opt (String.trim s) with
+  | Some f when f >= 0. -> Ok f
+  | _ -> Error (Printf.sprintf "%s: %S is not a non-negative number" clause s)
+
+let parse_rates_update clause (r : Net_model.link_rates) key v :
+    (Net_model.link_rates, string) result =
+  let* f = parse_rate clause v in
+  match key with
+  | "drop" -> Ok { r with Net_model.drop = f }
+  | "dup" | "duplicate" -> Ok { r with Net_model.duplicate = f }
+  | "reorder" -> Ok { r with Net_model.reorder = f }
+  | "corrupt" -> Ok { r with Net_model.corrupt = f }
+  | "jitter" -> Ok { r with Net_model.jitter = f }
+  | k -> Error (Printf.sprintf "%s: unknown rate %S" clause k)
+
+let parse_link clause rhs =
+  match String.index_opt rhs ':' with
+  | None -> Error (Printf.sprintf "%s: expected link=A>B:rate=value,..." clause)
+  | Some i -> (
+      let linkpart = String.sub rhs 0 i in
+      let ratepart = String.sub rhs (i + 1) (String.length rhs - i - 1) in
+      match String.index_opt linkpart '>' with
+      | None -> Error (Printf.sprintf "%s: expected A>B before ':'" clause)
+      | Some j -> (
+          let a = String.trim (String.sub linkpart 0 j) in
+          let b =
+            String.trim (String.sub linkpart (j + 1) (String.length linkpart - j - 1))
+          in
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some src, Some dst when src >= 0 && dst >= 0 ->
+              let* rates =
+                String.split_on_char ',' ratepart
+                |> List.fold_left
+                     (fun acc kv ->
+                       let* acc = acc in
+                       match String.index_opt kv '=' with
+                       | None ->
+                           Error (Printf.sprintf "%s: expected rate=value in %S" clause kv)
+                       | Some e ->
+                           parse_rates_update clause acc
+                             (String.trim (String.sub kv 0 e))
+                             (String.sub kv (e + 1) (String.length kv - e - 1)))
+                     (Ok Net_model.perfect_link)
+              in
+              Ok ((src, dst), rates)
+          | _ -> Error (Printf.sprintf "%s: bad ranks in link spec" clause)))
+
+let config_of_string (s : string) : (config, string) result =
+  match int_of_string_opt (String.trim s) with
+  | Some seed -> Ok (config ~seed ~lossy:true ())
+  | None ->
+      String.split_on_char ';' s
+      |> List.fold_left
+           (fun acc clause ->
+             let* cfg = acc in
+             let clause = String.trim clause in
+             if clause = "" then Ok cfg
+             else if clause = "lossy" then Ok { cfg with lossy = true }
+             else if clause = "deliver_corrupt" then
+               Ok { cfg with deliver_corrupt = true }
+             else
+               match String.index_opt clause '=' with
+               | None -> Error (Printf.sprintf "unknown chaos clause %S" clause)
+               | Some i -> (
+                   let key = String.trim (String.sub clause 0 i) in
+                   let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+                   match key with
+                   | "seed" -> (
+                       match int_of_string_opt (String.trim v) with
+                       | Some seed -> Ok { cfg with seed }
+                       | None -> Error (Printf.sprintf "%s: bad seed" clause))
+                   | "retries" -> (
+                       match int_of_string_opt (String.trim v) with
+                       | Some n when n >= 0 -> Ok { cfg with max_retries = n }
+                       | _ -> Error (Printf.sprintf "%s: bad retry count" clause))
+                   | "rto" ->
+                       let* f = parse_rate clause v in
+                       Ok { cfg with rto = Some f }
+                   | "drop" | "dup" | "duplicate" | "reorder" | "corrupt" | "jitter" ->
+                       let base =
+                         match cfg.rates with
+                         | Some r -> r
+                         | None -> Net_model.perfect_link
+                       in
+                       let* r = parse_rates_update clause base key v in
+                       Ok { cfg with rates = Some r }
+                   | "link" ->
+                       let* l = parse_link clause v in
+                       Ok { cfg with links = cfg.links @ [ l ] }
+                   | "fail" | "droplink" | "partition" ->
+                       let* a = Fault_plan.parse_action clause in
+                       Ok { cfg with plan = cfg.plan @ [ a ] }
+                   | k -> Error (Printf.sprintf "unknown chaos clause %S" k)))
+           (Ok (config ()))
+
+let config_to_string (cfg : config) =
+  let b = Buffer.create 64 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ ";")) fmt in
+  add "seed=%d" cfg.seed;
+  if cfg.lossy then add "lossy";
+  (match cfg.rates with
+  | Some r ->
+      if r.Net_model.drop > 0. then add "drop=%g" r.Net_model.drop;
+      if r.Net_model.duplicate > 0. then add "dup=%g" r.Net_model.duplicate;
+      if r.Net_model.reorder > 0. then add "reorder=%g" r.Net_model.reorder;
+      if r.Net_model.corrupt > 0. then add "corrupt=%g" r.Net_model.corrupt;
+      if r.Net_model.jitter > 0. then add "jitter=%g" r.Net_model.jitter
+  | None -> ());
+  add "retries=%d" cfg.max_retries;
+  (match cfg.rto with Some r -> add "rto=%g" r | None -> ());
+  if cfg.deliver_corrupt then add "deliver_corrupt";
+  List.iter (fun a -> add "%s" (Fault_plan.action_to_string a)) cfg.plan;
+  let s = Buffer.contents b in
+  if String.length s > 0 then String.sub s 0 (String.length s - 1) else s

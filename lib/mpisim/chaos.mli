@@ -1,0 +1,97 @@
+(** The chaos plane: a seeded, fully deterministic fault-injection engine
+    plus the reliable-delivery model that keeps lossy runs terminating.
+
+    All randomness comes from one xoshiro256** stream consumed in
+    simulation order; with the deterministic scheduler, identical
+    (seed, fault plan, program) triples produce a byte-identical chaos
+    event log ({!log_contents}).
+
+    [Chaos] makes fault {e decisions}; {!Runtime} acts on them — kills
+    ranks, shifts arrival times, charges retransmission costs and raises
+    [ERR_PROC_FAILED] when a transfer escalates.  See DESIGN.md §5 for
+    the escalation ladder and determinism guarantees. *)
+
+type config = {
+  seed : int;
+  rates : Net_model.link_rates option;
+      (** default per-link rates; [None] falls back to the model's fault
+          profile (or the standard lossy rates when [lossy]) *)
+  links : ((int * int) * Net_model.link_rates) list;
+  lossy : bool;
+  plan : Fault_plan.t;
+  max_retries : int;  (** retransmissions before escalating *)
+  rto : float option;  (** base retransmit timeout; default 4 x latency *)
+  deliver_corrupt : bool;
+      (** test knob: deliver corrupted payloads so the receiver-side CRC
+          backstop fires instead of modelling corruption as loss *)
+}
+
+(** Build a config; defaults: seed 1, no rates, no plan, 8 retries. *)
+val config :
+  ?seed:int ->
+  ?rates:Net_model.link_rates ->
+  ?links:((int * int) * Net_model.link_rates) list ->
+  ?lossy:bool ->
+  ?plan:Fault_plan.t ->
+  ?max_retries:int ->
+  ?rto:float ->
+  ?deliver_corrupt:bool ->
+  unit ->
+  config
+
+(** Parse a [--chaos] spec: ';'-separated clauses [seed=N], [lossy],
+    [drop=F], [dup=F], [reorder=F], [corrupt=F], [jitter=F],
+    [retries=N], [rto=F], [deliver_corrupt], [link=A>B:drop=F,...], plus
+    the {!Fault_plan} clauses ([fail=R\@ops:K], [fail=R\@t:T],
+    [droplink=A>B\@N], [partition=R,S\@T1-T2]).  A bare integer is
+    shorthand for [seed=N;lossy]. *)
+val config_of_string : string -> (config, string) result
+
+(** A spec that {!config_of_string} parses back to an equivalent config
+    (the replay line printed by the CLI and CI jobs). *)
+val config_to_string : config -> string
+
+type t
+
+val create :
+  size:int -> model:Net_model.t -> stats:Stats.t -> trace:Trace.t -> config -> t
+
+val seed : t -> int
+
+val deliver_corrupt : t -> bool
+
+(** Chaos events decided so far. *)
+val events : t -> int
+
+(** The deterministic replay log (one line per chaos event). *)
+val log_contents : t -> string
+
+(** Count one runtime operation of [rank] (its own clock is [now]) and
+    report whether a plan trigger fells the rank here.  The caller kills
+    the rank and raises. *)
+val tick : t -> rank:int -> now:float -> bool
+
+(** Time-based plan triggers due at global progress point [now]: the
+    ranks that must die now even though their fibers may be parked.  Each
+    trigger fires once. *)
+val due_time_failures : t -> now:float -> int list
+
+(** The decided fate of one logical message transfer. *)
+type transfer = {
+  tr_escalated : bool;
+      (** all attempts lost: declare the peer dead (ERR_PROC_FAILED) *)
+  tr_attempts : int;  (** 1 = clean first transmission *)
+  tr_delay : float;  (** extra arrival delay (backoff + jitter + reorder) *)
+  tr_sender_busy : float;  (** retransmission cost charged to the sender *)
+  tr_corrupt : bool;  (** payload delivered corrupted ([deliver_corrupt]) *)
+  tr_link_seq : int;  (** reliable-layer per-link sequence number *)
+}
+
+(** Decide the fate of the message with global sequence number [seq]
+    injected on link [src -> dst] at sender time [now].  Draws from the
+    chaos PRNG; deterministic given (seed, plan, call order). *)
+val on_transfer : t -> src:int -> dst:int -> seq:int -> bytes:int -> now:float -> transfer
+
+(** Flip one random bit of the payload slice (the [deliver_corrupt]
+    path). *)
+val corrupt_payload : t -> Bytes.t -> pos:int -> len:int -> unit

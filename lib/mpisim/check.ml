@@ -374,6 +374,19 @@ let deadlock_report t ~parked ~finished ~total =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* Payload integrity (chaos plane): the reliable layer's CRC failed at
+   the receiver.  With corruption modelled as loss this never fires; it
+   exists as the backstop for the chaos plane's [deliver_corrupt] test
+   mode and for genuine data-plane bugs (a recycled slice read after
+   free would surface here). *)
+
+let on_crc_mismatch t ~rank ~src ~expected ~got =
+  violation t ~rank ~counter:"crc_mismatch" ~check:"crc"
+    "payload CRC mismatch on message from rank %d (expected %#x, got %#x): the \
+     payload was corrupted between injection and receive"
+    src expected got
+
+(* ------------------------------------------------------------------ *)
 (* (d) Wildcard-match determinism (heavy) *)
 
 (* An ANY_SOURCE / ANY_TAG receive matched while [eligible] messages were

@@ -103,6 +103,12 @@ val clear_waiting : t -> rank:int -> unit
 val deadlock_report :
   t -> parked:(int * string) list -> finished:int -> total:int -> string
 
+(** {1 Payload integrity (chaos plane)} *)
+
+(** The reliable layer's payload CRC failed at the receiver on [rank] for
+    a message from [src].  Raises {!Errdefs.Check_violation}. *)
+val on_crc_mismatch : t -> rank:int -> src:int -> expected:int -> got:int -> unit
+
 (** {1 Wildcard determinism (heavy)} *)
 
 (** A wildcard receive on [rank] matched while [eligible] messages were

@@ -23,12 +23,20 @@ type ibarrier_state = {
   mutable ib_finalized : int;
 }
 
-(* Rendezvous state for a ULFM shrink in progress. *)
+(* Rendezvous state for a ULFM shrink in progress.  [sh_survivors] is the
+   survivor group decided by the first rank to pass the rendezvous; later
+   ranks reuse it even if more failures have happened since — a rank that
+   dies during the shrink collective must not make survivors compute
+   differing groups (they would trip the registry's group-equality check).
+   A failed member left in the stored group is correct ULFM behavior: the
+   next operation on the shrunken communicator raises and the next
+   recovery round shrinks it out. *)
 type shrink_state = {
   sh_context : int;
   mutable sh_arrived : int list;  (* comm ranks of arrived survivors *)
   mutable sh_max_clock : float;
   mutable sh_done : int;
+  mutable sh_survivors : int list option;  (* comm ranks, decided once *)
 }
 
 type shared = {

@@ -27,6 +27,10 @@ type shrink_state = {
   mutable sh_arrived : int list;
   mutable sh_max_clock : float;
   mutable sh_done : int;
+  mutable sh_survivors : int list option;
+      (** survivor group decided by the first rank through the
+          rendezvous; later ranks reuse it so a failure {e during} the
+          shrink cannot make survivors compute differing groups *)
 }
 
 type shared = {

@@ -183,6 +183,7 @@ let shrink comm : Comm.t =
             sh_arrived = [];
             sh_max_clock = 0.;
             sh_done = 0;
+            sh_survivors = None;
           }
         in
         shared.Comm.pending_shrink <- Some s;
@@ -199,8 +200,20 @@ let shrink comm : Comm.t =
     Scheduler.park
       ~describe:(fun () -> Printf.sprintf "comm_shrink on rank %d" (Comm.rank comm))
       ~poll:(fun () -> if all_survivors_arrived () then Some () else None);
-  (* Survivors, ordered by old comm rank. *)
-  let survivors = List.sort compare (live_members comm) in
+  (* Survivors, ordered by old comm rank — decided once, by the first
+     rank through the rendezvous.  Ranks resuming later must reuse that
+     decision: a member may have died in between, and recomputing would
+     give them a different group for the same context (tripping the
+     registry's group-equality check).  A dead rank left in the stored
+     group is handled by the next recovery round. *)
+  let survivors =
+    match state.Comm.sh_survivors with
+    | Some s -> s
+    | None ->
+        let s = List.sort compare (live_members comm) in
+        state.Comm.sh_survivors <- Some s;
+        s
+  in
   let world_ranks = Array.of_list (List.map (Comm.world_of_rank comm) survivors) in
   let new_group = Group.of_ranks world_ranks in
   let new_shared = Comm.get_or_create_shared rt ~context:state.Comm.sh_context ~group:new_group in
@@ -212,7 +225,19 @@ let shrink comm : Comm.t =
     +. (2. *. float_of_int rounds
        *. (rt.Runtime.model.Net_model.latency +. rt.Runtime.model.Net_model.send_overhead)));
   state.Comm.sh_done <- state.Comm.sh_done + 1;
-  if state.Comm.sh_done >= List.length survivors then shared.Comm.pending_shrink <- None;
+  (* Clear the rendezvous once every survivor that can still pass has
+     done so.  Count only currently-live survivors: a member that died
+     mid-shrink will never pass, and must not pin the rendezvous (which
+     would poison the next shrink on this communicator).  Clearing early
+     is harmless — in-flight shrinkers hold direct references to
+     [state]. *)
+  let passable =
+    List.length
+      (List.filter
+         (fun r -> not (Runtime.is_failed rt (Comm.world_of_rank comm r)))
+         survivors)
+  in
+  if state.Comm.sh_done >= passable then shared.Comm.pending_shrink <- None;
   let my_new_rank =
     let rec index i = function
       | [] -> Errdefs.usage_error "shrink: internal error, self not in survivor list"
@@ -223,11 +248,16 @@ let shrink comm : Comm.t =
   in
   Comm.attach rt new_shared ~rank:my_new_rank
 
-(* Agreement states, keyed by (runtime id, context, generation). *)
+(* Agreement states, keyed by (runtime id, context, generation).
+   [ag_result] is the agreed value, decided by the first rank through the
+   rendezvous; later ranks must reuse it — if a contributor dies between
+   two survivors' resumptions, recomputing would let them disagree on the
+   "agreed" value, which defeats the operation. *)
 type agree_state = {
   mutable ag_arrived : (int * bool) list;  (* (comm rank, contribution) *)
   mutable ag_max_clock : float;
   mutable ag_done : int;
+  mutable ag_result : bool option;
 }
 
 let agree_states : (int * int * int, agree_state) Hashtbl.t = Hashtbl.create 16
@@ -248,7 +278,7 @@ let agree comm (value : bool) : bool =
     match Hashtbl.find_opt agree_states key with
     | Some s -> s
     | None ->
-        let s = { ag_arrived = []; ag_max_clock = 0.; ag_done = 0 } in
+        let s = { ag_arrived = []; ag_max_clock = 0.; ag_done = 0; ag_result = None } in
         Hashtbl.replace agree_states key s;
         s
   in
@@ -264,10 +294,19 @@ let agree comm (value : bool) : bool =
       ~describe:(fun () -> Printf.sprintf "comm_agree on rank %d" (Comm.rank comm))
       ~poll:(fun () -> if all_arrived () then Some () else None);
   let live = live_members comm in
+  (* The agreed value is decided once, by the first rank to resume; later
+     ranks reuse it even if the live set has changed since. *)
   let result =
-    List.fold_left
-      (fun acc r -> acc && (try List.assoc r state.ag_arrived with Not_found -> true))
-      true live
+    match state.ag_result with
+    | Some r -> r
+    | None ->
+        let r =
+          List.fold_left
+            (fun acc r -> acc && (try List.assoc r state.ag_arrived with Not_found -> true))
+            true live
+        in
+        state.ag_result <- Some r;
+        r
   in
   let s = List.length live in
   let rounds = if s <= 1 then 0 else int_of_float (ceil (log (float_of_int s) /. log 2.)) in

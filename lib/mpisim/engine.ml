@@ -23,6 +23,7 @@ type report = {
   blocked : float array;  (* per-rank virtual time spent waiting *)
   stats : Stats.t;  (* the runtime's metrics registry *)
   trace : Trace.t;  (* event recorder; empty unless [trace_capacity] set *)
+  chaos_log : string option;  (* chaos event log; replay-comparable, None when chaos off *)
 }
 
 let pp_report ppf r =
@@ -36,9 +37,11 @@ let pp_report ppf r =
    that many events; when absent the recorder stays disabled and costs
    nothing on the hot paths. *)
 let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
-    ?(assertion_level = 1) ?check_level ?trace_capacity ~ranks (body : Comm.t -> 'a) :
-    'a option array * report =
-  let rt = Runtime.create ~clock_mode ~assertion_level ?check_level ~model ~size:ranks () in
+    ?(assertion_level = 1) ?check_level ?chaos ?trace_capacity ~ranks
+    (body : Comm.t -> 'a) : 'a option array * report =
+  let rt =
+    Runtime.create ~clock_mode ~assertion_level ?check_level ?chaos ~model ~size:ranks ()
+  in
   (match trace_capacity with
   | Some capacity -> Trace.enable ~capacity rt.Runtime.trace
   | None -> ());
@@ -66,12 +69,22 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
                 Trace.instant rt.Runtime.trace ~rank ~cat:"sched" ~name:"resume" ~a:(-1)
                   ~b:(-1) ~c:(-1)) )
       in
+      (* Wake parked victims of injected failures: a rank killed while
+         blocked in a receive would otherwise only surface as a deadlock.
+         The [any_failed] guard keeps the common no-failure case to one
+         load and branch per parked-fiber poll. *)
+      let wake_check rank =
+        if Runtime.any_failed rt && Runtime.is_failed rt rank then
+          Some (Runtime.Process_killed rank)
+        else None
+      in
       let outcomes =
         try
           Scheduler.run
             ~on_segment:(Runtime.on_cpu_segment rt)
             ?on_park ?on_resume
             ~kill_filter:Fault.is_kill_exn
+            ~wake_check
             ~progress:(fun () -> rt.Runtime.progress)
             ~nfibers:ranks fiber
         with
@@ -118,15 +131,16 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
           blocked = Array.copy rt.Runtime.blocked;
           stats = rt.Runtime.stats;
           trace = rt.Runtime.trace;
+          chaos_log = Option.map Chaos.log_contents rt.Runtime.chaos;
         }
       in
       (results, report))
 
-let run ?model ?clock_mode ?assertion_level ?check_level ?trace_capacity ~ranks
+let run ?model ?clock_mode ?assertion_level ?check_level ?chaos ?trace_capacity ~ranks
     (body : Comm.t -> unit) : report =
   let _, report =
-    run_collect ?model ?clock_mode ?assertion_level ?check_level ?trace_capacity ~ranks
-      body
+    run_collect ?model ?clock_mode ?assertion_level ?check_level ?chaos ?trace_capacity
+      ~ranks body
   in
   report
 

@@ -24,6 +24,11 @@ type report = {
   stats : Stats.t;  (** the runtime's metrics registry *)
   trace : Trace.t;
       (** event recorder; empty unless [trace_capacity] was passed *)
+  chaos_log : string option;
+      (** the chaos plane's event log ([None] when chaos was off): one
+          line per fault decision, byte-identical across runs with the
+          same seed, plan and [Virtual_only] clock — diff two to verify
+          replay *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -40,6 +45,10 @@ val pp_report : Format.formatter -> report -> unit
            sanitizer on, deadlocks are reported as
            [Mpi_error ERR_DEADLOCK] with a named wait-for cycle, and a
            clean run ends with a leak scan over non-blocking requests.
+    @param chaos activate the fault-injection plane with this config
+           (drop/duplicate/corrupt draws, fault-plan triggers, reliable
+           retransmission); also activated implicitly when [model]
+           carries a fault profile
     @param trace_capacity enable event tracing with a per-rank ring buffer
            of this many events (disabled — and free — when absent) *)
 val run_collect :
@@ -47,6 +56,7 @@ val run_collect :
   ?clock_mode:Runtime.clock_mode ->
   ?assertion_level:int ->
   ?check_level:Check.level ->
+  ?chaos:Chaos.config ->
   ?trace_capacity:int ->
   ranks:int ->
   (Comm.t -> 'a) ->
@@ -57,6 +67,7 @@ val run :
   ?clock_mode:Runtime.clock_mode ->
   ?assertion_level:int ->
   ?check_level:Check.level ->
+  ?chaos:Chaos.config ->
   ?trace_capacity:int ->
   ranks:int ->
   (Comm.t -> unit) ->

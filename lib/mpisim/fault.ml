@@ -14,7 +14,10 @@ let die comm : 'a =
   raise (Runtime.Process_killed me)
 
 (* Mark a rank as failed from outside (e.g. a failure-injection schedule).
-   The victim observes it at its next MPI operation. *)
+   A running victim observes it at its next MPI operation; a victim that
+   is parked (blocked in a receive that can no longer be satisfied) is
+   woken and discontinued by the scheduler's wake check on the next pass,
+   so killing a blocked rank never turns into a deadlock report. *)
 let fail_world_rank rt ~world_rank =
   if world_rank < 0 || world_rank >= rt.Runtime.size then
     Errdefs.usage_error "fail_world_rank: invalid rank %d" world_rank;

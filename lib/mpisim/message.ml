@@ -27,12 +27,14 @@ type t = {
   arrival : float;  (* virtual arrival time at the receiver *)
   seq : int;  (* global injection sequence, for wildcard ordering *)
   sync : bool;  (* synchronous send: sender completes on match *)
+  crc : int;  (* reliable-layer CRC-32 of the payload; -1 = not framed *)
+  link_seq : int;  (* reliable-layer per-link sequence number; -1 = none *)
   mutable matched_time : float;  (* -1.0 until matched *)
   mutable consumed : bool;  (* payload storage handed back to a pool *)
 }
 
-let make ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count ~signature
-    ~sent_at ~arrival ~seq ~sync =
+let make ?(crc = -1) ?(link_seq = -1) ~context ~src ~dst ~tag ~payload ~payload_off
+    ~payload_len ~count ~signature ~sent_at ~arrival ~seq ~sync () =
   if payload_off < 0 || payload_len < 0 || payload_off + payload_len > Bytes.length payload
   then invalid_arg "Message.make: payload slice out of bounds";
   {
@@ -49,6 +51,8 @@ let make ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count ~sign
     arrival;
     seq;
     sync;
+    crc;
+    link_seq;
     matched_time = -1.0;
     consumed = false;
   }

@@ -22,6 +22,25 @@
    - [topo_setup_per_rank]: cost, per member rank, of building a (neighbor)
      graph topology communicator. *)
 
+(* Per-link fault rates for the chaos plane.  All probabilities are per
+   transmission attempt; [jitter] is the upper bound of a uniform extra
+   transit delay in seconds.  A rate structure with every field 0. is a
+   perfect link. *)
+type link_rates = {
+  drop : float;  (* P(attempt is lost in transit) *)
+  duplicate : float;  (* P(attempt arrives twice; dup is discarded by seq) *)
+  reorder : float;  (* P(attempt is held back one extra latency) *)
+  corrupt : float;  (* P(attempt arrives with flipped bits) *)
+  jitter : float;  (* uniform extra transit delay in [0, jitter) seconds *)
+}
+
+(* A fault profile: default rates for every link plus per-link overrides,
+   keyed by (src world rank, dst world rank). *)
+type fault_profile = {
+  default_rates : link_rates;
+  link_overrides : ((int * int) * link_rates) list;
+}
+
 type t = {
   name : string;
   latency : float;  (* seconds of wire latency per message (alpha_net) *)
@@ -32,7 +51,26 @@ type t = {
   alltoallw_type_setup : float;  (* per-peer datatype setup in alltoallw *)
   dense_scan_byte : float;  (* per-rank scan cost of dense vector collectives *)
   topo_setup_per_rank : float;  (* graph-topology construction, per rank *)
+  faults : fault_profile option;  (* lossy-network model; None = perfect links *)
 }
+
+let perfect_link = { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0.; jitter = 0. }
+
+let no_faults = { default_rates = perfect_link; link_overrides = [] }
+
+(* A moderately lossy network: a few percent of attempts misbehave, with
+   jitter on the order of the wire latency.  Chaos tests start here. *)
+let lossy_rates ~latency =
+  { drop = 0.02; duplicate = 0.01; reorder = 0.01; corrupt = 0.005; jitter = latency }
+
+let lossy m = { m with faults = Some { default_rates = lossy_rates ~latency:m.latency; link_overrides = [] } }
+
+let with_faults m profile = { m with faults = Some profile }
+
+let rates_for profile ~src ~dst =
+  match List.assoc_opt (src, dst) profile.link_overrides with
+  | Some r -> r
+  | None -> profile.default_rates
 
 (* An OmniPath-like interconnect: ~1.5us latency, 100 Gbit/s = 12.5 GB/s. *)
 let omnipath =
@@ -46,6 +84,7 @@ let omnipath =
     alltoallw_type_setup = 0.8e-6;
     dense_scan_byte = 1.0e-9;
     topo_setup_per_rank = 0.5e-6;
+    faults = None;
   }
 
 (* Commodity ethernet: higher latency, 10 Gbit/s. *)
@@ -60,6 +99,7 @@ let ethernet =
     alltoallw_type_setup = 3e-6;
     dense_scan_byte = 2e-9;
     topo_setup_per_rank = 2e-6;
+    faults = None;
   }
 
 (* Free communication: useful for correctness tests where modelled time is
@@ -75,6 +115,7 @@ let zero_cost =
     alltoallw_type_setup = 0.;
     dense_scan_byte = 0.;
     topo_setup_per_rank = 0.;
+    faults = None;
   }
 
 let send_busy_time m ~bytes = m.send_overhead +. (float_of_int bytes *. m.byte_time)

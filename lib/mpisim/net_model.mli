@@ -8,6 +8,24 @@
     implementation artifacts the paper's experiments depend on (alltoallw
     datatype setup, dense count-array scans, topology construction). *)
 
+(** Per-link fault rates for the chaos plane.  Probabilities are per
+    transmission attempt; [jitter] bounds a uniform extra transit delay in
+    seconds.  All-zero rates describe a perfect link. *)
+type link_rates = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  corrupt : float;
+  jitter : float;
+}
+
+(** Default rates for every link plus per-link overrides, keyed by
+    (src world rank, dst world rank). *)
+type fault_profile = {
+  default_rates : link_rates;
+  link_overrides : ((int * int) * link_rates) list;
+}
+
 type t = {
   name : string;
   latency : float;  (** wire latency per message, seconds (alpha) *)
@@ -22,7 +40,30 @@ type t = {
           collectives *)
   topo_setup_per_rank : float;
       (** graph-topology communicator construction, per member rank *)
+  faults : fault_profile option;
+      (** lossy-network model for the chaos plane; [None] (the presets'
+          value) means perfect links and costs nothing on the data path *)
 }
+
+(** All-zero link rates. *)
+val perfect_link : link_rates
+
+(** The profile equivalent of perfect links. *)
+val no_faults : fault_profile
+
+(** A moderately lossy rate set (2% drop, 1% duplicate/reorder, 0.5%
+    corrupt, jitter = [latency]). *)
+val lossy_rates : latency:float -> link_rates
+
+(** [lossy m] is [m] with the default lossy profile attached. *)
+val lossy : t -> t
+
+(** [with_faults m profile] is [m] with [profile] attached. *)
+val with_faults : t -> fault_profile -> t
+
+(** The rates governing link [src -> dst] (world ranks): the override if
+    one exists, the profile default otherwise. *)
+val rates_for : fault_profile -> src:int -> dst:int -> link_rates
 
 (** An OmniPath-like interconnect (~1.5us latency, 100 Gbit/s) — the
     SuperMUC-NG analogue used by the paper-reproduction benchmarks. *)

@@ -43,6 +43,10 @@ type t = {
   wire_pools : Wire.pool array;
   failed : bool array;
   mutable n_failed : int;
+  (* The chaos plane: fault decisions come from [Chaos]; this runtime
+     acts on them (kills, arrival shifts, escalation errors).  [None] —
+     the default — keeps every fault path to a single branch. *)
+  chaos : Chaos.t option;
   profile : Profiling.t;
   stats : Stats.t;
   trace : Trace.t;
@@ -79,7 +83,8 @@ let default_check_level () =
           Log.warn (fun f -> f "ignoring invalid MPISIM_CHECK=%S (want off|light|heavy)" s);
           Check.Off)
 
-let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ~model ~size () =
+let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ?chaos ~model
+    ~size () =
   if size <= 0 then invalid_arg "Runtime.create: size must be positive";
   let id = !next_runtime_id in
   incr next_runtime_id;
@@ -99,6 +104,16 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ~model ~
   let check = Check.create ~stats ~trace ~size () in
   Check.set_level check
     (match check_level with Some l -> l | None -> default_check_level ());
+  let chaos =
+    match chaos with
+    | Some cfg -> Some (Chaos.create ~size ~model ~stats ~trace cfg)
+    | None -> (
+        (* A model carrying a fault profile implies chaos even without an
+           explicit config: the profile alone defines the lossy network. *)
+        match model.Net_model.faults with
+        | Some _ -> Some (Chaos.create ~size ~model ~stats ~trace (Chaos.config ()))
+        | None -> None)
+  in
   {
     id;
     size;
@@ -109,6 +124,7 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ~model ~
     wire_pools = Array.init size (fun _ -> Wire.create_pool ());
     failed = Array.make size false;
     n_failed = 0;
+    chaos;
     profile = Profiling.create ~stats ();
     stats;
     trace;
@@ -164,9 +180,6 @@ let charge_copy t rank ~bytes =
 
 let is_failed t rank = t.failed.(rank)
 
-let check_alive t rank =
-  if t.failed.(rank) then raise (Process_killed rank)
-
 let kill t rank =
   if not t.failed.(rank) then begin
     Log.info (fun f -> f "rank %d failed (injected)" rank);
@@ -175,6 +188,19 @@ let kill t rank =
     t.n_failed <- t.n_failed + 1;
     bump_progress t
   end
+
+let check_alive t rank =
+  if t.failed.(rank) then raise (Process_killed rank);
+  match t.chaos with
+  | None -> ()
+  | Some ch ->
+      (* Fault-plan triggers fire on the victim's own operation count or
+         virtual clock, so the victim dies at a deterministic point in its
+         program rather than at a scheduler-dependent one. *)
+      if Chaos.tick ch ~rank ~now:t.clocks.(rank) then begin
+        kill t rank;
+        raise (Process_killed rank)
+      end
 
 let any_failed t = t.n_failed > 0
 
@@ -205,12 +231,42 @@ let inject t ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count ~
   let busy = Net_model.send_busy_time t.model ~bytes in
   advance_clock t src busy;
   let sent_at = t.clocks.(src) in
-  let arrival = sent_at +. Net_model.transit_time t.model in
   let seq = t.msg_seq in
   t.msg_seq <- seq + 1;
+  let transit = Net_model.transit_time t.model in
+  let arrival, crc, link_seq =
+    match t.chaos with
+    | None -> (sent_at +. transit, -1, -1)
+    | Some ch ->
+        (* Absolute-time failure triggers use the sender's clock as the
+           global progress proxy; the scheduler's wake hook discontinues
+           any victim that is currently parked. *)
+        List.iter (fun r -> kill t r) (Chaos.due_time_failures ch ~now:sent_at);
+        if t.failed.(src) then raise (Process_killed src);
+        if src = dst then (sent_at +. transit, -1, -1)
+        else begin
+          (* Frame the payload before any corruption decision so the
+             receiver-side CRC backstop can detect a flip end to end. *)
+          let crc = Wire.crc32 payload ~pos:payload_off ~len:payload_len in
+          let tr = Chaos.on_transfer ch ~src ~dst ~seq ~bytes ~now:sent_at in
+          advance_clock t src tr.Chaos.tr_sender_busy;
+          if tr.Chaos.tr_escalated then begin
+            (* Retransmission budget exhausted: the reliable layer's
+               failure detector declares the peer dead (ULFM semantics)
+               and the send fails with ERR_PROC_FAILED. *)
+            kill t dst;
+            Errdefs.mpi_error Errdefs.Err_proc_failed
+              "send %d->%d: no acknowledgement after %d attempts; peer declared failed"
+              src dst tr.Chaos.tr_attempts
+          end;
+          if tr.Chaos.tr_corrupt then
+            Chaos.corrupt_payload ch payload ~pos:payload_off ~len:payload_len;
+          (sent_at +. transit +. tr.Chaos.tr_delay, crc, tr.Chaos.tr_link_seq)
+        end
+  in
   let m =
-    Message.make ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count
-      ~signature ~sent_at ~arrival ~seq ~sync
+    Message.make ~crc ~link_seq ~context ~src ~dst ~tag ~payload ~payload_off
+      ~payload_len ~count ~signature ~sent_at ~arrival ~seq ~sync ()
   in
   Log.debug (fun f ->
       f "inject ctx=%d %d->%d tag=%d count=%d bytes=%d%s" context src dst tag count bytes
@@ -231,6 +287,23 @@ let inject t ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count ~
    arrival time and pay the receive overhead.  The unpack cost itself is
    charged separately via [charge_copy] (or measured). *)
 let complete_receive t rank (m : Message.t) =
+  (* Reliable-layer backstop: verify the payload CRC stamped at injection.
+     Only corrupted payloads that the chaos plane chose to deliver
+     ([deliver_corrupt]) can reach this point with a mismatch. *)
+  (if m.Message.crc >= 0 && not m.Message.consumed then begin
+     let got =
+       Wire.crc32 m.Message.payload ~pos:m.Message.payload_off
+         ~len:m.Message.payload_len
+     in
+     if got <> m.Message.crc then begin
+       if Check.enabled t.check then
+         Check.on_crc_mismatch t.check ~rank ~src:m.Message.src
+           ~expected:m.Message.crc ~got
+       else
+         Errdefs.mpi_error (Errdefs.Err_other "ERR_DATA_CORRUPT")
+           "recv: payload CRC mismatch on message from rank %d" m.Message.src
+     end
+   end);
   let was_waiting = m.Message.arrival > t.clocks.(rank) in
   sync_clock t rank m.Message.arrival;
   (* Consumed-at latency: how long after the sender released the message

@@ -33,6 +33,10 @@ type t = {
       (** per-rank pooled wire buffers for the zero-copy send path *)
   failed : bool array;
   mutable n_failed : int;
+  chaos : Chaos.t option;
+      (** the chaos plane: fault decisions come from {!Chaos}, this
+          runtime acts on them; [None] keeps every fault path to a single
+          branch *)
   profile : Profiling.t;
   stats : Stats.t;  (** metrics registry; also backs [profile] *)
   trace : Trace.t;  (** event recorder; disabled unless enabled explicitly *)
@@ -55,11 +59,15 @@ exception Process_killed of int
 
 (** [create] builds the shared state of one simulation.  [check_level]
     selects the {!Check} sanitizer level; it defaults to the
-    [MPISIM_CHECK] environment variable (off|light|heavy), or [Off]. *)
+    [MPISIM_CHECK] environment variable (off|light|heavy), or [Off].
+    [chaos] activates the fault-injection plane; omitted, it is still
+    activated (with default knobs) when [model] carries a fault
+    profile. *)
 val create :
   ?clock_mode:clock_mode ->
   ?assertion_level:int ->
   ?check_level:Check.level ->
+  ?chaos:Chaos.config ->
   model:Net_model.t ->
   size:int ->
   unit ->
@@ -90,7 +98,10 @@ val charge_copy : t -> int -> bytes:int -> unit
 
 val is_failed : t -> int -> bool
 
-(** Raise {!Process_killed} if the rank has been failed. *)
+(** Raise {!Process_killed} if the rank has been failed.  Also the chaos
+    plane's trigger point: op-count and sim-time fault-plan actions fire
+    here, killing the calling rank at a deterministic point in its own
+    program. *)
 val check_alive : t -> int -> unit
 
 val kill : t -> int -> unit

@@ -173,10 +173,16 @@ exception Abandoned_fiber
    simulation state changes (message injected, matched, ...); it drives
    deadlock detection.  [kill_filter exn] returns true for exceptions that
    represent an injected process failure: such fibers end in [Raised] but do
-   not abort the other fibers. *)
+   not abort the other fibers.
+
+   [wake_check rank] is consulted before polling a parked fiber: [Some exn]
+   discontinues the fiber with [exn] instead of resuming it.  This is how
+   fault injection reaches a victim that is blocked in a receive — the poll
+   could never succeed (nobody will send to a dead rank), so without the
+   hook the kill would only surface as a deadlock. *)
 let run ?(on_segment = fun _ _ -> ()) ?on_park ?on_resume
-    ?(kill_filter = fun _ -> false) ~progress ~nfibers (body : int -> unit) :
-    outcome array =
+    ?(kill_filter = fun _ -> false) ?(wake_check = fun _ -> None) ~progress
+    ~nfibers (body : int -> unit) : outcome array =
   if nfibers <= 0 then invalid_arg "Scheduler.run: nfibers must be positive";
   let track_park = on_park <> None || on_resume <> None in
   let t =
@@ -223,7 +229,12 @@ let run ?(on_segment = fun _ _ -> ()) ?on_park ?on_resume
               start_fiber t rank thunk;
               check_fatal rank
           | Waiting (Parked p as parked) -> begin
-              ignore parked;
+              match wake_check rank with
+              | Some exn ->
+                  ran := true;
+                  discontinue_fiber t rank parked exn;
+                  check_fatal rank
+              | None -> (
               match p.poll () with
               | Some v ->
                   ran := true;
@@ -233,7 +244,7 @@ let run ?(on_segment = fun _ _ -> ()) ?on_park ?on_resume
                     t.on_resume rank (now () -. p.parked_at);
                   resume_fiber t rank p.k v;
                   check_fatal rank
-              | None -> ()
+              | None -> ())
             end
           | Done _ -> ()
         end

@@ -44,6 +44,10 @@ exception Abandoned_fiber
            fiber's poll succeeds and it is about to resume
     @param kill_filter exceptions representing injected process failures:
            such fibers end as [Raised] without aborting the others
+    @param wake_check consulted before polling a parked fiber: [Some exn]
+           discontinues the fiber with [exn] instead of resuming it — how
+           fault injection reaches a victim blocked in a receive whose
+           poll can never succeed
 
     The park/resume hooks cost one extra [gettimeofday] per park when
     supplied and nothing when absent. *)
@@ -52,6 +56,7 @@ val run :
   ?on_park:(int -> unit) ->
   ?on_resume:(int -> float -> unit) ->
   ?kill_filter:(exn -> bool) ->
+  ?wake_check:(int -> exn option) ->
   progress:(unit -> int) ->
   nfibers:int ->
   (int -> unit) ->

@@ -110,3 +110,10 @@ val recycle : pool -> Bytes.t -> unit
 
 (** (hits, misses, currently free) — for tests and diagnostics. *)
 val pool_stats : pool -> int * int * int
+
+(** {1 Payload checksums}
+
+    CRC-32 (IEEE 802.3) over [len] bytes of [b] starting at [pos] — the
+    reliable-delivery layer's corruption check.  The 256-entry table is
+    built lazily on first use. *)
+val crc32 : Bytes.t -> pos:int -> len:int -> int

@@ -1,0 +1,316 @@
+(* Chaos plane: CRC framing, fault-plan parsing, deterministic replay,
+   reliable-delivery behavior (drops, duplicates, corruption, escalation)
+   and the scheduler's wake-on-kill path. *)
+
+open Mpisim
+
+(* --- Wire CRC --- *)
+
+(* The CRC-32 (IEEE 802.3) check vector: crc32("123456789") = 0xCBF43926. *)
+let test_crc32_vector () =
+  let b = Bytes.of_string "123456789" in
+  Alcotest.(check int) "check vector" 0xCBF43926 (Wire.crc32 b ~pos:0 ~len:9)
+
+let test_crc32_slice () =
+  let b = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int) "slice equals whole" 0xCBF43926 (Wire.crc32 b ~pos:2 ~len:9);
+  Alcotest.(check int) "empty slice" 0 (Wire.crc32 b ~pos:0 ~len:0 lxor Wire.crc32 b ~pos:0 ~len:0)
+
+let test_crc32_detects_flip () =
+  let b = Bytes.of_string "payload payload payload" in
+  let len = Bytes.length b in
+  let before = Wire.crc32 b ~pos:0 ~len in
+  Bytes.set b 7 (Char.chr (Char.code (Bytes.get b 7) lxor 0x10));
+  Alcotest.(check bool) "flip changes crc" true (before <> Wire.crc32 b ~pos:0 ~len)
+
+(* --- Fault-plan parsing --- *)
+
+let test_plan_parse_roundtrip () =
+  let spec = "fail=3@ops:50;fail=1@t:0.002;droplink=0>2@4;partition=0,1@0.001-0.003" in
+  match Fault_plan.parse spec with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok plan ->
+      Alcotest.(check int) "four actions" 4 (List.length plan);
+      Alcotest.(check string) "round-trips" spec (Fault_plan.to_string plan)
+
+let test_plan_parse_errors () =
+  let bad = [ "fail=3"; "fail=x@ops:1"; "droplink=0>2"; "partition=0,1@5"; "nonsense=1" ] in
+  List.iter
+    (fun spec ->
+      match Fault_plan.parse spec with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" spec
+      | Error _ -> ())
+    bad
+
+let test_chaos_config_of_string () =
+  (match Chaos.config_of_string "42" with
+  | Ok cfg ->
+      Alcotest.(check int) "bare int is seed" 42 cfg.Chaos.seed;
+      Alcotest.(check bool) "bare int is lossy" true cfg.Chaos.lossy
+  | Error msg -> Alcotest.failf "bare int: %s" msg);
+  (match Chaos.config_of_string "seed=7;drop=0.5;retries=3;fail=1@ops:10" with
+  | Ok cfg ->
+      Alcotest.(check int) "seed" 7 cfg.Chaos.seed;
+      Alcotest.(check int) "retries" 3 cfg.Chaos.max_retries;
+      Alcotest.(check int) "plan size" 1 (List.length cfg.Chaos.plan);
+      (match cfg.Chaos.rates with
+      | Some r -> Alcotest.(check (float 1e-9)) "drop" 0.5 r.Net_model.drop
+      | None -> Alcotest.fail "rates not set")
+  | Error msg -> Alcotest.failf "clauses: %s" msg);
+  (* The replay line parses back. *)
+  match Chaos.config_of_string "seed=5;lossy;retries=2;fail=0@ops:9" with
+  | Ok cfg -> (
+      match Chaos.config_of_string (Chaos.config_to_string cfg) with
+      | Ok cfg' ->
+          Alcotest.(check bool) "replay line round-trips" true (cfg = cfg')
+      | Error msg -> Alcotest.failf "replay line: %s" msg)
+  | Error msg -> Alcotest.failf "setup: %s" msg
+
+(* --- A chaos workload: ring exchange that stresses the message plane --- *)
+
+let ring_program ~rounds comm =
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let acc = ref 0 in
+  for round = 1 to rounds do
+    let v = [| (r * 1000) + round |] in
+    P2p.send comm Datatype.int ~dest:((r + 1) mod n) v;
+    let d, _ = P2p.recv comm Datatype.int ~source:((r + n - 1) mod n) () in
+    acc := !acc + d.(0)
+  done;
+  !acc
+
+let run_ring ?chaos ?(ranks = 4) ?(rounds = 25) () =
+  Engine.run_collect ~model:Net_model.ethernet ~clock_mode:Runtime.Virtual_only ?chaos
+    ~ranks (ring_program ~rounds)
+
+(* --- Determinism: identical seed + plan => byte-identical chaos log --- *)
+
+let test_deterministic_replay () =
+  let cfg () =
+    Chaos.config ~seed:99 ~lossy:true
+      ~plan:(Result.get_ok (Fault_plan.parse "droplink=0>1@3")) ()
+  in
+  let _, r1 = run_ring ~chaos:(cfg ()) () in
+  let _, r2 = run_ring ~chaos:(cfg ()) () in
+  let log r =
+    match r.Engine.chaos_log with Some l -> l | None -> Alcotest.fail "chaos log missing"
+  in
+  Alcotest.(check bool) "log is non-trivial" true (String.length (log r1) > 0);
+  Alcotest.(check string) "byte-identical replay" (log r1) (log r2);
+  let _, r3 = run_ring ~chaos:(Chaos.config ~seed:100 ~lossy:true ()) () in
+  Alcotest.(check bool) "different seed, different log" true (log r1 <> log r3)
+
+let test_chaos_off_no_log () =
+  let _, report = run_ring () in
+  Alcotest.(check bool) "no chaos log when off" true (report.Engine.chaos_log = None)
+
+(* Lossy chaos must not change program results: the reliable layer hides
+   drops/duplicates/reordering behind retransmission and arrival shifts. *)
+let test_lossy_results_correct () =
+  let results, report = run_ring ~chaos:(Chaos.config ~seed:3 ~lossy:true ()) () in
+  let expected, _ = run_ring () in
+  Alcotest.(check bool) "some chaos events happened" true
+    (Stats.count (Stats.counter report.Engine.stats "chaos.dropped")
+     + Stats.count (Stats.counter report.Engine.stats "chaos.duplicated")
+     + Stats.count (Stats.counter report.Engine.stats "chaos.reordered")
+    > 0);
+  Alcotest.(check bool) "results unchanged under loss" true (results = expected)
+
+(* --- Targeted drops: the n-th message on a link is retransmitted --- *)
+
+let test_drop_nth () =
+  let plan = Result.get_ok (Fault_plan.parse "droplink=0>1@2") in
+  let _, report = run_ring ~chaos:(Chaos.config ~seed:1 ~plan ()) () in
+  Alcotest.(check int) "exactly one drop" 1
+    (Stats.count (Stats.counter report.Engine.stats "chaos.dropped"));
+  Alcotest.(check int) "exactly one retransmit" 1
+    (Stats.count (Stats.counter report.Engine.stats "chaos.retransmits"));
+  Alcotest.(check (list int)) "nobody died" [] report.Engine.killed
+
+(* --- Escalation: a fully dropped link declares the peer failed --- *)
+
+let test_escalation () =
+  let rates = { Net_model.perfect_link with Net_model.drop = 1.0 } in
+  let caught = ref false in
+  let _, report =
+    Engine.run_collect ~model:Net_model.ethernet ~clock_mode:Runtime.Virtual_only
+      ~chaos:(Chaos.config ~seed:1 ~links:[ ((0, 1), rates) ] ~max_retries:2 ())
+      ~ranks:2
+      (fun comm ->
+        if Comm.rank comm = 0 then
+          match P2p.send comm Datatype.int ~dest:1 [| 7 |] with
+          | () -> ()
+          | exception Errdefs.Mpi_error { code = Errdefs.Err_proc_failed; _ } ->
+              caught := true
+        else
+          (* The victim: the escalating sender declares this rank dead;
+             the scheduler wakes and discontinues the parked receive. *)
+          ignore (P2p.recv comm Datatype.int ~source:0 ()))
+  in
+  Alcotest.(check bool) "sender saw ERR_PROC_FAILED" true !caught;
+  Alcotest.(check (list int)) "receiver declared failed" [ 1 ] report.Engine.killed;
+  Alcotest.(check int) "escalation counted" 1
+    (Stats.count (Stats.counter report.Engine.stats "chaos.escalations"))
+
+(* --- Corruption backstop: delivered corruption trips the CRC check --- *)
+
+let test_deliver_corrupt_crc_backstop () =
+  let rates = { Net_model.perfect_link with Net_model.corrupt = 1.0 } in
+  let violated = ref false in
+  (try
+     ignore
+       (Engine.run_collect ~model:Net_model.ethernet ~clock_mode:Runtime.Virtual_only
+          ~check_level:Check.Light
+          ~chaos:(Chaos.config ~seed:1 ~rates ~deliver_corrupt:true ())
+          ~ranks:2
+          (fun comm ->
+            if Comm.rank comm = 0 then P2p.send comm Datatype.int ~dest:1 [| 123 |]
+            else ignore (P2p.recv comm Datatype.int ~source:0 ())))
+   with
+  | Scheduler.Aborted { exn = Errdefs.Check_violation { check = "crc"; _ }; _ }
+  | Errdefs.Check_violation { check = "crc"; _ } ->
+      violated := true);
+  Alcotest.(check bool) "CRC mismatch detected" true !violated
+
+(* Without deliver_corrupt, corruption is modelled as loss: the payload
+   arrives intact after retransmission and the CRC backstop stays quiet. *)
+let test_corrupt_as_loss () =
+  let rates = { Net_model.perfect_link with Net_model.corrupt = 0.3 } in
+  let results, report =
+    run_ring ~chaos:(Chaos.config ~seed:5 ~rates ()) ()
+  in
+  let expected, _ = run_ring () in
+  Alcotest.(check bool) "corruption events occurred" true
+    (Stats.count (Stats.counter report.Engine.stats "chaos.corrupted") > 0);
+  Alcotest.(check bool) "results unchanged" true (results = expected)
+
+(* --- Duplicates are counted but never double-delivered --- *)
+
+let test_duplicates_not_delivered () =
+  let rates = { Net_model.perfect_link with Net_model.duplicate = 0.5 } in
+  let results, report = run_ring ~chaos:(Chaos.config ~seed:2 ~rates ()) () in
+  let expected, _ = run_ring () in
+  Alcotest.(check bool) "duplicates occurred" true
+    (Stats.count (Stats.counter report.Engine.stats "chaos.duplicated") > 0);
+  Alcotest.(check bool) "no double delivery" true (results = expected)
+
+(* --- Plan triggers --- *)
+
+let test_fail_at_ops () =
+  let plan = Result.get_ok (Fault_plan.parse "fail=1@ops:5") in
+  let observed = ref false in
+  let _, report =
+    Engine.run_collect ~model:Net_model.ethernet ~clock_mode:Runtime.Virtual_only
+      ~chaos:(Chaos.config ~seed:1 ~plan ())
+      ~ranks:2
+      (fun comm ->
+        if Comm.rank comm = 1 then
+          for i = 1 to 100 do
+            P2p.send comm Datatype.int ~dest:0 [| i |]
+          done
+        else
+          try
+            for _ = 1 to 100 do
+              ignore (P2p.recv comm Datatype.int ~source:1 ())
+            done
+          with Errdefs.Mpi_error { code = Errdefs.Err_proc_failed; _ } ->
+            observed := true)
+  in
+  Alcotest.(check bool) "survivor observed the failure" true !observed;
+  Alcotest.(check (list int)) "rank 1 died by plan" [ 1 ] report.Engine.killed;
+  Alcotest.(check int) "plan failure counted" 1
+    (Stats.count (Stats.counter report.Engine.stats "chaos.plan_failures"))
+
+(* A rank blocked in a receive when its time-based trigger fires must be
+   woken and discontinued, not leave the run deadlocked (satellite 6: the
+   fail_world_rank wake path, driven here via the chaos plan). *)
+let test_fail_at_time_wakes_blocked_victim () =
+  let plan = Result.get_ok (Fault_plan.parse "fail=1@t:0.000001") in
+  let _, report =
+    Engine.run_collect ~model:Net_model.ethernet ~clock_mode:Runtime.Virtual_only
+      ~chaos:(Chaos.config ~seed:1 ~plan ())
+      ~ranks:3
+      (fun comm ->
+        match Comm.rank comm with
+        | 1 ->
+            (* Block forever: nobody ever sends to rank 1. *)
+            ignore (P2p.recv comm Datatype.int ~source:2 ())
+        | 0 ->
+            (* Keep injecting so virtual time passes the trigger. *)
+            for i = 1 to 50 do
+              P2p.send comm Datatype.int ~dest:2 [| i |]
+            done
+        | _ ->
+            for _ = 1 to 50 do
+              ignore (P2p.recv comm Datatype.int ~source:0 ())
+            done)
+  in
+  Alcotest.(check (list int)) "blocked victim killed, no deadlock" [ 1 ]
+    report.Engine.killed
+
+(* Same wake path, driven directly through Fault.fail_world_rank: the
+   fixture that used to hang as a deadlock report before the scheduler
+   grew its wake check. *)
+let test_fail_world_rank_wakes_blocked_victim () =
+  let _, report =
+    Engine.run_collect ~ranks:3 (fun comm ->
+        match Comm.rank comm with
+        | 1 -> ignore (P2p.recv comm Datatype.int ~source:2 ())
+        | 0 ->
+            (* Give rank 1 a chance to park, then kill it. *)
+            Scheduler.yield ();
+            Scheduler.yield ();
+            Fault.fail_world_rank (Comm.runtime comm) ~world_rank:1
+        | _ -> ())
+  in
+  Alcotest.(check (list int)) "parked victim discontinued" [ 1 ] report.Engine.killed
+
+(* --- Partition: traffic inside a window is treated as lost --- *)
+
+let test_partition_heals () =
+  (* Partition {0} | {1} for a window shorter than the run: messages sent
+     during the window retransmit until it heals; the program completes. *)
+  let plan = Result.get_ok (Fault_plan.parse "partition=0@0-0.0004") in
+  let results, report =
+    run_ring ~ranks:2 ~rounds:10 ~chaos:(Chaos.config ~seed:1 ~plan ~max_retries:12 ()) ()
+  in
+  let expected, _ = run_ring ~ranks:2 ~rounds:10 () in
+  Alcotest.(check bool) "drops during window" true
+    (Stats.count (Stats.counter report.Engine.stats "chaos.dropped") > 0);
+  Alcotest.(check bool) "ring completes correctly after heal" true (results = expected)
+
+(* --- RTT histogram is fed by the reliable layer --- *)
+
+let test_rtt_histogram () =
+  let _, report = run_ring ~chaos:(Chaos.config ~seed:1 ~lossy:true ()) () in
+  let h = Stats.histogram report.Engine.stats "reliable.rtt" in
+  Alcotest.(check bool) "rtt observations recorded" true (Stats.total h > 0)
+
+let tests =
+  [
+    Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+    Alcotest.test_case "crc32 slices" `Quick test_crc32_slice;
+    Alcotest.test_case "crc32 detects bit flip" `Quick test_crc32_detects_flip;
+    Alcotest.test_case "fault plan round-trip" `Quick test_plan_parse_roundtrip;
+    Alcotest.test_case "fault plan errors" `Quick test_plan_parse_errors;
+    Alcotest.test_case "chaos spec parsing" `Quick test_chaos_config_of_string;
+    Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+    Alcotest.test_case "no log when off" `Quick test_chaos_off_no_log;
+    Alcotest.test_case "lossy run is correct" `Quick test_lossy_results_correct;
+    Alcotest.test_case "drop nth message" `Quick test_drop_nth;
+    Alcotest.test_case "escalation to ERR_PROC_FAILED" `Quick test_escalation;
+    Alcotest.test_case "delivered corruption trips CRC" `Quick
+      test_deliver_corrupt_crc_backstop;
+    Alcotest.test_case "corruption as loss" `Quick test_corrupt_as_loss;
+    Alcotest.test_case "duplicates not delivered" `Quick test_duplicates_not_delivered;
+    Alcotest.test_case "fail at op count" `Quick test_fail_at_ops;
+    Alcotest.test_case "fail at time wakes blocked victim" `Quick
+      test_fail_at_time_wakes_blocked_victim;
+    Alcotest.test_case "fail_world_rank wakes blocked victim" `Quick
+      test_fail_world_rank_wakes_blocked_victim;
+    Alcotest.test_case "partition heals" `Quick test_partition_heals;
+    Alcotest.test_case "reliable rtt histogram" `Quick test_rtt_histogram;
+  ]
+
+let () = Alcotest.run "chaos" [ ("chaos", tests) ]

@@ -279,7 +279,7 @@ let mk_msg ?(context = 0) ~src ~tag ~seq () =
   Message.make ~context ~src ~dst:0 ~tag ~payload:(Bytes.create 8) ~payload_off:0
     ~payload_len:8 ~count:8
     ~signature:(Signature.of_base ~count:8 Signature.Blob)
-    ~sent_at:0. ~arrival:0. ~seq ~sync:false
+    ~sent_at:0. ~arrival:0. ~seq ~sync:false ()
 
 let test_mailbox_cancel_after_match_fails () =
   let mb = Mailbox.create () in
