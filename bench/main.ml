@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --smoke ...  -- minimal sizes (CI sanity runs)
 
    Experiments: table1, fig8, fig10, overhead, types, repro_reduce,
-   sparse, suffix, label_prop, raxml, ulfm, ablation, pingpong. *)
+   sparse, suffix, label_prop, raxml, ulfm, ablation, pingpong, chaos,
+   coll. *)
 
 let experiments ~full ~smoke =
   [
@@ -36,6 +37,7 @@ let experiments ~full ~smoke =
       fun () -> if full then Bench_ablation.run ~max_p:1024 () else Bench_ablation.run () );
     ("pingpong", fun () -> Bench_pingpong.run ~smoke ());
     ("chaos", fun () -> Bench_chaos.run ~smoke ());
+    ("coll", fun () -> Bench_coll.run ~smoke ());
   ]
 
 let () =

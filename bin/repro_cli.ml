@@ -31,6 +31,7 @@ type obs = {
   stats : bool;
   check : Check.level option;
   chaos : Chaos.config option;
+  coll_algo : Coll_algo.spec option;
 }
 
 let obs_arg =
@@ -88,9 +89,38 @@ let obs_arg =
              $(b,partition=R,S\\@T1-T2).  The run prints a replay line; the \
              same spec reproduces the same faults byte for byte.")
   in
+  let coll_algo =
+    let spec_conv =
+      ( (fun s ->
+          match Coll_algo.parse_spec s with Ok sp -> `Ok sp | Error msg -> `Error msg),
+        fun ppf (sp : Coll_algo.spec) ->
+          Format.pp_print_string ppf
+            (String.concat ","
+               (List.map
+                  (fun (o, a) ->
+                    Coll_algo.op_name o ^ "="
+                    ^ match a with Some a -> Coll_algo.algo_name a | None -> "auto")
+                  sp)) )
+    in
+    Arg.(
+      value
+      & opt (some spec_conv) None
+      & info [ "coll-algo" ] ~docv:"SPEC"
+          ~doc:
+            "Pin collective algorithms instead of the size-keyed automatic \
+             selection.  $(docv) is a ','-separated list of $(b,op=alg), e.g. \
+             $(b,allreduce=rabenseifner,allgather=ring); $(b,alg) may be \
+             $(b,auto).  Ops: allreduce (reduce_bcast, recursive_doubling, \
+             rabenseifner), allgather (bruck, ring), bcast (binomial, \
+             scatter_allgather), reduce_scatter (reduce_scatterv, pairwise).  \
+             The chosen algorithm per call is visible in the \
+             $(b,coll.algo.*) counters of $(b,--stats) and as trace spans.  \
+             Equivalent to the $(b,MPISIM_COLL_ALGO) environment variable.")
+  in
   Term.(
-    const (fun trace_file stats check chaos -> { trace_file; stats; check; chaos })
-    $ trace_file $ stats $ check $ chaos)
+    const (fun trace_file stats check chaos coll_algo ->
+        { trace_file; stats; check; chaos; coll_algo })
+    $ trace_file $ stats $ check $ chaos $ coll_algo)
 
 (* Run one experiment body under the observability flags: tracing is
    enabled iff --trace or --stats was given (--stats needs the event trace
@@ -99,6 +129,7 @@ let run_with_obs ~obs ~model ~ranks body =
   let trace_capacity =
     if obs.trace_file <> None || obs.stats then Some Trace.default_capacity else None
   in
+  (match obs.coll_algo with Some spec -> Coll_algo.set_overrides spec | None -> ());
   (match obs.chaos with
   | Some cfg ->
       Printf.printf "chaos: replay with --chaos '%s'\n%!" (Chaos.config_to_string cfg)
@@ -159,6 +190,22 @@ let run_with_obs ~obs ~model ~ranks body =
     in
     histo "msg_size_bytes" Stats.fmt_bytes "message size";
     histo "msg_latency_seconds" Stats.fmt_seconds "message latency (send to consume)";
+    let algo_counts = ref [] in
+    Stats.iter_counters report.Engine.stats (fun name c ->
+        if
+          String.length name > 10
+          && String.sub name 0 10 = "coll.algo."
+          && Stats.count c > 0
+        then algo_counts := (name, Stats.count c) :: !algo_counts);
+    if !algo_counts <> [] then begin
+      Format.fprintf ppf "@.-- collective algorithms --@.";
+      List.iter
+        (fun (name, n) ->
+          Format.fprintf ppf "%-45s %d calls@."
+            (String.sub name 10 (String.length name - 10))
+            n)
+        (List.sort compare !algo_counts)
+    end;
     Format.fprintf ppf "@.-- critical path --@.";
     Trace_report.pp_critical_path ppf report.Engine.trace ~times:report.Engine.times;
     Format.pp_print_flush ppf ()

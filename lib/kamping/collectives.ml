@@ -207,6 +207,24 @@ let allreduce comm dt op (send_buf : 'a array) : 'a array =
 let allreduce_single comm dt op (x : 'a) : 'a =
   traced comm ~op:"allreduce" (fun () -> Coll.allreduce_single (c comm) dt op x)
 
+(* KaMPIng-style defaulting: with no [recv_counts], split the vector as
+   evenly as possible (first [len mod p] ranks get one extra element). *)
+let even_split ~len ~size =
+  Array.init size (fun r -> (len / size) + if r < len mod size then 1 else 0)
+
+let reduce_scatter comm dt op ?recv_counts (send_buf : 'a array) : 'a array =
+  traced comm ~op:"reduce_scatter" (fun () ->
+      let mpi = c comm in
+      let recv_counts =
+        match recv_counts with
+        | Some rc -> rc
+        | None -> even_split ~len:(Array.length send_buf) ~size:(Comm.size mpi)
+      in
+      Coll.reduce_scatter mpi dt op ~recv_counts send_buf)
+
+let reduce_scatter_block comm dt op (send_buf : 'a array) : 'a array =
+  traced comm ~op:"reduce_scatter" (fun () -> Coll.reduce_scatter_block (c comm) dt op send_buf)
+
 let scan comm dt op (send_buf : 'a array) : 'a array =
   traced comm ~op:"scan" (fun () -> Coll.scan (c comm) dt op send_buf)
 

@@ -159,6 +159,18 @@ val allreduce : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
 
 val allreduce_single : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a -> 'a
 
+(** Reduce element-wise, then scatter blocks of the result:
+    [recv_counts.(r)] reduced elements go to rank [r].  Omitted
+    [recv_counts] defaults to an as-even-as-possible split of the vector
+    (the first [len mod p] ranks get one extra element) — computed
+    locally, no extra communication. *)
+val reduce_scatter :
+  comm -> 'a Datatype.t -> 'a Reduce_op.t -> ?recv_counts:int array -> 'a array -> 'a array
+
+(** [reduce_scatter] with the uniform block size [len / p] ([len] must be
+    divisible by [p]). *)
+val reduce_scatter_block : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
+
 val scan : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
 
 val scan_single : comm -> 'a Datatype.t -> 'a Reduce_op.t -> 'a -> 'a

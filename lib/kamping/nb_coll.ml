@@ -24,6 +24,18 @@ let iallreduce comm dt op (data : 'a array) : 'a array Nb.t =
   let req, cell = Coll.iallreduce (c comm) dt op data in
   of_deferred req cell
 
+let ireduce_scatter comm dt op ?recv_counts (data : 'a array) : 'a array Nb.t =
+  let mpi = c comm in
+  let recv_counts =
+    match recv_counts with
+    | Some rc -> rc
+    | None ->
+        let size = Comm.size mpi and len = Array.length data in
+        Array.init size (fun r -> (len / size) + if r < len mod size then 1 else 0)
+  in
+  let req, cell = Coll.ireduce_scatter mpi dt op ~recv_counts data in
+  of_deferred req cell
+
 (* Counts are inferred eagerly (one alltoall now); the data exchange is
    deferred to wait/test. *)
 let ialltoallv comm dt ~send_counts ?recv_counts (data : 'a array) : 'a array Nb.t =

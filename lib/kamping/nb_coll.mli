@@ -12,6 +12,16 @@ val ibcast :
 
 val iallreduce : Communicator.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array Nb.t
 
+(** Non-blocking reduce-scatter; omitted [recv_counts] defaults to an
+    as-even-as-possible split, computed locally. *)
+val ireduce_scatter :
+  Communicator.t ->
+  'a Datatype.t ->
+  'a Reduce_op.t ->
+  ?recv_counts:int array ->
+  'a array ->
+  'a array Nb.t
+
 (** Counts are inferred eagerly (one alltoall at call time) when omitted;
     the data exchange is deferred. *)
 val ialltoallv :

@@ -5,9 +5,18 @@
    pairwise exchange, Hillis-Steele prefix), so their modelled cost emerges
    from the algorithm's message pattern rather than a closed formula:
 
-   - [bcast]/[reduce]: binomial tree, O(log p) rounds;
-   - [allgather]: Bruck concatenation, O(log p) rounds (any p);
+   - [bcast]: binomial tree, or binomial scatter + ring allgather for
+     long messages;
+   - [reduce]: binomial tree, O(log p) rounds;
+   - [allreduce]: recursive doubling for short messages, Rabenseifner
+     (recursive-halving reduce-scatter + recursive-doubling allgather)
+     for long commutative ones, reduce+bcast otherwise;
+   - [allgather]: Bruck concatenation, O(log p) rounds (any p), or ring
+     for long messages;
    - [allgatherv]: ring, p-1 rounds (bandwidth-optimal);
+   - [reduce_scatter]/[reduce_scatter_block]: pairwise exchange with an
+     O(n) peak buffer for commutative operations; reduce + scatter(v)
+     otherwise;
    - [alltoall]/[alltoallv]: pairwise exchange; [alltoallv] skips empty
      pairs but charges the O(p) count-array scan that makes dense
      collectives scale linearly in p (paper §V-A);
@@ -18,6 +27,12 @@
    - [barrier]: dissemination; [ibarrier]: rendezvous with modelled
      dissemination cost (used by the NBX sparse all-to-all);
    - neighbor collectives: direct exchange with the static graph topology.
+
+   Where more than one algorithm exists, {!Coll_algo.choose} picks one
+   per call from (payload bytes, communicator size, commutativity)
+   against the thresholds in [Net_model.tuning]; the choice is counted in
+   a [coll.algo.<op>.<algo>] stats counter and emitted as a nested trace
+   span, and can be pinned via [MPISIM_COLL_ALGO] / [Coll_algo.set_overrides].
 
    Every collective starts with [Comm.check_collective], which raises
    ERR_REVOKED / ERR_PROC_FAILED per ULFM semantics and records the
@@ -48,6 +63,14 @@ let tag_scan = P2p.internal_tag 10
 
 let tag_neighbor = P2p.internal_tag 11
 
+let tag_allreduce = P2p.internal_tag 12
+
+let tag_reduce_scatter = P2p.internal_tag 13
+
+let tag_bcast_scatter = P2p.internal_tag 14
+
+let tag_bcast_ring = P2p.internal_tag 15
+
 let empty_int : int array = [||]
 
 (* [root] is the comm-rank root (-1 for unrooted collectives) and [ty] the
@@ -66,6 +89,20 @@ let traced comm ~op f =
   Runtime.with_span (Comm.runtime comm) (Comm.world_rank comm) ~cat:"coll" ~name:op f
 
 let record comm ~op ~bytes = Runtime.record (Comm.runtime comm) ~op ~bytes
+
+(* The algorithm selected for this call, visible to run reports: bump the
+   [coll.algo.<op>.<algo>] counter and nest an [<op>.<algo>] span inside
+   the collective's own span.  Both names are preallocated in Coll_algo,
+   so with tracing off this costs one counter increment. *)
+let dispatch comm alg_op algo f =
+  let rt = Comm.runtime comm in
+  Stats.incr (Stats.counter rt.Runtime.stats (Coll_algo.counter_name alg_op algo));
+  Runtime.with_span rt (Comm.world_rank comm) ~cat:"coll"
+    ~name:(Coll_algo.span_name alg_op algo) f
+
+let choose comm alg_op ~bytes ~commutative ~elems =
+  Coll_algo.choose (Comm.runtime comm).Runtime.model alg_op ~bytes ~size:(Comm.size comm)
+    ~commutative ~elems
 
 (* Charge the O(p) cost of scanning per-rank count/displacement arrays in
    dense vector collectives. *)
@@ -119,7 +156,7 @@ let ibarrier comm =
   state.Comm.ib_entered <- state.Comm.ib_entered + 1;
   state.Comm.ib_max_clock <- Float.max state.Comm.ib_max_clock (Runtime.clock rt me);
   Runtime.bump_progress rt;
-  let rounds = if n <= 1 then 0 else int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+  let rounds = if n <= 1 then 0 else Coll_algo.ceil_log2 n in
   let dissemination_cost =
     float_of_int rounds
     *. (rt.Runtime.model.Net_model.latency +. rt.Runtime.model.Net_model.send_overhead)
@@ -140,20 +177,15 @@ let ibarrier comm =
   req
 
 (* ------------------------------------------------------------------ *)
-(* Broadcast: binomial tree *)
+(* Broadcast: binomial tree, or binomial scatter + ring allgather for
+   long messages. *)
 
-let bcast comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
-  prologue comm ~op:"bcast" ~root ~ty:(Datatype.name dt);
-  check_root comm root;
+let bcast_binomial comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
   let n = Comm.size comm in
   let r = Comm.rank comm in
   let vrank = (r - root + n) mod n in
   let real v = (v + root) mod n in
   let buf = ref (match data with Some d when r = root -> d | _ -> [||]) in
-  if r = root && data = None then
-    Errdefs.usage_error "bcast: root must provide data";
-  record comm ~op:"bcast"
-    ~bytes:(if r = root then Datatype.size_of_count dt (Array.length !buf) else 0);
   if n > 1 then begin
     (* Receive phase: find the lowest set bit of vrank. *)
     let mask = ref 1 in
@@ -182,7 +214,164 @@ let bcast comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
   end;
   !buf
 
-let bcast comm dt ~root data = traced comm ~op:"bcast" (fun () -> bcast comm dt ~root data)
+(* Long-message bcast (van de Geijn): binomial scatter of p blocks from
+   the root, then a ring allgather of the blocks.  2n bytes per rank on
+   the wire instead of the binomial tree's n*log p.  Requires the element
+   count on every rank (the rendezvous below provides it). *)
+let bcast_scatter_allgather comm (dt : 'a Datatype.t) ~root ~total
+    (data : 'a array option) : 'a array =
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let vrank = (r - root + n) mod n in
+  let real v = (v + root) mod n in
+  (* Block v of the vector lives at [disps.(v), disps.(v+1)). *)
+  let cnts = Array.make n (total / n) in
+  for i = 0 to (total mod n) - 1 do
+    cnts.(i) <- cnts.(i) + 1
+  done;
+  let disps = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    disps.(i) <- disps.(i - 1) + cnts.(i - 1)
+  done;
+  let buf =
+    match data with
+    | Some d when r = root -> d
+    | _ -> if total = 0 then [||] else Array.make total (Datatype.zero_elem dt)
+  in
+  (* Scatter phase over vranks: a node entered with mask m holds blocks
+     [vrank, vrank + min m (n - vrank)) and forwards the upper half to the
+     child at vrank + m/2 as m halves. *)
+  let mask = ref 1 in
+  if vrank <> 0 then begin
+    while vrank land !mask = 0 do
+      mask := !mask lsl 1
+    done;
+    let src = real (vrank - !mask) in
+    let extent = Stdlib.min !mask (n - vrank) in
+    let count = disps.(vrank + extent) - disps.(vrank) in
+    let st =
+      P2p.recv_into comm dt ~source:src ~tag:tag_bcast_scatter ~pos:disps.(vrank)
+        ~maxcount:count buf
+    in
+    if Status.count st <> count then
+      Comm.error comm Errdefs.Err_count "bcast: expected %d scattered elements, got %d"
+        count (Status.count st)
+  end
+  else begin
+    while !mask < n do
+      mask := !mask lsl 1
+    done
+  end;
+  mask := !mask lsr 1;
+  while !mask > 0 do
+    if vrank + !mask < n then begin
+      let child = vrank + !mask in
+      let extent = Stdlib.min !mask (n - child) in
+      P2p.send_range comm dt ~dest:(real child) ~tag:tag_bcast_scatter buf
+        ~pos:disps.(child)
+        ~count:(disps.(child + extent) - disps.(child))
+    end;
+    mask := !mask lsr 1
+  done;
+  (* Ring allgather of the n blocks, in vrank space (which is the
+     absolute ring shifted by [root]). *)
+  let right = real ((vrank + 1) mod n) in
+  let left = real ((vrank - 1 + n) mod n) in
+  for s = 0 to n - 2 do
+    let send_block = (vrank - s + n) mod n in
+    let recv_block = (send_block - 1 + n) mod n in
+    P2p.send_range comm dt ~dest:right ~tag:tag_bcast_ring buf ~pos:disps.(send_block)
+      ~count:cnts.(send_block);
+    let st =
+      P2p.recv_into comm dt ~source:left ~tag:tag_bcast_ring ~pos:disps.(recv_block)
+        ~maxcount:cnts.(recv_block) buf
+    in
+    if Status.count st <> cnts.(recv_block) then
+      Comm.error comm Errdefs.Err_count "bcast: expected %d ring elements, got %d"
+        cnts.(recv_block) (Status.count st)
+  done;
+  buf
+
+(* In MPI the element count of a bcast is an argument on every rank; our
+   binding takes the payload at the root only, so size-keyed algorithm
+   selection needs the root to publish the count through the shared
+   communicator record first (simulator state, not a modelled message).
+   Keyed by a per-rank generation counter — collective ordering makes the
+   generations agree across ranks.  The poll also wakes on revocation or
+   a member death so ULFM error semantics are preserved. *)
+let bcast_count_rendezvous comm ~root ~count_at_root =
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let shared = comm.Comm.shared in
+  let gen = comm.Comm.my_bcast_gen in
+  comm.Comm.my_bcast_gen <- gen + 1;
+  let rt = Comm.runtime comm in
+  if r = root then begin
+    Hashtbl.replace shared.Comm.bcast_counts gen
+      { Comm.bc_count = count_at_root; bc_consumed = 0 };
+    Runtime.bump_progress rt
+  end
+  else begin
+    let root_world = Comm.world_of_rank comm root in
+    if not (Hashtbl.mem shared.Comm.bcast_counts gen) then
+      Scheduler.park
+        ~describe:(fun () -> Printf.sprintf "bcast count rendezvous gen %d" gen)
+        ~poll:(fun () ->
+          if
+            Hashtbl.mem shared.Comm.bcast_counts gen
+            || Comm.revocation_reached comm ~world:root_world
+            || Comm.any_member_failed comm
+          then Some ()
+          else None)
+  end;
+  match Hashtbl.find_opt shared.Comm.bcast_counts gen with
+  | Some m ->
+      m.Comm.bc_consumed <- m.Comm.bc_consumed + 1;
+      if m.Comm.bc_consumed >= n then Hashtbl.remove shared.Comm.bcast_counts gen;
+      m.Comm.bc_count
+  | None ->
+      if Comm.revoked_flag comm then
+        Comm.error comm Errdefs.Err_revoked "bcast: communicator revoked";
+      Comm.error comm Errdefs.Err_proc_failed "bcast: root failed before publishing count"
+
+(* [pin] bypasses selection (and with it the count rendezvous): used by
+   the reduce+bcast allreduce lowering, whose baseline cost must be the
+   seed binomial tree regardless of tuning. *)
+let bcast_gen ~pin comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array =
+  prologue comm ~op:"bcast" ~root ~ty:(Datatype.name dt);
+  check_root comm root;
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  if r = root && data = None then Errdefs.usage_error "bcast: root must provide data";
+  record comm ~op:"bcast"
+    ~bytes:
+      (if r = root then
+         Datatype.size_of_count dt
+           (match data with Some d -> Array.length d | None -> 0)
+       else 0);
+  if n = 1 then (match data with Some d -> d | None -> [||])
+  else begin
+    let algo, total =
+      match pin with
+      | Some a -> (a, -1)
+      | None -> (
+          match Coll_algo.override_for Coll_algo.Bcast with
+          | Some Coll_algo.Binomial -> (Coll_algo.Binomial, -1)
+          | _ ->
+              let count_at_root =
+                match data with Some d when r = root -> Array.length d | _ -> 0
+              in
+              let total = bcast_count_rendezvous comm ~root ~count_at_root in
+              let bytes = Datatype.size_of_count dt total in
+              (choose comm Coll_algo.Bcast ~bytes ~commutative:true ~elems:total, total))
+    in
+    dispatch comm Coll_algo.Bcast algo (fun () ->
+        match algo with
+        | Coll_algo.Scatter_allgather -> bcast_scatter_allgather comm dt ~root ~total data
+        | _ -> bcast_binomial comm dt ~root data)
+  end
+
+let bcast comm dt ~root data = traced comm ~op:"bcast" (fun () -> bcast_gen ~pin:None comm dt ~root data)
 
 (* ------------------------------------------------------------------ *)
 (* Gather / Scatter (rooted, direct exchange) *)
@@ -346,40 +535,75 @@ let scatter comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a array 
 let scatter comm dt ~root data = traced comm ~op:"scatter" (fun () -> scatter comm dt ~root data)
 
 (* ------------------------------------------------------------------ *)
-(* Allgather: Bruck concatenation (works for any p, O(log p) rounds) *)
+(* Allgather: Bruck concatenation (works for any p, O(log p) rounds) by
+   default, ring exchange (p-1 rounds, bandwidth-optimal) for long
+   messages. *)
+
+let allgather_bruck comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let count = Array.length data in
+  (* [buf] holds blocks r, r+1, ..., r+held-1 (mod n), in that order. *)
+  let buf = ref (Array.copy data) in
+  let held = ref 1 in
+  while !held < n do
+    let send_blocks = Stdlib.min !held (n - !held) in
+    let dest = (r - !held + n) mod n in
+    let src = (r + !held) mod n in
+    (* Send our first [send_blocks] blocks (they become the receiver's
+       blocks [held..held+send_blocks-1]); receive symmetrically. *)
+    P2p.send_range comm dt ~dest ~tag:tag_allgather !buf ~pos:0
+      ~count:(send_blocks * count);
+    let incoming, _ = P2p.recv comm dt ~source:src ~tag:tag_allgather () in
+    buf := Array.append !buf incoming;
+    held := !held + send_blocks
+  done;
+  (* Rotate from local order (starting at r) to absolute order. *)
+  let total = n * count in
+  let out = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
+  if count > 0 then
+    for b = 0 to n - 1 do
+      let abs_block = (r + b) mod n in
+      Array.blit !buf (b * count) out (abs_block * count) count
+    done;
+  out
+
+let allgather_ring_impl comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let count = Array.length data in
+  let out = if n * count = 0 then [||] else Array.make (n * count) (Datatype.zero_elem dt) in
+  if count > 0 then Array.blit data 0 out (r * count) count;
+  if n > 1 && count > 0 then begin
+    let right = (r + 1) mod n in
+    let left = (r - 1 + n) mod n in
+    for s = 0 to n - 2 do
+      let send_block = (r - s + n) mod n in
+      let recv_block = (send_block - 1 + n) mod n in
+      P2p.send_range comm dt ~dest:right ~tag:tag_allgather out ~pos:(send_block * count)
+        ~count;
+      let (_ : Status.t) =
+        P2p.recv_into comm dt ~source:left ~tag:tag_allgather ~pos:(recv_block * count)
+          ~maxcount:count out
+      in
+      ()
+    done
+  end;
+  out
 
 let allgather comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
   prologue comm ~op:"allgather" ~root:(-1) ~ty:(Datatype.name dt);
   let n = Comm.size comm in
-  let r = Comm.rank comm in
   let count = Array.length data in
   record comm ~op:"allgather" ~bytes:(Datatype.size_of_count dt count);
   if n = 1 then Array.copy data
   else begin
-    (* [buf] holds blocks r, r+1, ..., r+held-1 (mod n), in that order. *)
-    let buf = ref (Array.copy data) in
-    let held = ref 1 in
-    while !held < n do
-      let send_blocks = Stdlib.min !held (n - !held) in
-      let dest = (r - !held + n) mod n in
-      let src = (r + !held) mod n in
-      (* Send our first [send_blocks] blocks (they become the receiver's
-         blocks [held..held+send_blocks-1]); receive symmetrically. *)
-      P2p.send_range comm dt ~dest ~tag:tag_allgather !buf ~pos:0
-        ~count:(send_blocks * count);
-      let incoming, _ = P2p.recv comm dt ~source:src ~tag:tag_allgather () in
-      buf := Array.append !buf incoming;
-      held := !held + send_blocks
-    done;
-    (* Rotate from local order (starting at r) to absolute order. *)
-    let total = n * count in
-    let out = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
-    if count > 0 then
-      for b = 0 to n - 1 do
-        let abs_block = (r + b) mod n in
-        Array.blit !buf (b * count) out (abs_block * count) count
-      done;
-    out
+    let bytes = Datatype.size_of_count dt count in
+    let algo = choose comm Coll_algo.Allgather ~bytes ~commutative:true ~elems:count in
+    dispatch comm Coll_algo.Allgather algo (fun () ->
+        match algo with
+        | Coll_algo.Ring -> allgather_ring_impl comm dt data
+        | _ -> allgather_bruck comm dt data)
   end
 
 let allgather comm dt data = traced comm ~op:"allgather" (fun () -> allgather comm dt data)
@@ -623,12 +847,207 @@ let reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~root (data : 'a arra
 
 let reduce comm dt op ~root data = traced comm ~op:"reduce" (fun () -> reduce comm dt op ~root data)
 
-let allreduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
-  prologue comm ~op:"allreduce" ~root:(-1) ~ty:(Datatype.name dt);
-  record comm ~op:"allreduce" ~bytes:(Datatype.size_of_count dt (Array.length data));
+(* Reference allreduce lowering: reduce to rank 0, then a binomial bcast.
+   The bcast is pinned to the binomial tree so this path's cost stays the
+   seed 2-tree lowering whatever the bcast tuning says (it is both the
+   order-safe fallback and the benchmark baseline). *)
+let allreduce_reduce_bcast comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    (data : 'a array) : 'a array =
   let reduced = reduce comm dt op ~root:0 data in
   let root_data = if Comm.rank comm = 0 then Some reduced else None in
-  bcast comm dt ~root:0 root_data
+  traced comm ~op:"bcast" (fun () ->
+      bcast_gen ~pin:(Some Coll_algo.Binomial) comm dt ~root:0 root_data)
+
+(* The non-power-of-two preamble shared by recursive doubling and
+   Rabenseifner (MPICH's rem-rank scheme): with pof2 = 2^floor(log2 p)
+   and rem = p - pof2, each of the first 2*rem ranks pairs up — evens
+   fold their vector into the odd neighbour and sit out (newrank -1),
+   odds continue as newrank r/2; ranks >= 2*rem continue as r - rem.
+   [combine_recv] must fold a received range into the local buffer. *)
+let fold_into_pof2 comm dt ~rem ~total buf ~(combine_recv : src:int -> unit) =
+  let r = Comm.rank comm in
+  if r < 2 * rem then
+    if r land 1 = 0 then begin
+      P2p.send_range comm dt ~dest:(r + 1) ~tag:tag_allreduce buf ~pos:0 ~count:total;
+      -1
+    end
+    else begin
+      combine_recv ~src:(r - 1);
+      r / 2
+    end
+  else r - rem
+
+(* Mirror of the preamble: odd ranks of the first 2*rem pairs hold the
+   full result and copy it back to their even neighbour. *)
+let unfold_from_pof2 comm dt ~rem ~total buf =
+  let r = Comm.rank comm in
+  if r < 2 * rem then
+    if r land 1 = 1 then
+      P2p.send_range comm dt ~dest:(r - 1) ~tag:tag_allreduce buf ~pos:0 ~count:total
+    else begin
+      let st =
+        P2p.recv_into comm dt ~source:(r + 1) ~tag:tag_allreduce ~pos:0 ~maxcount:total buf
+      in
+      if Status.count st <> total then
+        Comm.error comm Errdefs.Err_count "allreduce: expected %d elements back, got %d"
+          total (Status.count st)
+    end
+
+(* Recursive-doubling allreduce: log2 p rounds of full-vector exchange.
+   Latency-optimal; bandwidth n*log p, so for short messages only. *)
+let allreduce_rdbl comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
+    'a array =
+  let n = Comm.size comm in
+  let total = Array.length data in
+  let buf = Array.copy data in
+  let pof2 = Coll_algo.floor_pow2 n in
+  let rem = n - pof2 in
+  let scratch = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
+  let recv_combine ~src =
+    let st =
+      P2p.recv_into comm dt ~source:src ~tag:tag_allreduce ~pos:0 ~maxcount:total scratch
+    in
+    if Status.count st <> total then
+      Comm.error comm Errdefs.Err_count "allreduce: expected %d elements from %d, got %d"
+        total src (Status.count st);
+    for i = 0 to total - 1 do
+      buf.(i) <- Reduce_op.apply op buf.(i) scratch.(i)
+    done
+  in
+  let newrank = fold_into_pof2 comm dt ~rem ~total buf ~combine_recv:recv_combine in
+  if newrank >= 0 then begin
+    let real nr = if nr < rem then (nr * 2) + 1 else nr + rem in
+    let mask = ref 1 in
+    while !mask < pof2 do
+      let dst = real (newrank lxor !mask) in
+      P2p.send_range comm dt ~dest:dst ~tag:tag_allreduce buf ~pos:0 ~count:total;
+      recv_combine ~src:dst;
+      mask := !mask lsl 1
+    done
+  end;
+  unfold_from_pof2 comm dt ~rem ~total buf;
+  buf
+
+(* Rabenseifner allreduce: recursive-halving reduce-scatter then
+   recursive-doubling allgather over the pof2 sub-machine.  Bandwidth
+   ~2n per rank instead of the 2-tree lowering's 2n*log p; the block
+   bookkeeping (send_idx/recv_idx/last_idx walking the pof2 block table)
+   follows MPICH's allreduce. *)
+let allreduce_rabenseifner comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    (data : 'a array) : 'a array =
+  let n = Comm.size comm in
+  let total = Array.length data in
+  let buf = Array.copy data in
+  let pof2 = Coll_algo.floor_pow2 n in
+  let rem = n - pof2 in
+  let scratch = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
+  let recv_combine_range ~src ~pos ~count =
+    let st =
+      P2p.recv_into comm dt ~source:src ~tag:tag_allreduce ~pos:0 ~maxcount:count scratch
+    in
+    if Status.count st <> count then
+      Comm.error comm Errdefs.Err_count "allreduce: expected %d elements from %d, got %d"
+        count src (Status.count st);
+    for i = 0 to count - 1 do
+      buf.(pos + i) <- Reduce_op.apply op buf.(pos + i) scratch.(i)
+    done
+  in
+  let newrank =
+    fold_into_pof2 comm dt ~rem ~total buf
+      ~combine_recv:(fun ~src -> recv_combine_range ~src ~pos:0 ~count:total)
+  in
+  if newrank >= 0 && pof2 > 1 then begin
+    let real nr = if nr < rem then (nr * 2) + 1 else nr + rem in
+    (* Block v of the vector is [disps.(v), disps.(v+1)); blocks may be
+       empty when total < pof2. *)
+    let cnts = Array.make pof2 (total / pof2) in
+    for i = 0 to (total mod pof2) - 1 do
+      cnts.(i) <- cnts.(i) + 1
+    done;
+    let disps = Array.make (pof2 + 1) 0 in
+    for i = 1 to pof2 do
+      disps.(i) <- disps.(i - 1) + cnts.(i - 1)
+    done;
+    let range_count lo hi = disps.(hi) - disps.(lo) in
+    (* Reduce-scatter by recursive halving: each round exchanges half of
+       the still-owned block range with the partner and folds the kept
+       half.  After log2 pof2 rounds this rank owns one fully reduced
+       block. *)
+    let send_idx = ref 0 and recv_idx = ref 0 and last_idx = ref pof2 in
+    let mask = ref 1 in
+    while !mask < pof2 do
+      let newdst = newrank lxor !mask in
+      let dst = real newdst in
+      let half = pof2 / (!mask * 2) in
+      let s_lo, s_hi, r_lo, r_hi =
+        if newrank < newdst then begin
+          send_idx := !recv_idx + half;
+          (!send_idx, !last_idx, !recv_idx, !send_idx)
+        end
+        else begin
+          recv_idx := !send_idx + half;
+          (!send_idx, !recv_idx, !recv_idx, !last_idx)
+        end
+      in
+      P2p.send_range comm dt ~dest:dst ~tag:tag_allreduce buf ~pos:disps.(s_lo)
+        ~count:(range_count s_lo s_hi);
+      recv_combine_range ~src:dst ~pos:disps.(r_lo) ~count:(range_count r_lo r_hi);
+      send_idx := r_lo;
+      recv_idx := r_lo;
+      mask := !mask lsl 1;
+      if !mask < pof2 then last_idx := r_lo + (pof2 / !mask)
+    done;
+    (* Allgather by recursive doubling: walk the rounds back, exchanging
+       ever larger reduced ranges. *)
+    mask := pof2 asr 1;
+    while !mask > 0 do
+      let newdst = newrank lxor !mask in
+      let dst = real newdst in
+      let half = pof2 / (!mask * 2) in
+      let s_lo, s_hi, r_lo, r_hi =
+        if newrank < newdst then begin
+          if !mask <> pof2 asr 1 then last_idx := !last_idx + half;
+          recv_idx := !send_idx + half;
+          (!send_idx, !recv_idx, !recv_idx, !last_idx)
+        end
+        else begin
+          recv_idx := !send_idx - half;
+          (!send_idx, !last_idx, !recv_idx, !send_idx)
+        end
+      in
+      P2p.send_range comm dt ~dest:dst ~tag:tag_allreduce buf ~pos:disps.(s_lo)
+        ~count:(range_count s_lo s_hi);
+      let rcount = range_count r_lo r_hi in
+      let st =
+        P2p.recv_into comm dt ~source:dst ~tag:tag_allreduce ~pos:disps.(r_lo)
+          ~maxcount:rcount buf
+      in
+      if Status.count st <> rcount then
+        Comm.error comm Errdefs.Err_count "allreduce: expected %d elements from %d, got %d"
+          rcount dst (Status.count st);
+      if newrank > newdst then send_idx := !recv_idx;
+      mask := !mask asr 1
+    done
+  end;
+  unfold_from_pof2 comm dt ~rem ~total buf;
+  buf
+
+let allreduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
+  prologue comm ~op:"allreduce" ~root:(-1) ~ty:(Datatype.name dt);
+  let elems = Array.length data in
+  let bytes = Datatype.size_of_count dt elems in
+  record comm ~op:"allreduce" ~bytes;
+  if Comm.size comm = 1 then Array.copy data
+  else begin
+    let algo =
+      choose comm Coll_algo.Allreduce ~bytes ~commutative:op.Reduce_op.commutative ~elems
+    in
+    dispatch comm Coll_algo.Allreduce algo (fun () ->
+        match algo with
+        | Coll_algo.Recursive_doubling -> allreduce_rdbl comm dt op data
+        | Coll_algo.Rabenseifner -> allreduce_rabenseifner comm dt op data
+        | _ -> allreduce_reduce_bcast comm dt op data)
+  end
 
 let allreduce comm dt op data = traced comm ~op:"allreduce" (fun () -> allreduce comm dt op data)
 
@@ -640,17 +1059,24 @@ let scan comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a 
   let n = Comm.size comm in
   let r = Comm.rank comm in
   let acc = Array.copy data in
+  let len = Array.length acc in
+  (* One scratch buffer for every round's incoming vector: the hot loop
+     neither allocates nor copies beyond the in-place fold. *)
+  let scratch = if len = 0 then [||] else Array.make len (Datatype.zero_elem dt) in
   let d = ref 1 in
   while !d < n do
-    if r + !d < n then
-      P2p.send_range comm dt ~dest:(r + !d) ~tag:tag_scan acc ~pos:0
-        ~count:(Array.length acc);
+    if r + !d < n then P2p.send_range comm dt ~dest:(r + !d) ~tag:tag_scan acc ~pos:0 ~count:len;
     if r - !d >= 0 then begin
-      let earlier, _ = P2p.recv comm dt ~source:(r - !d) ~tag:tag_scan () in
-      (* [earlier] covers ranks before ours: combine on the left. *)
-      let combined = Array.copy earlier in
-      combine_into op ~acc:combined acc;
-      Array.blit combined 0 acc 0 (Array.length acc)
+      let st =
+        P2p.recv_into comm dt ~source:(r - !d) ~tag:tag_scan ~pos:0 ~maxcount:len scratch
+      in
+      if Status.count st <> len then
+        Errdefs.usage_error "scan: element count mismatch (%d vs %d)" len (Status.count st);
+      (* [scratch] covers ranks before ours: combine on the left, writing
+         the result straight into [acc]. *)
+      for i = 0 to len - 1 do
+        acc.(i) <- Reduce_op.apply op scratch.(i) acc.(i)
+      done
     end;
     d := !d * 2
   done;
@@ -764,33 +1190,13 @@ let neighbor_alltoallv comm dt ~send_counts ~recv_counts data =
   traced comm ~op:"neighbor_alltoallv" (fun () ->
       neighbor_alltoallv comm dt ~send_counts ~recv_counts data)
 
-(* Ring allgather: p-1 rounds of fixed-size block passing.  Bandwidth
-   optimal but with latency linear in p — kept alongside the default Bruck
-   algorithm for the algorithm-choice ablation (DESIGN.md §4). *)
+(* Ring allgather under its own name: always the ring algorithm,
+   regardless of tuning — kept for the algorithm-choice ablation
+   (DESIGN.md §4). *)
 let allgather_ring comm (dt : 'a Datatype.t) (data : 'a array) : 'a array =
   prologue comm ~op:"allgather_ring" ~root:(-1) ~ty:(Datatype.name dt);
-  let n = Comm.size comm in
-  let r = Comm.rank comm in
-  let count = Array.length data in
-  record comm ~op:"allgather_ring" ~bytes:(Datatype.size_of_count dt count);
-  let out = if n * count = 0 then [||] else Array.make (n * count) (Datatype.zero_elem dt) in
-  if count > 0 then Array.blit data 0 out (r * count) count;
-  if n > 1 && count > 0 then begin
-    let right = (r + 1) mod n in
-    let left = (r - 1 + n) mod n in
-    for s = 0 to n - 2 do
-      let send_block = (r - s + n) mod n in
-      let recv_block = (send_block - 1 + n) mod n in
-      P2p.send_range comm dt ~dest:right ~tag:tag_allgather out ~pos:(send_block * count)
-        ~count;
-      let (_ : Status.t) =
-        P2p.recv_into comm dt ~source:left ~tag:tag_allgather ~pos:(recv_block * count)
-          ~maxcount:count out
-      in
-      ()
-    done
-  end;
-  out
+  record comm ~op:"allgather_ring" ~bytes:(Datatype.size_of_count dt (Array.length data));
+  allgather_ring_impl comm dt data
 
 let allgather_ring comm dt data =
   traced comm ~op:"allgather_ring" (fun () -> allgather_ring comm dt data)
@@ -799,9 +1205,49 @@ let allgather_ring comm dt data =
 (* Reduce-scatter: elementwise reduction whose result is scattered in
    blocks (MPI_Reduce_scatter_block / MPI_Reduce_scatter). *)
 
+(* Peak per-rank working-buffer size of a reduce_scatter, in elements: a
+   max-gauge, so the benchmark gate can show the pairwise algorithm stays
+   O(n) where the reference lowering materializes O(p*n) at the root. *)
+let note_rs_scratch comm elems =
+  let g =
+    Stats.gauge (Comm.runtime comm).Runtime.stats "coll.reduce_scatter.peak_scratch_elems"
+  in
+  if float_of_int elems > Stats.value g then Stats.set g (float_of_int elems)
+
+(* Pairwise exchange: p-1 rounds; round s sends the block destined to
+   rank r+s and folds the block received from rank r-s.  Each rank only
+   ever materializes its own block plus one incoming block — O(n/p) where
+   the reference lowering needs the whole O(n) vector at the root.
+   Commutative operators only (blocks are folded in arrival order). *)
+let reduce_scatter_pairwise comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    ~(recv_counts : int array) ~(displs : int array) (data : 'a array) : 'a array =
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let mine = recv_counts.(r) in
+  let acc = Array.sub data displs.(r) mine in
+  let scratch = if mine = 0 then [||] else Array.make mine (Datatype.zero_elem dt) in
+  note_rs_scratch comm (2 * mine);
+  for s = 1 to n - 1 do
+    let dest = (r + s) mod n in
+    let src = (r - s + n) mod n in
+    P2p.send_range comm dt ~dest ~tag:tag_reduce_scatter data ~pos:displs.(dest)
+      ~count:recv_counts.(dest);
+    let st =
+      P2p.recv_into comm dt ~source:src ~tag:tag_reduce_scatter ~pos:0 ~maxcount:mine
+        scratch
+    in
+    if Status.count st <> mine then
+      Comm.error comm Errdefs.Err_count
+        "reduce_scatter: expected %d elements from rank %d, got %d" mine src
+        (Status.count st);
+    for i = 0 to mine - 1 do
+      acc.(i) <- Reduce_op.apply op acc.(i) scratch.(i)
+    done
+  done;
+  acc
+
 (* Equal block sizes: data has p * count elements; rank r receives the
-   reduced block r.  Implemented as reduce + scatter (the simple
-   tree-based lowering). *)
+   reduced block r. *)
 let reduce_scatter_block comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
     (data : 'a array) : 'a array =
   prologue comm ~op:"reduce_scatter_block" ~root:(-1) ~ty:(Datatype.name dt);
@@ -809,10 +1255,27 @@ let reduce_scatter_block comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
   if Array.length data mod n <> 0 then
     Errdefs.usage_error "reduce_scatter_block: data length %d not divisible by %d"
       (Array.length data) n;
-  record comm ~op:"reduce_scatter_block"
-    ~bytes:(Datatype.size_of_count dt (Array.length data));
-  let reduced = reduce comm dt op ~root:0 data in
-  scatter comm dt ~root:0 (if Comm.rank comm = 0 then Some reduced else None)
+  let total = Array.length data in
+  let bytes = Datatype.size_of_count dt total in
+  record comm ~op:"reduce_scatter_block" ~bytes;
+  if n = 1 then Array.copy data
+  else begin
+    let algo =
+      choose comm Coll_algo.Reduce_scatter ~bytes ~commutative:op.Reduce_op.commutative
+        ~elems:total
+    in
+    dispatch comm Coll_algo.Reduce_scatter algo (fun () ->
+        match algo with
+        | Coll_algo.Pairwise ->
+            let count = total / n in
+            let recv_counts = Array.make n count in
+            let displs = Array.init n (fun i -> i * count) in
+            reduce_scatter_pairwise comm dt op ~recv_counts ~displs data
+        | _ ->
+            if Comm.rank comm = 0 then note_rs_scratch comm total;
+            let reduced = reduce comm dt op ~root:0 data in
+            scatter comm dt ~root:0 (if Comm.rank comm = 0 then Some reduced else None))
+  end
 
 let reduce_scatter_block comm dt op data =
   traced comm ~op:"reduce_scatter_block" (fun () -> reduce_scatter_block comm dt op data)
@@ -829,10 +1292,25 @@ let reduce_scatter comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
   if Array.length data <> total then
     Errdefs.usage_error "reduce_scatter: data length %d does not match counts sum %d"
       (Array.length data) total;
-  record comm ~op:"reduce_scatter" ~bytes:(Datatype.size_of_count dt total);
-  let reduced = reduce comm dt op ~root:0 data in
-  scatterv comm dt ~root:0 ~send_counts:recv_counts
-    (if Comm.rank comm = 0 then Some reduced else None)
+  let bytes = Datatype.size_of_count dt total in
+  record comm ~op:"reduce_scatter" ~bytes;
+  if n = 1 then Array.copy data
+  else begin
+    let algo =
+      choose comm Coll_algo.Reduce_scatter ~bytes ~commutative:op.Reduce_op.commutative
+        ~elems:total
+    in
+    dispatch comm Coll_algo.Reduce_scatter algo (fun () ->
+        match algo with
+        | Coll_algo.Pairwise ->
+            let displs = exclusive_prefix_sum recv_counts in
+            reduce_scatter_pairwise comm dt op ~recv_counts ~displs data
+        | _ ->
+            if Comm.rank comm = 0 then note_rs_scratch comm total;
+            let reduced = reduce comm dt op ~root:0 data in
+            scatterv comm dt ~root:0 ~send_counts:recv_counts
+              (if Comm.rank comm = 0 then Some reduced else None))
+  end
 
 let reduce_scatter comm dt op ~recv_counts data =
   traced comm ~op:"reduce_scatter" (fun () -> reduce_scatter comm dt op ~recv_counts data)
@@ -891,5 +1369,14 @@ let ialltoallv comm (dt : 'a Datatype.t) ~send_counts ~send_displs ~recv_counts
     deferred_collective comm ~opname:"ialltoallv" (fun () ->
         result :=
           Some (alltoallv comm dt ~send_counts ~send_displs ~recv_counts ~recv_displs data))
+  in
+  (req, result)
+
+let ireduce_scatter comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~recv_counts
+    (data : 'a array) : Request.t * 'a array option ref =
+  let result = ref None in
+  let req =
+    deferred_collective comm ~opname:"ireduce_scatter" (fun () ->
+        result := Some (reduce_scatter comm dt op ~recv_counts data))
   in
   (req, result)

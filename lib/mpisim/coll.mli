@@ -1,7 +1,16 @@
 (** Blocking collective operations, implemented with real algorithms on
     top of the point-to-point layer (binomial trees, Bruck concatenation,
-    ring exchange, pairwise exchange, Hillis-Steele prefix), so modelled
-    cost emerges from each algorithm's message pattern.
+    ring exchange, pairwise exchange, recursive halving/doubling,
+    Hillis-Steele prefix), so modelled cost emerges from each algorithm's
+    message pattern.
+
+    Operations with more than one algorithm (allreduce, allgather, bcast,
+    reduce_scatter) consult {!Coll_algo.choose} per call: selection is
+    keyed on payload bytes and communicator size against the thresholds
+    in [Net_model.tuning], can be pinned via [MPISIM_COLL_ALGO] or
+    {!Coll_algo.set_overrides}, and is observable through the
+    [coll.algo.<op>.<algo>] stats counters and an [<op>.<algo>] trace
+    span nested in the collective's span.
 
     This layer mirrors MPI's semantics: variable-size collectives require
     counts (and, for alltoallv, displacements) as the standard does —
@@ -25,8 +34,9 @@ val ibarrier : Comm.t -> Request.t
 
 (** {1 One-to-all / all-to-one} *)
 
-(** Binomial-tree broadcast.  The root passes [Some data]; all ranks
-    return the payload. *)
+(** Broadcast.  The root passes [Some data]; all ranks return the
+    payload.  Binomial tree, or binomial scatter + ring allgather for
+    long messages. *)
 val bcast : Comm.t -> 'a Datatype.t -> root:int -> 'a array option -> 'a array
 
 (** Equal-count gather; the root returns the rank-ordered concatenation,
@@ -53,7 +63,8 @@ val scatterv :
 
 (** {1 All-to-all} *)
 
-(** Equal-count allgather (Bruck concatenation, O(log p) rounds). *)
+(** Equal-count allgather: Bruck concatenation (O(log p) rounds), or
+    ring for long messages. *)
 val allgather : Comm.t -> 'a Datatype.t -> 'a array -> 'a array
 
 (** Ring allgather: same result, p-1 rounds; kept for the
@@ -98,6 +109,10 @@ val alltoallw :
     operations, gather + rank-ordered fold otherwise. *)
 val reduce : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> root:int -> 'a array -> 'a array
 
+(** Elementwise reduction delivered to every rank: recursive doubling
+    for short messages, Rabenseifner (recursive-halving reduce-scatter +
+    recursive-doubling allgather) for long commutative ones, and the
+    order-safe reduce+bcast lowering for non-commutative operators. *)
 val allreduce : Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
 
 (** Inclusive prefix (Hillis-Steele, order-preserving). *)
@@ -131,7 +146,8 @@ val neighbor_alltoallv :
 (** {1 Reduce-scatter} *)
 
 (** Elementwise reduction of a [p * count]-element vector whose reduced
-    block [r] is delivered to rank [r]. *)
+    block [r] is delivered to rank [r].  Pairwise exchange (O(n) peak
+    buffer) for commutative operators; reduce + scatter otherwise. *)
 val reduce_scatter_block :
   Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> 'a array -> 'a array
 
@@ -160,5 +176,13 @@ val ialltoallv :
   send_displs:int array ->
   recv_counts:int array ->
   recv_displs:int array ->
+  'a array ->
+  Request.t * 'a array option ref
+
+val ireduce_scatter :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Reduce_op.t ->
+  recv_counts:int array ->
   'a array ->
   Request.t * 'a array option ref

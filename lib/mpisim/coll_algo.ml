@@ -1,0 +1,194 @@
+(* Collective-algorithm selection.  See the interface for the contract.
+
+   Selection must be deterministic and identical on every rank: it is a
+   pure function of (model tuning, call signature) plus a global override
+   table that only changes between runs.  The counter/span name tables
+   are precomputed so the dispatch path in Coll allocates nothing. *)
+
+type op = Allreduce | Allgather | Bcast | Reduce_scatter
+
+type algo =
+  | Reduce_bcast
+  | Recursive_doubling
+  | Rabenseifner
+  | Bruck
+  | Ring
+  | Binomial
+  | Scatter_allgather
+  | Reduce_scatterv
+  | Pairwise
+
+let op_name = function
+  | Allreduce -> "allreduce"
+  | Allgather -> "allgather"
+  | Bcast -> "bcast"
+  | Reduce_scatter -> "reduce_scatter"
+
+let algo_name = function
+  | Reduce_bcast -> "reduce_bcast"
+  | Recursive_doubling -> "recursive_doubling"
+  | Rabenseifner -> "rabenseifner"
+  | Bruck -> "bruck"
+  | Ring -> "ring"
+  | Binomial -> "binomial"
+  | Scatter_allgather -> "scatter_allgather"
+  | Reduce_scatterv -> "reduce_scatterv"
+  | Pairwise -> "pairwise"
+
+let op_index = function Allreduce -> 0 | Allgather -> 1 | Bcast -> 2 | Reduce_scatter -> 3
+let all_ops = [| Allreduce; Allgather; Bcast; Reduce_scatter |]
+
+let algo_index = function
+  | Reduce_bcast -> 0
+  | Recursive_doubling -> 1
+  | Rabenseifner -> 2
+  | Bruck -> 3
+  | Ring -> 4
+  | Binomial -> 5
+  | Scatter_allgather -> 6
+  | Reduce_scatterv -> 7
+  | Pairwise -> 8
+
+let all_algos =
+  [|
+    Reduce_bcast; Recursive_doubling; Rabenseifner; Bruck; Ring; Binomial; Scatter_allgather;
+    Reduce_scatterv; Pairwise;
+  |]
+
+let valid_for op algo =
+  match (op, algo) with
+  | Allreduce, (Reduce_bcast | Recursive_doubling | Rabenseifner) -> true
+  | Allgather, (Bruck | Ring) -> true
+  | Bcast, (Binomial | Scatter_allgather) -> true
+  | Reduce_scatter, (Reduce_scatterv | Pairwise) -> true
+  | _ -> false
+
+(* Algorithms that reassociate the reduction across non-contiguous rank
+   groups; only safe for commutative operators. *)
+let needs_commutative = function
+  | Recursive_doubling | Rabenseifner | Pairwise -> true
+  | _ -> false
+
+let counter_names =
+  Array.map
+    (fun o -> Array.map (fun a -> "coll.algo." ^ op_name o ^ "." ^ algo_name a) all_algos)
+    all_ops
+
+let span_names =
+  Array.map (fun o -> Array.map (fun a -> op_name o ^ "." ^ algo_name a) all_algos) all_ops
+
+let counter_name op algo = counter_names.(op_index op).(algo_index algo)
+let span_name op algo = span_names.(op_index op).(algo_index algo)
+
+(* --- overrides ------------------------------------------------------- *)
+
+type spec = (op * algo option) list
+
+let overrides : algo option array = Array.make (Array.length all_ops) None
+
+let override_for op = overrides.(op_index op)
+
+let set_overrides spec = List.iter (fun (o, a) -> overrides.(op_index o) <- a) spec
+
+let clear_overrides () = Array.fill overrides 0 (Array.length overrides) None
+
+let op_of_name = function
+  | "allreduce" -> Some Allreduce
+  | "allgather" -> Some Allgather
+  | "bcast" -> Some Bcast
+  | "reduce_scatter" -> Some Reduce_scatter
+  | _ -> None
+
+let algo_of_name n = Array.find_opt (fun a -> algo_name a = n) all_algos
+
+let parse_spec s =
+  let entries =
+    String.split_on_char ',' s
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  let parse_entry e =
+    match String.index_opt e '=' with
+    | None -> Error (Printf.sprintf "coll-algo entry %S is not of the form op=alg" e)
+    | Some i -> (
+        let opname = String.trim (String.sub e 0 i) in
+        let algname = String.trim (String.sub e (i + 1) (String.length e - i - 1)) in
+        match op_of_name opname with
+        | None -> Error (Printf.sprintf "unknown collective %S in coll-algo spec" opname)
+        | Some op ->
+            if algname = "auto" then Ok (op, None)
+            else (
+              match algo_of_name algname with
+              | None -> Error (Printf.sprintf "unknown algorithm %S in coll-algo spec" algname)
+              | Some a when not (valid_for op a) ->
+                  Error
+                    (Printf.sprintf "algorithm %s does not implement %s" algname opname)
+              | Some a -> Ok (op, Some a)))
+  in
+  List.fold_left
+    (fun acc e ->
+      match (acc, parse_entry e) with
+      | Error _, _ -> acc
+      | _, Error m -> Error m
+      | Ok l, Ok kv -> Ok (kv :: l))
+    (Ok []) entries
+  |> Result.map List.rev
+
+let refresh_from_env () =
+  clear_overrides ();
+  match Sys.getenv_opt "MPISIM_COLL_ALGO" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match parse_spec s with
+      | Ok spec -> set_overrides spec
+      | Error m -> Printf.eprintf "mpisim: ignoring MPISIM_COLL_ALGO: %s\n%!" m)
+
+let () = refresh_from_env ()
+
+(* --- integer helpers -------------------------------------------------- *)
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Coll_algo.ceil_log2";
+  let k = ref 0 in
+  let v = ref 1 in
+  while !v < n do
+    incr k;
+    v := !v lsl 1
+  done;
+  !k
+
+let floor_pow2 n =
+  if n < 1 then invalid_arg "Coll_algo.floor_pow2";
+  let v = ref 1 in
+  while !v lsl 1 <= n do
+    v := !v lsl 1
+  done;
+  !v
+
+(* --- selection -------------------------------------------------------- *)
+
+let auto (t : Net_model.coll_tuning) op ~bytes ~size ~commutative ~elems =
+  match op with
+  | Allreduce ->
+      if not commutative then Reduce_bcast
+        (* Rabenseifner needs at least one element per power-of-two block
+           to beat the full-vector exchanges; MPICH uses the same guard. *)
+      else if bytes <= t.Net_model.allreduce_rdbl_max_bytes || elems < floor_pow2 size then
+        Recursive_doubling
+      else Rabenseifner
+  | Allgather -> if bytes >= t.Net_model.allgather_ring_min_bytes then Ring else Bruck
+  | Bcast ->
+      (* Below four ranks the scatter phase degenerates (blocks the size
+         of the message over <= 3 nodes); binomial is never worse. *)
+      if size >= 4 && bytes >= t.Net_model.bcast_scatter_min_bytes then Scatter_allgather
+      else Binomial
+  | Reduce_scatter ->
+      if (not commutative) || bytes < t.Net_model.reduce_scatter_pairwise_min_bytes then
+        Reduce_scatterv
+      else Pairwise
+
+let choose (model : Net_model.t) op ~bytes ~size ~commutative ~elems =
+  match override_for op with
+  | Some a when commutative || not (needs_commutative a) -> a
+  | _ -> auto model.Net_model.tuning op ~bytes ~size ~commutative ~elems

@@ -39,12 +39,19 @@ type shrink_state = {
   mutable sh_survivors : int list option;  (* comm ranks, decided once *)
 }
 
+type bcast_count = {
+  bc_count : int;
+  mutable bc_consumed : int;
+}
+
 type shared = {
   context : int;
   group : Group.t;  (* comm rank -> world rank *)
   inverse : (int, int) Hashtbl.t Lazy.t;  (* world rank -> comm rank *)
   mutable revoked : bool;
+  revoke_observed : bool array;  (* comm rank -> rank has observed the revoke *)
   ibarriers : (int, ibarrier_state) Hashtbl.t;  (* generation -> state *)
+  bcast_counts : (int, bcast_count) Hashtbl.t;  (* generation -> root's count *)
   mutable pending_shrink : shrink_state option;
   (* Per-rank trace of collective operations, recorded at assertion level
      >= 2 and checked for consistency by the engine (a "strong debug mode",
@@ -59,6 +66,7 @@ type t = {
   mutable errhandler : Errdefs.handler;
   mutable my_ibarrier_gen : int;
   mutable my_agree_gen : int;
+  mutable my_bcast_gen : int;
   topology : topology option;
 }
 
@@ -78,7 +86,9 @@ let create_shared rt group =
     group;
     inverse;
     revoked = false;
+    revoke_observed = Array.make (Group.size group) false;
     ibarriers = Hashtbl.create 4;
+    bcast_counts = Hashtbl.create 4;
     pending_shrink = None;
     op_trace;
   }
@@ -119,7 +129,9 @@ let get_or_create_shared rt ~context ~group =
           group;
           inverse;
           revoked = false;
+          revoke_observed = Array.make (Group.size group) false;
           ibarriers = Hashtbl.create 4;
+          bcast_counts = Hashtbl.create 4;
           pending_shrink = None;
           op_trace;
         }
@@ -152,6 +164,7 @@ let attach ?topology rt shared ~rank =
     errhandler = Errdefs.Errors_raise;
     my_ibarrier_gen = 0;
     my_agree_gen = 0;
+    my_bcast_gen = 0;
     topology;
   }
 
@@ -175,11 +188,34 @@ let rank_of_world t w =
   | Some r -> r
   | None -> Errdefs.usage_error "world rank %d is not a member of this communicator" w
 
-let is_revoked t = t.shared.revoked
+(* Revocation propagates rank to rank rather than instantaneously: each
+   rank is marked as having observed it the first time the revocation
+   becomes visible to that rank's own control flow (it revokes, queries
+   [is_revoked], or has [Err_revoked] raised on it).  Receives parked
+   before the revocation only abort once their source has observed it (or
+   died) — see [revocation_reached] — so a collective that every member
+   entered before the revoke can still drain to completion, as in real
+   ULFM where revocation notice reaches ranks asynchronously. *)
+let note_revocation_observed t =
+  if not t.shared.revoke_observed.(t.rank) then begin
+    t.shared.revoke_observed.(t.rank) <- true;
+    Runtime.bump_progress t.rt
+  end
+
+let revoked_flag t = t.shared.revoked
+
+let is_revoked t =
+  if t.shared.revoked then note_revocation_observed t;
+  t.shared.revoked
 
 let revoke t =
   t.shared.revoked <- true;
+  note_revocation_observed t;
   Runtime.bump_progress t.rt
+
+let revocation_reached t ~world =
+  t.shared.revoked
+  && (t.shared.revoke_observed.(rank_of_world t world) || Runtime.is_failed t.rt world)
 
 let set_errhandler t h = t.errhandler <- h
 
@@ -190,6 +226,7 @@ let topology t = t.topology
 (* Raise (or otherwise handle) a runtime failure according to the
    communicator's error handler. *)
 let error t code fmt =
+  (match code with Errdefs.Err_revoked -> note_revocation_observed t | _ -> ());
   Printf.ksprintf
     (fun msg ->
       match t.errhandler with

@@ -33,12 +33,29 @@ type shrink_state = {
           shrink cannot make survivors compute differing groups *)
 }
 
+type bcast_count = {
+  bc_count : int;  (** element count published by the bcast root *)
+  mutable bc_consumed : int;  (** ranks done with this entry; reclaimed at size *)
+}
+(** In real MPI every rank passes the count to [MPI_Bcast]; our binding
+    takes the payload at the root only, so the collective layer publishes
+    the root's count here (keyed by per-rank bcast generation) before the
+    data moves.  Message-size-keyed algorithm selection reads it so all
+    ranks pick the same algorithm. *)
+
 type shared = {
   context : int;
   group : Group.t;
   inverse : (int, int) Hashtbl.t Lazy.t;
   mutable revoked : bool;
+  revoke_observed : bool array;
+      (** per comm rank: has that rank's control flow observed the
+          revocation yet?  Receives parked before the revoke only abort
+          once their source is marked here (or dead), so in-flight
+          collectives can drain — revocation notice propagates
+          asynchronously, as in real ULFM. *)
   ibarriers : (int, ibarrier_state) Hashtbl.t;
+  bcast_counts : (int, bcast_count) Hashtbl.t;
   mutable pending_shrink : shrink_state option;
   mutable op_trace : string list array option;
 }
@@ -50,6 +67,7 @@ type t = {
   mutable errhandler : Errdefs.handler;
   mutable my_ibarrier_gen : int;
   mutable my_agree_gen : int;
+  mutable my_bcast_gen : int;
   topology : topology option;
 }
 
@@ -99,7 +117,21 @@ val topology : t -> topology option
 
 (** {1 Revocation and error handling (§III-G, §V-B)} *)
 
+(** Whether the communicator has been revoked.  Also records that this
+    rank has now observed the revocation, releasing peers whose parked
+    receives were waiting on this rank (see {!revocation_reached}). *)
 val is_revoked : t -> bool
+
+(** [is_revoked] without the observation side effect: for poll loops that
+    must not count as this rank abandoning its in-flight operations. *)
+val revoked_flag : t -> bool
+
+(** The communicator is revoked {e and} the revocation is visible from
+    world rank [world]'s side: that rank has observed it or has failed.
+    A receive parked on a specific source aborts with [ERR_REVOKED] only
+    under this condition — while the source is alive and still unaware of
+    the revocation, it may yet complete the in-flight exchange. *)
+val revocation_reached : t -> world:int -> bool
 
 val revoke : t -> unit
 

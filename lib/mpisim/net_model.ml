@@ -41,6 +41,30 @@ type fault_profile = {
   link_overrides : ((int * int) * link_rates) list;
 }
 
+(* Thresholds steering the collective-algorithm engine (Coll_algo).  All
+   cutoffs are in payload bytes; defaults follow the switch-over points
+   real MPI implementations use (MPICH: 2KB short-allreduce cutoff,
+   long-message ring/pairwise algorithms past the eager range). *)
+type coll_tuning = {
+  allreduce_rdbl_max_bytes : int;
+      (* at or below: recursive-doubling allreduce; above: Rabenseifner *)
+  allgather_ring_min_bytes : int;
+      (* per-rank contribution at or above which ring replaces Bruck *)
+  bcast_scatter_min_bytes : int;
+      (* total payload at or above which scatter+ring replaces binomial *)
+  reduce_scatter_pairwise_min_bytes : int;
+      (* total payload at or above which pairwise exchange replaces the
+         reduce-to-root + scatter reference lowering *)
+}
+
+let default_tuning =
+  {
+    allreduce_rdbl_max_bytes = 2048;
+    allgather_ring_min_bytes = 32768;
+    bcast_scatter_min_bytes = 65536;
+    reduce_scatter_pairwise_min_bytes = 2048;
+  }
+
 type t = {
   name : string;
   latency : float;  (* seconds of wire latency per message (alpha_net) *)
@@ -52,6 +76,7 @@ type t = {
   dense_scan_byte : float;  (* per-rank scan cost of dense vector collectives *)
   topo_setup_per_rank : float;  (* graph-topology construction, per rank *)
   faults : fault_profile option;  (* lossy-network model; None = perfect links *)
+  tuning : coll_tuning;  (* collective algorithm switch-over points *)
 }
 
 let perfect_link = { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0.; jitter = 0. }
@@ -85,6 +110,7 @@ let omnipath =
     dense_scan_byte = 1.0e-9;
     topo_setup_per_rank = 0.5e-6;
     faults = None;
+    tuning = default_tuning;
   }
 
 (* Commodity ethernet: higher latency, 10 Gbit/s. *)
@@ -100,6 +126,7 @@ let ethernet =
     dense_scan_byte = 2e-9;
     topo_setup_per_rank = 2e-6;
     faults = None;
+    tuning = default_tuning;
   }
 
 (* Free communication: useful for correctness tests where modelled time is
@@ -116,6 +143,7 @@ let zero_cost =
     dense_scan_byte = 0.;
     topo_setup_per_rank = 0.;
     faults = None;
+    tuning = default_tuning;
   }
 
 let send_busy_time m ~bytes = m.send_overhead +. (float_of_int bytes *. m.byte_time)

@@ -26,6 +26,25 @@ type fault_profile = {
   link_overrides : ((int * int) * link_rates) list;
 }
 
+(** Thresholds steering the collective-algorithm engine ({!Coll_algo}).
+    All cutoffs are payload bytes; defaults mirror the switch-over points
+    real MPI implementations use. *)
+type coll_tuning = {
+  allreduce_rdbl_max_bytes : int;
+      (** at or below: recursive-doubling allreduce; above: Rabenseifner *)
+  allgather_ring_min_bytes : int;
+      (** per-rank contribution at or above which ring replaces Bruck *)
+  bcast_scatter_min_bytes : int;
+      (** total payload at or above which scatter+ring replaces binomial *)
+  reduce_scatter_pairwise_min_bytes : int;
+      (** total payload at or above which pairwise exchange replaces the
+          reduce-to-root + scatter reference lowering *)
+}
+
+(** 2KB recursive-doubling cutoff, 32KB ring allgather, 64KB
+    scatter+allgather bcast, 2KB pairwise reduce_scatter cutoff. *)
+val default_tuning : coll_tuning
+
 type t = {
   name : string;
   latency : float;  (** wire latency per message, seconds (alpha) *)
@@ -43,6 +62,9 @@ type t = {
   faults : fault_profile option;
       (** lossy-network model for the chaos plane; [None] (the presets'
           value) means perfect links and costs nothing on the data path *)
+  tuning : coll_tuning;
+      (** collective algorithm switch-over points (presets use
+          [default_tuning]) *)
 }
 
 (** All-zero link rates. *)

@@ -64,7 +64,10 @@ let inject_message comm (dt : 'a Datatype.t) ~op ~dest ~tag ~sync (data : 'a arr
   let rt = Comm.runtime comm in
   let me = Comm.world_rank comm in
   check_alive_self comm;
-  check_revoked comm ~op;
+  (* Internal collective traffic (reserved tags) is exempt from the
+     revocation entry check: the collective already checked at entry, and
+     its in-flight exchanges must be allowed to drain after a revoke. *)
+  if tag <= Comm.max_user_tag then check_revoked comm ~op;
   check_dest_alive comm ~op dest;
   if rt.Runtime.assertion_level >= 1 && not (Datatype.is_committed dt) then
     Errdefs.usage_error "%s: datatype %s is not committed" op (Datatype.name dt);
@@ -202,7 +205,16 @@ let await_posted comm ~op ~src_world (p : Mailbox.posted) =
   let failed_source () =
     src_world <> any_source && Runtime.is_failed rt src_world && p.Mailbox.p_msg = None
   in
-  let ready () = p.Mailbox.p_msg <> None || failed_source () || Comm.is_revoked comm in
+  (* A revoked communicator only aborts this receive once the source has
+     itself observed the revocation (or died, or is a wildcard): until
+     then the source may still complete the in-flight exchange, and
+     waking early would tear down collectives that could drain. *)
+  let revocation_abort () =
+    p.Mailbox.p_msg = None
+    && Comm.revoked_flag comm
+    && (src_world = any_source || Comm.revocation_reached comm ~world:src_world)
+  in
+  let ready () = p.Mailbox.p_msg <> None || failed_source () || revocation_abort () in
   if not (ready ()) then begin
     if Check.enabled (checker comm) then
       set_waiting_recv comm ~op ~src_world ~tag:p.Mailbox.p_tag;
@@ -217,7 +229,7 @@ let await_posted comm ~op ~src_world (p : Mailbox.posted) =
   | Some msg -> msg
   | None ->
       Mailbox.cancel (my_mailbox comm) p;
-      if Comm.is_revoked comm then
+      if revocation_abort () then
         Comm.error comm Errdefs.Err_revoked "%s: communicator revoked" op
       else
         Comm.error comm Errdefs.Err_proc_failed "%s: source rank has failed" op

@@ -280,6 +280,53 @@ let test_partition_heals () =
     (Stats.count (Stats.counter report.Engine.stats "chaos.dropped") > 0);
   Alcotest.(check bool) "ring completes correctly after heal" true (results = expected)
 
+(* --- Tuned collectives under chaos: deterministic replay --- *)
+
+(* Rabenseifner allreduce and ring allgather have the most intricate
+   message patterns of the algorithm engine; under a lossy link profile
+   their retransmission schedule must still replay byte-identically, and
+   the results must match a chaos-off run. *)
+let test_coll_algo_replay () =
+  (* 4096 ints = 32KB: above both the 2KB Rabenseifner cutoff and the
+     32KB ring-allgather threshold, so the automatic choice exercises the
+     long-message algorithms. *)
+  let elems = 4_096 in
+  let program comm =
+    let r = Comm.rank comm in
+    let sum =
+      Coll.allreduce comm Datatype.int Reduce_op.int_sum
+        (Array.init elems (fun i -> i + r))
+    in
+    let gathered = Coll.allgather comm Datatype.int (Array.init elems (fun i -> (r * elems) + i)) in
+    (sum.(0), sum.(elems - 1), Array.fold_left ( + ) 0 gathered)
+  in
+  let run ?chaos () =
+    Engine.run_collect ~model:Net_model.ethernet ~clock_mode:Runtime.Virtual_only ?chaos
+      ~ranks:4 program
+  in
+  (* A denser drop rate than the default lossy profile: the collectives
+     send few, large messages, so 2% per attempt may never fire. *)
+  let cfg () =
+    Chaos.config ~seed:11
+      ~rates:{ (Net_model.lossy_rates ~latency:25e-6) with Net_model.drop = 0.2 }
+      ()
+  in
+  let res1, r1 = run ~chaos:(cfg ()) () in
+  let res2, r2 = run ~chaos:(cfg ()) () in
+  let expected, _ = run () in
+  let log r =
+    match r.Engine.chaos_log with Some l -> l | None -> Alcotest.fail "chaos log missing"
+  in
+  Alcotest.(check bool) "faults actually fired" true
+    (Stats.count (Stats.counter r1.Engine.stats "chaos.dropped") > 0);
+  Alcotest.(check int) "rabenseifner ran on every rank" 4
+    (Stats.count (Stats.counter r1.Engine.stats "coll.algo.allreduce.rabenseifner"));
+  Alcotest.(check int) "ring allgather ran on every rank" 4
+    (Stats.count (Stats.counter r1.Engine.stats "coll.algo.allgather.ring"));
+  Alcotest.(check string) "byte-identical replay" (log r1) (log r2);
+  Alcotest.(check bool) "identical results across replays" true (res1 = res2);
+  Alcotest.(check bool) "results match chaos-off run" true (res1 = expected)
+
 (* --- RTT histogram is fed by the reliable layer --- *)
 
 let test_rtt_histogram () =
@@ -311,6 +358,8 @@ let tests =
       test_fail_world_rank_wakes_blocked_victim;
     Alcotest.test_case "partition heals" `Quick test_partition_heals;
     Alcotest.test_case "reliable rtt histogram" `Quick test_rtt_histogram;
+    Alcotest.test_case "tuned collectives replay deterministically" `Quick
+      test_coll_algo_replay;
   ]
 
 let () = Alcotest.run "chaos" [ ("chaos", tests) ]

@@ -345,6 +345,206 @@ let test_allgatherv_byte_volume () =
   Alcotest.(check int) "recv volume mirrors send" ((p - 1) * total) (bytes_of "recv");
   Alcotest.(check int) "per-rank contribution recorded" total (bytes_of "allgatherv")
 
+(* --- Algorithm-selection engine (ISSUE 5) --- *)
+
+(* Pin algorithms for the duration of [f], then restore whatever the
+   environment configures, so property iterations cannot leak into each
+   other or into unrelated tests. *)
+let with_overrides spec f =
+  Coll_algo.set_overrides spec;
+  Fun.protect ~finally:Coll_algo.refresh_from_env f
+
+(* Heavy-sanitizer run that requires every rank to survive. *)
+let run_checked ~ranks body =
+  let results, _ =
+    Engine.run_collect ~model:Net_model.zero_cost ~check_level:Check.Heavy ~ranks body
+  in
+  Array.map
+    (function Some v -> v | None -> Alcotest.fail "rank died in algorithm property")
+    results
+
+(* A non-commutative fold: the result encodes the order of operands, so
+   any algorithm that reassociates across ranks would change it.  The
+   engine must keep non-commutative operators on the order-safe reference
+   path regardless of overrides. *)
+let nc_op () = Reduce_op.custom ~commutative:false ~name:"chain" (fun a b -> (a * 31) + b)
+
+let nc_len = 3
+
+let nc_data ~rank = Array.init nc_len (fun i -> rank + i + 1)
+
+let nc_expected p =
+  Array.init nc_len (fun i ->
+      List.fold_left
+        (fun acc r -> (acc * 31) + (nc_data ~rank:r).(i))
+        (nc_data ~rank:0).(i)
+        (List.init (p - 1) (fun r -> r + 1)))
+
+(* Every allreduce algorithm must be element-identical to the sequential
+   reference, for power-of-two and ragged communicator sizes and lengths
+   including 0 — and a non-commutative operator in the same run must stay
+   exact even while the commutative-only algorithm is pinned. *)
+let prop_allreduce_algorithms =
+  QCheck.Test.make ~name:"allreduce algorithms agree with reference" ~count:30
+    gen_p_and_seed (fun (p, seed) ->
+      let len = Xoshiro.hash_int ~seed ~stream:91 ~counter:0 ~bound:70 in
+      let expected =
+        Array.init len (fun i ->
+            List.fold_left ( + ) 0
+              (List.init p (fun r -> (data_for ~seed ~rank:r ~len).(i))))
+      in
+      let nc_exp = nc_expected p in
+      List.for_all
+        (fun algo ->
+          let results =
+            with_overrides
+              [ (Coll_algo.Allreduce, Some algo) ]
+              (fun () ->
+                run_checked ~ranks:p (fun comm ->
+                    let r = Comm.rank comm in
+                    let sum =
+                      Coll.allreduce comm Datatype.int Reduce_op.int_sum
+                        (data_for ~seed ~rank:r ~len)
+                    in
+                    let chained = Coll.allreduce comm Datatype.int (nc_op ()) (nc_data ~rank:r) in
+                    (sum, chained)))
+          in
+          Array.for_all (fun (sum, chained) -> sum = expected && chained = nc_exp) results)
+        [ Coll_algo.Reduce_bcast; Coll_algo.Recursive_doubling; Coll_algo.Rabenseifner ])
+
+let prop_allgather_algorithms =
+  QCheck.Test.make ~name:"allgather algorithms agree with reference" ~count:30
+    gen_p_and_seed (fun (p, seed) ->
+      let len = Xoshiro.hash_int ~seed ~stream:92 ~counter:0 ~bound:9 in
+      let expected =
+        Array.concat (List.init p (fun r -> data_for ~seed ~rank:r ~len))
+      in
+      List.for_all
+        (fun algo ->
+          let results =
+            with_overrides
+              [ (Coll_algo.Allgather, Some algo) ]
+              (fun () ->
+                run_checked ~ranks:p (fun comm ->
+                    Coll.allgather comm Datatype.int
+                      (data_for ~seed ~rank:(Comm.rank comm) ~len)))
+          in
+          Array.for_all (fun res -> res = expected) results)
+        [ Coll_algo.Bruck; Coll_algo.Ring ])
+
+let prop_bcast_algorithms =
+  QCheck.Test.make ~name:"bcast algorithms agree with reference" ~count:30 gen_p_and_seed
+    (fun (p, seed) ->
+      let root = seed mod p in
+      let len = Xoshiro.hash_int ~seed ~stream:93 ~counter:0 ~bound:70 in
+      let expected = data_for ~seed ~rank:root ~len in
+      List.for_all
+        (fun algo ->
+          let results =
+            with_overrides
+              [ (Coll_algo.Bcast, Some algo) ]
+              (fun () ->
+                run_checked ~ranks:p (fun comm ->
+                    Coll.bcast comm Datatype.int ~root
+                      (if Comm.rank comm = root then Some expected else None)))
+          in
+          Array.for_all (fun res -> res = expected) results)
+        [ Coll_algo.Binomial; Coll_algo.Scatter_allgather ])
+
+let prop_reduce_scatter_algorithms =
+  QCheck.Test.make ~name:"reduce_scatter algorithms agree with reference" ~count:30
+    gen_p_and_seed (fun (p, seed) ->
+      (* A ragged split, with empty blocks when the length is short. *)
+      let recv_counts =
+        Array.init p (fun r -> Xoshiro.hash_int ~seed ~stream:94 ~counter:r ~bound:5)
+      in
+      let total = Array.fold_left ( + ) 0 recv_counts in
+      let displs =
+        let d = Array.make p 0 in
+        for r = 1 to p - 1 do
+          d.(r) <- d.(r - 1) + recv_counts.(r - 1)
+        done;
+        d
+      in
+      let reduced =
+        Array.init total (fun i ->
+            List.fold_left ( + ) 0
+              (List.init p (fun r -> (data_for ~seed ~rank:r ~len:total).(i))))
+      in
+      let nc_exp = nc_expected p in
+      List.for_all
+        (fun algo ->
+          let results =
+            with_overrides
+              [ (Coll_algo.Reduce_scatter, Some algo) ]
+              (fun () ->
+                run_checked ~ranks:p (fun comm ->
+                    let r = Comm.rank comm in
+                    let mine =
+                      Coll.reduce_scatter comm Datatype.int Reduce_op.int_sum ~recv_counts
+                        (data_for ~seed ~rank:r ~len:total)
+                    in
+                    (* Non-commutative operator stays order-exact under any
+                       override (uniform blocks so every rank gets one). *)
+                    let nc =
+                      if p <= nc_len then
+                        Coll.reduce_scatter comm Datatype.int (nc_op ())
+                          ~recv_counts:(Array.make p 1)
+                          (Array.sub (nc_data ~rank:r) 0 p)
+                      else [||]
+                    in
+                    (mine, nc)))
+          in
+          Array.for_all
+            (fun r ->
+              let mine, nc = results.(r) in
+              mine = Array.sub reduced displs.(r) recv_counts.(r)
+              && (p > nc_len || nc = [| nc_exp.(r) |]))
+            (Array.init p Fun.id))
+        [ Coll_algo.Reduce_scatterv; Coll_algo.Pairwise ])
+
+(* MPISIM_COLL_ALGO forces the named algorithms even where the automatic
+   choice would differ (tiny messages would pick recursive doubling and
+   Bruck), and the choice is observable in the stats counters. *)
+let test_env_override () =
+  Unix.putenv "MPISIM_COLL_ALGO" "allreduce=rabenseifner,allgather=ring";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "MPISIM_COLL_ALGO" "";
+      Coll_algo.refresh_from_env ())
+    (fun () ->
+      Coll_algo.refresh_from_env ();
+      let _, report =
+        Engine.run_collect ~model:Net_model.omnipath ~ranks:4 (fun comm ->
+            ignore
+              (Coll.allreduce comm Datatype.int Reduce_op.int_sum (Array.init 8 Fun.id));
+            ignore (Coll.allgather comm Datatype.int [| Comm.rank comm |]))
+      in
+      let count name = Stats.count (Stats.counter report.Engine.stats name) in
+      Alcotest.(check int) "rabenseifner forced on all ranks" 4
+        (count "coll.algo.allreduce.rabenseifner");
+      Alcotest.(check int) "auto choice bypassed" 0
+        (count "coll.algo.allreduce.recursive_doubling");
+      Alcotest.(check int) "ring forced on all ranks" 4 (count "coll.algo.allgather.ring");
+      Alcotest.(check int) "bruck bypassed" 0 (count "coll.algo.allgather.bruck"))
+
+(* The selected algorithm is visible both as a counter and as a trace
+   span nested inside the collective's span. *)
+let test_algo_observability () =
+  let _, report =
+    Engine.run_collect ~model:Net_model.omnipath ~trace_capacity:Trace.default_capacity
+      ~ranks:4 (fun comm ->
+        ignore (Coll.allreduce comm Datatype.int Reduce_op.int_sum (Array.init 16 Fun.id)))
+  in
+  Alcotest.(check int) "counter counts one call per rank" 4
+    (Stats.count
+       (Stats.counter report.Engine.stats "coll.algo.allreduce.recursive_doubling"));
+  let span_seen = ref false in
+  Trace.iter_events report.Engine.trace 0 (fun e ->
+      if e.Trace.cat = "coll" && e.Trace.name = "allreduce.recursive_doubling" then
+        span_seen := true);
+  Alcotest.(check bool) "trace span carries algorithm name" true !span_seen
+
 let tests =
   [
     qtest prop_allgatherv;
@@ -367,6 +567,12 @@ let tests =
     Alcotest.test_case "gatherv empty-then-nonempty" `Quick
       test_gatherv_empty_then_nonempty;
     Alcotest.test_case "allgatherv byte volume" `Quick test_allgatherv_byte_volume;
+    qtest prop_allreduce_algorithms;
+    qtest prop_allgather_algorithms;
+    qtest prop_bcast_algorithms;
+    qtest prop_reduce_scatter_algorithms;
+    Alcotest.test_case "MPISIM_COLL_ALGO overrides selection" `Quick test_env_override;
+    Alcotest.test_case "algorithm choice is observable" `Quick test_algo_observability;
   ]
 
 let () = Alcotest.run "coll" [ ("coll", tests) ]
