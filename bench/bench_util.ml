@@ -178,16 +178,44 @@ let emit_json ~bench (fields : (string * json_value) list) =
 (* Dedicated per-benchmark result files (BENCH_PINGPONG.json etc.), written
    unconditionally so CI can upload them as artifacts without configuring
    BENCH_JSON.  [emit_json_file] truncates on first write per process so a
-   rerun does not append to stale series. *)
+   rerun does not append to stale series.
+
+   When BENCH_HISTORY is set, each file is mirrored into the perf-history
+   store at $BENCH_HISTORY/<file> (default directory: bench/history when
+   the variable is "1" or empty) — the committed baselines that
+   `repro_cli bench-diff` and the CI perf gate compare fresh runs
+   against. *)
 let json_files_started : (string, unit) Hashtbl.t = Hashtbl.create 4
 
+let history_dir =
+  match Sys.getenv_opt "BENCH_HISTORY" with
+  | None -> None
+  | Some "" | Some "1" -> Some (Filename.concat "bench" "history")
+  | Some dir -> Some dir
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let history_targets file =
+  match history_dir with
+  | None -> [ file ]
+  | Some dir ->
+      mkdir_p dir;
+      [ file; Filename.concat dir (Filename.basename file) ]
+
 let emit_json_file ~file ~bench (fields : (string * json_value) list) =
-  if not (Hashtbl.mem json_files_started file) then begin
-    Hashtbl.replace json_files_started file ();
-    let oc = open_out file in
-    close_out oc
-  end;
-  append_json_line ~path:file ~bench fields
+  List.iter
+    (fun path ->
+      if not (Hashtbl.mem json_files_started path) then begin
+        Hashtbl.replace json_files_started path ();
+        let oc = open_out path in
+        close_out oc
+      end;
+      append_json_line ~path ~bench fields)
+    (history_targets file)
 
 (* Append a full stats-registry dump as one JSON line (e.g. a run's
    message-size/latency histograms next to its headline number). *)

@@ -28,6 +28,8 @@ let report_line (r : Engine.report) =
 
 type obs = {
   trace_file : string option;
+  trace_stream : string option;
+  comm_matrix : string option;
   stats : bool;
   check : Check.level option;
   chaos : Chaos.config option;
@@ -43,6 +45,28 @@ let obs_arg =
           ~doc:
             "Record an event trace and write it as Chrome trace-event JSON to \
              $(docv) (loadable in chrome://tracing or ui.perfetto.dev).")
+  in
+  let trace_stream =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-stream" ] ~docv:"FILE"
+          ~doc:
+            "Stream every trace event incrementally to $(docv) as length-prefixed \
+             binary records (no in-memory rings, nothing dropped; memory stays O(1) \
+             per idle rank at any scale).  Convert offline with $(b,trace-convert).  \
+             Overrides $(b,--trace)'s in-memory recording.")
+  in
+  let comm_matrix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "comm-matrix" ] ~docv:"FILE"
+          ~doc:
+            "Record the per-(source, destination) communication matrix — messages \
+             and bytes, attributed to the collective algorithm running at send \
+             time — and write it to $(docv) (JSON if $(docv) ends in .json, else \
+             CSV).")
   in
   let stats =
     Arg.(
@@ -118,16 +142,18 @@ let obs_arg =
              Equivalent to the $(b,MPISIM_COLL_ALGO) environment variable.")
   in
   Term.(
-    const (fun trace_file stats check chaos coll_algo ->
-        { trace_file; stats; check; chaos; coll_algo })
-    $ trace_file $ stats $ check $ chaos $ coll_algo)
+    const (fun trace_file trace_stream comm_matrix stats check chaos coll_algo ->
+        { trace_file; trace_stream; comm_matrix; stats; check; chaos; coll_algo })
+    $ trace_file $ trace_stream $ comm_matrix $ stats $ check $ chaos $ coll_algo)
 
 (* Run one experiment body under the observability flags: tracing is
    enabled iff --trace or --stats was given (--stats needs the event trace
    for the critical path), and the reports print after the run. *)
 let run_with_obs ~obs ~model ~ranks body =
   let trace_capacity =
-    if obs.trace_file <> None || obs.stats then Some Trace.default_capacity else None
+    if (obs.trace_file <> None || obs.stats) && obs.trace_stream = None then
+      Some Trace.default_capacity
+    else None
   in
   (match obs.coll_algo with Some spec -> Coll_algo.set_overrides spec | None -> ());
   (match obs.chaos with
@@ -136,8 +162,10 @@ let run_with_obs ~obs ~model ~ranks body =
   | None -> ());
   let report =
     try
-      Engine.run ~model ?check_level:obs.check ?chaos:obs.chaos ?trace_capacity ~ranks
-        body
+      Engine.run ~model ?check_level:obs.check ?chaos:obs.chaos ?trace_capacity
+        ?trace_stream:obs.trace_stream
+        ~comm_matrix:(obs.comm_matrix <> None)
+        ~ranks body
     with
     | Scheduler.Aborted { rank; exn = Errdefs.Mpi_error { code; msg }; _ } ->
         (* A chaos run ending in a clean MPI error is a valid outcome; report
@@ -162,7 +190,30 @@ let run_with_obs ~obs ~model ~ranks body =
         (count "chaos.escalations") (count "chaos.plan_failures")
         (String.concat "," (List.map string_of_int report.Engine.killed))
   | _ -> ());
+  (match obs.trace_stream with
+  | Some file ->
+      Printf.printf "trace stream written to %s (%d events, 0 dropped); convert with \
+                     `kamping-repro trace-convert %s out.json`\n"
+        file
+        (Trace.stream_events report.Engine.trace)
+        file
+  | None -> ());
+  (match obs.comm_matrix with
+  | Some file -> (
+      match Comm_matrix.write_file report.Engine.comm_matrix file with
+      | () ->
+          let msgs, bytes = Comm_matrix.totals report.Engine.comm_matrix in
+          Printf.printf "communication matrix written to %s (%d messages, %d bytes)\n"
+            file msgs bytes
+      | exception Sys_error msg ->
+          Printf.eprintf "kamping-repro: cannot write comm matrix: %s\n" msg;
+          exit 1)
+  | None -> ());
   (match obs.trace_file with
+  | Some file when obs.trace_stream <> None ->
+      Printf.eprintf
+        "kamping-repro: --trace %s ignored: --trace-stream already captured the run\n"
+        file
   | Some file -> (
       match Trace.write_chrome_file report.Engine.trace file with
       | () ->
@@ -320,10 +371,107 @@ let repro_cmd =
     (Cmd.info "repro-reduce" ~doc:"Reproducible reduction (paper SV-C, Fig. 13).")
     Term.(const run $ ranks_arg $ elements $ model_arg $ obs_arg)
 
+(* --- trace-convert --- *)
+
+let trace_convert_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IN" ~doc:"Binary trace stream written by --trace-stream.")
+  in
+  let dst =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Chrome trace-event JSON output file.")
+  in
+  let run src dst =
+    match Trace_stream.convert_to_chrome ~src ~dst with
+    | Ok s ->
+        Printf.printf "%s: %d ranks, %d events -> %s\n" src s.Trace_stream.s_ranks
+          s.Trace_stream.s_events dst
+    | Error msg ->
+        Printf.eprintf "kamping-repro: trace-convert: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "trace-convert"
+       ~doc:
+         "Convert a --trace-stream binary capture to Chrome trace-event JSON \
+          (chrome://tracing, ui.perfetto.dev), validating that no events are \
+          missing.")
+    Term.(const run $ src $ dst)
+
+(* --- bench-diff --- *)
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline JSON Lines benchmark file.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Current JSON Lines benchmark file.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.10
+      & info [ "tolerance" ] ~docv:"F"
+          ~doc:"Relative tolerance before a change counts as a regression.")
+  in
+  let include_wall =
+    Arg.(
+      value & flag
+      & info [ "include-wall" ]
+          ~doc:
+            "Also compare wall-clock metrics (machine-dependent; skipped by \
+             default so the gate only sees deterministic modelled numbers).")
+  in
+  let run baseline current tolerance include_wall =
+    let load path =
+      match Bench_compare.load path with
+      | Ok records -> records
+      | Error msg ->
+          Printf.eprintf "kamping-repro: bench-diff: %s\n" msg;
+          exit 2
+    in
+    let old_records = load baseline in
+    let new_records = load current in
+    let verdict =
+      Bench_compare.diff ~tolerance ~include_wall ~baseline:old_records
+        ~current:new_records ()
+    in
+    Format.printf "%a@?" Bench_compare.pp_verdict verdict;
+    if Bench_compare.has_regressions verdict then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two benchmark JSON Lines files (e.g. a committed \
+          bench/history baseline against a fresh BENCH_COLL.json) and exit \
+          nonzero if any metric regressed beyond the tolerance.")
+    Term.(const run $ baseline $ current $ tolerance $ include_wall)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "kamping-repro" ~version:"1.0"
       ~doc:"Run kamping-ocaml paper experiments at full scale."
   in
-  exit (Cmd.eval (Cmd.group ~default info [ sort_cmd; bfs_cmd; suffix_cmd; phylo_cmd; repro_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            sort_cmd;
+            bfs_cmd;
+            suffix_cmd;
+            phylo_cmd;
+            repro_cmd;
+            trace_convert_cmd;
+            bench_diff_cmd;
+          ]))

@@ -15,11 +15,17 @@ let c = Communicator.mpi
 
 (* Mark the post of a non-blocking operation on the trace ([a] = peer rank,
    [-1] for wildcard receives); completion shows up through the runtime's
-   match/park events. *)
+   match/park events.  The post carries the rank's current Lamport clock
+   ([d]), so causal analyses can order posts against the send/match
+   events around them. *)
 let post_instant comm ~name ~peer =
   let mpi = c comm in
-  Trace.instant (Comm.runtime mpi).Runtime.trace ~rank:(Comm.world_rank mpi)
-    ~cat:"kamping" ~name ~a:peer ~b:(-1) ~c:(-1)
+  let rt = Comm.runtime mpi in
+  if Trace.enabled rt.Runtime.trace then begin
+    let rank = Comm.world_rank mpi in
+    Trace.instant_d rt.Runtime.trace ~rank ~cat:"kamping" ~name ~a:peer ~b:(-1) ~c:(-1)
+      ~d:(Runtime.lamport_clock rt rank)
+  end
 
 type 'a t = { request : Request.t; fetch : unit -> 'a; mutable fetched : 'a option }
 

@@ -10,33 +10,53 @@ open Mpisim
 
 let c = Communicator.mpi
 
+(* Wrap a blocking operation in a cat:"kamping" span when tracing is on.
+   Plain [send] stays unwrapped — it is the hottest path and the runtime
+   already leaves it span-free for the same reason; its injection instant
+   (cat "sim"/"send") is the record of it.  Everything that can block
+   (synchronous sends and all receives) gets a span, so waits show up as
+   bars in the trace rather than gaps. *)
+let traced comm ~name f =
+  let mpi = c comm in
+  let rt = Comm.runtime mpi in
+  if Trace.enabled rt.Runtime.trace then
+    Runtime.with_span rt (Comm.world_rank mpi) ~cat:"kamping" ~name f
+  else f ()
+
 let send comm dt ~dest ?tag (data : 'a array) = P2p.send (c comm) dt ~dest ?tag data
 
 let send_single comm dt ~dest ?tag (x : 'a) = P2p.send (c comm) dt ~dest ?tag [| x |]
 
-let ssend comm dt ~dest ?tag (data : 'a array) = P2p.ssend (c comm) dt ~dest ?tag data
+let ssend comm dt ~dest ?tag (data : 'a array) =
+  traced comm ~name:"ssend" (fun () -> P2p.ssend (c comm) dt ~dest ?tag data)
 
 let recv comm dt ?source ?tag () : 'a array =
-  fst (P2p.recv (c comm) dt ?source ?tag ())
+  traced comm ~name:"recv" (fun () -> fst (P2p.recv (c comm) dt ?source ?tag ()))
 
 let recv_with_status comm dt ?source ?tag () : 'a array * Status.t =
-  P2p.recv (c comm) dt ?source ?tag ()
+  traced comm ~name:"recv" (fun () -> P2p.recv (c comm) dt ?source ?tag ())
 
 let recv_single comm dt ?source ?tag () : 'a =
-  let data, _ = P2p.recv (c comm) dt ?source ?tag () in
+  let data, _ =
+    traced comm ~name:"recv" (fun () -> P2p.recv (c comm) dt ?source ?tag ())
+  in
   if Array.length data <> 1 then
     Errdefs.usage_error "recv_single: expected 1 element, got %d" (Array.length data);
   data.(0)
 
 let recv_into comm dt ?(policy = Resize_policy.default) ?source ?tag (buf : 'a Vec.t) :
     Status.t =
-  let data, status = P2p.recv (c comm) dt ?source ?tag () in
+  let data, status =
+    traced comm ~name:"recv" (fun () -> P2p.recv (c comm) dt ?source ?tag ())
+  in
   Vec.write_array policy buf data;
   status
 
-let probe comm ?source ?tag () : Status.t = P2p.probe (c comm) ?source ?tag ()
+let probe comm ?source ?tag () : Status.t =
+  traced comm ~name:"probe" (fun () -> P2p.probe (c comm) ?source ?tag ())
 
 let iprobe comm ?source ?tag () : Status.t option = P2p.iprobe (c comm) ?source ?tag ()
 
 let sendrecv comm dt ~dest ?send_tag ~source ?recv_tag (data : 'a array) : 'a array =
-  fst (P2p.sendrecv (c comm) dt ~dest ?send_tag ~source ?recv_tag data)
+  traced comm ~name:"sendrecv" (fun () ->
+      fst (P2p.sendrecv (c comm) dt ~dest ?send_tag ~source ?recv_tag data))

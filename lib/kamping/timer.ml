@@ -107,11 +107,25 @@ let aggregate (t : t) : aggregate list =
         (fun dt3 -> Collectives.allreduce t.comm dt3 min_sum_max send)
     in
     let size = float_of_int (Communicator.size t.comm) in
-    List.mapi
-      (fun i ((key, e) : string * entry) ->
-        let mn, sum, mx = reduced.(i) in
-        { key; min = mn; mean = sum /. size; max = mx; count = e.count })
-      entries
+    let aggs =
+      List.mapi
+        (fun i ((key, e) : string * entry) ->
+          let mn, sum, mx = reduced.(i) in
+          { key; min = mn; mean = sum /. size; max = mx; count = e.count })
+        entries
+    in
+    (* Publish the aggregates as timer.<key>.{min,mean,max}_seconds gauges:
+       they land in the sorted --stats dump and become bench-diff-able
+       metrics (the _seconds suffix marks them lower-is-better).  Every
+       rank computes identical values, so the repeated sets are benign. *)
+    let stats = (Comm.runtime (Communicator.mpi t.comm)).Runtime.stats in
+    List.iter
+      (fun a ->
+        Stats.set (Stats.gauge stats ("timer." ^ a.key ^ ".min_seconds")) a.min;
+        Stats.set (Stats.gauge stats ("timer." ^ a.key ^ ".mean_seconds")) a.mean;
+        Stats.set (Stats.gauge stats ("timer." ^ a.key ^ ".max_seconds")) a.max)
+      aggs;
+    aggs
   end
 
 let pp_aggregates ppf (aggs : aggregate list) =

@@ -24,7 +24,9 @@ val local : t -> (string * float * int) list
 type aggregate = { key : string; min : float; mean : float; max : float; count : int }
 
 (** Collective: every rank must have used the same keys in the same
-    order. *)
+    order.  Also publishes each aggregate into the runtime's stats
+    registry as [timer.<key>.{min,mean,max}_seconds] gauges, so timed
+    phases appear in [--stats] dumps and are bench-diff comparable. *)
 val aggregate : t -> aggregate list
 
 val pp_aggregates : Format.formatter -> aggregate list -> unit

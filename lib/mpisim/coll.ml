@@ -97,8 +97,23 @@ let record comm ~op ~bytes = Runtime.record (Comm.runtime comm) ~op ~bytes
 let dispatch comm alg_op algo f =
   let rt = Comm.runtime comm in
   Stats.incr (Stats.counter rt.Runtime.stats (Coll_algo.counter_name alg_op algo));
-  Runtime.with_span rt (Comm.world_rank comm) ~cat:"coll"
-    ~name:(Coll_algo.span_name alg_op algo) f
+  let cm = rt.Runtime.comm_matrix in
+  if Comm_matrix.enabled cm then begin
+    (* Attribute every message the algorithm body injects to this
+       algorithm in the communication matrix.  Save/restore (rather than
+       reset to "p2p") so lowered collectives attribute to the innermost
+       algorithm actually moving the bytes. *)
+    let me = Comm.world_rank comm in
+    let prev = Comm_matrix.label cm me in
+    Comm_matrix.set_label cm me (Coll_algo.span_name alg_op algo);
+    Fun.protect
+      ~finally:(fun () -> Comm_matrix.set_label cm me prev)
+      (fun () ->
+        Runtime.with_span rt me ~cat:"coll" ~name:(Coll_algo.span_name alg_op algo) f)
+  end
+  else
+    Runtime.with_span rt (Comm.world_rank comm) ~cat:"coll"
+      ~name:(Coll_algo.span_name alg_op algo) f
 
 let choose comm alg_op ~bytes ~commutative ~elems =
   Coll_algo.choose (Comm.runtime comm).Runtime.model alg_op ~bytes ~size:(Comm.size comm)

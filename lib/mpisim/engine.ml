@@ -23,6 +23,7 @@ type report = {
   blocked : float array;  (* per-rank virtual time spent waiting *)
   stats : Stats.t;  (* the runtime's metrics registry *)
   trace : Trace.t;  (* event recorder; empty unless [trace_capacity] set *)
+  comm_matrix : Comm_matrix.t;  (* per-(src,dst) traffic; empty unless [comm_matrix] set *)
   chaos_log : string option;  (* chaos event log; replay-comparable, None when chaos off *)
 }
 
@@ -34,19 +35,30 @@ let pp_report ppf r =
    ranks).  Non-failure exceptions propagate as [Scheduler.Aborted].
 
    [trace_capacity] enables event tracing with a per-rank ring buffer of
-   that many events; when absent the recorder stays disabled and costs
-   nothing on the hot paths. *)
+   that many events; [trace_stream] streams every event to a binary file
+   instead (no per-rank buffers, nothing dropped) and wins when both are
+   given; when neither is present the recorder stays disabled and costs
+   nothing on the hot paths.  [comm_matrix] turns on the per-(src,dst)
+   traffic matrix. *)
 let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
-    ?(assertion_level = 1) ?check_level ?chaos ?trace_capacity ~ranks
-    (body : Comm.t -> 'a) : 'a option array * report =
+    ?(assertion_level = 1) ?check_level ?chaos ?trace_capacity ?trace_stream
+    ?(comm_matrix = false) ~ranks (body : Comm.t -> 'a) : 'a option array * report =
   let rt =
     Runtime.create ~clock_mode ~assertion_level ?check_level ?chaos ~model ~size:ranks ()
   in
-  (match trace_capacity with
-  | Some capacity -> Trace.enable ~capacity rt.Runtime.trace
-  | None -> ());
+  (match trace_stream with
+  | Some path -> Trace.enable_stream rt.Runtime.trace ~path
+  | None -> (
+      match trace_capacity with
+      | Some capacity -> Trace.enable ~capacity rt.Runtime.trace
+      | None -> ()));
+  if comm_matrix then Comm_matrix.enable rt.Runtime.comm_matrix;
   Fun.protect
-    ~finally:(fun () -> Comm.clear_registry rt)
+    ~finally:(fun () ->
+      (* Flush the stream sink before control returns to the caller, so
+         the file is complete (and convertible) even on an abort. *)
+      Trace.close_stream rt.Runtime.trace;
+      Comm.clear_registry rt)
     (fun () ->
       let world_shared = Comm.create_registered_shared rt (Group.world ~size:ranks) in
       let results : 'a option array = Array.make ranks None in
@@ -57,7 +69,7 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
       (* Park/resume hooks: only wired when tracing, so untraced runs skip
          the extra gettimeofday per park. *)
       let on_park, on_resume =
-        if trace_capacity = None then (None, None)
+        if trace_capacity = None && trace_stream = None then (None, None)
         else
           ( Some
               (fun rank ->
@@ -119,6 +131,13 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
          only meaningful for runs no rank of which was killed. *)
       if !killed = [] && Check.enabled rt.Runtime.check then
         Check.finalize_scan rt.Runtime.check;
+      (* Streamed traces are complete once flushed; do it before the
+         report so callers can convert the file immediately. *)
+      Trace.close_stream rt.Runtime.trace;
+      (* Per-algorithm traffic totals become comm.msgs.* / comm.bytes.*
+         counters, so the matrix shows up in sorted --stats dumps. *)
+      if Comm_matrix.enabled rt.Runtime.comm_matrix then
+        Comm_matrix.publish_stats rt.Runtime.comm_matrix rt.Runtime.stats;
       let report =
         {
           ranks;
@@ -131,16 +150,17 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
           blocked = Array.copy rt.Runtime.blocked;
           stats = rt.Runtime.stats;
           trace = rt.Runtime.trace;
+          comm_matrix = rt.Runtime.comm_matrix;
           chaos_log = Option.map Chaos.log_contents rt.Runtime.chaos;
         }
       in
       (results, report))
 
-let run ?model ?clock_mode ?assertion_level ?check_level ?chaos ?trace_capacity ~ranks
-    (body : Comm.t -> unit) : report =
+let run ?model ?clock_mode ?assertion_level ?check_level ?chaos ?trace_capacity
+    ?trace_stream ?comm_matrix ~ranks (body : Comm.t -> unit) : report =
   let _, report =
     run_collect ?model ?clock_mode ?assertion_level ?check_level ?chaos ?trace_capacity
-      ~ranks body
+      ?trace_stream ?comm_matrix ~ranks body
   in
   report
 

@@ -23,7 +23,10 @@ type report = {
   blocked : float array;  (** per-rank virtual time spent waiting *)
   stats : Stats.t;  (** the runtime's metrics registry *)
   trace : Trace.t;
-      (** event recorder; empty unless [trace_capacity] was passed *)
+      (** event recorder; empty unless [trace_capacity] was passed
+          (streamed events live in the [trace_stream] file, not here) *)
+  comm_matrix : Comm_matrix.t;
+      (** per-(src,dst) traffic matrix; empty unless [comm_matrix] *)
   chaos_log : string option;
       (** the chaos plane's event log ([None] when chaos was off): one
           line per fault decision, byte-identical across runs with the
@@ -50,7 +53,13 @@ val pp_report : Format.formatter -> report -> unit
            retransmission); also activated implicitly when [model]
            carries a fault profile
     @param trace_capacity enable event tracing with a per-rank ring buffer
-           of this many events (disabled — and free — when absent) *)
+           of this many events (disabled — and free — when absent)
+    @param trace_stream stream every trace event to this binary file
+           instead of buffering ({!Trace.enable_stream}): no per-rank
+           rings, nothing dropped; wins over [trace_capacity]; the file
+           is flushed and closed before the report is returned
+    @param comm_matrix record the per-(src,dst) traffic matrix with
+           collective-algorithm attribution (default off) *)
 val run_collect :
   ?model:Net_model.t ->
   ?clock_mode:Runtime.clock_mode ->
@@ -58,6 +67,8 @@ val run_collect :
   ?check_level:Check.level ->
   ?chaos:Chaos.config ->
   ?trace_capacity:int ->
+  ?trace_stream:string ->
+  ?comm_matrix:bool ->
   ranks:int ->
   (Comm.t -> 'a) ->
   'a option array * report
@@ -69,6 +80,8 @@ val run :
   ?check_level:Check.level ->
   ?chaos:Chaos.config ->
   ?trace_capacity:int ->
+  ?trace_stream:string ->
+  ?comm_matrix:bool ->
   ranks:int ->
   (Comm.t -> unit) ->
   report

@@ -58,6 +58,14 @@ type t = {
      so busy.(r) +. blocked.(r) = clocks.(r) at all times. *)
   busy : float array;
   blocked : float array;
+  (* Per-rank Lamport clocks: bumped on every injection, merged (max + 1)
+     on every match.  Stamped into send/match trace instants (arg [d]),
+     they give the causal walk a cheap cross-rank sanity invariant:
+     a verified edge always has send-Lamport < match-Lamport. *)
+  lamport : int array;
+  (* Per-(src,dst) traffic matrix with algorithm attribution; disabled
+     (one branch per injection) unless explicitly requested. *)
+  comm_matrix : Comm_matrix.t;
   mutable progress : int;
   mutable msg_seq : int;
   mutable next_context : int;
@@ -132,6 +140,8 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ?chaos ~
     metrics;
     busy = Array.make size 0.;
     blocked = Array.make size 0.;
+    lamport = Array.make size 0;
+    comm_matrix = Comm_matrix.create ~size;
     progress = 0;
     msg_seq = 0;
     next_context = 0;
@@ -264,16 +274,21 @@ let inject t ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count ~
           (sent_at +. transit +. tr.Chaos.tr_delay, crc, tr.Chaos.tr_link_seq)
         end
   in
+  (* Lamport send rule: the injection is a local event, so tick first;
+     the message carries the post-tick value for the receiver to merge. *)
+  let lam = t.lamport.(src) + 1 in
+  t.lamport.(src) <- lam;
   let m =
-    Message.make ~crc ~link_seq ~context ~src ~dst ~tag ~payload ~payload_off
-      ~payload_len ~count ~signature ~sent_at ~arrival ~seq ~sync ()
+    Message.make ~crc ~link_seq ~lamport:lam ~context ~src ~dst ~tag ~payload
+      ~payload_off ~payload_len ~count ~signature ~sent_at ~arrival ~seq ~sync ()
   in
   Log.debug (fun f ->
       f "inject ctx=%d %d->%d tag=%d count=%d bytes=%d%s" context src dst tag count bytes
         (if sync then " (sync)" else ""));
   Stats.incr t.metrics.msgs_sent;
   Stats.observe_int t.metrics.msg_size bytes;
-  Trace.instant t.trace ~rank:src ~cat:"sim" ~name:"send" ~a:dst ~b:seq ~c:bytes;
+  Comm_matrix.record t.comm_matrix ~src ~dst ~bytes;
+  Trace.instant_d t.trace ~rank:src ~cat:"sim" ~name:"send" ~a:dst ~b:seq ~c:bytes ~d:lam;
   let matched = Mailbox.deliver t.mailboxes.(dst) m in
   if not matched then begin
     Stats.incr t.metrics.msgs_unexpected;
@@ -309,9 +324,12 @@ let complete_receive t rank (m : Message.t) =
   (* Consumed-at latency: how long after the sender released the message
      the receiver actually absorbed it (transit + queueing + skew). *)
   Stats.observe t.metrics.msg_latency (t.clocks.(rank) -. m.Message.sent_at);
-  Trace.instant t.trace ~rank ~cat:"sim"
+  (* Lamport receive rule: merge the sender's clock, then tick. *)
+  let lam = (if m.Message.lamport > t.lamport.(rank) then m.Message.lamport else t.lamport.(rank)) + 1 in
+  t.lamport.(rank) <- lam;
+  Trace.instant_d t.trace ~rank ~cat:"sim"
     ~name:(if was_waiting then "match_wait" else "match")
-    ~a:m.Message.src ~b:m.Message.seq ~c:(Message.bytes m);
+    ~a:m.Message.src ~b:m.Message.seq ~c:(Message.bytes m) ~d:lam;
   advance_clock t rank t.model.Net_model.recv_overhead;
   bump_progress t
 
@@ -325,3 +343,5 @@ let observe_park_wait t seconds = Stats.observe t.metrics.park_wait seconds
 let with_span t rank ~cat ~name f = Trace.with_span t.trace ~rank ~cat ~name f
 
 let max_clock t = Array.fold_left Float.max 0. t.clocks
+
+let lamport_clock t rank = t.lamport.(rank)

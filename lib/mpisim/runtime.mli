@@ -47,6 +47,12 @@ type t = {
           busy time, overheads); [busy.(r) +. blocked.(r) = clocks.(r)] *)
   blocked : float array;
       (** per-rank virtual time jumped over by [sync_clock] (waiting) *)
+  lamport : int array;
+      (** per-rank Lamport clocks: bumped on injection, merged (max + 1)
+          on match; stamped into send/match trace instants *)
+  comm_matrix : Comm_matrix.t;
+      (** per-(src,dst) traffic matrix with collective-algorithm
+          attribution; disabled (one branch per injection) by default *)
   mutable progress : int;  (** monotone; drives deadlock detection *)
   mutable msg_seq : int;
   mutable next_context : int;
@@ -153,3 +159,6 @@ val with_span : t -> int -> cat:string -> name:string -> (unit -> 'a) -> 'a
 
 (** The makespan: the largest per-rank clock. *)
 val max_clock : t -> float
+
+(** The rank's current Lamport clock. *)
+val lamport_clock : t -> int -> int

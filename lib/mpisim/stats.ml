@@ -36,7 +36,7 @@ type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
-  (* registration order, newest first, for stable reporting *)
+  (* registered names, newest first; iteration sorts them by name *)
   mutable counter_order : string list;
   mutable gauge_order : string list;
   mutable histogram_order : string list;
@@ -194,14 +194,23 @@ let pp_histogram ?(fmt = default_fmt) ppf h =
       (buckets h)
   end
 
+(* Iteration order is sorted by name, not registration order: stats dumps
+   are diffable across runs (registration order depends on which code
+   path touched a metric first) and usable as bench-diff inputs. *)
 let iter_counters t f =
-  List.iter (fun name -> f name (Hashtbl.find t.counters name)) (List.rev t.counter_order)
+  List.iter
+    (fun name -> f name (Hashtbl.find t.counters name))
+    (List.sort String.compare t.counter_order)
 
 let iter_gauges t f =
-  List.iter (fun name -> f name (Hashtbl.find t.gauges name)) (List.rev t.gauge_order)
+  List.iter
+    (fun name -> f name (Hashtbl.find t.gauges name))
+    (List.sort String.compare t.gauge_order)
 
 let iter_histograms t f =
-  List.iter (fun name -> f name (Hashtbl.find t.histograms name)) (List.rev t.histogram_order)
+  List.iter
+    (fun name -> f name (Hashtbl.find t.histograms name))
+    (List.sort String.compare t.histogram_order)
 
 let pp ppf t =
   iter_counters t (fun name c ->

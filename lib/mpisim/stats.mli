@@ -65,6 +65,8 @@ val buckets : histogram -> (float * float * int) list
     the q-th observation (exact max for the overflow bucket). *)
 val quantile : histogram -> float -> float
 
+(** Iteration (and hence {!pp} / {!json_into} output) is sorted by metric
+    name, so dumps are deterministic and diffable across runs. *)
 val iter_counters : t -> (string -> counter -> unit) -> unit
 
 val iter_gauges : t -> (string -> gauge -> unit) -> unit

@@ -1,11 +1,23 @@
 (* Structured event tracing for the simulator.
 
-   Each rank owns a bounded ring buffer of events stamped on the hybrid
-   virtual clock (the same clock the scaling figures report).  Spans mark
-   the extent of operations — scheduler CPU segments, mpisim collectives
-   and point-to-point calls, kamping-layer calls, timer keys — and
-   instants mark point happenings (message injection, match, park/resume,
-   failure injection).
+   Spans mark the extent of operations — scheduler CPU segments, mpisim
+   collectives and point-to-point calls, kamping-layer calls, timer keys —
+   and instants mark point happenings (message injection, match,
+   park/resume, failure injection), all stamped on the hybrid virtual
+   clock (the same clock the scaling figures report).
+
+   Two sinks:
+
+   - [Ring] (default): each rank owns a bounded ring buffer.  When a ring
+     overflows, the oldest events are evicted and counted; exports mention
+     the loss rather than silently truncating.  This is the sink post-run
+     analysis ([events], Trace_report) reads from.
+
+   - [Stream]: every event is appended incrementally to a binary file
+     (Trace_stream) with a per-rank sequence number.  No per-rank buffers
+     are allocated at all — idle ranks cost O(1) memory — and nothing is
+     ever dropped, which is the only viable shape at 10^5+ ranks.  The
+     offline converter turns the file into Chrome-trace JSON.
 
    The recorder is created disabled and compiles down to a no-op in that
    state: every emit function first reads a single mutable bool and
@@ -13,12 +25,9 @@
    unaffected by the mere presence of instrumentation.  Because the
    emitters read the timestamp themselves (the recorder holds the
    runtime's clock array), call sites never box a float argument on the
-   disabled path.
+   disabled path. *)
 
-   When the buffer of a rank overflows, the oldest events are evicted and
-   counted; exports mention the loss rather than silently truncating. *)
-
-type kind = Begin | End | Instant | Complete
+type kind = Trace_chrome.kind = Begin | End | Instant | Complete
 
 type event = {
   kind : kind;
@@ -29,6 +38,7 @@ type event = {
   a : int;  (* event-specific args, -1 when unused: *)
   b : int;  (* send: a=dst b=seq c=bytes; match: a=src b=seq c=bytes *)
   c : int;
+  d : int;  (* the emitting rank's Lamport clock on send/match instants *)
 }
 
 type ring = {
@@ -38,14 +48,17 @@ type ring = {
   mutable dropped : int;
 }
 
+type sink = Ring | Stream of Trace_stream.t
+
 type t = {
   mutable enabled : bool;
   clocks : float array;  (* the runtime's per-rank virtual clocks *)
   rings : ring array;
+  mutable sink : sink;
 }
 
 let dummy_event =
-  { kind = Instant; cat = ""; name = ""; ts = 0.; dur = 0.; a = -1; b = -1; c = -1 }
+  { kind = Instant; cat = ""; name = ""; ts = 0.; dur = 0.; a = -1; b = -1; c = -1; d = -1 }
 
 let default_capacity = 1 lsl 16
 
@@ -53,26 +66,57 @@ let create ~clocks =
   {
     enabled = false;
     clocks;
-    rings =
-      Array.map (fun _ -> { ev = [||]; start = 0; len = 0; dropped = 0 }) clocks;
+    rings = Array.map (fun _ -> { ev = [||]; start = 0; len = 0; dropped = 0 }) clocks;
+    sink = Ring;
   }
 
 let ranks t = Array.length t.rings
 
 let enabled t = t.enabled
 
-let enable ?(capacity = default_capacity) t =
-  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+let is_streaming t = match t.sink with Stream _ -> true | Ring -> false
+
+let close_stream t =
+  match t.sink with
+  | Ring -> ()
+  | Stream w ->
+      Trace_stream.close w;
+      t.enabled <- false
+
+let reset_rings t capacity =
   Array.iter
     (fun r ->
-      if Array.length r.ev <> capacity then r.ev <- Array.make capacity dummy_event;
+      if Array.length r.ev <> capacity then
+        r.ev <- (if capacity = 0 then [||] else Array.make capacity dummy_event);
       r.start <- 0;
       r.len <- 0;
       r.dropped <- 0)
-    t.rings;
+    t.rings
+
+let enable ?(capacity = default_capacity) t =
+  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+  close_stream t;
+  t.sink <- Ring;
+  reset_rings t capacity;
+  t.enabled <- true
+
+(* Stream sink: no ring storage at all (capacity 0), every event goes to
+   the file as it is emitted. *)
+let enable_stream t ~path =
+  close_stream t;
+  reset_rings t 0;
+  t.sink <- Stream (Trace_stream.create ~path ~ranks:(ranks t));
   t.enabled <- true
 
 let disable t = t.enabled <- false
+
+let stream_events t =
+  match t.sink with Ring -> 0 | Stream w -> Trace_stream.events_written w
+
+(* Total ring slots currently allocated — 0 under the stream sink; the
+   scale tests assert this stays 0 for arbitrarily large rank counts. *)
+let ring_capacity_total t =
+  Array.fold_left (fun acc r -> acc + Array.length r.ev) 0 t.rings
 
 let push r e =
   let cap = Array.length r.ev in
@@ -87,22 +131,31 @@ let push r e =
     r.dropped <- r.dropped + 1
   end
 
-let emit t rank kind cat name a b c =
-  push t.rings.(rank)
-    { kind; cat; name; ts = t.clocks.(rank); dur = 0.; a; b; c }
+let emit t rank kind cat name dur a b c d =
+  match t.sink with
+  | Ring -> push t.rings.(rank) { kind; cat; name; ts = t.clocks.(rank); dur; a; b; c; d }
+  | Stream w ->
+      Trace_stream.write_event w ~rank ~kind ~cat ~name ~ts:t.clocks.(rank) ~dur ~a ~b
+        ~c ~d
 
-let span_begin t ~rank ~cat ~name = if t.enabled then emit t rank Begin cat name (-1) (-1) (-1)
+let span_begin t ~rank ~cat ~name =
+  if t.enabled then emit t rank Begin cat name 0. (-1) (-1) (-1) (-1)
 
-let span_end t ~rank ~cat ~name = if t.enabled then emit t rank End cat name (-1) (-1) (-1)
+let span_end t ~rank ~cat ~name =
+  if t.enabled then emit t rank End cat name 0. (-1) (-1) (-1) (-1)
 
-let instant t ~rank ~cat ~name ~a ~b ~c = if t.enabled then emit t rank Instant cat name a b c
+let instant t ~rank ~cat ~name ~a ~b ~c =
+  if t.enabled then emit t rank Instant cat name 0. a b c (-1)
+
+(* An instant carrying the emitting rank's Lamport clock in [d] (send and
+   match events; the causal walk and flow export read it back). *)
+let instant_d t ~rank ~cat ~name ~a ~b ~c ~d =
+  if t.enabled then emit t rank Instant cat name 0. a b c d
 
 (* A complete span reported after the fact (scheduler CPU segments): the
    timestamp is the current clock, [dur] reaches back. *)
 let complete t ~rank ~cat ~name ~dur =
-  if t.enabled then
-    push t.rings.(rank)
-      { kind = Complete; cat; name; ts = t.clocks.(rank); dur; a = -1; b = -1; c = -1 }
+  if t.enabled then emit t rank Complete cat name dur (-1) (-1) (-1) (-1)
 
 (* [with_span t ~rank ~cat ~name f] wraps [f] in a span; on the disabled
    path it is just a call through. *)
@@ -135,50 +188,9 @@ let iter_events t rank f =
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export (chrome://tracing, Perfetto).
 
-   One "thread" per rank on the virtual timeline; scheduler CPU segments
-   ([Complete] events) go to a separate per-rank track so their overlap
-   with operation spans cannot break B/E nesting.  Timestamps are
-   microseconds, as the format requires. *)
-
-let us ts = ts *. 1e6
-
-let write_event buf ~tid (e : event) =
-  let o = Json_out.start_obj buf in
-  Json_out.field_str o "name" e.name;
-  Json_out.field_str o "cat" e.cat;
-  Json_out.field_str o "ph"
-    (match e.kind with Begin -> "B" | End -> "E" | Instant -> "i" | Complete -> "X");
-  Json_out.field_int o "pid" 0;
-  Json_out.field_int o "tid" tid;
-  (match e.kind with
-  | Complete ->
-      Json_out.field_float o "ts" (us (e.ts -. e.dur));
-      Json_out.field_float o "dur" (us e.dur)
-  | Begin | End -> Json_out.field_float o "ts" (us e.ts)
-  | Instant ->
-      Json_out.field_float o "ts" (us e.ts);
-      Json_out.field_str o "s" "t");
-  if e.a >= 0 || e.b >= 0 || e.c >= 0 then begin
-    Json_out.key o "args";
-    let args = Json_out.start_obj buf in
-    if e.a >= 0 then Json_out.field_int args "a" e.a;
-    if e.b >= 0 then Json_out.field_int args "b" e.b;
-    if e.c >= 0 then Json_out.field_int args "c" e.c;
-    Json_out.end_obj args
-  end;
-  Json_out.end_obj o
-
-let write_thread_name buf ~tid ~name =
-  let o = Json_out.start_obj buf in
-  Json_out.field_str o "name" "thread_name";
-  Json_out.field_str o "ph" "M";
-  Json_out.field_int o "pid" 0;
-  Json_out.field_int o "tid" tid;
-  Json_out.key o "args";
-  let args = Json_out.start_obj buf in
-  Json_out.field_str args "name" name;
-  Json_out.end_obj args;
-  Json_out.end_obj o
+   Rendering rules (thread-per-rank layout, CPU tracks, flow arrows,
+   zero-duration clamping) live in Trace_chrome, shared with the stream
+   converter. *)
 
 let chrome_json_into buf t =
   let n = ranks t in
@@ -190,15 +202,11 @@ let chrome_json_into buf t =
   Json_out.end_obj od;
   Json_out.key root "traceEvents";
   let arr = Json_out.start_arr buf in
+  Trace_chrome.thread_names buf arr ~nranks:n;
   for rank = 0 to n - 1 do
-    Json_out.sep arr;
-    write_thread_name buf ~tid:rank ~name:(Printf.sprintf "rank %d" rank);
-    Json_out.sep arr;
-    write_thread_name buf ~tid:(n + rank) ~name:(Printf.sprintf "rank %d cpu" rank);
     iter_events t rank (fun e ->
-        Json_out.sep arr;
-        let tid = if e.kind = Complete then n + rank else rank in
-        write_event buf ~tid e)
+        Trace_chrome.event buf arr ~nranks:n ~rank ~kind:e.kind ~cat:e.cat ~name:e.name
+          ~ts:e.ts ~dur:e.dur ~a:e.a ~b:e.b ~c:e.c ~d:e.d)
   done;
   Json_out.end_arr arr;
   Json_out.end_obj root

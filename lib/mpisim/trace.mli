@@ -1,20 +1,22 @@
 (** Structured event tracing on the hybrid virtual clock.
 
-    Each rank owns a bounded ring buffer of events; spans mark operation
-    extents (scheduler segments, collectives, p2p calls, kamping calls,
-    timer keys) and instants mark point happenings (message injection and
-    match, park/resume, failure injection).
+    Spans mark operation extents (scheduler segments, collectives, p2p
+    calls, kamping calls, timer keys) and instants mark point happenings
+    (message injection and match, park/resume, failure injection).
+
+    Two sinks: the default {e ring} sink buffers a bounded window per
+    rank (evicting and counting the oldest on overflow, {!dropped}); the
+    {e stream} sink ({!enable_stream}) appends every event incrementally
+    to a binary {!Trace_stream} file with per-rank sequence numbers — no
+    per-rank buffers at all, nothing dropped, O(1) memory per idle rank.
 
     The recorder is created {e disabled}: every emitter first checks a
     single mutable bool and returns without allocating, so instrumented
     hot paths cost one branch when tracing is off.  Emitters read the
     timestamp themselves from the runtime's clock array, so call sites
-    never box a float on the disabled path.
+    never box a float on the disabled path. *)
 
-    On overflow the oldest events of a rank are evicted and counted
-    ({!dropped}); exporters report the loss instead of hiding it. *)
-
-type kind = Begin | End | Instant | Complete
+type kind = Trace_chrome.kind = Begin | End | Instant | Complete
 
 type event = {
   kind : kind;
@@ -25,6 +27,7 @@ type event = {
   a : int;  (** event args, [-1] when unused. [send]: a=dst b=seq c=bytes; *)
   b : int;  (** [match]/[match_wait]: a=src b=seq c=bytes; [park]/[resume]: none *)
   c : int;
+  d : int;  (** the emitting rank's Lamport clock on send/match instants *)
 }
 
 type t
@@ -40,8 +43,30 @@ val enabled : t -> bool
 val default_capacity : int
 
 (** Allocate the per-rank rings (default {!default_capacity} events each)
-    and start recording.  Resets previously recorded events. *)
+    and start recording.  Resets previously recorded events and closes a
+    previously active stream sink. *)
 val enable : ?capacity:int -> t -> unit
+
+(** Switch to the stream sink and start recording: events append to the
+    binary file at [path] as they are emitted; no ring storage is
+    allocated.  {!events} and post-run analysis see nothing — the file is
+    the record; convert it with {!Trace_stream.convert_to_chrome}. *)
+val enable_stream : t -> path:string -> unit
+
+(** Whether the active sink is a stream. *)
+val is_streaming : t -> bool
+
+(** Flush and close the stream sink (idempotent; no-op for the ring
+    sink).  Recording stops.  The engine calls this at the end of a run
+    so the file is complete when the report is returned. *)
+val close_stream : t -> unit
+
+(** Events written to the stream sink so far; 0 for the ring sink. *)
+val stream_events : t -> int
+
+(** Total ring slots currently allocated across all ranks — 0 under the
+    stream sink (asserted by the scale tests). *)
+val ring_capacity_total : t -> int
 
 val disable : t -> unit
 
@@ -50,6 +75,10 @@ val span_begin : t -> rank:int -> cat:string -> name:string -> unit
 val span_end : t -> rank:int -> cat:string -> name:string -> unit
 
 val instant : t -> rank:int -> cat:string -> name:string -> a:int -> b:int -> c:int -> unit
+
+(** Like {!instant} with the emitting rank's Lamport clock in [d]. *)
+val instant_d :
+  t -> rank:int -> cat:string -> name:string -> a:int -> b:int -> c:int -> d:int -> unit
 
 (** A complete span reported after the fact (scheduler CPU segments): the
     timestamp is the current clock and [dur] reaches back. *)
@@ -76,7 +105,8 @@ val iter_events : t -> int -> (event -> unit) -> unit
 
     Loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
     One thread per rank on the virtual timeline; scheduler CPU segments go
-    to a separate per-rank track. *)
+    to a separate per-rank track; send→match pairs are drawn as flow
+    arrows keyed by the global message sequence number. *)
 
 val chrome_json_into : Buffer.t -> t -> unit
 

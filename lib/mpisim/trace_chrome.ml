@@ -1,0 +1,102 @@
+(* Chrome trace-event JSON emission, shared by the in-memory ring
+   exporter (Trace) and the offline stream converter (Trace_stream).
+
+   Both sinks record the same logical events; this module owns the
+   rendering rules so the two export paths cannot drift:
+
+   - one "thread" per rank on the virtual timeline; [Complete] events
+     (scheduler CPU segments) go to a separate per-rank track so their
+     overlap with operation spans cannot break B/E nesting;
+   - message-flow arrows: a "send" instant opens a Chrome flow event
+     (ph "s") keyed by the global message sequence number and the
+     matching "match"/"match_wait" instant closes it (ph "f", bp "e"),
+     so the viewer draws an arrow from injection to match;
+   - zero-duration [Complete] spans are clamped to a minimum visible
+     epsilon and tagged [zero_dur=1] so they do not vanish in the
+     viewer. *)
+
+type kind = Begin | End | Instant | Complete
+
+let us ts = ts *. 1e6
+
+(* Minimum rendered duration for a Complete span: 1ns on the microsecond
+   scale the format uses.  Real spans of exactly zero virtual length are
+   common in Virtual_only mode (uncharged segments). *)
+let zero_dur_epsilon_us = 1e-3
+
+(* A send instant opens a flow, a match instant closes it; the flow id is
+   the global message sequence number carried in arg [b]. *)
+let flow_phase ~kind ~cat ~name ~b =
+  if kind <> Instant || cat <> "sim" || b < 0 then None
+  else if String.equal name "send" then Some "s"
+  else if String.equal name "match" || String.equal name "match_wait" then Some "f"
+  else None
+
+let write_flow buf arr ~tid ~phase ~id ~ts =
+  Json_out.sep arr;
+  let o = Json_out.start_obj buf in
+  Json_out.field_str o "name" "msg";
+  Json_out.field_str o "cat" "flow";
+  Json_out.field_str o "ph" phase;
+  Json_out.field_int o "id" id;
+  Json_out.field_int o "pid" 0;
+  Json_out.field_int o "tid" tid;
+  Json_out.field_float o "ts" (us ts);
+  if String.equal phase "f" then Json_out.field_str o "bp" "e";
+  Json_out.end_obj o
+
+(* Write one event (plus its flow arrow end, if any) into the
+   [traceEvents] array [arr].  [nranks] fixes the CPU-track tid offset. *)
+let event buf arr ~nranks ~rank ~kind ~cat ~name ~ts ~dur ~a ~b ~c ~d =
+  let tid = if kind = Complete then nranks + rank else rank in
+  let zero_dur = kind = Complete && dur <= 0. in
+  Json_out.sep arr;
+  let o = Json_out.start_obj buf in
+  Json_out.field_str o "name" name;
+  Json_out.field_str o "cat" cat;
+  Json_out.field_str o "ph"
+    (match kind with Begin -> "B" | End -> "E" | Instant -> "i" | Complete -> "X");
+  Json_out.field_int o "pid" 0;
+  Json_out.field_int o "tid" tid;
+  (match kind with
+  | Complete ->
+      Json_out.field_float o "ts" (us (ts -. dur));
+      Json_out.field_float o "dur" (if zero_dur then zero_dur_epsilon_us else us dur)
+  | Begin | End -> Json_out.field_float o "ts" (us ts)
+  | Instant ->
+      Json_out.field_float o "ts" (us ts);
+      Json_out.field_str o "s" "t");
+  if a >= 0 || b >= 0 || c >= 0 || d >= 0 || zero_dur then begin
+    Json_out.key o "args";
+    let args = Json_out.start_obj buf in
+    if a >= 0 then Json_out.field_int args "a" a;
+    if b >= 0 then Json_out.field_int args "b" b;
+    if c >= 0 then Json_out.field_int args "c" c;
+    if d >= 0 then Json_out.field_int args "lamport" d;
+    if zero_dur then Json_out.field_int args "zero_dur" 1;
+    Json_out.end_obj args
+  end;
+  Json_out.end_obj o;
+  match flow_phase ~kind ~cat ~name ~b with
+  | Some phase -> write_flow buf arr ~tid:rank ~phase ~id:b ~ts
+  | None -> ()
+
+let write_thread_name buf arr ~tid ~name =
+  Json_out.sep arr;
+  let o = Json_out.start_obj buf in
+  Json_out.field_str o "name" "thread_name";
+  Json_out.field_str o "ph" "M";
+  Json_out.field_int o "pid" 0;
+  Json_out.field_int o "tid" tid;
+  Json_out.key o "args";
+  let args = Json_out.start_obj buf in
+  Json_out.field_str args "name" name;
+  Json_out.end_obj args;
+  Json_out.end_obj o
+
+let thread_names buf arr ~nranks =
+  for rank = 0 to nranks - 1 do
+    write_thread_name buf arr ~tid:rank ~name:(Printf.sprintf "rank %d" rank);
+    write_thread_name buf arr ~tid:(nranks + rank)
+      ~name:(Printf.sprintf "rank %d cpu" rank)
+  done

@@ -7,13 +7,16 @@
      (charged cost) and blocked (sync jump), and idle is the tail between
      a rank's finish time and the makespan.
 
-   - [critical_path]: the chain of operations that bounds the makespan.
-     Starting from the rank that finished last, walk backwards through
-     "match_wait" instants (a receive that actually waited) to the send
-     that released it, hop to the sending rank, and repeat.  Each hop is
-     named after the tightest enclosing traced span (collective, kamping
-     call or p2p op) so the report reads as "rank 3 waited in allgatherv
-     for rank 1", not as raw message sequence numbers. *)
+   - [critical_path]: the cross-rank causal chain that bounds the
+     makespan.  Starting from the rank that finished last, walk backwards
+     through "match_wait" instants (a receive that actually waited) to
+     the send that released it, hop to the sending rank, and repeat.
+     Every edge is verified against the send table (source rank, byte
+     count, timestamp order, Lamport order) before the walk crosses it,
+     and annotated with its latency and the receiver's wait slack.  Each
+     hop is named after the tightest enclosing traced span (collective,
+     kamping call or p2p op) so the report reads as "rank 3 waited in
+     allgatherv for rank 1", not as raw message sequence numbers. *)
 
 let pct ~of_ v = if of_ <= 0. then 0. else 100. *. v /. of_
 
@@ -49,7 +52,11 @@ type hop = {
   via_src : int;  (* sender that released this rank; -1 for the first segment *)
   via_seq : int;
   via_bytes : int;
+  via_latency : float;  (* match ts minus send ts of the releasing message *)
+  via_slack : float;  (* how long the receiver had been parked before the match *)
+  via_verified : bool;  (* the edge is a checked send->recv pair (see below) *)
 }
+
 
 (* Reconstruct span intervals of one rank from its Begin/End/Complete
    events.  Eviction can orphan an End (its Begin was dropped) — such Ends
@@ -95,19 +102,48 @@ let name_at spans ~at =
 
 let max_hops = 64
 
+(* The cross-rank causal walk.
+
+   A rank's finish time is bounded by the chain of binding waits: walking
+   back from the last-finishing rank, each "match_wait" instant (a
+   receive that actually blocked) was released by exactly one send, whose
+   timestamp on the sending rank the walk jumps to.  Because a
+   "match_wait" is emitted only when the arrival time exceeded the
+   receiver's clock, the segment between two binding waits on a rank is
+   pure local progress — so the chain of latest binding waits is the
+   longest (critical) path through the send->recv DAG, not merely a
+   heuristic.
+
+   Each edge is verified against the global send table before the walk
+   crosses it: the send event for the message sequence number must exist,
+   name the receiver's claimed source rank, carry the same byte count,
+   precede the match in time, and (when both sides stamped Lamport
+   clocks) have a strictly smaller Lamport value.  An edge failing any of
+   these (an evicted ring entry, a corrupted trace) ends the walk rather
+   than fabricating causality. *)
+
+type send_site = { snd_rank : int; snd_ts : float; snd_bytes : int; snd_lamport : int }
+
 let critical_path tr ~times =
   let ranks = Trace.ranks tr in
   if ranks = 0 || Array.length times = 0 then []
   else begin
-    (* Global send table: message seq -> (sender, send time, bytes). *)
+    (* Global send table: message seq -> send site. *)
     let sends = Hashtbl.create 1024 in
-    (* Per-rank match_wait instants, reverse chronological. *)
+    (* Per-rank match_wait and park instants, reverse chronological. *)
     let waits = Array.make ranks [] in
+    let parks = Array.make ranks [] in
     for r = 0 to ranks - 1 do
       Trace.iter_events tr r (fun (ev : Trace.event) ->
-          if ev.kind = Trace.Instant && ev.cat = "sim" then
-            if ev.name = "send" then Hashtbl.replace sends ev.b (r, ev.ts, ev.c)
-            else if ev.name = "match_wait" then waits.(r) <- ev :: waits.(r))
+          if ev.kind = Trace.Instant then
+            if ev.cat = "sim" then begin
+              if ev.name = "send" then
+                Hashtbl.replace sends ev.b
+                  { snd_rank = r; snd_ts = ev.ts; snd_bytes = ev.c; snd_lamport = ev.d }
+              else if ev.name = "match_wait" then waits.(r) <- ev :: waits.(r)
+            end
+            else if ev.cat = "sched" && ev.name = "park" then
+              parks.(r) <- ev.ts :: parks.(r))
     done;
     let spans = Array.init ranks (fun r -> spans_of_rank tr ~times r) in
     let finish = ref 0 in
@@ -125,9 +161,29 @@ let critical_path tr ~times =
               via_src = -1;
               via_seq = -1;
               via_bytes = -1;
+              via_latency = -1.;
+              via_slack = -1.;
+              via_verified = false;
             }
             :: !hops
       | Some m ->
+          let site = Hashtbl.find_opt sends m.b in
+          let verified =
+            match site with
+            | Some s ->
+                s.snd_rank = m.a && s.snd_ts <= m.ts
+                && s.snd_bytes = m.c
+                && (s.snd_lamport < 0 || m.d < 0 || s.snd_lamport < m.d)
+            | None -> false
+          in
+          (* Slack: how long the receiver had already been parked when the
+             message arrived — the headroom a faster sender would buy. *)
+          let slack =
+            match List.find_opt (fun p -> p <= m.ts) parks.(rank) with
+            | Some p -> m.ts -. p
+            | None -> -1.
+          in
+          let latency = match site with Some s -> m.ts -. s.snd_ts | None -> -1. in
           hops :=
             {
               hop_rank = rank;
@@ -137,15 +193,18 @@ let critical_path tr ~times =
               via_src = m.a;
               via_seq = m.b;
               via_bytes = m.c;
+              via_latency = latency;
+              via_slack = slack;
+              via_verified = verified;
             }
             :: !hops;
-          if budget > 0 then begin
-            match Hashtbl.find_opt sends m.b with
-            | Some (src_rank, send_ts, _) when send_ts < m.ts ->
-                (* Guarantees strictly decreasing time, so the walk
-                   terminates even on malformed traces. *)
-                walk src_rank send_ts (budget - 1)
-            | _ -> ()  (* send evicted from the ring, or inconsistent *)
+          if budget > 0 && verified then begin
+            match site with
+            | Some s when s.snd_ts < m.ts ->
+                (* Strictly decreasing time, so the walk terminates even
+                   on malformed traces. *)
+                walk s.snd_rank s.snd_ts (budget - 1)
+            | _ -> () (* a zero-latency self-edge: stop rather than loop *)
           end
     in
     walk !finish times.(!finish) max_hops;
@@ -157,7 +216,11 @@ let pp_critical_path ppf tr ~times =
   | [] -> Format.fprintf ppf "critical path: no trace events recorded@."
   | hops ->
       let finish = List.length hops - 1 in
-      Format.fprintf ppf "critical path (%d hops, finish at %s):@." (List.length hops)
+      let edges = List.filter (fun h -> h.via_src >= 0) hops in
+      let verified = List.filter (fun h -> h.via_verified) edges in
+      Format.fprintf ppf
+        "critical path (%d hops, %d/%d edges verified send->recv, finish at %s):@."
+        (List.length hops) (List.length verified) (List.length edges)
         (Sim_time.to_string
            (List.fold_left (fun acc h -> Float.max acc h.hop_to) 0. hops));
       List.iteri
@@ -166,12 +229,25 @@ let pp_critical_path ppf tr ~times =
             (Sim_time.to_string h.hop_from)
             (Sim_time.to_string h.hop_to)
             h.hop_name;
-          if h.via_src >= 0 then
-            Format.fprintf ppf "  (released by %d B msg #%d from rank %d)" h.via_bytes
-              h.via_seq h.via_src
+          if h.via_src >= 0 then begin
+            Format.fprintf ppf "  (released by %d B msg #%d from rank %d" h.via_bytes
+              h.via_seq h.via_src;
+            if h.via_latency >= 0. then
+              Format.fprintf ppf ", latency %s" (Sim_time.to_string h.via_latency);
+            if h.via_slack >= 0. then
+              Format.fprintf ppf ", waited %s" (Sim_time.to_string h.via_slack);
+            Format.fprintf ppf "%s)" (if h.via_verified then "" else ", UNVERIFIED")
+          end
           else if i <> finish then Format.fprintf ppf "  (start of chain)";
           Format.fprintf ppf "@.")
         hops;
+      let total_slack =
+        List.fold_left (fun acc h -> if h.via_slack > 0. then acc +. h.via_slack else acc)
+          0. edges
+      in
+      if edges <> [] then
+        Format.fprintf ppf "  total wait slack along the path: %s@."
+          (Sim_time.to_string total_slack);
       if Trace.total_dropped tr > 0 then
         Format.fprintf ppf "  (ring buffers dropped %d events; path may be truncated)@."
           (Trace.total_dropped tr)

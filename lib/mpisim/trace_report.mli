@@ -18,7 +18,11 @@ val pp_utilization :
     [hop_from .. hop_to] inside [hop_name] ("cat/name" of the tightest
     enclosing traced span, or ["compute"]); the segment started when the
     message [via_seq] from [via_src] arrived ([via_src = -1] for the
-    chain's first segment). *)
+    chain's first segment).  [via_latency] is match-ts minus send-ts,
+    [via_slack] how long the receiver had been parked when the message
+    arrived (each [-1.] when unknown), and [via_verified] says the edge
+    was checked against the send table: source rank, byte count,
+    timestamp order and Lamport order all consistent. *)
 type hop = {
   hop_rank : int;
   hop_from : float;
@@ -27,12 +31,17 @@ type hop = {
   via_src : int;
   via_seq : int;
   via_bytes : int;
+  via_latency : float;
+  via_slack : float;
+  via_verified : bool;
 }
 
-(** Walk back from the rank that finished last through "match_wait"
-    instants to the sends that released them (at most 64 hops; stops
-    early if the trace ring evicted the relevant send).  Returns hops in
-    start-to-finish order; [[]] when tracing was disabled. *)
+(** The cross-rank causal walk: back from the rank that finished last
+    through binding "match_wait" instants to the sends that released
+    them (the longest path through the send→recv DAG; at most 64 hops).
+    The walk only crosses verified edges — an evicted or inconsistent
+    send ends it.  Returns hops in start-to-finish order; [[]] when
+    tracing was disabled. *)
 val critical_path : Trace.t -> times:float array -> hop list
 
 val pp_critical_path : Format.formatter -> Trace.t -> times:float array -> unit
