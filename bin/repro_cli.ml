@@ -146,9 +146,22 @@ let obs_arg =
         { trace_file; trace_stream; comm_matrix; stats; check; chaos; coll_algo })
     $ trace_file $ trace_stream $ comm_matrix $ stats $ check $ chaos $ coll_algo)
 
+(* Exit-status documentation shared by every subcommand; the codes
+   themselves live in Mpisim.Exit_codes so tests and CI scripts have the
+   same single source of truth as the CLI. *)
+let exits =
+  Cmd.Exit.info Exit_codes.ok ~doc:(Exit_codes.describe Exit_codes.ok)
+  :: Cmd.Exit.info Exit_codes.violation ~doc:(Exit_codes.describe Exit_codes.violation)
+  :: Cmd.Exit.info Exit_codes.file_error ~doc:(Exit_codes.describe Exit_codes.file_error)
+  :: Cmd.Exit.info Exit_codes.clean_failure
+       ~doc:(Exit_codes.describe Exit_codes.clean_failure)
+  :: Cmd.Exit.defaults
+
 (* Run one experiment body under the observability flags: tracing is
    enabled iff --trace or --stats was given (--stats needs the event trace
-   for the critical path), and the reports print after the run. *)
+   for the critical path), and the reports print after the run.  Vector
+   clocks are stamped whenever the run streams a binary trace, so every
+   --trace-stream capture is analyzable offline with `analyze`. *)
 let run_with_obs ~obs ~model ~ranks body =
   let trace_capacity =
     if (obs.trace_file <> None || obs.stats) && obs.trace_stream = None then
@@ -164,6 +177,7 @@ let run_with_obs ~obs ~model ~ranks body =
     try
       Engine.run ~model ?check_level:obs.check ?chaos:obs.chaos ?trace_capacity
         ?trace_stream:obs.trace_stream
+        ~vector_clocks:(obs.trace_stream <> None)
         ~comm_matrix:(obs.comm_matrix <> None)
         ~ranks body
     with
@@ -172,10 +186,10 @@ let run_with_obs ~obs ~model ~ranks body =
            it without an OCaml backtrace so the replay line above is usable. *)
         Printf.printf "rank %d failed cleanly: %s: %s\n" rank (Errdefs.code_name code)
           msg;
-        exit 3
+        exit Exit_codes.clean_failure
     | Errdefs.Mpi_error { code; msg } ->
         Printf.printf "run failed cleanly: %s: %s\n" (Errdefs.code_name code) msg;
-        exit 3
+        exit Exit_codes.clean_failure
   in
   report_line report;
   (match (obs.chaos, report.Engine.chaos_log) with
@@ -207,7 +221,7 @@ let run_with_obs ~obs ~model ~ranks body =
             file msgs bytes
       | exception Sys_error msg ->
           Printf.eprintf "kamping-repro: cannot write comm matrix: %s\n" msg;
-          exit 1)
+          exit Exit_codes.file_error)
   | None -> ());
   (match obs.trace_file with
   | Some file when obs.trace_stream <> None ->
@@ -224,7 +238,7 @@ let run_with_obs ~obs ~model ~ranks body =
           else Printf.printf "trace written to %s\n" file
       | exception Sys_error msg ->
           Printf.eprintf "kamping-repro: cannot write trace: %s\n" msg;
-          exit 1)
+          exit Exit_codes.file_error)
   | None -> ());
   if obs.stats then begin
     let ppf = Format.std_formatter in
@@ -259,8 +273,20 @@ let run_with_obs ~obs ~model ~ranks body =
     end;
     Format.fprintf ppf "@.-- critical path --@.";
     Trace_report.pp_critical_path ppf report.Engine.trace ~times:report.Engine.times;
+    (* Publish how much of the shown causal chain the trace could actually
+       prove: nonzero unverified edges means the path crossed a send the
+       ring buffer evicted or that failed consistency checks. *)
+    let unverified =
+      Trace_report.unverified_edges
+        (Trace_report.critical_path report.Engine.trace ~times:report.Engine.times)
+    in
+    Stats.add
+      (Stats.counter report.Engine.stats "obs.causal.unverified_edges")
+      unverified;
+    Format.fprintf ppf "obs.causal.unverified_edges: %d@." unverified;
     Format.pp_print_flush ppf ()
-  end
+  end;
+  report
 
 (* --- sort --- *)
 
@@ -269,14 +295,14 @@ let sort_cmd =
     Arg.(value & opt int 100_000 & info [ "per-rank" ] ~doc:"Elements per rank.")
   in
   let run ranks per_rank model obs =
-    run_with_obs ~obs ~model ~ranks (fun mpi ->
+    ignore @@ run_with_obs ~obs ~model ~ranks (fun mpi ->
         let comm = Kamping.Communicator.of_mpi mpi in
         let rng = Xoshiro.create ~seed:1 ~stream:(Comm.rank mpi) in
         let data = Array.init per_rank (fun _ -> Xoshiro.next_int rng ~bound:max_int) in
         let sorted = Kamping_plugins.Sorter.sort comm Datatype.int data in
         assert (Kamping_plugins.Sorter.is_globally_sorted comm Datatype.int sorted))
   in
-  Cmd.v (Cmd.info "sort" ~doc:"Distributed sample sort (Fig. 7/8 workload).")
+  Cmd.v (Cmd.info "sort" ~exits ~doc:"Distributed sample sort (Fig. 7/8 workload).")
     Term.(const run $ ranks_arg $ per_rank $ model_arg $ obs_arg)
 
 (* --- bfs --- *)
@@ -300,7 +326,7 @@ let bfs_cmd =
     Arg.(value & opt int 4096 & info [ "vertices-per-rank" ] ~doc:"Vertices per rank.")
   in
   let run ranks family exchanger n_per_rank model obs =
-    run_with_obs ~obs ~model ~ranks (fun mpi ->
+    ignore @@ run_with_obs ~obs ~model ~ranks (fun mpi ->
         let comm = Kamping.Communicator.of_mpi mpi in
         let g =
           match family with
@@ -311,7 +337,7 @@ let bfs_cmd =
         in
         ignore (Bfs.Exchangers.bfs mpi g ~source:0 ~exchanger))
   in
-  Cmd.v (Cmd.info "bfs" ~doc:"Distributed BFS (Fig. 9/10 workload).")
+  Cmd.v (Cmd.info "bfs" ~exits ~doc:"Distributed BFS (Fig. 9/10 workload).")
     Term.(const run $ ranks_arg $ family $ exchanger $ n_per_rank $ model_arg $ obs_arg)
 
 (* --- suffix --- *)
@@ -319,7 +345,7 @@ let bfs_cmd =
 let suffix_cmd =
   let length = Arg.(value & opt int 65_536 & info [ "length" ] ~doc:"Total text length.") in
   let run ranks length model obs =
-    run_with_obs ~obs ~model ~ranks (fun mpi ->
+    ignore @@ run_with_obs ~obs ~model ~ranks (fun mpi ->
         let text =
           Suffix_array.Sa_common.random_text ~seed:2 ~alphabet:4 ~n:length ~p:ranks
             ~rank:(Comm.rank mpi)
@@ -327,7 +353,7 @@ let suffix_cmd =
         ignore (Suffix_array.Sa_kamping.suffix_array mpi text))
   in
   Cmd.v
-    (Cmd.info "suffix" ~doc:"Suffix array by prefix doubling (paper SIV-A workload).")
+    (Cmd.info "suffix" ~exits ~doc:"Suffix array by prefix doubling (paper SIV-A workload).")
     Term.(const run $ ranks_arg $ length $ model_arg $ obs_arg)
 
 (* --- phylo --- *)
@@ -338,7 +364,7 @@ let phylo_cmd =
   in
   let run ranks iterations model obs =
     let score = ref 0. in
-    run_with_obs ~obs ~model ~ranks (fun comm ->
+    ignore @@ run_with_obs ~obs ~model ~ranks (fun comm ->
         let s =
           Phylo.Workload.run Phylo.Workload.kamping comm ~sites_per_rank:1000 ~iterations
             ~n_branches:128 ~n_partitions:16
@@ -346,7 +372,7 @@ let phylo_cmd =
         if Comm.rank comm = 0 then score := s);
     Printf.printf "final log-likelihood: %.6f\n" !score
   in
-  Cmd.v (Cmd.info "phylo" ~doc:"Phylogenetic-inference workload (paper SIV-C).")
+  Cmd.v (Cmd.info "phylo" ~exits ~doc:"Phylogenetic-inference workload (paper SIV-C).")
     Term.(const run $ ranks_arg $ iterations $ model_arg $ obs_arg)
 
 (* --- repro-reduce --- *)
@@ -357,7 +383,7 @@ let repro_cmd =
   in
   let run ranks elements model obs =
     let sum = ref 0. in
-    run_with_obs ~obs ~model ~ranks (fun mpi ->
+    ignore @@ run_with_obs ~obs ~model ~ranks (fun mpi ->
         let comm = Kamping.Communicator.of_mpi mpi in
         let chunk = (elements + ranks - 1) / ranks in
         let lo = min elements (Comm.rank mpi * chunk) in
@@ -368,7 +394,7 @@ let repro_cmd =
     Printf.printf "reproducible sum: %.17g (bits %Lx)\n" !sum (Int64.bits_of_float !sum)
   in
   Cmd.v
-    (Cmd.info "repro-reduce" ~doc:"Reproducible reduction (paper SV-C, Fig. 13).")
+    (Cmd.info "repro-reduce" ~exits ~doc:"Reproducible reduction (paper SV-C, Fig. 13).")
     Term.(const run $ ranks_arg $ elements $ model_arg $ obs_arg)
 
 (* --- trace-convert --- *)
@@ -393,10 +419,10 @@ let trace_convert_cmd =
           s.Trace_stream.s_events dst
     | Error msg ->
         Printf.eprintf "kamping-repro: trace-convert: %s\n" msg;
-        exit 2
+        exit Exit_codes.file_error
   in
   Cmd.v
-    (Cmd.info "trace-convert"
+    (Cmd.info "trace-convert" ~exits
        ~doc:
          "Convert a --trace-stream binary capture to Chrome trace-event JSON \
           (chrome://tracing, ui.perfetto.dev), validating that no events are \
@@ -438,7 +464,7 @@ let bench_diff_cmd =
       | Ok records -> records
       | Error msg ->
           Printf.eprintf "kamping-repro: bench-diff: %s\n" msg;
-          exit 2
+          exit Exit_codes.file_error
     in
     let old_records = load baseline in
     let new_records = load current in
@@ -447,15 +473,236 @@ let bench_diff_cmd =
         ~current:new_records ()
     in
     Format.printf "%a@?" Bench_compare.pp_verdict verdict;
-    if Bench_compare.has_regressions verdict then exit 1
+    if Bench_compare.has_regressions verdict then exit Exit_codes.violation
   in
   Cmd.v
-    (Cmd.info "bench-diff"
+    (Cmd.info "bench-diff" ~exits
        ~doc:
          "Compare two benchmark JSON Lines files (e.g. a committed \
           bench/history baseline against a fresh BENCH_COLL.json) and exit \
           nonzero if any metric regressed beyond the tolerance.")
     Term.(const run $ baseline $ current $ tolerance $ include_wall)
+
+(* --- analyze: offline happens-before race analysis of a trace stream --- *)
+
+let analyze_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Binary trace stream written by --trace-stream (vector clocks are \
+             stamped into every such capture automatically).")
+  in
+  let eager_threshold =
+    Arg.(
+      value
+      & opt int Hb.default_eager_threshold
+      & info [ "eager-threshold" ] ~docv:"BYTES"
+          ~doc:
+            "Sends of at least $(docv) bytes are treated as \
+             rendezvous-protocol candidates for buffer-reuse windows.")
+  in
+  let include_internal =
+    Arg.(
+      value & flag
+      & info [ "include-internal" ]
+          ~doc:
+            "Also report findings on internal-tag protocol messages \
+             (collective lowerings, NBX); off by default because their \
+             nondeterminism is resolved by the algorithms themselves.")
+  in
+  let run src eager_threshold include_internal =
+    match Hb.analyze ~eager_threshold ~include_internal src with
+    | Error msg ->
+        Printf.eprintf "kamping-repro: analyze: %s\n" msg;
+        exit Exit_codes.file_error
+    | Ok r ->
+        Printf.printf
+          "%s: %d ranks, %d events, %d sends, %d matches, %d wildcard receives, %d \
+           vector clocks\n"
+          src r.Hb.ranks r.Hb.events r.Hb.sends r.Hb.matches r.Hb.wildcard_posts
+          r.Hb.vcs;
+        if not r.Hb.had_vc then
+          Printf.eprintf
+            "kamping-repro: analyze: trace has no vector-clock records; re-record \
+             with --trace-stream to enable happens-before analysis\n";
+        if r.Hb.findings = [] then begin
+          Printf.printf "no races found\n";
+          exit Exit_codes.ok
+        end
+        else begin
+          Report.print_findings Format.std_formatter r.Hb.findings;
+          Printf.printf "%d finding(s): %s\n"
+            (List.length r.Hb.findings)
+            (String.concat ", " (Report.classes r.Hb.findings));
+          exit Exit_codes.violation
+        end
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~exits
+       ~doc:
+         "Offline happens-before analysis of a --trace-stream capture: report \
+          wildcard-receive races (concurrent alternative senders, with \
+          vector-clock witnesses), non-commutative reduction-order exposure \
+          and unsafe send-buffer reuse windows.  Findings carry the message \
+          sequence number used by the Chrome-trace flow arrows, so each one \
+          can be located visually after $(b,trace-convert).  Exits 1 if any \
+          finding is reported.")
+    Term.(const run $ src $ eager_threshold $ include_internal)
+
+(* --- verify: bounded schedule-space model checking --- *)
+
+let prog_name_arg =
+  let all = String.concat ", " (Progs.names ()) in
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROG" ~doc:(Printf.sprintf "Verification program (one of: %s)." all))
+
+let lookup_prog name =
+  match Progs.find name with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "kamping-repro: unknown program %S (have: %s)\n" name
+        (String.concat ", " (Progs.names ()));
+      exit Cmd.Exit.cli_error
+
+let verify_cmd =
+  let ranks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ranks"; "p" ] ~docv:"P"
+          ~doc:"Simulated ranks (default: the program's smallest interesting size).")
+  in
+  let max_schedules =
+    Arg.(
+      value
+      & opt int Explore.default_max_schedules
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Bound on distinct schedules to execute before giving up.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCRIPT"
+          ~doc:
+            "Replay one decision script (comma-separated choice indices, as \
+             printed in a violation witness) instead of exploring, and report \
+             what that single schedule exhibits.")
+  in
+  let run name ranks max_schedules replay =
+    let p = lookup_prog name in
+    let ranks = match ranks with Some r -> r | None -> p.Progs.ranks_hint in
+    match replay with
+    | Some script_s -> (
+        match Choice.script_of_string script_s with
+        | Error msg ->
+            Printf.eprintf "kamping-repro: verify: bad --replay script: %s\n" msg;
+            exit Cmd.Exit.cli_error
+        | Ok script ->
+            let ((outcome, decisions, _) as run) =
+              Explore.replay ~ranks ~script p.Progs.body
+            in
+            let cls = Explore.replay_class run in
+            Printf.printf "replayed %d decision(s): %s\n" (List.length decisions)
+              (Choice.script_to_string
+                 (List.map (fun (d : Choice.decision) -> d.Choice.d_chosen) decisions));
+            (match outcome with
+            | Explore.Completed -> ()
+            | Explore.Violated { detail; _ } -> Printf.printf "%s\n" detail);
+            Printf.printf "schedule class: %s\n" cls;
+            exit (if cls = "ok" then Exit_codes.ok else Exit_codes.violation))
+    | None ->
+        Printf.printf "verifying %s at p=%d (%s)\n" p.Progs.name ranks p.Progs.doc;
+        let r = Explore.explore ~max_schedules ~ranks p.Progs.body in
+        Format.printf "%a@?" Explore.pp_result r;
+        exit
+          (if r.Explore.violations <> [] then Exit_codes.violation else Exit_codes.ok)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~exits
+       ~doc:
+         "Bounded schedule-space model checking of a named program: every \
+          wildcard match choice becomes an explicit decision point, all \
+          non-equivalent interleavings are executed under the heavy sanitizer \
+          (non-overtaking-pruned, breadth-first), and the run either certifies \
+          deadlock-freedom and match-determinism or prints one minimal \
+          replayable decision trace per violation class.  Exits 1 on any \
+          violation.")
+    Term.(const run $ prog_name_arg $ ranks $ max_schedules $ replay)
+
+(* --- prog: run one named verification program under the obs flags --- *)
+
+let prog_cmd =
+  let ranks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ranks"; "p" ] ~docv:"P"
+          ~doc:"Simulated ranks (default: the program's smallest interesting size).")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the available programs and exit.")
+  in
+  let opt_name =
+    let all = String.concat ", " (Progs.names ()) in
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROG"
+          ~doc:(Printf.sprintf "Verification program (one of: %s)." all))
+  in
+  let run_progs name ranks list model obs =
+    if list then begin
+      List.iter
+        (fun p ->
+          Printf.printf "%-15s (p>=%d)  %s\n" p.Progs.name p.Progs.ranks_hint
+            p.Progs.doc)
+        Progs.all;
+      exit Exit_codes.ok
+    end;
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "kamping-repro: prog: missing PROG (or use --list)\n";
+          exit Cmd.Exit.cli_error
+    in
+    let p = lookup_prog name in
+    let ranks = match ranks with Some r -> r | None -> p.Progs.ranks_hint in
+    let report = run_with_obs ~obs ~model ~ranks p.Progs.body in
+    (* Print the sanitizer counters so a single instrumented run can be
+       compared against what `analyze` finds offline (the hidden_race
+       program is the demo: check.wildcard_race stays 0 here while the
+       analyzer proves the race from vector clocks). *)
+    if obs.check <> None then begin
+      let stats = report.Engine.stats in
+      (* Always show the race counter, even at zero — the hidden_race demo
+         is exactly the comparison of this zero against `analyze`. *)
+      Printf.printf "check.wildcard_race=%d\n"
+        (Stats.count (Stats.counter stats "check.wildcard_race"));
+      Stats.iter_counters stats (fun cname c ->
+          if
+            cname <> "check.wildcard_race"
+            && String.length cname >= 6
+            && String.sub cname 0 6 = "check."
+          then Printf.printf "%s=%d\n" cname (Stats.count c))
+    end
+  in
+  Cmd.v
+    (Cmd.info "prog" ~exits
+       ~doc:
+         "Run one named verification program once, deterministically, under \
+          the usual observability flags (--check, --trace-stream, --stats, \
+          ...), printing the check.* counters when the sanitizer is on.  Use \
+          together with $(b,analyze) and $(b,verify): a single instrumented \
+          run shows what the runtime sanitizer can see; the offline analyzer \
+          and the model checker show what it cannot.")
+    Term.(const run_progs $ opt_name $ ranks $ list $ model_arg $ obs_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -474,4 +721,7 @@ let () =
             repro_cmd;
             trace_convert_cmd;
             bench_diff_cmd;
+            analyze_cmd;
+            verify_cmd;
+            prog_cmd;
           ]))

@@ -814,6 +814,18 @@ let combine_into (op : 'a Reduce_op.t) ~(acc : 'a array) (other : 'a array) =
     acc.(i) <- Reduce_op.apply op acc.(i) other.(i)
   done
 
+(* Analyzer-mode marker: this rank is entering a reduction whose result
+   depends on combine order (non-commutative op).  The offline
+   happens-before pass flags any such span whose incoming messages have
+   concurrent senders — on a real MPI, algorithm or arrival order could
+   then change the result.  Gated like the p2p analyzer instants: only
+   emitted when vector clocks are on, one branch otherwise. *)
+let note_nc_order comm =
+  let rt = Comm.runtime comm in
+  if Array.length rt.Runtime.vclocks > 0 then
+    Trace.instant rt.Runtime.trace ~rank:(Comm.world_rank comm) ~cat:"coll"
+      ~name:"nc_order" ~a:(Comm.context comm) ~b:(Comm.size comm) ~c:(-1)
+
 (* Binomial-tree reduce for commutative operations; gather + ordered fold
    for non-commutative ones (order must be rank order). *)
 let reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~root (data : 'a array) :
@@ -825,6 +837,7 @@ let reduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~root (data : 'a arra
   record comm ~op:"reduce" ~bytes:(Datatype.size_of_count dt (Array.length data));
   if n = 1 then Array.copy data
   else if not op.Reduce_op.commutative then begin
+    note_nc_order comm;
     (* Rank-ordered fold at the root. *)
     let gathered = gather comm dt ~root data in
     if r <> root then [||]

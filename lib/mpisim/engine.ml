@@ -39,13 +39,23 @@ let pp_report ppf r =
    instead (no per-rank buffers, nothing dropped) and wins when both are
    given; when neither is present the recorder stays disabled and costs
    nothing on the hot paths.  [comm_matrix] turns on the per-(src,dst)
-   traffic matrix. *)
+   traffic matrix.
+
+   Verification hooks: [vector_clocks] turns on O(ranks)-per-event vector
+   clock stamping (the happens-before analyzer's input); [on_runtime]
+   observes the runtime right after creation (the model checker captures
+   it to reach the mailboxes); [on_quiescence] is forwarded to
+   {!Scheduler.run} — the point where deferred wildcard matches are
+   resolved. *)
 let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
     ?(assertion_level = 1) ?check_level ?chaos ?trace_capacity ?trace_stream
-    ?(comm_matrix = false) ~ranks (body : Comm.t -> 'a) : 'a option array * report =
+    ?(comm_matrix = false) ?(vector_clocks = false) ?on_runtime ?on_quiescence ~ranks
+    (body : Comm.t -> 'a) : 'a option array * report =
   let rt =
     Runtime.create ~clock_mode ~assertion_level ?check_level ?chaos ~model ~size:ranks ()
   in
+  if vector_clocks then Runtime.enable_vector_clocks rt;
+  (match on_runtime with Some f -> f rt | None -> ());
   (match trace_stream with
   | Some path -> Trace.enable_stream rt.Runtime.trace ~path
   | None -> (
@@ -96,7 +106,7 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
             ~on_segment:(Runtime.on_cpu_segment rt)
             ?on_park ?on_resume
             ~kill_filter:Fault.is_kill_exn
-            ~wake_check
+            ~wake_check ?on_quiescence
             ~progress:(fun () -> rt.Runtime.progress)
             ~nfibers:ranks fiber
         with
@@ -157,10 +167,11 @@ let run_collect ?(model = Net_model.omnipath) ?(clock_mode = Runtime.Measured)
       (results, report))
 
 let run ?model ?clock_mode ?assertion_level ?check_level ?chaos ?trace_capacity
-    ?trace_stream ?comm_matrix ~ranks (body : Comm.t -> unit) : report =
+    ?trace_stream ?comm_matrix ?vector_clocks ?on_runtime ?on_quiescence ~ranks
+    (body : Comm.t -> unit) : report =
   let _, report =
     run_collect ?model ?clock_mode ?assertion_level ?check_level ?chaos ?trace_capacity
-      ?trace_stream ?comm_matrix ~ranks body
+      ?trace_stream ?comm_matrix ?vector_clocks ?on_runtime ?on_quiescence ~ranks body
   in
   report
 

@@ -59,7 +59,17 @@ val pp_report : Format.formatter -> report -> unit
            rings, nothing dropped; wins over [trace_capacity]; the file
            is flushed and closed before the report is returned
     @param comm_matrix record the per-(src,dst) traffic matrix with
-           collective-algorithm attribution (default off) *)
+           collective-algorithm attribution (default off)
+    @param vector_clocks stamp full vector clocks on every send and
+           match ({!Runtime.enable_vector_clocks}) — the input of the
+           offline happens-before analyzer; O(ranks) per event, so off
+           by default
+    @param on_runtime observes the runtime right after creation (the
+           model checker captures it to reach mailboxes and progress)
+    @param on_quiescence forwarded to {!Scheduler.run}: called when a
+           scheduler pass runs nothing and progress is stuck; return
+           [true] after applying a deferred match decision to continue,
+           [false] to let deadlock detection fire *)
 val run_collect :
   ?model:Net_model.t ->
   ?clock_mode:Runtime.clock_mode ->
@@ -69,6 +79,9 @@ val run_collect :
   ?trace_capacity:int ->
   ?trace_stream:string ->
   ?comm_matrix:bool ->
+  ?vector_clocks:bool ->
+  ?on_runtime:(Runtime.t -> unit) ->
+  ?on_quiescence:(unit -> bool) ->
   ranks:int ->
   (Comm.t -> 'a) ->
   'a option array * report
@@ -82,6 +95,9 @@ val run :
   ?trace_capacity:int ->
   ?trace_stream:string ->
   ?comm_matrix:bool ->
+  ?vector_clocks:bool ->
+  ?on_runtime:(Runtime.t -> unit) ->
+  ?on_quiescence:(unit -> bool) ->
   ranks:int ->
   (Comm.t -> unit) ->
   report

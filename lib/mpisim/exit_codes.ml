@@ -1,0 +1,29 @@
+(* Process exit codes shared by every repro_cli subcommand.
+
+   One registry so the CI scripts (and the --help text) have a single
+   source of truth:
+
+     0  success — clean run, no findings, no regression
+     1  violation — a finding the run was asked to look for: a failed
+        bench-diff gate, an analyzer race report, a model-checker
+        violation, a fixture that did NOT produce its expected violation
+     2  file error — unreadable/corrupt input or unwritable output
+     3  clean failure — the simulated program failed in a *well-defined*
+        way under fault injection (ERR_PROC_FAILED and friends with a
+        replayable chaos log); distinct from 1 so chaos CI can accept
+        "survived or failed cleanly" while still rejecting violations *)
+
+let ok = 0
+
+let violation = 1
+
+let file_error = 2
+
+let clean_failure = 3
+
+let describe = function
+  | 0 -> "success"
+  | 1 -> "violation found (race / regression / model-checker finding)"
+  | 2 -> "file error (unreadable, corrupt or unwritable)"
+  | 3 -> "clean failure under fault injection (replayable chaos log)"
+  | _ -> "unknown"

@@ -1,0 +1,15 @@
+(** Process exit codes shared by every [repro_cli] subcommand: [ok] = 0,
+    [violation] = 1 (bench-diff regression, analyzer race, model-checker
+    finding), [file_error] = 2, [clean_failure] = 3 (well-defined failure
+    under fault injection, with a replayable chaos log). *)
+
+val ok : int
+
+val violation : int
+
+val file_error : int
+
+val clean_failure : int
+
+(** One-line meaning of a code (for --help and diagnostics). *)
+val describe : int -> string

@@ -87,6 +87,21 @@ let parse_droplink clause rhs =
   else if n < 1 then Error (Printf.sprintf "%s: message index is 1-based" clause)
   else Ok (Drop_nth { src; dst; n })
 
+(* The window separator is the first '-' that is neither a leading sign
+   nor part of a scientific-notation exponent: "1e-06-5e-06" must split
+   after "1e-06", not inside it (which is exactly what [to_string]
+   prints for sub-microsecond windows via %g). *)
+let split_window clause s =
+  let n = String.length s in
+  let rec find i =
+    if i >= n then None
+    else if s.[i] = '-' && s.[i - 1] <> 'e' && s.[i - 1] <> 'E' then Some i
+    else find (i + 1)
+  in
+  match find 1 with
+  | Some i -> Ok (String.sub s 0 i, String.sub s (i + 1) (n - i - 1))
+  | None -> Error (Printf.sprintf "%s: expected start-end window in %S" clause s)
+
 let parse_partition clause rhs =
   let* ranks_s, window = split2 clause ~on:'@' rhs in
   let* ranks =
@@ -102,7 +117,7 @@ let parse_partition clause rhs =
   let ranks = List.sort_uniq compare ranks in
   if ranks = [] then Error (Printf.sprintf "%s: empty rank set" clause)
   else
-    let* t0_s, t1_s = split2 clause ~on:'-' window in
+    let* t0_s, t1_s = split_window clause window in
     let* t_start = float_of clause t0_s in
     let* t_end = float_of clause t1_s in
     if t_start < 0. || t_end < t_start then

@@ -119,6 +119,10 @@ let parse_string st =
                   if lo < 0xDC00 || lo > 0xDFFF then error st "lone high surrogate";
                   utf8_add buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
                 end
+                else if cp >= 0xDC00 && cp <= 0xDFFF then
+                  (* A low surrogate with no preceding high half encodes
+                     no code point at all. *)
+                  error st "unpaired low surrogate"
                 else utf8_add buf cp
             | _ -> error st "bad escape \\%c" c);
             loop ())
@@ -144,7 +148,15 @@ let parse_number st =
   | Some f -> f
   | None -> error st "malformed number"
 
-let rec parse_value st =
+(* Nesting bound: recursive descent burns OCaml stack per '['/'{' level,
+   so adversarial input like 100k '['s must fail with a clean parse
+   error, not Stack_overflow.  1000 levels is far beyond anything the
+   bench harness emits. *)
+let max_depth = 1000
+
+let rec parse_value ?(depth = 0) st =
+  let parse_value st = parse_value ~depth:(depth + 1) st in
+  if depth > max_depth then error st "nesting deeper than %d levels" max_depth;
   skip_ws st;
   match peek st with
   | None -> error st "unexpected end of input"

@@ -35,6 +35,7 @@ type posted = {
   mutable p_msg : Message.t option;  (* set when matched *)
   mutable p_cancelled : bool;
   mutable p_dead : bool;  (* tombstone: retired or cancelled, skip on scan *)
+  mutable p_deferred : bool;  (* model checker owns this match choice *)
 }
 
 type t = {
@@ -60,7 +61,7 @@ let create () =
   }
 
 let posted_matches (p : posted) (m : Message.t) =
-  p.p_msg = None && (not p.p_cancelled)
+  p.p_msg = None && (not p.p_cancelled) && (not p.p_deferred)
   && p.p_context = m.Message.context
   && (p.p_src = any_source || p.p_src = m.Message.src)
   && (p.p_tag = any_tag || p.p_tag = m.Message.tag)
@@ -188,7 +189,14 @@ let count_eligible t ~context ~src ~tag =
 
 (* Post a receive at receiver-clock [now].  If a compatible unexpected
    message exists it is matched immediately (match time: both sides
-   ready). *)
+   ready).
+
+   Under the model checker (Choice installed), wildcard receives are NOT
+   matched eagerly: the match is the decision point being explored, so
+   the post parks as deferred and the explorer's quiescence resolver
+   picks among the candidates.  Exact (src, tag) receives stay eager —
+   non-overtaking makes their match unique, so deferring them would only
+   multiply equivalent schedules. *)
 let post t ~context ~src ~tag ~now =
   let p =
     {
@@ -200,17 +208,78 @@ let post t ~context ~src ~tag ~now =
       p_msg = None;
       p_cancelled = false;
       p_dead = false;
+      p_deferred = false;
     }
   in
   t.next_posted_id <- t.next_posted_id + 1;
-  (match find_unexpected t ~context ~src ~tag with
-  | Some m ->
-      p.p_msg <- Some m;
-      m.Message.matched_time <- Float.max m.Message.arrival now
-  | None ->
-      Queue.add p t.posted;
-      t.n_posted <- t.n_posted + 1);
+  if Choice.deferring () && (src = any_source || tag = any_tag) then begin
+    p.p_deferred <- true;
+    Queue.add p t.posted;
+    t.n_posted <- t.n_posted + 1
+  end
+  else
+    (match find_unexpected t ~context ~src ~tag with
+    | Some m ->
+        p.p_msg <- Some m;
+        m.Message.matched_time <- Float.max m.Message.arrival now
+    | None ->
+        Queue.add p t.posted;
+        t.n_posted <- t.n_posted + 1);
   p
+
+(* ---- Model-checker resolver API (only used while Choice is installed) ---- *)
+
+(* Visit every live deferred receive, in posting order. *)
+let iter_deferred t f =
+  Queue.iter (fun p -> if (not p.p_dead) && p.p_deferred && p.p_msg = None then f p) t.posted
+
+(* The candidate set for a deferred receive: the *heads* of each matching
+   per-(src, tag) queue, sorted by global seq.  Non-head messages in those
+   queues are unreachable choices — MPI non-overtaking forces the head of
+   each queue to match first — so they are pruned from the branching
+   factor and only counted.  This is the persistent/sleep-set-style
+   reduction: schedules differing only in the order of same-link messages
+   are equivalent and explored once. *)
+let candidate_heads t ~context ~src ~tag =
+  match Hashtbl.find_opt t.unexpected context with
+  | None -> ([], 0)
+  | Some tbl ->
+      let heads, eligible =
+        Hashtbl.fold
+          (fun k q (heads, eligible) ->
+            if
+              (src = any_source || k.k_src = src)
+              && (tag = any_tag || k.k_tag = tag)
+              && not (Queue.is_empty q)
+            then (Queue.peek q :: heads, eligible + Queue.length q)
+            else (heads, eligible))
+          tbl ([], 0)
+      in
+      let heads =
+        List.sort (fun a b -> compare a.Message.seq b.Message.seq) heads
+      in
+      (heads, eligible - List.length heads)
+
+(* Apply a resolver decision: match deferred receive [p] with candidate
+   [m], which must be the head of its exact-key unexpected queue. *)
+let resolve_deferred t (p : posted) (m : Message.t) =
+  assert (p.p_deferred && p.p_msg = None);
+  (match Hashtbl.find_opt t.unexpected m.Message.context with
+  | None -> invalid_arg "Mailbox.resolve_deferred: candidate not queued"
+  | Some tbl ->
+      let k = { k_src = m.Message.src; k_tag = m.Message.tag } in
+      (match Hashtbl.find_opt tbl k with
+      | Some q when (not (Queue.is_empty q)) && Queue.peek q == m ->
+          ignore (Queue.pop q);
+          t.n_unexpected <- t.n_unexpected - 1;
+          if Queue.is_empty q then begin
+            Hashtbl.remove tbl k;
+            if Hashtbl.length tbl = 0 then Hashtbl.remove t.unexpected m.Message.context
+          end
+      | _ -> invalid_arg "Mailbox.resolve_deferred: candidate is not a queue head"));
+  p.p_deferred <- false;
+  p.p_msg <- Some m;
+  m.Message.matched_time <- Float.max m.Message.arrival p.p_clock
 
 (* Rebuild the posted queue without tombstones.  Amortized O(1): it runs
    only when tombstones outnumber live entries, and each removed entry was

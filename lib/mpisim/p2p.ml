@@ -187,6 +187,24 @@ let note_wildcard comm ~src_world ~tag =
         ~tag ~eligible
   end
 
+(* Analyzer-mode instants: which receive was posted with which pattern
+   ("post": a=src b=tag c=ctx d=post id) and which message it finally
+   matched ("matched": a=post id, b=msg seq, c=ctx, d=actual src).  Only
+   emitted when vector clocks are on (trace-analysis runs), so ordinary
+   traces keep their exact event mix; otherwise each is one branch. *)
+let note_post comm (p : Mailbox.posted) =
+  let rt = Comm.runtime comm in
+  if Array.length rt.Runtime.vclocks > 0 then
+    Trace.instant_d rt.Runtime.trace ~rank:(Comm.world_rank comm) ~cat:"sim" ~name:"post"
+      ~a:p.Mailbox.p_src ~b:p.Mailbox.p_tag ~c:p.Mailbox.p_context ~d:p.Mailbox.p_id
+
+let note_matched comm (p : Mailbox.posted) (msg : Message.t) =
+  let rt = Comm.runtime comm in
+  if Array.length rt.Runtime.vclocks > 0 then
+    Trace.instant_d rt.Runtime.trace ~rank:(Comm.world_rank comm) ~cat:"sim"
+      ~name:"matched" ~a:p.Mailbox.p_id ~b:msg.Message.seq ~c:p.Mailbox.p_context
+      ~d:msg.Message.src
+
 let check_signature comm (dt : 'a Datatype.t) (msg : Message.t) ~op =
   let rt = Comm.runtime comm in
   if rt.Runtime.assertion_level >= 1 then begin
@@ -253,8 +271,10 @@ let recv comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) () :
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  note_post comm p;
   let msg = await_posted comm ~op:"recv" ~src_world p in
   Mailbox.retire (my_mailbox comm) p;
+  note_matched comm p msg;
   let status = complete_matched comm dt ~op:"recv" msg in
   let r = Message.reader msg in
   let data = Datatype.unpack_array dt r ~count:msg.Message.count in
@@ -275,8 +295,10 @@ let recv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  note_post comm p;
   let msg = await_posted comm ~op:"recv" ~src_world p in
   Mailbox.retire (my_mailbox comm) p;
+  note_matched comm p msg;
   if msg.Message.count > maxcount then
     Comm.error comm Errdefs.Err_truncate
       "recv: message of %d elements truncated to buffer of %d" msg.Message.count maxcount;
@@ -302,6 +324,7 @@ let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
   let chk = checker comm in
   if Check.heavy chk then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  note_post comm p;
   let rt = Comm.runtime comm in
   let failed_source () =
     src_world <> any_source && Runtime.is_failed rt src_world && p.Mailbox.p_msg = None
@@ -316,6 +339,7 @@ let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
             Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
         | Some msg ->
             Mailbox.retire mb p;
+            note_matched comm p msg;
             if msg.Message.count > maxcount then
               Comm.error comm Errdefs.Err_truncate "irecv: message truncated";
             let status = complete_matched comm dt ~op:"irecv" msg in
@@ -422,8 +446,10 @@ let recv_bytes comm ?(source = any_source) ?(tag = any_tag) () : Bytes.t * Statu
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  note_post comm p;
   let msg = await_posted comm ~op:"recv" ~src_world p in
   Mailbox.retire (my_mailbox comm) p;
+  note_matched comm p msg;
   let rt = Comm.runtime comm in
   Runtime.complete_receive rt (Comm.world_rank comm) msg;
   Runtime.charge_copy rt (Comm.world_rank comm) ~bytes:(Message.bytes msg);
@@ -454,6 +480,7 @@ let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) 
   let chk = checker comm in
   if Check.heavy chk then note_wildcard comm ~src_world ~tag;
   let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  note_post comm p;
   let rt = Comm.runtime comm in
   let cell = ref None in
   let failed_source () =
@@ -469,6 +496,7 @@ let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) 
             Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
         | Some msg ->
             Mailbox.retire mb p;
+            note_matched comm p msg;
             let status = complete_matched comm dt ~op:"irecv" msg in
             let r = Message.reader msg in
             cell := Some (Datatype.unpack_array dt r ~count:msg.Message.count);

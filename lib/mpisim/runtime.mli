@@ -50,6 +50,10 @@ type t = {
   lamport : int array;
       (** per-rank Lamport clocks: bumped on injection, merged (max + 1)
           on match; stamped into send/match trace instants *)
+  mutable vclocks : int array array;
+      (** per-rank vector clocks (size × size when enabled, [[||]] off);
+          ticked on injection, merged component-wise on match, streamed
+          into the binary trace for the offline happens-before analyzer *)
   comm_matrix : Comm_matrix.t;
       (** per-(src,dst) traffic matrix with collective-algorithm
           attribution; disabled (one branch per injection) by default *)
@@ -80,6 +84,16 @@ val create :
   t
 
 val bump_progress : t -> unit
+
+(** Switch on O(p)-per-event vector-clock stamping.  Sends then carry a
+    VC snapshot, matches merge it, and both emit VC trace records plus a
+    [send_meta] instant (tag/context/sync) — the inputs of
+    [repro_cli analyze].  Off (the default) costs one branch per
+    injection and match. *)
+val enable_vector_clocks : t -> unit
+
+(** A copy of the rank's current vector clock ([[||]] when disabled). *)
+val vector_clock : t -> int -> int array
 
 (** Allocate a fresh communicator context id. *)
 val fresh_context : t -> int

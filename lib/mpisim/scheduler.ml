@@ -181,8 +181,9 @@ exception Abandoned_fiber
    could never succeed (nobody will send to a dead rank), so without the
    hook the kill would only surface as a deadlock. *)
 let run ?(on_segment = fun _ _ -> ()) ?on_park ?on_resume
-    ?(kill_filter = fun _ -> false) ?(wake_check = fun _ -> None) ~progress
-    ~nfibers (body : int -> unit) : outcome array =
+    ?(kill_filter = fun _ -> false) ?(wake_check = fun _ -> None)
+    ?(on_quiescence = fun () -> false) ~progress ~nfibers (body : int -> unit) :
+    outcome array =
   if nfibers <= 0 then invalid_arg "Scheduler.run: nfibers must be positive";
   let track_park = on_park <> None || on_resume <> None in
   let t =
@@ -256,6 +257,12 @@ let run ?(on_segment = fun _ _ -> ()) ?on_park ?on_resume
       | None ->
           if t.live = 0 then ()
           else if (not !ran) && progress () = progress_before then begin
+            (* Quiescence: no fiber ran and nothing changed.  Give the
+               model checker's resolver one chance to apply a deferred
+               match decision (which must bump [progress]); only if it
+               declines is this a genuine deadlock. *)
+            if on_quiescence () then loop ()
+            else begin
             let parked =
               Array.to_list t.states
               |> List.mapi (fun r st ->
@@ -271,6 +278,7 @@ let run ?(on_segment = fun _ _ -> ()) ?on_park ?on_resume
             in
             abort_parked ();
             raise (Deadlock { parked; finished; total = nfibers })
+            end
           end
           else loop ()
     end

@@ -48,6 +48,12 @@ exception Abandoned_fiber
            discontinues the fiber with [exn] instead of resuming it — how
            fault injection reaches a victim blocked in a receive whose
            poll can never succeed
+    @param on_quiescence called when a full pass ran nothing and the
+           progress counter is unchanged — the point where the model
+           checker resolves a deferred match decision.  Returning [true]
+           means "state changed, keep scheduling" (the hook must have
+           bumped the progress counter or satisfied a poll, or detection
+           loops forever); [false] falls through to the deadlock report.
 
     The park/resume hooks cost one extra [gettimeofday] per park when
     supplied and nothing when absent. *)
@@ -57,6 +63,7 @@ val run :
   ?on_resume:(int -> float -> unit) ->
   ?kill_filter:(exn -> bool) ->
   ?wake_check:(int -> exn option) ->
+  ?on_quiescence:(unit -> bool) ->
   progress:(unit -> int) ->
   nfibers:int ->
   (int -> unit) ->

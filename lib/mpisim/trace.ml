@@ -152,6 +152,14 @@ let instant t ~rank ~cat ~name ~a ~b ~c =
 let instant_d t ~rank ~cat ~name ~a ~b ~c ~d =
   if t.enabled then emit t rank Instant cat name 0. a b c d
 
+(* Vector-clock annotation for the rank's most recent event.  Only the
+   stream sink persists these (ring analysis has the live runtime to ask);
+   with tracing disabled or a ring sink this is a branch and nothing
+   more. *)
+let vector_clock t ~rank ~vc =
+  if t.enabled then
+    match t.sink with Stream w -> Trace_stream.write_vc w ~rank ~vc | Ring -> ()
+
 (* A complete span reported after the fact (scheduler CPU segments): the
    timestamp is the current clock, [dur] reaches back. *)
 let complete t ~rank ~cat ~name ~dur =

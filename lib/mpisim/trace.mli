@@ -80,6 +80,12 @@ val instant : t -> rank:int -> cat:string -> name:string -> a:int -> b:int -> c:
 val instant_d :
   t -> rank:int -> cat:string -> name:string -> a:int -> b:int -> c:int -> d:int -> unit
 
+(** Attach the rank's current vector clock to its most recent event.
+    Persisted by the stream sink only (tag-3 annotation records, read
+    back by the offline happens-before analyzer); a single branch when
+    disabled or under the ring sink. *)
+val vector_clock : t -> rank:int -> vc:int array -> unit
+
 (** A complete span reported after the fact (scheduler CPU segments): the
     timestamp is the current clock and [dur] reaches back. *)
 val complete : t -> rank:int -> cat:string -> name:string -> dur:float -> unit

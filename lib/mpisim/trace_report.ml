@@ -211,6 +211,13 @@ let critical_path tr ~times =
     !hops (* prepended finish-first, so this is start -> finish order *)
   end
 
+(* How many cross-rank edges of a critical path failed verification
+   against the send table.  Published as the [obs.causal.unverified_edges]
+   counter: nonzero means the causal chain shown to the user contains
+   hops the trace could not prove. *)
+let unverified_edges hops =
+  List.length (List.filter (fun h -> h.via_src >= 0 && not h.via_verified) hops)
+
 let pp_critical_path ppf tr ~times =
   match critical_path tr ~times with
   | [] -> Format.fprintf ppf "critical path: no trace events recorded@."

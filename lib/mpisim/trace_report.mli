@@ -44,4 +44,9 @@ type hop = {
     tracing was disabled. *)
 val critical_path : Trace.t -> times:float array -> hop list
 
+(** Number of cross-rank edges in a critical path that failed send-table
+    verification ([via_verified = false]).  Published by the CLI as the
+    [obs.causal.unverified_edges] counter. *)
+val unverified_edges : hop list -> int
+
 val pp_critical_path : Format.formatter -> Trace.t -> times:float array -> unit

@@ -15,6 +15,14 @@
      tag 2    event: i32 rank, i32 per-rank seq, u8 kind,
               i32 cat id, i32 name id, f64 ts, f64 dur,
               i64 a, i64 b, i64 c, i64 d
+     tag 3    vector clock: i32 rank, i32 event seq it annotates,
+              i32 n, n x i64 clock entries
+
+   Tag-3 records are an annotation layer: a VC record refers to the
+   event of the same rank with the given sequence number (in practice
+   the immediately preceding one) and carries the rank's vector clock
+   at that event.  Readers that predate tag 3 skip it via the length
+   prefix — no version bump needed.
 
    Category and name strings are interned: the first occurrence writes a
    tag-1 record, later events refer to the id.  The per-rank sequence
@@ -131,6 +139,26 @@ let write_event t ~rank ~kind ~cat ~name ~ts ~dur ~a ~b ~c ~d =
   Bytes.set_int64_le s 57 (Int64.of_int d);
   add_record t 2 event_payload_len (fun () -> Buffer.add_bytes t.buf s)
 
+(* Attach the rank's current vector clock to its most recent event.
+   Must be called right after the [write_event] it annotates (it binds to
+   sequence number [seq - 1]).  The array is copied into the stream, so
+   the caller may keep mutating its live clock row. *)
+let write_vc t ~rank ~vc =
+  if t.closed then invalid_arg "Trace_stream.write_vc: writer is closed";
+  if t.seqs.(rank) = 0 then invalid_arg "Trace_stream.write_vc: no event to annotate";
+  let n = Array.length vc in
+  add_record t 3
+    ((3 * 4) + (n * 8))
+    (fun () ->
+      let b = Bytes.create ((3 * 4) + (n * 8)) in
+      Bytes.set_int32_le b 0 (Int32.of_int rank);
+      Bytes.set_int32_le b 4 (Int32.of_int (t.seqs.(rank) - 1));
+      Bytes.set_int32_le b 8 (Int32.of_int n);
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le b (12 + (i * 8)) (Int64.of_int vc.(i))
+      done;
+      Buffer.add_bytes t.buf b)
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
@@ -163,7 +191,8 @@ let read_i32 b off = Int32.to_int (Bytes.get_int32_le b off)
    and version, string ids defined before use, and — the completeness
    proof — per-rank sequence numbers contiguous from zero.  [on_header]
    fires once, before the first event, with the rank count. *)
-let fold_file ?(on_header = fun (_ : int) -> ()) path ~init ~f =
+let fold_file ?(on_header = fun (_ : int) -> ())
+    ?(on_vc = fun ~rank:(_ : int) ~seq:(_ : int) (_ : int array) -> ()) path ~init ~f =
   match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic -> (
@@ -237,6 +266,19 @@ let fold_file ?(on_header = fun (_ : int) -> ()) path ~init ~f =
                           ev_c = i64 49;
                           ev_d = i64 57;
                         }
+                | 3 ->
+                    if len < 12 then fail "short vector-clock record";
+                    let rank = read_i32 payload 0 in
+                    if rank < 0 || rank >= nranks then
+                      fail "vector-clock rank %d out of range" rank;
+                    let sq = read_i32 payload 4 in
+                    let n = read_i32 payload 8 in
+                    if n < 0 || len < 12 + (n * 8) then fail "short vector-clock record";
+                    let vc =
+                      Array.init n (fun i ->
+                          Int64.to_int (Bytes.get_int64_le payload (12 + (i * 8))))
+                    in
+                    on_vc ~rank ~seq:sq vc
                 | _ -> () (* unknown tag: the length prefix told us how much to skip *));
                 loop ()
           in

@@ -26,6 +26,11 @@ val write_event :
   d:int ->
   unit
 
+(** Attach the rank's current vector clock to its most recently written
+    event (a tag-3 annotation record; the array is copied).  Raises if no
+    event has been written for [rank] yet. *)
+val write_vc : t -> rank:int -> vc:int array -> unit
+
 (** Events written so far (all ranks). *)
 val events_written : t -> int
 
@@ -56,10 +61,13 @@ type summary = { s_ranks : int; s_events : int }
 
 (** Stream the records of a file through [f], validating the header, the
     string table and the per-rank sequence contiguity; [on_header] fires
-    once with the rank count before the first event.  Returns the folded
-    value and a summary, or a description of the first corruption. *)
+    once with the rank count before the first event; [on_vc] receives
+    each vector-clock annotation (the rank and sequence number of the
+    event it annotates, and the clock itself).  Returns the folded value
+    and a summary, or a description of the first corruption. *)
 val fold_file :
   ?on_header:(int -> unit) ->
+  ?on_vc:(rank:int -> seq:int -> int array -> unit) ->
   string ->
   init:'a ->
   f:('a -> event -> 'a) ->

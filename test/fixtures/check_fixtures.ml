@@ -1,14 +1,76 @@
 (* Intentionally-buggy programs, one per sanitizer check class.
 
-   Each fixture runs a small program containing a real bug under
-   [--check heavy] and exits 0 only if the sanitizer reports the
-   expected violation — so CI proves every check class actually fires
-   on the kind of program it was built for, not just in unit tests.
+   Each fixture is a small program containing a real bug.  Two modes:
 
-     dune exec test/fixtures/check_fixtures.exe -- all
-     dune exec test/fixtures/check_fixtures.exe -- deadlock *)
+   - default: run once under [--check heavy] and exit 0 only if the
+     sanitizer reports the expected violation — so CI proves every check
+     class actually fires on the kind of program it was built for, not
+     just in unit tests.
+
+       dune exec test/fixtures/check_fixtures.exe -- all
+       dune exec test/fixtures/check_fixtures.exe -- deadlock
+
+   - --verify: run the SAME buggy bodies through the bounded
+     schedule-space model checker (Explore) at p=2, assert that it
+     detects the expected violation class, and that the minimal decision
+     trace it emits replays to the same finding — the CI contract of the
+     verification plane.
+
+       dune exec test/fixtures/check_fixtures.exe -- --verify all *)
 
 open Mpisim
+
+(* ---------------- the buggy program bodies ---------------- *)
+
+(* One rank calls barrier, the other allgather: divergent collective order. *)
+let collective_body mpi =
+  if Comm.rank mpi = 0 then Coll.barrier mpi
+  else ignore (Coll.allgather mpi Datatype.int [| 1 |])
+
+(* An isend whose request is never completed: leaked at finalize. *)
+let leak_body mpi =
+  if Comm.rank mpi = 0 then ignore (P2p.isend mpi Datatype.int ~dest:1 [| 1 |])
+  else ignore (P2p.recv mpi Datatype.int ~source:0 ())
+
+(* The same request waited twice: the second wait reads a freed request. *)
+let double_wait_body mpi =
+  if Comm.rank mpi = 0 then begin
+    let req = P2p.isend mpi Datatype.int ~dest:1 [| 1 |] in
+    ignore (Request.wait req : Status.t);
+    ignore (Request.wait req : Status.t)
+  end
+  else ignore (P2p.recv mpi Datatype.int ~source:0 ())
+
+(* A send buffer mutated while the synchronous send is still in flight. *)
+let send_buffer_body mpi =
+  let comm = Kamping.Communicator.of_mpi mpi in
+  if Comm.rank mpi = 0 then begin
+    let data = [| 1; 2; 3 |] in
+    let nb = Kamping.Nb.issend comm Datatype.int ~dest:1 data in
+    data.(0) <- 99;
+    ignore (Kamping.Nb.wait nb)
+  end
+  else ignore (P2p.recv mpi Datatype.int ~source:0 ())
+
+(* Classic head-to-head receive deadlock. *)
+let deadlock_body mpi =
+  let peer = 1 - Comm.rank mpi in
+  ignore (P2p.recv mpi Datatype.int ~source:peer ())
+
+(* A wildcard receive with two eligible queued messages. *)
+let wildcard_body mpi =
+  if Comm.rank mpi = 0 then begin
+    P2p.send mpi Datatype.int ~dest:1 ~tag:1 [| 10 |];
+    P2p.send mpi Datatype.int ~dest:1 ~tag:2 [| 20 |];
+    P2p.send mpi Datatype.int ~dest:1 ~tag:9 [| 0 |]
+  end
+  else begin
+    ignore (P2p.recv mpi Datatype.int ~source:0 ~tag:9 ());
+    ignore (P2p.recv mpi Datatype.int ());
+    ignore (P2p.recv mpi Datatype.int ())
+  end
+
+(* ---------------- single-run mode (sanitizer must fire) ---------------- *)
 
 let run body = Engine.run ~model:Net_model.zero_cost ~check_level:Check.Heavy ~ranks:2 body
 
@@ -30,47 +92,17 @@ let expect_violation ~cls body =
         (Printexc.to_string exn);
       false
 
-(* One rank calls barrier, the other allgather: divergent collective order. *)
-let collective_mismatch () =
-  expect_violation ~cls:"collective" (fun mpi ->
-      if Comm.rank mpi = 0 then Coll.barrier mpi
-      else ignore (Coll.allgather mpi Datatype.int [| 1 |]))
+let collective_mismatch () = expect_violation ~cls:"collective" collective_body
 
-(* An isend whose request is never completed: leaked at finalize. *)
-let request_leak () =
-  expect_violation ~cls:"request-leak" (fun mpi ->
-      if Comm.rank mpi = 0 then ignore (P2p.isend mpi Datatype.int ~dest:1 [| 1 |])
-      else ignore (P2p.recv mpi Datatype.int ~source:0 ()))
+let request_leak () = expect_violation ~cls:"request-leak" leak_body
 
-(* The same request waited twice: the second wait reads a freed request. *)
-let double_wait () =
-  expect_violation ~cls:"double-wait" (fun mpi ->
-      if Comm.rank mpi = 0 then begin
-        let req = P2p.isend mpi Datatype.int ~dest:1 [| 1 |] in
-        ignore (Request.wait req : Status.t);
-        ignore (Request.wait req : Status.t)
-      end
-      else ignore (P2p.recv mpi Datatype.int ~source:0 ()))
+let double_wait () = expect_violation ~cls:"double-wait" double_wait_body
 
-(* A send buffer mutated while the synchronous send is still in flight. *)
-let send_buffer () =
-  expect_violation ~cls:"send-buffer" (fun mpi ->
-      let comm = Kamping.Communicator.of_mpi mpi in
-      if Comm.rank mpi = 0 then begin
-        let data = [| 1; 2; 3 |] in
-        let nb = Kamping.Nb.issend comm Datatype.int ~dest:1 data in
-        data.(0) <- 99;
-        ignore (Kamping.Nb.wait nb)
-      end
-      else ignore (P2p.recv mpi Datatype.int ~source:0 ()))
+let send_buffer () = expect_violation ~cls:"send-buffer" send_buffer_body
 
-(* Classic head-to-head receive deadlock: the report must name the cycle. *)
+(* The deadlock report must name the cycle. *)
 let deadlock () =
-  match
-    run (fun mpi ->
-        let peer = 1 - Comm.rank mpi in
-        ignore (P2p.recv mpi Datatype.int ~source:peer ()))
-  with
+  match run deadlock_body with
   | (_ : Engine.report) ->
       Printf.eprintf "FAIL: expected a deadlock, run succeeded\n";
       false
@@ -89,22 +121,10 @@ let deadlock () =
       Printf.eprintf "FAIL: expected Err_deadlock, got %s\n" (Printexc.to_string exn);
       false
 
-(* A wildcard receive with two eligible queued messages: counted, not
-   raised — the run completes but the race counter must be non-zero. *)
+(* Counted, not raised — the run completes but the race counter must be
+   non-zero. *)
 let wildcard_race () =
-  match
-    run (fun mpi ->
-        if Comm.rank mpi = 0 then begin
-          P2p.send mpi Datatype.int ~dest:1 ~tag:1 [| 10 |];
-          P2p.send mpi Datatype.int ~dest:1 ~tag:2 [| 20 |];
-          P2p.send mpi Datatype.int ~dest:1 ~tag:9 [| 0 |]
-        end
-        else begin
-          ignore (P2p.recv mpi Datatype.int ~source:0 ~tag:9 ());
-          ignore (P2p.recv mpi Datatype.int ());
-          ignore (P2p.recv mpi Datatype.int ())
-        end)
-  with
+  match run wildcard_body with
   | report ->
       let races = Stats.count (Stats.counter report.Engine.stats "check.wildcard_race") in
       if races >= 1 then true
@@ -126,29 +146,88 @@ let fixtures =
     ("wildcard", wildcard_race);
   ]
 
+(* ---------------- --verify mode (model checker must detect) ----------- *)
+
+(* Expected violation class per fixture when the schedule space is
+   explored.  The wildcard fixture maps to "nondet-match": under lazy
+   matching the runtime counter cannot fire (candidates are probed at
+   post time, before deferral resolves), but the explorer sees the
+   2-candidate decision point directly — that decision IS the race. *)
+let verify_fixtures =
+  [
+    ("collective", collective_body, "collective");
+    ("leak", leak_body, "request-leak");
+    ("double-wait", double_wait_body, "double-wait");
+    ("send-buffer", send_buffer_body, "send-buffer");
+    ("deadlock", deadlock_body, "deadlock");
+    ("wildcard", wildcard_body, "nondet-match");
+  ]
+
+let verify_one (name, body, expected) =
+  let r = Explore.explore ~ranks:2 body in
+  match
+    List.find_opt (fun v -> v.Explore.v_class = expected) r.Explore.violations
+  with
+  | None ->
+      Printf.eprintf "FAIL %s: explorer found %s, expected class %S\n" name
+        (String.concat ","
+           (List.map (fun v -> v.Explore.v_class) r.Explore.violations))
+        expected;
+      false
+  | Some v ->
+      (* The witness script must replay to the same finding. *)
+      let replayed = Explore.replay ~ranks:2 ~script:v.Explore.v_script body in
+      let cls = Explore.replay_class replayed in
+      if cls = expected then begin
+        Printf.printf "ok   %-12s %d schedule(s), witness '%s' replays to %s\n%!" name
+          r.Explore.explored
+          (Choice.script_to_string v.Explore.v_script)
+          cls;
+        true
+      end
+      else begin
+        Printf.eprintf "FAIL %s: witness '%s' replayed to %S, expected %S\n" name
+          (Choice.script_to_string v.Explore.v_script)
+          cls expected;
+        false
+      end
+
 let () =
   (* The fixtures print scary sanitizer output on purpose; keep the error
      log quiet so CI output stays readable. *)
   Logs.set_level (Some Logs.App);
-  let names =
+  let verify_mode, names =
     match Array.to_list Sys.argv with
-    | _ :: [] | _ :: [ "all" ] -> List.map fst fixtures
-    | _ :: rest -> rest
-    | [] -> []
+    | _ :: "--verify" :: rest ->
+        (true, match rest with [] | [ "all" ] -> List.map fst fixtures | _ -> rest)
+    | _ :: ([] | [ "all" ]) -> (false, List.map fst fixtures)
+    | _ :: rest -> (false, rest)
+    | [] -> (false, [])
   in
   let failed = ref 0 in
   List.iter
     (fun name ->
-      match List.assoc_opt name fixtures with
-      | None ->
-          Printf.eprintf "unknown fixture %S (have: %s)\n" name
-            (String.concat ", " (List.map fst fixtures));
-          incr failed
-      | Some f ->
-          if f () then Printf.printf "ok   %s\n%!" name
-          else begin
-            Printf.printf "FAIL %s\n%!" name;
+      if verify_mode then begin
+        match
+          List.find_opt (fun (n, _, _) -> n = name) verify_fixtures
+        with
+        | None ->
+            Printf.eprintf "unknown fixture %S (have: %s)\n" name
+              (String.concat ", " (List.map fst fixtures));
             incr failed
-          end)
+        | Some f -> if not (verify_one f) then incr failed
+      end
+      else
+        match List.assoc_opt name fixtures with
+        | None ->
+            Printf.eprintf "unknown fixture %S (have: %s)\n" name
+              (String.concat ", " (List.map fst fixtures));
+            incr failed
+        | Some f ->
+            if f () then Printf.printf "ok   %s\n%!" name
+            else begin
+              Printf.printf "FAIL %s\n%!" name;
+              incr failed
+            end)
     names;
   exit (if !failed > 0 then 1 else 0)

@@ -334,6 +334,90 @@ let test_rtt_histogram () =
   let h = Stats.histogram report.Engine.stats "reliable.rtt" in
   Alcotest.(check bool) "rtt observations recorded" true (Stats.total h > 0)
 
+(* --- Fault-plan qcheck properties --- *)
+
+(* Random plans whose printed form must parse back to the same printed
+   form (print-parse-print idempotence — exactly the property a CLI
+   replay line needs).  Times are multiples of 1e-7 so %g regularly
+   emits scientific notation ("1e-06"), the form the window separator
+   historically mis-split. *)
+let gen_action =
+  QCheck.Gen.(
+    let rank = int_bound 63 in
+    let time k = float_of_int k *. 1e-7 in
+    oneof
+      [
+        map2
+          (fun rank ops -> Fault_plan.Fail_at_ops { rank; ops = ops + 1 })
+          rank (int_bound 999);
+        map2
+          (fun rank k -> Fault_plan.Fail_at_time { rank; time = time k })
+          rank (int_bound 999);
+        map3
+          (fun src dst n -> Fault_plan.Drop_nth { src; dst; n = n + 1 })
+          rank rank (int_bound 99);
+        map3
+          (fun r0 ranks (k0, dk) ->
+            let ranks = List.sort_uniq compare (r0 :: ranks) in
+            Fault_plan.Partition
+              { ranks; t_start = time k0; t_end = time (k0 + dk) })
+          rank
+          (list_size (int_bound 4) rank)
+          (pair (int_bound 999) (int_bound 999));
+      ])
+
+let gen_plan =
+  QCheck.make
+    ~print:(fun p -> Fault_plan.to_string p)
+    QCheck.Gen.(list_size (int_range 1 6) gen_action)
+
+let prop_plan_print_parse_print =
+  QCheck.Test.make ~name:"fault plan print/parse/print idempotent" ~count:500 gen_plan
+    (fun plan ->
+      let s = Fault_plan.to_string plan in
+      match Fault_plan.parse s with
+      | Error msg -> QCheck.Test.fail_reportf "%S did not parse back: %s" s msg
+      | Ok plan' ->
+          let s' = Fault_plan.to_string plan' in
+          s = s' || QCheck.Test.fail_reportf "%S re-printed as %S" s s')
+
+(* The historical regression: a partition window in scientific notation
+   split at the exponent's '-' instead of the separator. *)
+let test_partition_scientific_window () =
+  let spec = "partition=1,3@1e-06-5e-06" in
+  match Fault_plan.parse spec with
+  | Error msg -> Alcotest.failf "scientific-notation window rejected: %s" msg
+  | Ok plan -> Alcotest.(check string) "round-trips" spec (Fault_plan.to_string plan)
+
+(* Malformed specs must come back as [Error] naming the clause, never as
+   an exception or a silent acceptance. *)
+let test_plan_malformed_messages () =
+  List.iter
+    (fun (spec, fragment) ->
+      match Fault_plan.parse spec with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" spec
+      | Error msg ->
+          let contains needle =
+            let nh = String.length msg and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub msg i nn = needle || go (i + 1)) in
+            go 0
+          in
+          if not (contains fragment) then
+            Alcotest.failf "error for %S is %S; expected it to mention %S" spec msg
+              fragment)
+    [
+      ("partition=0@1e-06", "window");
+      ("partition=@1e-06-2e-06", "integer");
+      ("partition=0,1@3e-06-1e-06", "start <= end");
+      ("fail=1@q:3", "unknown trigger");
+      ("fail=-1@ops:3", "negative rank");
+      ("droplink=0>1@0", "1-based");
+      ("droplink=0@3", ">");
+      ("wobble=1", "unknown fault-plan clause");
+    ]
+
+let qtest = QCheck_alcotest.to_alcotest
+
 let tests =
   [
     Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
@@ -341,6 +425,11 @@ let tests =
     Alcotest.test_case "crc32 detects bit flip" `Quick test_crc32_detects_flip;
     Alcotest.test_case "fault plan round-trip" `Quick test_plan_parse_roundtrip;
     Alcotest.test_case "fault plan errors" `Quick test_plan_parse_errors;
+    Alcotest.test_case "partition window in scientific notation" `Quick
+      test_partition_scientific_window;
+    Alcotest.test_case "malformed plans name the clause" `Quick
+      test_plan_malformed_messages;
+    qtest prop_plan_print_parse_print;
     Alcotest.test_case "chaos spec parsing" `Quick test_chaos_config_of_string;
     Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
     Alcotest.test_case "no log when off" `Quick test_chaos_off_no_log;

@@ -450,6 +450,57 @@ let test_json_in_parses () =
   | Ok l -> Alcotest.failf "expected 2 lines, got %d" (List.length l)
   | Error msg -> Alcotest.fail msg
 
+(* Surrogate pairs decode to the astral code point; a lone surrogate or a
+   truncated pair is a clean error. *)
+let test_json_in_surrogates () =
+  (match Json_in.parse {| "😀" |} with
+  | Ok (Json_in.Str s) ->
+      Alcotest.(check string) "U+1F600 as UTF-8" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error msg -> Alcotest.failf "surrogate pair rejected: %s" msg);
+  (match Json_in.parse {| "pre 😀 post" |} with
+  | Ok (Json_in.Str s) ->
+      Alcotest.(check string) "embedded pair" "pre \xf0\x9f\x98\x80 post" s
+  | Ok _ | Error _ -> Alcotest.fail "embedded surrogate pair");
+  List.iter
+    (fun src ->
+      match Json_in.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed surrogate %S" src
+      | Error _ -> ())
+    [ {| "\ud83d" |}; {| "\ud83dx" |}; {| "\ud83dA" |}; {| "\ude00" |} ]
+
+(* Deep nesting must fail with a parse error, never Stack_overflow. *)
+let test_json_in_depth_bounded () =
+  (* Comfortably under the cap: parses fine. *)
+  let nested n = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  (match Json_in.parse (nested 500) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "500 levels rejected: %s" msg);
+  (* Adversarial: 100k unclosed brackets.  The old recursive descent
+     overflowed the stack here. *)
+  (match Json_in.parse (String.make 100_000 '[') with
+  | Ok _ -> Alcotest.fail "accepted 100k open brackets"
+  | Error msg ->
+      Alcotest.(check bool) "names the nesting bound" true
+        (String.length msg > 0)
+  | exception Stack_overflow -> Alcotest.fail "stack overflow on deep nesting");
+  match Json_in.parse (nested 5_000) with
+  | Ok _ -> Alcotest.fail "accepted 5k levels"
+  | Error _ -> ()
+  | exception Stack_overflow -> Alcotest.fail "stack overflow on deep nesting"
+
+(* Truncated documents surface as clean errors at every cut point. *)
+let test_json_in_truncated () =
+  let full = {|{"a": [1, true, "xA"], "b": {"c": null}}|} in
+  for cut = 0 to String.length full - 1 do
+    match Json_in.parse (String.sub full 0 cut) with
+    | Ok _ when cut = 0 -> Alcotest.fail "accepted empty input"
+    | Ok _ -> Alcotest.failf "accepted truncation at %d" cut
+    | Error _ -> ()
+    | exception exn ->
+        Alcotest.failf "raised %s at cut %d" (Printexc.to_string exn) cut
+  done
+
 (* --- bench-diff engine --- *)
 
 let mk bench keys metrics =
@@ -563,6 +614,9 @@ let tests =
     qtest test_chaos_flow_dedup;
     qtest test_chaos_lamport_monotone;
     Alcotest.test_case "json_in parses" `Quick test_json_in_parses;
+    Alcotest.test_case "json_in surrogate pairs" `Quick test_json_in_surrogates;
+    Alcotest.test_case "json_in nesting bounded" `Quick test_json_in_depth_bounded;
+    Alcotest.test_case "json_in truncated input" `Quick test_json_in_truncated;
     Alcotest.test_case "bench compare directions" `Quick test_bench_compare_directions;
     Alcotest.test_case "bench compare verdicts" `Quick test_bench_compare_verdicts;
     Alcotest.test_case "bench compare identity and wall" `Quick

@@ -1,0 +1,284 @@
+(* The verification plane: the bounded schedule-space model checker
+   (Explore over Choice-controlled lazy matching) and the offline
+   happens-before analyzer (Hb over vector-clocked trace streams). *)
+
+open Mpisim
+
+let prog name = (Option.get (Progs.find name)).Progs.body
+
+let counter (report : Engine.report) name =
+  Stats.count (Stats.counter report.Engine.stats name)
+
+let with_stream f =
+  let path = Filename.temp_file "mpisim_verify" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* Record [body] with vector clocks on and hand the trace to [f]. *)
+let analyze_run ?(ranks = 2) ?(check = Check.Off) body f =
+  with_stream (fun path ->
+      let report =
+        Engine.run ~model:Net_model.omnipath ~check_level:check ~trace_stream:path
+          ~vector_clocks:true ~ranks body
+      in
+      match Hb.analyze path with
+      | Ok r -> f report r
+      | Error msg -> Alcotest.failf "analyze failed: %s" msg)
+
+(* --- model checker: violation detection --- *)
+
+let test_explore_wildcard () =
+  let r = Explore.explore ~ranks:2 (prog "wildcard_race") in
+  Alcotest.(check int) "two schedules (second recv has one head left)" 2
+    r.Explore.explored;
+  Alcotest.(check int) "first decision branches on both sends" 2 r.Explore.max_branching;
+  Alcotest.(check bool) "nondet-match violation" true
+    (List.exists (fun v -> v.Explore.v_class = "nondet-match") r.Explore.violations);
+  Alcotest.(check bool) "not certified deterministic" false r.Explore.match_deterministic
+
+let test_explore_deadlock () =
+  let r = Explore.explore ~ranks:2 (prog "deadlock") in
+  Alcotest.(check bool) "deadlock violation" true
+    (List.exists (fun v -> v.Explore.v_class = "deadlock") r.Explore.violations);
+  Alcotest.(check bool) "not deadlock-free" false r.Explore.deadlock_free
+
+let test_explore_coll_mismatch () =
+  let r = Explore.explore ~ranks:2 (prog "coll_mismatch") in
+  Alcotest.(check bool) "collective violation" true
+    (List.exists (fun v -> v.Explore.v_class = "collective") r.Explore.violations)
+
+(* --- model checker: certification of clean programs --- *)
+
+let test_certify_clean_ring () =
+  let r = Explore.explore ~ranks:4 (prog "clean_ring") in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.Explore.v_class) r.Explore.violations);
+  Alcotest.(check int) "one deterministic schedule" 1 r.Explore.explored;
+  Alcotest.(check bool) "deadlock-free" true r.Explore.deadlock_free;
+  Alcotest.(check bool) "match-deterministic" true r.Explore.match_deterministic
+
+let test_certify_clean_coll () =
+  let r = Explore.explore ~ranks:4 (prog "clean_coll") in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.Explore.v_class) r.Explore.violations);
+  Alcotest.(check bool) "deadlock-free" true r.Explore.deadlock_free
+
+(* The master-worker program at p=4: three concurrent senders drained by
+   wildcard receives gives exactly 3! = 6 non-equivalent schedules (the
+   non-overtaking reduction collapses everything else). *)
+let test_hidden_race_schedule_space () =
+  let r = Explore.explore ~ranks:4 (prog "hidden_race") in
+  Alcotest.(check int) "3! schedules" 6 r.Explore.explored;
+  Alcotest.(check int) "three-way first decision" 3 r.Explore.max_branching;
+  Alcotest.(check bool) "deadlock-free in every interleaving" true r.Explore.deadlock_free;
+  Alcotest.(check bool) "but not match-deterministic" false r.Explore.match_deterministic;
+  Alcotest.(check bool) "nondet-match witnessed" true
+    (List.exists (fun v -> v.Explore.v_class = "nondet-match") r.Explore.violations)
+
+let test_truncation () =
+  let r = Explore.explore ~max_schedules:2 ~ranks:4 (prog "hidden_race") in
+  Alcotest.(check bool) "truncated" true r.Explore.truncated;
+  Alcotest.(check int) "stopped at the bound" 2 r.Explore.explored;
+  Alcotest.(check bool) "truncated space is not a certificate" false
+    r.Explore.deadlock_free
+
+(* --- replay --- *)
+
+let test_witness_replays () =
+  let r = Explore.explore ~ranks:2 (prog "wildcard_race") in
+  let v =
+    List.find (fun v -> v.Explore.v_class = "nondet-match") r.Explore.violations
+  in
+  let replayed = Explore.replay ~ranks:2 ~script:v.Explore.v_script (prog "wildcard_race") in
+  Alcotest.(check string) "witness replays to the same class" "nondet-match"
+    (Explore.replay_class replayed)
+
+let test_replay_forces_alternative () =
+  let _, decisions, _ = Explore.replay ~ranks:2 ~script:[ 1 ] (prog "wildcard_race") in
+  Alcotest.(check (list int)) "scripted choice taken, then default" [ 1; 0 ]
+    (List.map (fun (d : Choice.decision) -> d.Choice.d_chosen) decisions)
+
+let test_script_roundtrip () =
+  Alcotest.(check bool) "parses" true (Choice.script_of_string "1,0,2" = Ok [ 1; 0; 2 ]);
+  Alcotest.(check bool) "empty is empty" true (Choice.script_of_string "" = Ok []);
+  Alcotest.(check string) "prints" "1,0,2" (Choice.script_to_string [ 1; 0; 2 ]);
+  Alcotest.(check bool) "garbage rejected" true
+    (match Choice.script_of_string "1,x" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "negatives rejected" true
+    (match Choice.script_of_string "-1" with Error _ -> true | Ok _ -> false)
+
+(* --- vector clocks --- *)
+
+let test_vc_concurrent () =
+  let c = Report.vc_concurrent in
+  Alcotest.(check bool) "incomparable" true (c [| 0; 1; 0 |] [| 0; 0; 1 |]);
+  Alcotest.(check bool) "ordered" false (c [| 0; 1; 0 |] [| 1; 1; 0 |]);
+  Alcotest.(check bool) "equal" false (c [| 2; 2 |] [| 2; 2 |]);
+  Alcotest.(check bool) "length mismatch is not concurrency" false (c [| 1 |] [| 1; 2 |]);
+  Alcotest.(check bool) "empty is not concurrency" false (c [||] [||])
+
+let test_vc_records_round_trip () =
+  with_stream (fun path ->
+      let (_ : Engine.report) =
+        Engine.run ~model:Net_model.omnipath ~trace_stream:path ~vector_clocks:true
+          ~ranks:4 (prog "clean_ring")
+      in
+      let n_vc = ref 0 in
+      let ok_shape = ref true in
+      match
+        Trace_stream.fold_file path
+          ~on_vc:(fun ~rank ~seq vc ->
+            incr n_vc;
+            if rank < 0 || rank >= 4 || seq < 0 || Array.length vc <> 4 then
+              ok_shape := false)
+          ~init:0
+          ~f:(fun n _ -> n + 1)
+      with
+      | Error msg -> Alcotest.failf "fold failed: %s" msg
+      | Ok (events, _) ->
+          Alcotest.(check bool) "events present" true (events > 0);
+          (* one vc per send + one per match: 4 sends, 4 receives *)
+          Alcotest.(check int) "vc records" 8 !n_vc;
+          Alcotest.(check bool) "every vc names a valid rank/seq and has p entries"
+            true !ok_shape)
+
+(* Without ~vector_clocks the stream must contain no tag-3 records and no
+   analyzer metadata — ordinary traces keep their exact event mix. *)
+let test_vc_off_by_default () =
+  with_stream (fun path ->
+      let (_ : Engine.report) =
+        Engine.run ~model:Net_model.omnipath ~trace_stream:path ~ranks:3
+          (prog "hidden_race")
+      in
+      match Hb.analyze path with
+      | Error msg -> Alcotest.failf "analyze failed: %s" msg
+      | Ok r ->
+          Alcotest.(check bool) "no vc records" false r.Hb.had_vc;
+          Alcotest.(check int) "no vcs counted" 0 r.Hb.vcs;
+          Alcotest.(check (list string)) "no findings without clocks" []
+            (Report.classes r.Hb.findings))
+
+(* --- analyzer findings --- *)
+
+(* The tentpole scenario: the runtime race counter reports zero (each
+   wildcard receive is posted before any competing send has arrived), yet
+   the analyzer proves the race offline from the vector clocks. *)
+let test_analyzer_beats_single_run_counter () =
+  analyze_run ~ranks:3 ~check:Check.Heavy (prog "hidden_race") (fun report r ->
+      Alcotest.(check int) "runtime counter blind to the race" 0
+        (counter report "check.wildcard_race");
+      Alcotest.(check bool) "trace had vector clocks" true r.Hb.had_vc;
+      Alcotest.(check int) "both wildcard receives seen" 2 r.Hb.wildcard_posts;
+      Alcotest.(check bool) "analyzer proves the race" true
+        (Report.has_class r.Hb.findings "wildcard-race"))
+
+let test_analyzer_clean_trace () =
+  analyze_run ~ranks:4 (prog "clean_ring") (fun _ r ->
+      Alcotest.(check (list string)) "no findings" [] (Report.classes r.Hb.findings))
+
+let test_analyzer_nc_order () =
+  analyze_run ~ranks:3 (prog "nc_reduce") (fun _ r ->
+      Alcotest.(check bool) "nc-order reported" true
+        (Report.has_class r.Hb.findings "nc-order"))
+
+(* The commutative clean_coll program lowers to the same sends but must
+   NOT trigger nc-order: order-insensitivity makes the concurrency
+   harmless. *)
+let test_analyzer_commutative_silent () =
+  analyze_run ~ranks:3 (prog "clean_coll") (fun _ r ->
+      Alcotest.(check bool) "no nc-order for commutative ops" false
+        (Report.has_class r.Hb.findings "nc-order"))
+
+let test_analyzer_buffer_reuse () =
+  analyze_run ~ranks:2 (prog "big_send") (fun _ r ->
+      Alcotest.(check bool) "buffer-reuse window reported" true
+        (Report.has_class r.Hb.findings "buffer-reuse");
+      let f =
+        List.find (fun f -> f.Report.f_class = "buffer-reuse") r.Hb.findings
+      in
+      Alcotest.(check int) "anchored on the sender" 0 f.Report.f_rank)
+
+let test_analyzer_missing_file () =
+  match Hb.analyze "/nonexistent/trace.bin" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a file error"
+
+(* --- zero-cost-when-off discipline --- *)
+
+(* With no Choice controller installed and vector clocks off, the hooks
+   the verification plane added to the p2p hot path are a single ref
+   read ([Choice.deferring]) and a single [Array.length] branch; same
+   harness as the Check off-level test. *)
+let test_off_hooks_are_free () =
+  Choice.uninstall ();
+  Alcotest.(check bool) "not deferring" false (Choice.deferring ());
+  let vclocks : int array array = [||] in
+  let hits = ref 0 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    if Choice.deferring () then incr hits;
+    if Array.length vclocks > 0 then incr hits
+  done;
+  let allocated = Gc.minor_words () -. w0 in
+  Alcotest.(check int) "guards never fired" 0 !hits;
+  Alcotest.(check bool)
+    (Printf.sprintf "allocated %.0f words for 20k guarded sites" allocated)
+    true (allocated < 100.)
+
+(* And a whole-run check: the same p2p-heavy program allocates the same
+   with the verification plumbing present as the trace tests always
+   measured — vector clocks off means Message.make receives the shared
+   empty-array atom, not a fresh clock. *)
+let test_run_without_vc_stamps_nothing () =
+  (* Runtime rows only exist after enable_vector_clocks. *)
+  let probed = ref (-1) in
+  let (_ : Engine.report) =
+    Engine.run ~model:Net_model.zero_cost
+      ~on_runtime:(fun rt -> probed := Array.length rt.Runtime.vclocks)
+      ~ranks:2
+      (fun _ -> ())
+  in
+  Alcotest.(check int) "no vclock rows allocated by default" 0 !probed
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "wildcard race branches" `Quick test_explore_wildcard;
+          Alcotest.test_case "deadlock cycle" `Quick test_explore_deadlock;
+          Alcotest.test_case "collective mismatch" `Quick test_explore_coll_mismatch;
+          Alcotest.test_case "clean ring certified" `Quick test_certify_clean_ring;
+          Alcotest.test_case "clean collectives certified" `Quick test_certify_clean_coll;
+          Alcotest.test_case "hidden race schedule space" `Quick
+            test_hidden_race_schedule_space;
+          Alcotest.test_case "bounded exploration truncates" `Quick test_truncation;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "witness replays to same class" `Quick test_witness_replays;
+          Alcotest.test_case "script forces the alternative" `Quick
+            test_replay_forces_alternative;
+          Alcotest.test_case "script round trip" `Quick test_script_roundtrip;
+        ] );
+      ( "hb",
+        [
+          Alcotest.test_case "vc concurrency" `Quick test_vc_concurrent;
+          Alcotest.test_case "vc records round trip" `Quick test_vc_records_round_trip;
+          Alcotest.test_case "vc off by default" `Quick test_vc_off_by_default;
+          Alcotest.test_case "analyzer beats single-run counter" `Quick
+            test_analyzer_beats_single_run_counter;
+          Alcotest.test_case "clean trace has no findings" `Quick test_analyzer_clean_trace;
+          Alcotest.test_case "nc-order on non-commutative reduce" `Quick
+            test_analyzer_nc_order;
+          Alcotest.test_case "commutative reduce stays silent" `Quick
+            test_analyzer_commutative_silent;
+          Alcotest.test_case "buffer-reuse window" `Quick test_analyzer_buffer_reuse;
+          Alcotest.test_case "missing file is an error" `Quick test_analyzer_missing_file;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "off hooks allocation-free" `Quick test_off_hooks_are_free;
+          Alcotest.test_case "no vc rows without opt-in" `Quick
+            test_run_without_vc_stamps_nothing;
+        ] );
+    ]
