@@ -102,6 +102,135 @@ let call_accounting () =
 
 let results_file = "BENCH_OVERHEAD.json"
 
+(* ------------------------------------------------------------------ *)
+(* Persistent operations (MPI-4): the stencil-loop case for *_init.
+
+   Same allreduce, two ways: ad-hoc calls pay argument validation,
+   algorithm selection, profiling-handle lookups and working-buffer
+   allocation on every iteration; the persistent request pays them once
+   at init.  Three gates: the persistent loop must be faster, must
+   allocate less, and on a single rank the start/wait cycle must be
+   allocation-free outright (the Gc assertion). *)
+
+let gate_failures = ref []
+
+let gate name ok detail =
+  Printf.printf "gate %-42s %s  (%s)\n" name (if ok then "PASS" else "FAIL") detail;
+  if not ok then gate_failures := name :: !gate_failures
+
+let stencil_ranks = 8
+
+let stencil_elems = 4096
+
+let stencil_adhoc ~iterations mpi =
+  let r = Comm.rank mpi in
+  let src = Array.init stencil_elems (fun i -> r + i) in
+  for it = 1 to iterations do
+    src.(0) <- src.(0) + it;
+    ignore (Coll.allreduce mpi Datatype.int Reduce_op.int_sum src)
+  done
+
+let stencil_persistent ~iterations mpi =
+  let r = Comm.rank mpi in
+  let src = Array.init stencil_elems (fun i -> r + i) in
+  let dst = Array.make stencil_elems 0 in
+  let req = Coll.allreduce_init mpi Datatype.int Reduce_op.int_sum ~src ~dst in
+  for it = 1 to iterations do
+    src.(0) <- src.(0) + it;
+    Request.start req;
+    Request.wait_p req
+  done;
+  Request.free_p req
+
+(* Median wall seconds and mean minor words of [runs] full simulations.
+   The words include engine setup, identical across variants, so the
+   difference isolates the per-iteration allocation. *)
+let measure_stencil ~iterations ~runs body =
+  let w0 = Gc.minor_words () in
+  let wall, () =
+    Bench_util.wall_median ~runs (fun () ->
+        ignore
+          (Engine.run ~model:Net_model.zero_cost ~clock_mode:Runtime.Virtual_only
+             ~ranks:stencil_ranks (body ~iterations)))
+  in
+  let words = (Gc.minor_words () -. w0) /. float_of_int runs in
+  (wall, words)
+
+(* Minor words of 10k start/wait cycles on one rank, measured inside the
+   (only) fiber after a short warm-up — the strict zero-allocation
+   assertion: a single-rank cycle runs no transport, so anything it
+   allocates is binding overhead. *)
+let single_rank_cycle_words () =
+  let words = ref infinity in
+  ignore
+    (Engine.run ~model:Net_model.zero_cost ~clock_mode:Runtime.Virtual_only ~ranks:1
+       (fun mpi ->
+         let src = Array.init stencil_elems (fun i -> i) in
+         let dst = Array.make stencil_elems 0 in
+         let req = Coll.allreduce_init mpi Datatype.int Reduce_op.int_sum ~src ~dst in
+         for _ = 1 to 10 do
+           Request.start req;
+           Request.wait_p req
+         done;
+         let w0 = Gc.minor_words () in
+         for _ = 1 to 10_000 do
+           Request.start req;
+           Request.wait_p req
+         done;
+         words := Gc.minor_words () -. w0;
+         Request.free_p req));
+  !words
+
+let persistent_section ~smoke () =
+  Bench_util.section "Persistent operations: allreduce_init vs ad-hoc stencil loop";
+  let iterations = if smoke then 200 else 1000 in
+  let runs = if smoke then 3 else 5 in
+  Printf.printf "program: %d-iteration allreduce stencil of %d ints on %d ranks\n\n"
+    iterations stencil_elems stencil_ranks;
+  let adhoc_wall, adhoc_words = measure_stencil ~iterations ~runs stencil_adhoc in
+  let pers_wall, pers_words = measure_stencil ~iterations ~runs stencil_persistent in
+  let p1_words = single_rank_cycle_words () in
+  Bench_util.print_table
+    ~header:[ "series"; "wall/run"; "minor words/run"; "vs ad-hoc" ]
+    [
+      [ "adhoc_allreduce"; Bench_util.ns_string (adhoc_wall *. 1e9);
+        Printf.sprintf "%.0f" adhoc_words; "1.00x" ];
+      [ "persistent_allreduce"; Bench_util.ns_string (pers_wall *. 1e9);
+        Printf.sprintf "%.0f" pers_words;
+        Printf.sprintf "%.2fx" (adhoc_wall /. pers_wall) ];
+    ];
+  Printf.printf "\nsingle-rank start/wait, 10k cycles: %.0f minor words\n" p1_words;
+  List.iter
+    (fun (series, wall, words) ->
+      Bench_util.emit_json_file ~file:results_file ~bench:"overhead"
+        [
+          ("series", Bench_util.S series);
+          ("iterations", Bench_util.I iterations);
+          ("ranks", Bench_util.I stencil_ranks);
+          ("elems", Bench_util.I stencil_elems);
+          ("wall_s", Bench_util.F wall);
+          ("minor_words", Bench_util.F words);
+        ])
+    [
+      ("adhoc_allreduce", adhoc_wall, adhoc_words);
+      ("persistent_allreduce", pers_wall, pers_words);
+    ];
+  Bench_util.emit_json_file ~file:results_file ~bench:"overhead"
+    [
+      ("series", Bench_util.S "persistent_allreduce_single_rank");
+      ("cycles", Bench_util.I 10_000);
+      ("minor_words", Bench_util.F p1_words);
+    ];
+  Printf.printf "\n-- persistent gates --\n";
+  gate "persistent allreduce beats ad-hoc"
+    (pers_wall < adhoc_wall)
+    (Printf.sprintf "%.2fx" (adhoc_wall /. pers_wall));
+  gate "persistent allocates less than ad-hoc"
+    (pers_words < adhoc_words)
+    (Printf.sprintf "%.0f vs %.0f words" pers_words adhoc_words);
+  gate "single-rank start/wait allocation-free" (p1_words < 100.)
+    (Printf.sprintf "%.0f words/10k cycles" p1_words)
+
 let run ?(smoke = false) () =
   Bench_util.section
     "Zero-overhead check: binding layer vs raw interface (wall clock, Bechamel)";
@@ -130,4 +259,12 @@ let run ?(smoke = false) () =
              [ n; Bench_util.ns_string ns; Printf.sprintf "%+.1f%%" ((ns /. base -. 1.) *. 100.) ])
            estimates)
   | [] -> Printf.printf "bechamel produced no estimates\n");
-  call_accounting ()
+  call_accounting ();
+  persistent_section ~smoke ();
+  if !gate_failures <> [] then begin
+    Printf.eprintf "bench_overhead: %d gate(s) failed: %s\n"
+      (List.length !gate_failures)
+      (String.concat ", " !gate_failures);
+    exit 1
+  end;
+  Printf.printf "(results appended to %s)\n" results_file

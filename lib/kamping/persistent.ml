@@ -1,0 +1,57 @@
+(* High-level persistent operations (MPI-4 surface, paper §III).
+
+   The binding layer's job is the same as everywhere else: compute the
+   parameters MPI makes the caller spell out.  [send_init] defaults to
+   the whole buffer; [reduce_scatter_init] defaults [recv_counts] to an
+   equal split.  The returned {!Mpisim.Request.p} is cycled with
+   {!start}/{!wait} — all per-call setup (algorithm selection, datatype
+   plan, counter handles, working buffers) was paid once at init, so the
+   steady state adds no binding-layer overhead on top of the transport. *)
+
+open Mpisim
+
+type comm = Communicator.t
+
+let c = Communicator.mpi
+
+let send_init comm dt ~dest ?tag (data : 'a array) : Request.p =
+  P2p.send_init (c comm) dt ~dest ?tag data ~pos:0 ~count:(Array.length data)
+
+let recv_init comm dt ?source ?tag (into : 'a array) : Request.p =
+  P2p.recv_init (c comm) dt ?source ?tag into
+
+let bcast_init comm dt ?root (buf : 'a array) : Request.p =
+  let root = Option.value root ~default:0 in
+  Coll.bcast_init (c comm) dt ~root buf
+
+let allreduce_init comm dt op ~src ~dst : Request.p =
+  Coll.allreduce_init (c comm) dt op ~src ~dst
+
+(* [recv_counts] defaults to an equal split of [src] (which must then be
+   divisible by the communicator size). *)
+let reduce_scatter_init comm dt op ?recv_counts ~(src : 'a array) ~(dst : 'a array) () :
+    Request.p =
+  let mpi = c comm in
+  let recv_counts =
+    match recv_counts with
+    | Some counts -> counts
+    | None ->
+        let p = Comm.size mpi in
+        let n = Array.length src in
+        if n mod p <> 0 then
+          Errdefs.usage_error
+            "reduce_scatter_init: buffer of %d elements not divisible by %d ranks (supply \
+             ~recv_counts)"
+            n p;
+        Array.make p (n / p)
+  in
+  Coll.reduce_scatter_init mpi dt op ~recv_counts ~src ~dst
+
+(* Request-cycle surface, re-exported so callers need only this module. *)
+let start = Request.start
+
+let wait = Request.wait_p
+
+let test = Request.test_p
+
+let free = Request.free_p

@@ -1,0 +1,70 @@
+(** High-level persistent operations (MPI-4 surface).
+
+    [*_init] pays all per-call setup once — argument validation,
+    algorithm selection, datatype plan, counter handles, working
+    buffers — and returns a request cycled with {!start}/{!wait}:
+
+    {[
+      let req = Persistent.allreduce_init comm Datatype.int Reduce_op.int_sum ~src ~dst in
+      for _ = 1 to iterations do
+        (* ... update src in place ... *)
+        Persistent.start req;
+        Persistent.wait req
+      done;
+      Persistent.free req
+    ]}
+
+    Buffers are fixed at init per MPI persistent-request semantics; each
+    cycle reads and writes their current contents. *)
+
+type comm = Communicator.t
+
+(** Persistent send of the whole buffer; each {!start} injects its
+    current contents.  [tag] defaults to 0. *)
+val send_init :
+  comm -> 'a Mpisim.Datatype.t -> dest:int -> ?tag:int -> 'a array -> Mpisim.Request.p
+
+(** Persistent receive into [into]; posted at {!start}, unpacked at
+    {!wait}. *)
+val recv_init :
+  comm -> 'a Mpisim.Datatype.t -> ?source:int -> ?tag:int -> 'a array -> Mpisim.Request.p
+
+(** Persistent broadcast of the root's buffer contents into every rank's
+    buffer.  [root] defaults to 0. *)
+val bcast_init : comm -> 'a Mpisim.Datatype.t -> ?root:int -> 'a array -> Mpisim.Request.p
+
+(** Persistent allreduce of [src] into [dst] each cycle. *)
+val allreduce_init :
+  comm ->
+  'a Mpisim.Datatype.t ->
+  'a Mpisim.Reduce_op.t ->
+  src:'a array ->
+  dst:'a array ->
+  Mpisim.Request.p
+
+(** Persistent reduce-scatter; [recv_counts] defaults to an equal split
+    of [src] (its length must then be divisible by the communicator
+    size). *)
+val reduce_scatter_init :
+  comm ->
+  'a Mpisim.Datatype.t ->
+  'a Mpisim.Reduce_op.t ->
+  ?recv_counts:int array ->
+  src:'a array ->
+  dst:'a array ->
+  unit ->
+  Mpisim.Request.p
+
+(** {1 Request cycle (re-exports of {!Mpisim.Request})} *)
+
+val start : Mpisim.Request.p -> unit
+
+(** Complete the active cycle (no-op on an inactive request). *)
+val wait : Mpisim.Request.p -> unit
+
+(** [true] and completes if the cycle can finish now; [true] if
+    inactive. *)
+val test : Mpisim.Request.p -> bool
+
+(** Mark the request unusable; it must be inactive. *)
+val free : Mpisim.Request.p -> unit

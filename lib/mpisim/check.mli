@@ -118,6 +118,15 @@ val on_wildcard_match : t -> rank:int -> src:int -> tag:int -> eligible:int -> u
 (** Wildcard races recorded so far. *)
 val wildcard_races : t -> int
 
+(** {1 RMA bounds} *)
+
+(** A one-sided op on [rank] addressed elements [pos, pos+count) outside
+    the [len]-element exposure of [target]'s window.  Counts the finding
+    under [check.rma_range] (the RMA layer raises the named
+    [ERR_RMA_RANGE] error itself, sanitizer or not). *)
+val on_rma_range :
+  t -> rank:int -> op:string -> target:int -> pos:int -> count:int -> len:int -> unit
+
 (** {1 Finalize} *)
 
 (** End-of-run scan (engine teardown of a clean run): leaked requests

@@ -229,17 +229,45 @@ let bcast_binomial comm (dt : 'a Datatype.t) ~root (data : 'a array option) : 'a
   end;
   !buf
 
-(* Long-message bcast (van de Geijn): binomial scatter of p blocks from
-   the root, then a ring allgather of the blocks.  2n bytes per rank on
-   the wire instead of the binomial tree's n*log p.  Requires the element
-   count on every rank (the rendezvous below provides it). *)
-let bcast_scatter_allgather comm (dt : 'a Datatype.t) ~root ~total
-    (data : 'a array option) : 'a array =
+(* Binomial-tree bcast into a caller-provided buffer holding the payload
+   at the root: receives land via [recv_into], so a cycle of a persistent
+   bcast allocates no result arrays.  [total] is the element count on
+   every rank (persistent requests know it from the init-time buffer). *)
+let bcast_binomial_into comm (dt : 'a Datatype.t) ~root ~total (buf : 'a array) : unit =
   let n = Comm.size comm in
   let r = Comm.rank comm in
   let vrank = (r - root + n) mod n in
   let real v = (v + root) mod n in
-  (* Block v of the vector lives at [disps.(v), disps.(v+1)). *)
+  if n > 1 then begin
+    let mask = ref 1 in
+    if vrank <> 0 then begin
+      while vrank land !mask = 0 do
+        mask := !mask lsl 1
+      done;
+      let src = real (vrank - !mask) in
+      let st = P2p.recv_into comm dt ~source:src ~tag:tag_bcast ~pos:0 ~maxcount:total buf in
+      if Status.count st <> total then
+        Comm.error comm Errdefs.Err_count "bcast: expected %d elements, got %d" total
+          (Status.count st)
+    end
+    else begin
+      while !mask < n do
+        mask := !mask lsl 1
+      done
+    end;
+    mask := !mask lsr 1;
+    while !mask > 0 do
+      if vrank + !mask < n then
+        P2p.send_range comm dt ~dest:(real (vrank + !mask)) ~tag:tag_bcast buf ~pos:0
+          ~count:total;
+      mask := !mask lsr 1
+    done
+  end
+
+(* The per-block table of the scatter+allgather bcast: block v of the
+   vector lives at [disps.(v), disps.(v+1)). *)
+let bcast_block_table comm ~total =
+  let n = Comm.size comm in
   let cnts = Array.make n (total / n) in
   for i = 0 to (total mod n) - 1 do
     cnts.(i) <- cnts.(i) + 1
@@ -248,11 +276,19 @@ let bcast_scatter_allgather comm (dt : 'a Datatype.t) ~root ~total
   for i = 1 to n do
     disps.(i) <- disps.(i - 1) + cnts.(i - 1)
   done;
-  let buf =
-    match data with
-    | Some d when r = root -> d
-    | _ -> if total = 0 then [||] else Array.make total (Datatype.zero_elem dt)
-  in
+  (cnts, disps)
+
+(* Long-message bcast (van de Geijn): binomial scatter of p blocks from
+   the root, then a ring allgather of the blocks.  2n bytes per rank on
+   the wire instead of the binomial tree's n*log p.  The core takes the
+   full-size buffer on every rank and the precomputed block table, so
+   persistent cycles reuse all three. *)
+let bcast_scatter_allgather_core comm (dt : 'a Datatype.t) ~root ~(cnts : int array)
+    ~(disps : int array) (buf : 'a array) : unit =
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  let vrank = (r - root + n) mod n in
+  let real v = (v + root) mod n in
   (* Scatter phase over vranks: a node entered with mask m holds blocks
      [vrank, vrank + min m (n - vrank)) and forwards the upper half to the
      child at vrank + m/2 as m halves. *)
@@ -304,7 +340,17 @@ let bcast_scatter_allgather comm (dt : 'a Datatype.t) ~root ~total
     if Status.count st <> cnts.(recv_block) then
       Comm.error comm Errdefs.Err_count "bcast: expected %d ring elements, got %d"
         cnts.(recv_block) (Status.count st)
-  done;
+  done
+
+let bcast_scatter_allgather comm (dt : 'a Datatype.t) ~root ~total
+    (data : 'a array option) : 'a array =
+  let cnts, disps = bcast_block_table comm ~total in
+  let buf =
+    match data with
+    | Some d when Comm.rank comm = root -> d
+    | _ -> if total = 0 then [||] else Array.make total (Datatype.zero_elem dt)
+  in
+  bcast_scatter_allgather_core comm dt ~root ~cnts ~disps buf;
   buf
 
 (* In MPI the element count of a bcast is an argument on every rank; our
@@ -922,15 +968,15 @@ let unfold_from_pof2 comm dt ~rem ~total buf =
     end
 
 (* Recursive-doubling allreduce: log2 p rounds of full-vector exchange.
-   Latency-optimal; bandwidth n*log p, so for short messages only. *)
-let allreduce_rdbl comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
-    'a array =
+   Latency-optimal; bandwidth n*log p, so for short messages only.
+   The core works in place on [buf] (already seeded with the local
+   contribution) with caller-provided [scratch], so persistent requests
+   can reuse both across cycles. *)
+let allreduce_rdbl_core comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~total
+    ~(buf : 'a array) ~(scratch : 'a array) : unit =
   let n = Comm.size comm in
-  let total = Array.length data in
-  let buf = Array.copy data in
   let pof2 = Coll_algo.floor_pow2 n in
   let rem = n - pof2 in
-  let scratch = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
   let recv_combine ~src =
     let st =
       P2p.recv_into comm dt ~source:src ~tag:tag_allreduce ~pos:0 ~maxcount:total scratch
@@ -953,22 +999,28 @@ let allreduce_rdbl comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a ar
       mask := !mask lsl 1
     done
   end;
-  unfold_from_pof2 comm dt ~rem ~total buf;
+  unfold_from_pof2 comm dt ~rem ~total buf
+
+let allreduce_rdbl comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) :
+    'a array =
+  let total = Array.length data in
+  let buf = Array.copy data in
+  let scratch = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
+  allreduce_rdbl_core comm dt op ~total ~buf ~scratch;
   buf
 
 (* Rabenseifner allreduce: recursive-halving reduce-scatter then
    recursive-doubling allgather over the pof2 sub-machine.  Bandwidth
    ~2n per rank instead of the 2-tree lowering's 2n*log p; the block
    bookkeeping (send_idx/recv_idx/last_idx walking the pof2 block table)
-   follows MPICH's allreduce. *)
-let allreduce_rabenseifner comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
-    (data : 'a array) : 'a array =
+   follows MPICH's allreduce.  Like the recursive-doubling core, works in
+   place on a seeded [buf]; [cnts]/[disps] are the pof2 block table
+   (lengths pof2 and pof2+1), pre-filled by the caller. *)
+let allreduce_rabenseifner_core comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~total
+    ~(buf : 'a array) ~(scratch : 'a array) ~(disps : int array) : unit =
   let n = Comm.size comm in
-  let total = Array.length data in
-  let buf = Array.copy data in
   let pof2 = Coll_algo.floor_pow2 n in
   let rem = n - pof2 in
-  let scratch = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
   let recv_combine_range ~src ~pos ~count =
     let st =
       P2p.recv_into comm dt ~source:src ~tag:tag_allreduce ~pos:0 ~maxcount:count scratch
@@ -988,14 +1040,6 @@ let allreduce_rabenseifner comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
     let real nr = if nr < rem then (nr * 2) + 1 else nr + rem in
     (* Block v of the vector is [disps.(v), disps.(v+1)); blocks may be
        empty when total < pof2. *)
-    let cnts = Array.make pof2 (total / pof2) in
-    for i = 0 to (total mod pof2) - 1 do
-      cnts.(i) <- cnts.(i) + 1
-    done;
-    let disps = Array.make (pof2 + 1) 0 in
-    for i = 1 to pof2 do
-      disps.(i) <- disps.(i - 1) + cnts.(i - 1)
-    done;
     let range_count lo hi = disps.(hi) - disps.(lo) in
     (* Reduce-scatter by recursive halving: each round exchanges half of
        the still-owned block range with the partner and folds the kept
@@ -1057,7 +1101,28 @@ let allreduce_rabenseifner comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
       mask := !mask asr 1
     done
   end;
-  unfold_from_pof2 comm dt ~rem ~total buf;
+  unfold_from_pof2 comm dt ~rem ~total buf
+
+(* Fill the pof2 block table used by the Rabenseifner core: [disps] has
+   pof2+1 entries; block sizes differ by at most one. *)
+let rabenseifner_disps ~total ~pof2 : int array =
+  let cnts = Array.make pof2 (total / pof2) in
+  for i = 0 to (total mod pof2) - 1 do
+    cnts.(i) <- cnts.(i) + 1
+  done;
+  let disps = Array.make (pof2 + 1) 0 in
+  for i = 1 to pof2 do
+    disps.(i) <- disps.(i - 1) + cnts.(i - 1)
+  done;
+  disps
+
+let allreduce_rabenseifner comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    (data : 'a array) : 'a array =
+  let total = Array.length data in
+  let buf = Array.copy data in
+  let scratch = if total = 0 then [||] else Array.make total (Datatype.zero_elem dt) in
+  let disps = rabenseifner_disps ~total ~pof2:(Coll_algo.floor_pow2 (Comm.size comm)) in
+  allreduce_rabenseifner_core comm dt op ~total ~buf ~scratch ~disps;
   buf
 
 let allreduce comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) (data : 'a array) : 'a array =
@@ -1247,13 +1312,13 @@ let note_rs_scratch comm elems =
    ever materializes its own block plus one incoming block — O(n/p) where
    the reference lowering needs the whole O(n) vector at the root.
    Commutative operators only (blocks are folded in arrival order). *)
-let reduce_scatter_pairwise comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
-    ~(recv_counts : int array) ~(displs : int array) (data : 'a array) : 'a array =
+let reduce_scatter_pairwise_core comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    ~(recv_counts : int array) ~(displs : int array) ~(data : 'a array) ~(acc : 'a array)
+    ~(scratch : 'a array) : unit =
   let n = Comm.size comm in
   let r = Comm.rank comm in
   let mine = recv_counts.(r) in
-  let acc = Array.sub data displs.(r) mine in
-  let scratch = if mine = 0 then [||] else Array.make mine (Datatype.zero_elem dt) in
+  Array.blit data displs.(r) acc 0 mine;
   note_rs_scratch comm (2 * mine);
   for s = 1 to n - 1 do
     let dest = (r + s) mod n in
@@ -1271,7 +1336,14 @@ let reduce_scatter_pairwise comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
     for i = 0 to mine - 1 do
       acc.(i) <- Reduce_op.apply op acc.(i) scratch.(i)
     done
-  done;
+  done
+
+let reduce_scatter_pairwise comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    ~(recv_counts : int array) ~(displs : int array) (data : 'a array) : 'a array =
+  let mine = recv_counts.(Comm.rank comm) in
+  let acc = if mine = 0 then [||] else Array.make mine (Datatype.zero_elem dt) in
+  let scratch = if mine = 0 then [||] else Array.make mine (Datatype.zero_elem dt) in
+  reduce_scatter_pairwise_core comm dt op ~recv_counts ~displs ~data ~acc ~scratch;
   acc
 
 (* Equal block sizes: data has p * count elements; rank r receives the
@@ -1342,6 +1414,225 @@ let reduce_scatter comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
 
 let reduce_scatter comm dt op ~recv_counts data =
   traced comm ~op:"reduce_scatter" (fun () -> reduce_scatter comm dt op ~recv_counts data)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent collectives (MPI-4 MPI_Allreduce_init etc.).
+
+   Everything the ad-hoc path recomputes per call is frozen at init:
+
+   - the {!Coll_algo} choice for this (bytes, size) key — [choose] is a
+     pure function of inputs that only change between runs, so the frozen
+     algorithm (and its [coll.algo.*] counter) is exactly what each
+     ad-hoc call would pick;
+   - the [coll.algo] Stats counter and the profiling handle pair (the
+     per-call [Hashtbl] lookups in [dispatch]/[Runtime.record] are the
+     allocation the ad-hoc path cannot avoid);
+   - working buffers (result copy, scratch vector, block tables), reused
+     across cycles;
+   - a pre-warmed pooled writer sized for the largest per-round payload.
+
+   A cycle of a single-rank persistent collective is fully allocation-free
+   (the Gc-asserted case); multi-rank cycles still allocate in transport
+   (in-flight messages, posted-receive records) but skip every per-call
+   setup allocation above.
+
+   Like the non-blocking collectives, the persistent ones progress inside
+   wait: [start] marks the cycle active and [wait_p] runs the blocking
+   algorithm — legal because MPI only promises completion at wait. *)
+
+(* The per-cycle runner: the ad-hoc prologue/record/dispatch sequence
+   with every name and handle pre-resolved.  [frozen = None] is the
+   single-rank path with no algorithm dispatch. *)
+let persistent_runner comm ~op ~root ~ty ~prep ~bytes ~(frozen : Coll_algo.frozen option)
+    (body : unit -> unit) : unit -> unit =
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  match frozen with
+  | None ->
+      fun () ->
+        prologue comm ~op ~root ~ty;
+        Profiling.record_prepared rt.Runtime.profile prep ~bytes;
+        Runtime.with_span rt me ~cat:"coll" ~name:op body
+  | Some fz ->
+      let counter = Stats.counter rt.Runtime.stats fz.Coll_algo.frozen_counter in
+      (* Same label save/restore as [dispatch]; the closures of the
+         comm-matrix branch are only built when the matrix is enabled. *)
+      let dispatch_body () =
+        Stats.incr counter;
+        let cm = rt.Runtime.comm_matrix in
+        if Comm_matrix.enabled cm then begin
+          let prev = Comm_matrix.label cm me in
+          Comm_matrix.set_label cm me fz.Coll_algo.frozen_span;
+          Fun.protect
+            ~finally:(fun () -> Comm_matrix.set_label cm me prev)
+            (fun () ->
+              Runtime.with_span rt me ~cat:"coll" ~name:fz.Coll_algo.frozen_span body)
+        end
+        else Runtime.with_span rt me ~cat:"coll" ~name:fz.Coll_algo.frozen_span body
+      in
+      fun () ->
+        prologue comm ~op ~root ~ty;
+        Profiling.record_prepared rt.Runtime.profile prep ~bytes;
+        Runtime.with_span rt me ~cat:"coll" ~name:op dispatch_body
+
+let scratch_like (dt : 'a Datatype.t) n : 'a array =
+  if n = 0 then [||] else Array.make n (Datatype.zero_elem dt)
+
+(* Persistent allreduce: reduces [src] into [dst] each cycle.  Buffers
+   are fixed at init per MPI persistent semantics; [src == dst] works
+   (in-place). *)
+let allreduce_init comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t) ~(src : 'a array)
+    ~(dst : 'a array) : Request.p =
+  prologue comm ~op:"allreduce_init" ~root:(-1) ~ty:(Datatype.name dt);
+  let elems = Array.length src in
+  if Array.length dst <> elems then
+    Errdefs.usage_error "allreduce_init: src has %d elements but dst has %d" elems
+      (Array.length dst);
+  let bytes = Datatype.size_of_count dt elems in
+  record comm ~op:"allreduce_init" ~bytes;
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  let ty = Datatype.name dt in
+  let prep = Profiling.prepare rt.Runtime.profile "allreduce" in
+  let n = Comm.size comm in
+  let run =
+    if n = 1 then
+      persistent_runner comm ~op:"allreduce" ~root:(-1) ~ty ~prep ~bytes ~frozen:None
+        (fun () -> Array.blit src 0 dst 0 elems)
+    else begin
+      let frozen =
+        Coll_algo.freeze rt.Runtime.model Coll_algo.Allreduce ~bytes ~size:n
+          ~commutative:op.Reduce_op.commutative ~elems
+      in
+      Runtime.preheat_writer rt me ~capacity:(max 8 bytes);
+      let body =
+        match frozen.Coll_algo.frozen_algo with
+        | Coll_algo.Recursive_doubling ->
+            let scratch = scratch_like dt elems in
+            fun () ->
+              Array.blit src 0 dst 0 elems;
+              allreduce_rdbl_core comm dt op ~total:elems ~buf:dst ~scratch
+        | Coll_algo.Rabenseifner ->
+            let scratch = scratch_like dt elems in
+            let disps =
+              rabenseifner_disps ~total:elems ~pof2:(Coll_algo.floor_pow2 n)
+            in
+            fun () ->
+              Array.blit src 0 dst 0 elems;
+              allreduce_rabenseifner_core comm dt op ~total:elems ~buf:dst ~scratch ~disps
+        | _ ->
+            (* Order-safe reference lowering; allocates per cycle like the
+               ad-hoc path it wraps. *)
+            fun () ->
+              let res = allreduce_reduce_bcast comm dt op src in
+              Array.blit res 0 dst 0 elems
+      in
+      persistent_runner comm ~op:"allreduce" ~root:(-1) ~ty ~prep ~bytes
+        ~frozen:(Some frozen) body
+    end
+  in
+  Request.make_p ~describe:"allreduce_init" ~start:(fun () -> ()) ~ready:(fun () -> true)
+    ~run
+
+(* Persistent bcast.  Unlike the ad-hoc binding (payload at the root
+   only), the buffer argument exists on every rank — MPI-style — so the
+   element count is known everywhere at init and no count rendezvous is
+   needed; size-keyed selection still matches the ad-hoc choice because
+   both key on the same byte total. *)
+let bcast_init comm (dt : 'a Datatype.t) ~root (buf : 'a array) : Request.p =
+  prologue comm ~op:"bcast_init" ~root ~ty:(Datatype.name dt);
+  check_root comm root;
+  let total = Array.length buf in
+  let bytes = Datatype.size_of_count dt total in
+  let rbytes = if Comm.rank comm = root then bytes else 0 in
+  record comm ~op:"bcast_init" ~bytes:rbytes;
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  let ty = Datatype.name dt in
+  let prep = Profiling.prepare rt.Runtime.profile "bcast" in
+  let n = Comm.size comm in
+  let run =
+    if n = 1 then
+      persistent_runner comm ~op:"bcast" ~root ~ty ~prep ~bytes:rbytes ~frozen:None
+        (fun () -> ())
+    else begin
+      let frozen =
+        Coll_algo.freeze rt.Runtime.model Coll_algo.Bcast ~bytes ~size:n ~commutative:true
+          ~elems:total
+      in
+      Runtime.preheat_writer rt me ~capacity:(max 8 bytes);
+      let body =
+        match frozen.Coll_algo.frozen_algo with
+        | Coll_algo.Scatter_allgather ->
+            let cnts, disps = bcast_block_table comm ~total in
+            fun () -> bcast_scatter_allgather_core comm dt ~root ~cnts ~disps buf
+        | _ -> fun () -> bcast_binomial_into comm dt ~root ~total buf
+      in
+      persistent_runner comm ~op:"bcast" ~root ~ty ~prep ~bytes:rbytes
+        ~frozen:(Some frozen) body
+    end
+  in
+  Request.make_p ~describe:"bcast_init" ~start:(fun () -> ()) ~ready:(fun () -> true) ~run
+
+(* Persistent reduce_scatter: reduces [src] and scatters block r into
+   [dst] (whose length must be [recv_counts.(r)]). *)
+let reduce_scatter_init comm (dt : 'a Datatype.t) (op : 'a Reduce_op.t)
+    ~(recv_counts : int array) ~(src : 'a array) ~(dst : 'a array) : Request.p =
+  prologue comm ~op:"reduce_scatter_init" ~root:(-1) ~ty:(Datatype.name dt);
+  let n = Comm.size comm in
+  let r = Comm.rank comm in
+  if Array.length recv_counts <> n then
+    Errdefs.usage_error "reduce_scatter_init: recv_counts must have length %d" n;
+  let total = Array.fold_left ( + ) 0 recv_counts in
+  if Array.length src <> total then
+    Errdefs.usage_error "reduce_scatter_init: src length %d does not match counts sum %d"
+      (Array.length src) total;
+  let mine = recv_counts.(r) in
+  if Array.length dst <> mine then
+    Errdefs.usage_error "reduce_scatter_init: dst length %d but this rank receives %d"
+      (Array.length dst) mine;
+  let bytes = Datatype.size_of_count dt total in
+  record comm ~op:"reduce_scatter_init" ~bytes;
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  let ty = Datatype.name dt in
+  let prep = Profiling.prepare rt.Runtime.profile "reduce_scatter" in
+  let displs = exclusive_prefix_sum recv_counts in
+  let run =
+    if n = 1 then
+      persistent_runner comm ~op:"reduce_scatter" ~root:(-1) ~ty ~prep ~bytes ~frozen:None
+        (fun () -> Array.blit src 0 dst 0 total)
+    else begin
+      let frozen =
+        Coll_algo.freeze rt.Runtime.model Coll_algo.Reduce_scatter ~bytes ~size:n
+          ~commutative:op.Reduce_op.commutative ~elems:total
+      in
+      Runtime.preheat_writer rt me
+        ~capacity:(max 8 (Datatype.size_of_count dt (Array.fold_left max 0 recv_counts)));
+      let body =
+        match frozen.Coll_algo.frozen_algo with
+        | Coll_algo.Pairwise ->
+            let scratch = scratch_like dt mine in
+            fun () ->
+              reduce_scatter_pairwise_core comm dt op ~recv_counts ~displs ~data:src
+                ~acc:dst ~scratch
+        | _ ->
+            (* Order-safe reference lowering; allocates per cycle. *)
+            fun () ->
+              if r = 0 then note_rs_scratch comm total;
+              let reduced = reduce comm dt op ~root:0 src in
+              let part =
+                scatterv comm dt ~root:0 ~send_counts:recv_counts
+                  (if r = 0 then Some reduced else None)
+              in
+              Array.blit part 0 dst 0 mine
+      in
+      persistent_runner comm ~op:"reduce_scatter" ~root:(-1) ~ty ~prep ~bytes
+        ~frozen:(Some frozen) body
+    end
+  in
+  Request.make_p ~describe:"reduce_scatter_init" ~start:(fun () -> ())
+    ~ready:(fun () -> true) ~run
 
 (* ------------------------------------------------------------------ *)
 (* Non-blocking collectives.

@@ -156,6 +156,45 @@ val reduce_scatter_block :
 val reduce_scatter :
   Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> recv_counts:int array -> 'a array -> 'a array
 
+(** {1 Persistent collectives (MPI-4)}
+
+    [*_init] freezes everything a cycle does not strictly need at init —
+    the {!Coll_algo} selection for this (bytes, size) key, the
+    [coll.algo.*] counter and profiling handles, working buffers, block
+    tables, and a pre-warmed pooled writer — and returns a {!Request.p}
+    cycled with {!Request.start}/{!Request.wait_p}.  Buffers are fixed at
+    init per MPI persistent semantics; each cycle reads the current
+    contents.
+
+    The frozen algorithm (and its counter attribution) is exactly what
+    every ad-hoc call with the same signature would pick, because
+    {!Coll_algo.choose} only depends on inputs that change between runs.
+    A single-rank cycle is fully allocation-free; multi-rank cycles still
+    allocate in transport but skip all per-call setup.
+
+    Progress semantics match the non-blocking collectives: the algorithm
+    runs inside [wait_p], which every rank must reach each cycle. *)
+
+(** Reduce [src] into [dst] each cycle ([src == dst] for in-place). *)
+val allreduce_init :
+  Comm.t -> 'a Datatype.t -> 'a Reduce_op.t -> src:'a array -> dst:'a array -> Request.p
+
+(** Broadcast the root's [buf] contents into every rank's [buf] each
+    cycle.  Unlike {!bcast}, the buffer argument exists on every rank
+    (MPI-style), so no count rendezvous is needed. *)
+val bcast_init : Comm.t -> 'a Datatype.t -> root:int -> 'a array -> Request.p
+
+(** Reduce [src] and scatter block [r] (of [recv_counts.(r)] elements)
+    into [dst] each cycle. *)
+val reduce_scatter_init :
+  Comm.t ->
+  'a Datatype.t ->
+  'a Reduce_op.t ->
+  recv_counts:int array ->
+  src:'a array ->
+  dst:'a array ->
+  Request.p
+
 (** {1 Non-blocking collectives}
 
     Progress semantics: as in an MPI implementation without asynchronous

@@ -192,3 +192,27 @@ let choose (model : Net_model.t) op ~bytes ~size ~commutative ~elems =
   match override_for op with
   | Some a when commutative || not (needs_commutative a) -> a
   | _ -> auto model.Net_model.tuning op ~bytes ~size ~commutative ~elems
+
+(* --- frozen selection (persistent operations) ------------------------- *)
+
+(* A persistent request fixes its algorithm at init time; [choose] is a
+   pure function of static inputs (tuning and overrides only change
+   between runs), so the frozen choice equals what every later ad-hoc
+   call with the same signature would pick — the equivalence the
+   persistent ≡ ad-hoc counter-parity tests rely on.  The names are
+   resolved once too, so the per-cycle dispatch has no table lookups. *)
+type frozen = {
+  frozen_op : op;
+  frozen_algo : algo;
+  frozen_counter : string;
+  frozen_span : string;
+}
+
+let freeze (model : Net_model.t) op ~bytes ~size ~commutative ~elems =
+  let algo = choose model op ~bytes ~size ~commutative ~elems in
+  {
+    frozen_op = op;
+    frozen_algo = algo;
+    frozen_counter = counter_name op algo;
+    frozen_span = span_name op algo;
+  }

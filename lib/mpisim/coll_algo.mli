@@ -71,6 +71,26 @@ val span_name : op -> algo -> string
 val choose :
   Net_model.t -> op -> bytes:int -> size:int -> commutative:bool -> elems:int -> algo
 
+(** {1 Frozen selection (persistent operations)}
+
+    A persistent [*_init] request fixes its algorithm once at init.
+    Because {!choose} is a pure function of inputs that only change
+    between runs (tuning, overrides), the frozen choice is identical to
+    what each ad-hoc call with the same signature would pick — so
+    persistent and ad-hoc runs attribute to the same
+    [coll.algo.<op>.<algo>] counter. *)
+
+type frozen = {
+  frozen_op : op;
+  frozen_algo : algo;
+  frozen_counter : string;  (** = [counter_name frozen_op frozen_algo] *)
+  frozen_span : string;  (** = [span_name frozen_op frozen_algo] *)
+}
+
+(** Same arguments and semantics as {!choose}, with the names resolved. *)
+val freeze :
+  Net_model.t -> op -> bytes:int -> size:int -> commutative:bool -> elems:int -> frozen
+
 (** {1 Overrides} *)
 
 (** Per-op pinned algorithms; [None] restores automatic selection. *)

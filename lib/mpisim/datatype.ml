@@ -552,3 +552,23 @@ let signature_of_count (t : 'a t) n = Signature.repeat t.signature n
 let name t = t.name
 
 let elem_size t = t.elem_size
+
+(* A pre-compiled pack/unpack plan for a (type, count) pair.  Persistent
+   requests resolve byte size and wire signature once at init so the
+   per-cycle path passes cached values instead of recomputing them
+   ([signature_of_count] allocates a fresh signature per call). *)
+type 'a plan = {
+  plan_dt : 'a t;
+  plan_count : int;
+  plan_bytes : int;
+  plan_signature : Signature.t;
+}
+
+let plan (t : 'a t) ~count =
+  if count < 0 then Errdefs.usage_error "Datatype.plan: negative count %d" count;
+  {
+    plan_dt = t;
+    plan_count = count;
+    plan_bytes = size_of_count t count;
+    plan_signature = signature_of_count t count;
+  }

@@ -195,3 +195,16 @@ val signature_of_count : 'a t -> int -> Signature.t
 val name : 'a t -> string
 
 val elem_size : 'a t -> int
+
+(** A pre-compiled pack/unpack plan for a (type, count) pair: byte size
+    and wire signature resolved once, so persistent-request cycles pass
+    cached values instead of recomputing them per call. *)
+type 'a plan = {
+  plan_dt : 'a t;
+  plan_count : int;
+  plan_bytes : int;  (** = [size_of_count plan_dt plan_count] *)
+  plan_signature : Signature.t;  (** = [signature_of_count plan_dt plan_count] *)
+}
+
+(** Raises [Usage_error] on a negative count. *)
+val plan : 'a t -> count:int -> 'a plan

@@ -522,3 +522,104 @@ let dyn_test (r : 'a dyn_request) : ('a array * Status.t) option =
       match !(r.cell) with
       | Some data -> Some (data, status)
       | None -> Errdefs.usage_error "dyn_test: request finalized without data")
+
+(* ------------------------------------------------------------------ *)
+(* Persistent operations (MPI-4 MPI_Send_init / MPI_Recv_init)
+
+   Everything a cycle does not strictly need is hoisted to init: argument
+   validation, the datatype plan (byte size + wire signature), the
+   profiling counter handles, rank translation, and a pre-warmed pooled
+   writer large enough for the payload.  The remaining per-cycle
+   allocations are the transport's own (the in-flight [Message.t], the
+   3-word pooled-writer record, the posted-receive record) — the fully
+   allocation-free hot path is the single-rank persistent collective,
+   which skips transport entirely. *)
+
+let send_init comm (dt : 'a Datatype.t) ~dest ?(tag = 0) (data : 'a array) ~pos ~count =
+  Comm.check_user_tag comm tag;
+  Comm.check_rank comm dest;
+  if count < 0 || pos < 0 || pos + count > Array.length data then
+    Errdefs.usage_error "send_init: invalid range (pos %d, count %d, len %d)" pos count
+      (Array.length data);
+  if not (Datatype.is_committed dt) then
+    Errdefs.usage_error "send_init: datatype %s is not committed" (Datatype.name dt);
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  let plan = Datatype.plan dt ~count in
+  let prep = Profiling.prepare rt.Runtime.profile "send" in
+  let context = Comm.context comm in
+  let dst_world = Comm.world_of_rank comm dest in
+  Runtime.preheat_writer rt me ~capacity:(max 8 plan.Datatype.plan_bytes);
+  let start () =
+    Runtime.check_alive rt me;
+    check_revoked comm ~op:"send";
+    check_dest_alive comm ~op:"send" dest;
+    let w = Runtime.acquire_writer rt me ~capacity:(max 8 plan.Datatype.plan_bytes) in
+    Datatype.pack_array dt w data ~pos ~count;
+    let payload, payload_len = Wire.unsafe_contents w in
+    Runtime.charge_copy rt me ~bytes:payload_len;
+    ignore
+      (Runtime.inject rt ~context ~src:me ~dst:dst_world ~tag ~payload ~payload_off:0
+         ~payload_len ~count
+         ~signature:plan.Datatype.plan_signature ~sync:false);
+    Profiling.record_prepared rt.Runtime.profile prep ~bytes:payload_len
+  in
+  (* Eager send: injected at [start], so the cycle is complete immediately. *)
+  Request.make_p ~describe:"send_init" ~start ~ready:(fun () -> true) ~run:(fun () -> ())
+
+let recv_init comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
+    ?(pos = 0) ?maxcount (into : 'a array) =
+  let maxcount = match maxcount with Some c -> c | None -> Array.length into - pos in
+  if maxcount < 0 || pos < 0 || pos + maxcount > Array.length into then
+    Errdefs.usage_error "recv_init: invalid range (pos %d, maxcount %d, len %d)" pos
+      maxcount (Array.length into);
+  if not (Datatype.is_committed dt) then
+    Errdefs.usage_error "recv_init: datatype %s is not committed" (Datatype.name dt);
+  let rt = Comm.runtime comm in
+  let me = Comm.world_rank comm in
+  let src_world = source_world comm source in
+  let context = Comm.context comm in
+  let mb = my_mailbox comm in
+  let prep = Profiling.prepare rt.Runtime.profile "recv" in
+  let posted : Mailbox.posted option ref = ref None in
+  let start () =
+    Runtime.check_alive rt me;
+    if Check.heavy rt.Runtime.check then note_wildcard comm ~src_world ~tag;
+    let now = Runtime.clock rt me in
+    let p = Mailbox.post mb ~context ~src:src_world ~tag ~now in
+    note_post comm p;
+    posted := Some p
+  in
+  (* The poll must wake on the same conditions as [await_posted] — match,
+     source failure, observed revocation — or a cycle receiving from a
+     dead rank would park forever instead of raising. *)
+  let ready () =
+    match !posted with
+    | None -> true
+    | Some p ->
+        p.Mailbox.p_msg <> None
+        || (src_world <> any_source && Runtime.is_failed rt src_world)
+        || Comm.revoked_flag comm
+           && (src_world = any_source || Comm.revocation_reached comm ~world:src_world)
+  in
+  let run () =
+    match !posted with
+    | None -> ()
+    | Some p ->
+        posted := None;
+        let msg = await_posted comm ~op:"recv" ~src_world p in
+        Mailbox.retire mb p;
+        note_matched comm p msg;
+        if msg.Message.count > maxcount then
+          Comm.error comm Errdefs.Err_truncate
+            "recv: message of %d elements truncated to buffer of %d" msg.Message.count
+            maxcount;
+        check_signature comm dt msg ~op:"recv";
+        Runtime.complete_receive rt me msg;
+        Runtime.charge_copy rt me ~bytes:(Message.bytes msg);
+        Profiling.record_prepared rt.Runtime.profile prep ~bytes:(Message.bytes msg);
+        let r = Message.reader msg in
+        Datatype.unpack_into dt r into ~pos ~count:msg.Message.count;
+        Runtime.recycle_payload rt msg
+  in
+  Request.make_p ~describe:"recv_init" ~start ~ready ~run

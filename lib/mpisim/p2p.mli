@@ -90,6 +90,38 @@ val dyn_wait : 'a dyn_request -> 'a array * Status.t
 
 val dyn_test : 'a dyn_request -> ('a array * Status.t) option
 
+(** {1 Persistent operations (MPI-4)}
+
+    [*_init] builds a {!Request.p} once — validating arguments, compiling
+    the datatype plan and pre-warming a pooled writer — and every later
+    {!Request.start}/{!Request.wait_p} cycle reuses the frozen state.
+    Buffers are fixed at init, per MPI persistent-request semantics. *)
+
+(** Persistent eager send of [count] elements of [data] starting at
+    [pos]; each [start] injects the current buffer contents. *)
+val send_init :
+  Comm.t ->
+  'a Datatype.t ->
+  dest:int ->
+  ?tag:int ->
+  'a array ->
+  pos:int ->
+  count:int ->
+  Request.p
+
+(** Persistent receive into caller storage; each cycle posts the receive
+    at [start] and unpacks into [into] at [wait_p].  Truncation raises
+    ERR_TRUNCATE like {!recv_into}. *)
+val recv_init :
+  Comm.t ->
+  'a Datatype.t ->
+  ?source:int ->
+  ?tag:int ->
+  ?pos:int ->
+  ?maxcount:int ->
+  'a array ->
+  Request.p
+
 (** {1 Probing} *)
 
 (** Block until a matching message is available (without receiving it). *)

@@ -39,6 +39,19 @@ let handles t op =
       Hashtbl.replace t.table op h;
       h
 
+(* Hot-path variant for persistent operations: the handle pair is resolved
+   once at init ([prepare]) so a per-cycle [record_prepared] is two counter
+   bumps — no hash lookup, no allocation. *)
+type prepared = handles
+
+let prepare t op : prepared = handles t op
+
+let record_prepared t (h : prepared) ~bytes =
+  if t.enabled then begin
+    Stats.incr h.calls_c;
+    Stats.add h.bytes_c bytes
+  end
+
 let record t ~op ~bytes =
   if t.enabled then begin
     let h = handles t op in

@@ -20,6 +20,15 @@ val create : ?stats:Stats.t -> unit -> t
 
 val record : t -> op:string -> bytes:int -> unit
 
+(** Pre-resolved counter handles for an op, for allocation-free hot paths
+    (persistent-request cycles): {!prepare} pays the hash lookup once,
+    {!record_prepared} is then two counter bumps. *)
+type prepared
+
+val prepare : t -> string -> prepared
+
+val record_prepared : t -> prepared -> bytes:int -> unit
+
 val set_enabled : t -> bool -> unit
 
 val snapshot : t -> summary

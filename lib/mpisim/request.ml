@@ -76,6 +76,84 @@ let is_complete t = t.status <> None
 
 let wait_all ts = List.map wait ts
 
+(* Persistent requests (MPI-4 [*_init] operations).
+
+   A persistent request is built once — validation, algorithm selection,
+   datatype plan compilation and buffer pre-acquisition all happen at init
+   — and then cycled through [start]/[wait_p] many times.  The closures
+   below are the *only* closures of a cycle: [start]/[wait_p] themselves
+   allocate nothing (the park closure in [wait_p] is constructed only on
+   the slow path, when the operation is not already complete).
+
+   Lifecycle, per MPI semantics: init → inactive; [start] activates (error
+   if already active); [wait_p]/[test_p] complete the cycle back to
+   inactive, and are no-ops / immediately-true on an inactive request;
+   [free_p] is an error while active. *)
+
+type p = {
+  p_describe : string;
+  p_start : unit -> unit;  (* begin one cycle (post receives, inject sends) *)
+  p_ready : unit -> bool;  (* cheap poll, safe from the scheduler loop *)
+  p_run : unit -> unit;  (* finish the cycle in the owning fiber *)
+  mutable p_active : bool;
+  mutable p_freed : bool;
+  mutable p_cycles : int;
+}
+
+let make_p ~describe ~start ~ready ~run =
+  {
+    p_describe = describe;
+    p_start = start;
+    p_ready = ready;
+    p_run = run;
+    p_active = false;
+    p_freed = false;
+    p_cycles = 0;
+  }
+
+let describe_p p = p.p_describe
+
+let is_active p = p.p_active
+
+let started_cycles p = p.p_cycles
+
+let start p =
+  if p.p_freed then
+    Errdefs.usage_error "Request.start: %s has been freed" p.p_describe;
+  if p.p_active then
+    Errdefs.usage_error "Request.start: %s is already active (wait it first)"
+      p.p_describe;
+  p.p_active <- true;
+  p.p_cycles <- p.p_cycles + 1;
+  p.p_start ()
+
+let wait_p p =
+  if p.p_active then begin
+    if not (p.p_ready ()) then
+      Scheduler.park
+        ~describe:(fun () -> "wait: " ^ p.p_describe)
+        ~poll:(fun () -> if p.p_ready () then Some () else None);
+    p.p_run ();
+    p.p_active <- false
+  end
+
+let test_p p =
+  if not p.p_active then true
+  else if p.p_ready () then begin
+    p.p_run ();
+    p.p_active <- false;
+    true
+  end
+  else false
+
+let free_p p =
+  if p.p_freed then
+    Errdefs.usage_error "Request.free: %s already freed" p.p_describe;
+  if p.p_active then
+    Errdefs.usage_error "Request.free: %s is still active (wait it first)"
+      p.p_describe;
+  p.p_freed <- true
+
 (* Wait until at least one request completes; returns its index and status.
    Raises [Invalid_argument] on an empty list. *)
 let wait_any ts =

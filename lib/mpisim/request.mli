@@ -47,3 +47,48 @@ val wait_any : t list -> int * Status.t
 (** Complete every currently-ready request without blocking; returns
     (index, status) pairs. *)
 val test_some : t list -> (int * Status.t) list
+
+(** {1 Persistent requests}
+
+    MPI-4 [*_init] operations: validation, algorithm selection, datatype
+    plan compilation and buffer pre-acquisition happen once at init; the
+    request is then cycled through {!start}/{!wait_p} with no per-cycle
+    allocation ([start] and the fast path of [wait_p] build no closures).
+
+    Lifecycle: init → inactive; [start] activates (usage error if already
+    active); [wait_p]/[test_p] return it to inactive and are no-ops on an
+    inactive request; [free_p] is a usage error while active. *)
+
+type p
+
+(** [make_p ~describe ~start ~ready ~run] builds a persistent request from
+    preallocated cycle closures: [start] begins one cycle, [ready] is the
+    cheap scheduler-safe completion poll, [run] finishes the cycle in the
+    owning fiber. *)
+val make_p :
+  describe:string ->
+  start:(unit -> unit) ->
+  ready:(unit -> bool) ->
+  run:(unit -> unit) ->
+  p
+
+val describe_p : p -> string
+
+(** Begin one cycle.  Usage error if the request is active or freed. *)
+val start : p -> unit
+
+(** Complete the current cycle (cooperatively blocking); no-op when
+    inactive. *)
+val wait_p : p -> unit
+
+(** Non-blocking cycle completion: [true] when the request is (now)
+    inactive, [false] if the cycle is still in flight. *)
+val test_p : p -> bool
+
+(** Release the request.  Usage error while active or on double free. *)
+val free_p : p -> unit
+
+val is_active : p -> bool
+
+(** Number of [start]s so far (diagnostics and tests). *)
+val started_cycles : p -> int

@@ -236,6 +236,10 @@ let any_failed t = t.n_failed > 0
    [Wire.unsafe_contents]) or back in the pool. *)
 let acquire_writer t rank ~capacity = Wire.acquire t.wire_pools.(rank) ~capacity
 
+(* Pre-warm a rank's pool so the next acquire fits without allocating
+   (persistent-request init). *)
+let preheat_writer t rank ~capacity = Wire.preheat t.wire_pools.(rank) ~capacity
+
 (* Return a consumed message's payload storage to the receiver's pool.
    Safe to call at most once per message; callers do so only after the
    payload has been fully unpacked or copied out. *)

@@ -133,6 +133,11 @@ val any_failed : t -> bool
     [Wire.unsafe_contents]) or back in the pool. *)
 val acquire_writer : t -> int -> capacity:int -> Wire.writer
 
+(** Pre-warm [rank]'s pool so its next [acquire_writer] returns a
+    buffer of at least [capacity] bytes without allocating
+    (persistent-request init; see {!Wire.preheat}). *)
+val preheat_writer : t -> int -> capacity:int -> unit
+
 (** Return a consumed message's payload storage to the receiver's pool.
     Idempotent; call only after the payload has been fully unpacked or
     copied out — any reader over the slice is dead afterwards. *)

@@ -225,6 +225,22 @@ let recycle pool (b : Bytes.t) =
     pool.n_free <- pool.n_free + 1
   end
 
+(* Pre-warm the pool so the next [acquire] is hit-and-fits: [acquire]
+   pops the head of the free list whatever its size, so the guarantee is
+   specifically about the *head* buffer.  If the head is already large
+   enough nothing happens; a too-small head in a full pool is replaced
+   (dropping the small buffer) rather than shadowed.  Persistent requests
+   call this at init so the per-cycle pack never grows a writer. *)
+let preheat pool ~capacity =
+  let capacity = max 1 (min capacity pool.max_retain) in
+  match pool.free with
+  | b :: _ when Bytes.length b >= capacity -> ()
+  | _ :: rest when pool.n_free >= pool.max_buffers ->
+      pool.free <- Bytes.create capacity :: rest
+  | free ->
+      pool.free <- Bytes.create capacity :: free;
+      pool.n_free <- pool.n_free + 1
+
 let pool_stats pool = (pool.hits, pool.misses, pool.n_free)
 
 (* ------------------------------------------------------------------ *)

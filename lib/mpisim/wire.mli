@@ -108,6 +108,13 @@ val acquire : pool -> capacity:int -> writer
 (** Return detached writer storage to the pool. *)
 val recycle : pool -> Bytes.t -> unit
 
+(** Guarantee that the next {!acquire} returns a buffer of at least
+    [capacity] bytes without allocating: ensures the head of the free
+    list is large enough, replacing it when the pool is full.  Called by
+    persistent requests at init so per-cycle packing never grows a
+    writer.  [capacity] is clamped to the pool's retention bound. *)
+val preheat : pool -> capacity:int -> unit
+
 (** (hits, misses, currently free) — for tests and diagnostics. *)
 val pool_stats : pool -> int * int * int
 

@@ -111,6 +111,210 @@ let test_multiple_windows () =
   in
   Alcotest.(check (pair int int)) "windows independent" (7, 8) results.(1)
 
+(* ------------------------------------------------------------------ *)
+(* Regression: free must unregister the shared state (it used to leak
+   one registry entry per window, and the creation counter forever). *)
+
+let test_registry_reclaimed () =
+  let live0, ctx0 = Rma.registry_stats () in
+  for _ = 1 to 3 do
+    ignore
+      (Engine.run_values ~ranks:4 (fun comm ->
+           let w1 = Rma.create comm Datatype.int (Array.make 2 0) in
+           let w2 = Rma.create comm Datatype.int (Array.make 2 0) in
+           Rma.fence w1;
+           Rma.fence w2;
+           Rma.free w1;
+           Rma.free w2))
+  done;
+  let live1, ctx1 = Rma.registry_stats () in
+  Alcotest.(check int) "no leaked windows" live0 live1;
+  Alcotest.(check int) "no leaked creation counters" ctx0 ctx1
+
+(* Regression: gets must charge the promised round trip at the closing
+   fence (they used to move no clock at all). *)
+
+let test_get_charges_round_trip () =
+  let time_with gets =
+    let report =
+      Engine.run ~clock_mode:Runtime.Virtual_only ~ranks:2 (fun comm ->
+          let win = Rma.create comm Datatype.int (Array.make 8 1) in
+          Rma.fence win;
+          (if Comm.rank comm = 0 then
+             let into = Array.make 8 0 in
+             for _ = 1 to gets do
+               Rma.get win ~target:1 ~target_pos:0 ~count:8 into ~into_pos:0
+             done);
+          Rma.fence win;
+          Rma.free win)
+    in
+    report.Engine.max_time
+  in
+  let quiet = time_with 0 and loaded = time_with 50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gets advance modeled time (%g vs %g)" quiet loaded)
+    true (loaded > quiet)
+
+(* Regression: out-of-range operations must raise the named
+   ERR_RMA_RANGE at issue time (they used to surface as a raw
+   [Invalid_argument] from a blit inside [fence]), and count under the
+   sanitizer. *)
+
+let test_out_of_range_put () =
+  let rt_ref = ref None in
+  (try
+     ignore
+       (Engine.run ~model:Net_model.zero_cost ~check_level:Check.Light
+          ~on_runtime:(fun rt -> rt_ref := Some rt)
+          ~ranks:2
+          (fun comm ->
+            let win = Rma.create comm Datatype.int (Array.make 4 0) in
+            Rma.put win ~target:1 ~target_pos:3 [| 1; 2 |];
+            Rma.fence win;
+            Rma.free win));
+     Alcotest.fail "expected ERR_RMA_RANGE"
+   with
+  | Scheduler.Aborted { exn = Errdefs.Mpi_error { code = Errdefs.Err_rma_range; _ }; _ }
+    ->
+      ());
+  match !rt_ref with
+  | None -> Alcotest.fail "on_runtime not called"
+  | Some rt ->
+      Alcotest.(check bool)
+        "check.rma_range counted" true
+        (Stats.count (Stats.counter rt.Runtime.stats "check.rma_range") >= 1)
+
+let test_out_of_range_get_and_accumulate () =
+  let expect_range body =
+    try
+      ignore (Engine.run ~model:Net_model.zero_cost ~ranks:2 body);
+      Alcotest.fail "expected ERR_RMA_RANGE"
+    with
+    | Scheduler.Aborted { exn = Errdefs.Mpi_error { code = Errdefs.Err_rma_range; _ }; _ }
+      ->
+        ()
+  in
+  expect_range (fun comm ->
+      let win = Rma.create comm Datatype.int (Array.make 4 0) in
+      let into = Array.make 8 0 in
+      Rma.get win ~target:1 ~target_pos:(-1) ~count:2 into ~into_pos:0;
+      Rma.fence win);
+  expect_range (fun comm ->
+      let win = Rma.create comm Datatype.int (Array.make 4 0) in
+      Rma.accumulate win ~target:1 ~target_pos:4 Reduce_op.int_sum [| 1 |];
+      Rma.fence win)
+
+(* ------------------------------------------------------------------ *)
+(* Passive target: lock/unlock epochs *)
+
+let test_locked_put_visible () =
+  let results =
+    Engine.run_values ~ranks:2 (fun comm ->
+        let win = Rma.create comm Datatype.int (Array.make 2 0) in
+        if Comm.rank comm = 0 then
+          Rma.with_locked win ~target:1 (fun () ->
+              Rma.put win ~target:1 ~target_pos:0 [| 41; 42 |]);
+        Coll.barrier comm;
+        let v = Array.copy (Rma.local win) in
+        Rma.free win;
+        v)
+  in
+  Alcotest.(check (array int)) "target sees the put after unlock" [| 41; 42 |] results.(1)
+
+let test_shared_lock_accumulate () =
+  let results =
+    Engine.run_values ~ranks:6 (fun comm ->
+        let win = Rma.create comm Datatype.int (Array.make 1 0) in
+        let r = Comm.rank comm in
+        if r > 0 then
+          Rma.with_locked ~exclusive:false win ~target:0 (fun () ->
+              Rma.accumulate win ~target:0 ~target_pos:0 Reduce_op.int_sum [| r |]);
+        Coll.barrier comm;
+        let v = (Rma.local win).(0) in
+        Rma.free win;
+        v)
+  in
+  Alcotest.(check int) "all contributions accumulated" 15 results.(0)
+
+let test_exclusive_lock_contention () =
+  (* Two origins compete for the same exclusive lock; one parks until the
+     other unlocks.  Both epochs must complete and both slots land. *)
+  let results =
+    Engine.run_values ~ranks:3 (fun comm ->
+        let win = Rma.create comm Datatype.int (Array.make 3 0) in
+        let r = Comm.rank comm in
+        if r > 0 then
+          Rma.with_locked win ~target:0 (fun () ->
+              Rma.put win ~target:0 ~target_pos:r [| 100 + r |]);
+        Coll.barrier comm;
+        let v = Array.copy (Rma.local win) in
+        Rma.free win;
+        v)
+  in
+  Alcotest.(check (array int)) "both epochs applied" [| 0; 101; 102 |] results.(0)
+
+let test_lock_epoch_issue_order () =
+  (* Within one epoch, a get after a put observes the put (issue order). *)
+  let results =
+    Engine.run_values ~ranks:2 (fun comm ->
+        let win = Rma.create comm Datatype.int (Array.make 1 0) in
+        let into = Array.make 1 (-1) in
+        if Comm.rank comm = 0 then
+          Rma.with_locked win ~target:1 (fun () ->
+              Rma.put win ~target:1 ~target_pos:0 [| 5 |];
+              Rma.get win ~target:1 ~target_pos:0 ~count:1 into ~into_pos:0);
+        Coll.barrier comm;
+        Rma.free win;
+        into.(0))
+  in
+  Alcotest.(check int) "get sees same-epoch put" 5 results.(0)
+
+let test_with_locked_exception_safe () =
+  (* A raising body must still release the lock: a second exclusive
+     epoch on the same target succeeds instead of deadlocking. *)
+  let results =
+    Engine.run_values ~ranks:2 (fun comm ->
+        let win = Rma.create comm Datatype.int (Array.make 1 0) in
+        let raised = ref false in
+        (if Comm.rank comm = 0 then
+           try Rma.with_locked win ~target:1 (fun () -> failwith "boom")
+           with Failure _ -> raised := true);
+        if Comm.rank comm = 0 then
+          Rma.with_locked win ~target:1 (fun () ->
+              Rma.put win ~target:1 ~target_pos:0 [| 9 |]);
+        Coll.barrier comm;
+        let v = (Rma.local win).(0) in
+        Rma.free win;
+        (!raised, v))
+  in
+  Alcotest.(check (pair bool int)) "lock released on exception" (true, 0) results.(0);
+  Alcotest.(check (pair bool int)) "second epoch applied" (false, 9) results.(1)
+
+let test_lifecycle_errors () =
+  let expect_usage name body =
+    try
+      ignore (Engine.run ~model:Net_model.zero_cost ~ranks:1 body);
+      Alcotest.fail (name ^ ": expected Usage_error")
+    with Scheduler.Aborted { exn = Errdefs.Usage_error _; _ } -> ()
+  in
+  expect_usage "fence under lock" (fun comm ->
+      let win = Rma.create comm Datatype.int (Array.make 1 0) in
+      Rma.lock win ~target:0;
+      Rma.fence win);
+  expect_usage "double free" (fun comm ->
+      let win = Rma.create comm Datatype.int (Array.make 1 0) in
+      Rma.free win;
+      Rma.free win);
+  expect_usage "unlock without lock" (fun comm ->
+      let win = Rma.create comm Datatype.int (Array.make 1 0) in
+      Rma.unlock win);
+  expect_usage "op outside the locked target" (fun comm ->
+      let win = Rma.create comm Datatype.int (Array.make 1 0) in
+      Rma.lock win ~target:0;
+      Rma.put win ~target:0 ~target_pos:0 [| 1 |];
+      (* re-lock while holding: also a usage error *)
+      Rma.lock win ~target:0)
+
 let tests =
   [
     Alcotest.test_case "put visible after fence" `Quick test_put_visible_after_fence;
@@ -120,6 +324,18 @@ let tests =
     Alcotest.test_case "deterministic overlapping puts" `Quick
       test_deterministic_overlapping_puts;
     Alcotest.test_case "multiple windows" `Quick test_multiple_windows;
+    Alcotest.test_case "registry reclaimed after free" `Quick test_registry_reclaimed;
+    Alcotest.test_case "get charges round trip" `Quick test_get_charges_round_trip;
+    Alcotest.test_case "out-of-range put raises ERR_RMA_RANGE" `Quick test_out_of_range_put;
+    Alcotest.test_case "out-of-range get/accumulate" `Quick
+      test_out_of_range_get_and_accumulate;
+    Alcotest.test_case "locked put visible" `Quick test_locked_put_visible;
+    Alcotest.test_case "shared-lock accumulate" `Quick test_shared_lock_accumulate;
+    Alcotest.test_case "exclusive lock contention" `Quick test_exclusive_lock_contention;
+    Alcotest.test_case "lock epoch issue order" `Quick test_lock_epoch_issue_order;
+    Alcotest.test_case "with_locked exception safety" `Quick
+      test_with_locked_exception_safe;
+    Alcotest.test_case "lifecycle errors" `Quick test_lifecycle_errors;
   ]
 
 let () = Alcotest.run "rma" [ ("rma", tests) ]
