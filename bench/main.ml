@@ -8,7 +8,7 @@
 
    Experiments: table1, fig8, fig10, overhead, types, repro_reduce,
    sparse, suffix, label_prop, raxml, ulfm, ablation, pingpong, chaos,
-   coll. *)
+   coll, taskqueue. *)
 
 let experiments ~full ~smoke =
   [
@@ -38,6 +38,7 @@ let experiments ~full ~smoke =
     ("pingpong", fun () -> Bench_pingpong.run ~smoke ());
     ("chaos", fun () -> Bench_chaos.run ~smoke ());
     ("coll", fun () -> Bench_coll.run ~smoke ());
+    ("taskqueue", fun () -> Bench_taskqueue.run ~smoke ());
   ]
 
 let () =

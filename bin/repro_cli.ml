@@ -108,10 +108,50 @@ let obs_arg =
              integer (shorthand for $(b,seed=N;lossy): seeded lossy network) \
              or ';'-separated clauses: $(b,seed=N), $(b,lossy), $(b,drop=F), \
              $(b,dup=F), $(b,reorder=F), $(b,corrupt=F), $(b,jitter=F), \
-             $(b,retries=N), $(b,rto=F), $(b,link=A>B:drop=F,...), \
-             $(b,fail=R\\@ops:K), $(b,fail=R\\@t:T), $(b,droplink=A>B\\@N), \
+             $(b,retries=N), $(b,rto=F), $(b,backoff=F), $(b,jitter_cap=F), \
+             $(b,link=A>B:drop=F,...), $(b,fail=R\\@ops:K), $(b,fail=R\\@t:T), \
+             $(b,fail=R\\@task:K), $(b,droplink=A>B\\@N), \
              $(b,partition=R,S\\@T1-T2).  The run prints a replay line; the \
              same spec reproduces the same faults byte for byte.")
+  in
+  let chaos_retries =
+    let retries_conv =
+      let parse s =
+        let bad msg = `Error (Printf.sprintf "--chaos-retries %s: %s" s msg) in
+        match String.split_on_char ':' s with
+        | [] -> bad "empty"
+        | n :: rest -> (
+            match (int_of_string_opt n, List.map float_of_string_opt rest) with
+            | None, _ -> bad "retry count must be an integer"
+            | Some n, _ when n < 0 -> bad "retry count must be >= 0"
+            | Some n, floats ->
+                if List.exists (( = ) None) floats then bad "malformed float field"
+                else
+                  let at i = List.nth_opt floats i |> Option.join in
+                  (match at 1 with
+                  | Some b when b < 1. -> bad "backoff must be >= 1"
+                  | _ -> `Ok (n, at 0, at 1, at 2)))
+      in
+      let print ppf (n, rto, backoff, cap) =
+        Format.fprintf ppf "%d" n;
+        List.iter
+          (function Some f -> Format.fprintf ppf ":%g" f | None -> ())
+          [ rto; backoff; cap ]
+      in
+      (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some retries_conv) None
+      & info [ "chaos-retries" ] ~docv:"N[:RTO[:BACKOFF[:JITTER_CAP]]]"
+          ~doc:
+            "Override the retransmission policy of the chaos plane's reliable \
+             layer: $(b,N) retries before a transfer escalates to \
+             ERR_PROC_FAILED, base retransmit timeout $(b,RTO) seconds, \
+             per-attempt multiplier $(b,BACKOFF), and accumulated-jitter bound \
+             $(b,JITTER_CAP) seconds.  Fields left out defer to the network \
+             model's fault profile (see DESIGN.md \xC2\xA75).  Implies a default \
+             $(b,--chaos) config when none is given.")
   in
   let coll_algo =
     let spec_conv =
@@ -142,9 +182,33 @@ let obs_arg =
              Equivalent to the $(b,MPISIM_COLL_ALGO) environment variable.")
   in
   Term.(
-    const (fun trace_file trace_stream comm_matrix stats check chaos coll_algo ->
+    const (fun trace_file trace_stream comm_matrix stats check chaos chaos_retries
+               coll_algo ->
+        (* --chaos-retries merges into (or bootstraps) the chaos config, so
+           the printed replay line carries the effective retry policy. *)
+        let chaos =
+          match chaos_retries with
+          | None -> chaos
+          | Some (n, rto, backoff, jitter_cap) ->
+              let base =
+                match chaos with Some c -> c | None -> Chaos.config ()
+              in
+              Some
+                {
+                  base with
+                  Chaos.max_retries = Some n;
+                  rto = (match rto with Some _ -> rto | None -> base.Chaos.rto);
+                  backoff =
+                    (match backoff with Some _ -> backoff | None -> base.Chaos.backoff);
+                  jitter_cap =
+                    (match jitter_cap with
+                    | Some _ -> jitter_cap
+                    | None -> base.Chaos.jitter_cap);
+                }
+        in
         { trace_file; trace_stream; comm_matrix; stats; check; chaos; coll_algo })
-    $ trace_file $ trace_stream $ comm_matrix $ stats $ check $ chaos $ coll_algo)
+    $ trace_file $ trace_stream $ comm_matrix $ stats $ check $ chaos $ chaos_retries
+    $ coll_algo)
 
 (* Exit-status documentation shared by every subcommand; the codes
    themselves live in Mpisim.Exit_codes so tests and CI scripts have the
@@ -396,6 +460,129 @@ let repro_cmd =
   Cmd.v
     (Cmd.info "repro-reduce" ~exits ~doc:"Reproducible reduction (paper SV-C, Fig. 13).")
     Term.(const run $ ranks_arg $ elements $ model_arg $ obs_arg)
+
+(* --- taskqueue --- *)
+
+let taskqueue_cmd =
+  let module TQ = Kamping_plugins.Taskqueue in
+  let tasks_arg =
+    Arg.(value & opt int 200 & info [ "tasks" ] ~docv:"N" ~doc:"Number of tasks to farm.")
+  in
+  let mode_arg =
+    let mode_conv =
+      ( (fun s -> match TQ.mode_of_string s with Ok m -> `Ok m | Error e -> `Error e),
+        fun ppf m -> Format.pp_print_string ppf (TQ.mode_to_string m) )
+    in
+    Arg.(
+      value
+      & opt mode_conv TQ.Master_worker
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Scheduling mode: $(b,master) (pull-based master/worker with leases, \
+             re-dispatch and checkpointed drain) or $(b,nbx) (decentralized \
+             bulk-synchronous work stealing over the sparse NBX all-to-all).")
+  in
+  let lease_arg =
+    Arg.(
+      value & opt float 2e-3
+      & info [ "lease-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Virtual-time lease per dispatched task (master mode); a straggler \
+             overrunning it is re-dispatched with exponential backoff.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float infinity
+      & info [ "rate" ] ~docv:"TASKS/S"
+          ~doc:"Token-bucket dispatch rate limit (virtual time); default unlimited.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ] ~docv:"N" ~doc:"Tasks executed per NBX round before rebalancing.")
+  in
+  let ckpt_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Master replicates newly recorded results to its successor every \
+             $(docv) completions, so a master death loses no recorded work.")
+  in
+  let run ranks tasks mode lease rate batch ckpt model obs =
+    let n = tasks in
+    let cfg =
+      TQ.config ~mode ~lease_timeout:lease ~rate ~batch ~checkpoint_every:ckpt ()
+    in
+    let payloads = Array.init n (fun i -> 1000 + i) in
+    let expected = Array.init n (fun i -> (payloads.(i) * payloads.(i)) + i) in
+    (* Per-world-rank verdicts, filled in by the fibers. *)
+    let verdicts = Array.make ranks None in
+    let report =
+      run_with_obs ~obs ~model ~ranks (fun mpi ->
+          let comm = Kamping.Communicator.of_mpi mpi in
+          let rt = Comm.runtime mpi in
+          let me = Comm.rank mpi in
+          let exec id payload =
+            (* Heterogeneous modelled compute: stragglers exist even
+               without chaos. *)
+            Runtime.charge_compute rt me
+              (2e-5
+              *. float_of_int (1 + Xoshiro.hash_int ~seed:7 ~stream:0 ~counter:id ~bound:40)
+              );
+            (payload * payload) + id
+          in
+          try
+            let out, _comm' =
+              TQ.run ~cfg comm ~task_codec:Serial.Codec.int ~result_codec:Serial.Codec.int
+                ~tasks:payloads ~exec ()
+            in
+            verdicts.(me) <- Some (out = expected)
+          with Kamping_plugins.Ulfm.Failure_detected msg ->
+            Errdefs.mpi_error (Errdefs.Err_other "RECOVERY_EXHAUSTED") "%s" msg)
+    in
+    let count name = Stats.count (Stats.counter report.Engine.stats name) in
+    Printf.printf
+      "taskqueue: mode=%s tasks=%d dispatched=%d completed=%d redispatched=%d \
+       duplicates_suppressed=%d leases_expired=%d throttled=%d checkpoints=%d steals=%d\n"
+      (TQ.mode_to_string mode) n
+      (count "taskqueue.dispatched")
+      (count "taskqueue.completed")
+      (count "taskqueue.redispatched")
+      (count "taskqueue.duplicates_suppressed")
+      (count "taskqueue.leases_expired")
+      (count "taskqueue.throttled")
+      (count "taskqueue.checkpoints")
+      (count "taskqueue.steals");
+    (* Exactly-once verification: every surviving rank must hold the full,
+       correct result vector. *)
+    let ok = ref true in
+    for r = 0 to ranks - 1 do
+      if not (List.mem r report.Engine.killed) then
+        match verdicts.(r) with
+        | Some true -> ()
+        | Some false ->
+            ok := false;
+            Printf.eprintf "kamping-repro: taskqueue: rank %d has wrong results\n" r
+        | None ->
+            ok := false;
+            Printf.eprintf "kamping-repro: taskqueue: rank %d produced no results\n" r
+    done;
+    if !ok then Printf.printf "exactly-once verified on %d survivor(s)\n"
+        (ranks - List.length report.Engine.killed)
+    else exit Exit_codes.violation
+  in
+  Cmd.v
+    (Cmd.info "taskqueue" ~exits
+       ~doc:
+         "Farm heterogeneous tasks through the elastic fault-tolerant task-queue \
+          plugin and verify exactly-once results on every survivor.  Combine \
+          with $(b,--chaos) (e.g. $(b,'fail=2\\@ops:50') or \
+          $(b,'fail=1\\@task:3;lossy')) to exercise straggler re-dispatch, \
+          duplicate suppression and master re-election under rank death.")
+    Term.(
+      const run $ ranks_arg $ tasks_arg $ mode_arg $ lease_arg $ rate_arg $ batch_arg
+      $ ckpt_arg $ model_arg $ obs_arg)
 
 (* --- trace-convert --- *)
 
@@ -719,6 +906,7 @@ let () =
             suffix_cmd;
             phylo_cmd;
             repro_cmd;
+            taskqueue_cmd;
             trace_convert_cmd;
             bench_diff_cmd;
             analyze_cmd;

@@ -32,6 +32,16 @@ let alltoallv (comm : Kamping.Communicator.t) (dt : 'a Datatype.t)
   let barrier = ref None in
   let finished = ref false in
   while not !finished do
+    (* The poll loop never parks, so it must watch for failure and
+       revocation itself: a member dying mid-exchange would otherwise
+       leave the ibarrier permanently incomplete and this loop spinning
+       (the deadlock detector only sees parked fibers). *)
+    Runtime.check_alive (Comm.runtime mpi) (Comm.world_rank mpi);
+    if Comm.any_member_failed mpi then
+      Comm.error mpi Errdefs.Err_proc_failed
+        "sparse_alltoallv: communicator member failed mid-exchange";
+    if Comm.is_revoked mpi then
+      Comm.error mpi Errdefs.Err_revoked "sparse_alltoallv: communicator revoked";
     (* Drain all currently probe-able messages. *)
     let drained = ref false in
     while not !drained do

@@ -9,7 +9,13 @@
          if not (is_revoked comm) then revoke comm;
          let comm = shrink comm in ...
 
-   or simply use [run_with_recovery]. *)
+   or simply use [run_with_recovery].
+
+   Every recovery step is counted in the Stats registry
+   (ulfm.{revokes,shrinks,agrees}) and [run_with_recovery] observes the
+   virtual-time cost of each complete detect->shrink round in the
+   ulfm.recovery_seconds histogram, so recovery cost shows up in
+   [--stats] output and benches instead of only in traces. *)
 
 open Mpisim
 
@@ -25,11 +31,19 @@ let detect (f : unit -> 'a) : 'a =
 
 let is_revoked = Kamping.Communicator.is_revoked
 
-let revoke = Kamping.Communicator.revoke
+let stats comm = (Kamping.Communicator.runtime comm).Runtime.stats
 
-let shrink = Kamping.Communicator.shrink
+let revoke comm =
+  Stats.incr (Stats.counter (stats comm) "ulfm.revokes");
+  Kamping.Communicator.revoke comm
 
-let agree = Kamping.Communicator.agree
+let shrink comm =
+  Stats.incr (Stats.counter (stats comm) "ulfm.shrinks");
+  Kamping.Communicator.shrink comm
+
+let agree comm v =
+  Stats.incr (Stats.counter (stats comm) "ulfm.agrees");
+  Kamping.Communicator.agree comm v
 
 (* Fig. 12 as a combinator: run [attempt] on [comm]; on failure, revoke,
    shrink, and retry on the surviving communicator, at most [max_retries]
@@ -44,6 +58,9 @@ let agree = Kamping.Communicator.agree
    mid-shrink, which the next round's failed attempt shrinks out. *)
 let run_with_recovery ?(max_retries = 3) (comm : Kamping.Communicator.t)
     (attempt : Kamping.Communicator.t -> 'a) : 'a * Kamping.Communicator.t =
+  let rt = Kamping.Communicator.runtime comm in
+  let h_recovery = Stats.histogram rt.Runtime.stats "ulfm.recovery_seconds" in
+  let my_world comm = Comm.world_rank (Kamping.Communicator.mpi comm) in
   let rec recover comm retries =
     if not (is_revoked comm) then revoke comm;
     match detect (fun () -> shrink comm) with
@@ -54,7 +71,11 @@ let run_with_recovery ?(max_retries = 3) (comm : Kamping.Communicator.t)
     match detect (fun () -> attempt comm) with
     | v -> (v, comm)
     | exception Failure_detected _ when retries > 0 ->
+        (* Virtual time from detection on this rank to a usable shrunken
+           communicator: the per-round recovery cost. *)
+        let t0 = Runtime.clock rt (my_world comm) in
         let comm, retries = recover comm (retries - 1) in
+        Stats.observe h_recovery (Runtime.clock rt (my_world comm) -. t0);
         go comm retries
   in
   go comm max_retries

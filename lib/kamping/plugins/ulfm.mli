@@ -1,6 +1,12 @@
 (** User-Level Failure Mitigation plugin (paper §V-B, Fig. 12): turns the
     runtime's failure error codes into an idiomatic exception and packages
-    the detect -> revoke -> shrink recovery sequence. *)
+    the detect -> revoke -> shrink recovery sequence.
+
+    Recovery cost is observable through the Stats registry:
+    [ulfm.revokes], [ulfm.shrinks] and [ulfm.agrees] count the recovery
+    primitives, and [ulfm.recovery_seconds] is a histogram of the virtual
+    time each {!run_with_recovery} round spent between detecting a
+    failure and obtaining a usable shrunken communicator. *)
 
 exception Failure_detected of string
 

@@ -34,20 +34,22 @@ type config = {
   links : ((int * int) * Net_model.link_rates) list;  (* per-link overrides *)
   lossy : bool;  (* start from [Net_model.lossy_rates] when [rates] is None *)
   plan : Fault_plan.t;
-  max_retries : int;  (* retransmissions before escalating *)
-  rto : float option;  (* base retransmit timeout; default 4 x latency *)
+  max_retries : int option;  (* retransmissions before escalating; None = profile *)
+  rto : float option;  (* base retransmit timeout; None = profile (4 x latency) *)
+  backoff : float option;  (* per-attempt timeout multiplier; None = profile *)
+  jitter_cap : float option;  (* accumulated-jitter bound; None = profile *)
   deliver_corrupt : bool;  (* test knob: deliver corrupted payloads *)
 }
 
 let config ?(seed = 1) ?rates ?(links = []) ?(lossy = false) ?(plan = Fault_plan.empty)
-    ?(max_retries = 8) ?rto ?(deliver_corrupt = false) () =
-  { seed; rates; links; lossy; plan; max_retries; rto; deliver_corrupt }
+    ?max_retries ?rto ?backoff ?jitter_cap ?(deliver_corrupt = false) () =
+  { seed; rates; links; lossy; plan; max_retries; rto; backoff; jitter_cap; deliver_corrupt }
 
 (* A deterministic plan trigger with a fired latch (so `ops >= k` cannot
    re-fire after the threshold passes). *)
 type fail_trigger = {
   ft_rank : int;
-  ft_kind : [ `Ops of int | `Time of float ];
+  ft_kind : [ `Ops of int | `Time of float | `Task of int ];
   mutable ft_fired : bool;
 }
 
@@ -56,7 +58,10 @@ type t = {
   rng : Xoshiro.t;
   size : int;
   profile : Net_model.fault_profile;
+  max_retries : int;  (* resolved: config override or profile policy *)
   rto : float;
+  backoff : float;
+  jitter_cap : float;
   latency : float;
   send_overhead : float;
   trace : Trace.t;
@@ -73,6 +78,7 @@ type t = {
   log : Buffer.t;
   mutable n_events : int;
   op_counts : int array;  (* per-rank runtime-operation counter *)
+  task_counts : int array;  (* per-rank task-execution counter (taskqueue) *)
   triggers : fail_trigger list;
   drop_nth : ((int * int) * int) list;
   partitions : (int list * float * float) list;
@@ -87,18 +93,26 @@ let max_log_events = 200_000
 let create ~size ~(model : Net_model.t) ~stats ~trace (cfg : config) : t =
   let profile =
     match cfg.rates with
-    | Some r -> { Net_model.default_rates = r; link_overrides = cfg.links }
+    | Some r ->
+        { Net_model.default_rates = r; link_overrides = cfg.links;
+          retry = Net_model.default_retry }
     | None ->
         if cfg.lossy then
           {
             Net_model.default_rates = Net_model.lossy_rates ~latency:model.Net_model.latency;
             link_overrides = cfg.links;
+            retry = Net_model.default_retry;
           }
         else (
           match model.Net_model.faults with
           | Some p -> { p with Net_model.link_overrides = cfg.links @ p.Net_model.link_overrides }
-          | None -> { Net_model.default_rates = Net_model.perfect_link; link_overrides = cfg.links })
+          | None ->
+              { Net_model.default_rates = Net_model.perfect_link;
+                link_overrides = cfg.links; retry = Net_model.default_retry })
   in
+  (* Retransmission policy: the profile's, with config overrides on top. *)
+  let retry = profile.Net_model.retry in
+  let pick opt dflt = match opt with Some v -> v | None -> dflt in
   let triggers, drop_nth, partitions =
     List.fold_left
       (fun (ts, ds, ps) -> function
@@ -106,6 +120,8 @@ let create ~size ~(model : Net_model.t) ~stats ~trace (cfg : config) : t =
             ({ ft_rank = rank; ft_kind = `Ops ops; ft_fired = false } :: ts, ds, ps)
         | Fault_plan.Fail_at_time { rank; time } ->
             ({ ft_rank = rank; ft_kind = `Time time; ft_fired = false } :: ts, ds, ps)
+        | Fault_plan.Fail_at_task { rank; task } ->
+            ({ ft_rank = rank; ft_kind = `Task task; ft_fired = false } :: ts, ds, ps)
         | Fault_plan.Drop_nth { src; dst; n } -> (ts, ((src, dst), n) :: ds, ps)
         | Fault_plan.Partition { ranks; t_start; t_end } ->
             (ts, ds, (ranks, t_start, t_end) :: ps))
@@ -116,7 +132,12 @@ let create ~size ~(model : Net_model.t) ~stats ~trace (cfg : config) : t =
     rng = Xoshiro.create ~seed:cfg.seed ~stream:0xC4A05;
     size;
     profile;
-    rto = (match cfg.rto with Some r -> r | None -> 4. *. model.Net_model.latency);
+    max_retries = pick cfg.max_retries retry.Net_model.max_retries;
+    rto =
+      pick cfg.rto
+        (pick retry.Net_model.rto (4. *. model.Net_model.latency));
+    backoff = pick cfg.backoff retry.Net_model.backoff;
+    jitter_cap = pick cfg.jitter_cap retry.Net_model.jitter_cap;
     latency = model.Net_model.latency;
     send_overhead = model.Net_model.send_overhead;
     trace;
@@ -131,6 +152,7 @@ let create ~size ~(model : Net_model.t) ~stats ~trace (cfg : config) : t =
     log = Buffer.create 256;
     n_events = 0;
     op_counts = Array.make size 0;
+    task_counts = Array.make size 0;
     triggers;
     drop_nth;
     partitions;
@@ -175,16 +197,42 @@ let tick t ~rank ~now : bool =
       if ft.ft_fired || ft.ft_rank <> rank then false
       else
         let due =
-          match ft.ft_kind with `Ops k -> ops >= k | `Time time -> now >= time
+          match ft.ft_kind with
+          | `Ops k -> ops >= k
+          | `Time time -> now >= time
+          | `Task _ -> false
         in
         if due then begin
           ft.ft_fired <- true;
           Stats.incr t.c_plan_failures;
           (match ft.ft_kind with
           | `Ops k -> event t ~rank ~name:"plan_fail" "rank=%d ops=%d" rank k
-          | `Time time -> event t ~rank ~name:"plan_fail" "rank=%d t=%g" rank time)
+          | `Time time -> event t ~rank ~name:"plan_fail" "rank=%d t=%g" rank time
+          | `Task _ -> ())
         end;
         due)
+    t.triggers
+
+(* Count one task execution beginning on [rank] (fed by the taskqueue
+   plugin through [Runtime.task_tick]) and report whether a
+   [fail=R@task:K] trigger fells the rank here.  Deterministic: the
+   counter is per-rank and advances only at task-execution starts, so a
+   trigger fires at the same task no matter how the scheduler interleaves
+   the queue's message traffic. *)
+let task_tick t ~rank : bool =
+  t.task_counts.(rank) <- t.task_counts.(rank) + 1;
+  let tasks = t.task_counts.(rank) in
+  List.exists
+    (fun ft ->
+      if ft.ft_fired || ft.ft_rank <> rank then false
+      else
+        match ft.ft_kind with
+        | `Task k when tasks >= k ->
+            ft.ft_fired <- true;
+            Stats.incr t.c_plan_failures;
+            event t ~rank ~name:"plan_fail" "rank=%d task=%d" rank k;
+            true
+        | _ -> false)
     t.triggers
 
 (* Time-based triggers whose deadline has passed at global progress point
@@ -244,7 +292,7 @@ let on_transfer t ~src ~dst ~seq ~bytes ~now : transfer =
   let forced_drop =
     List.exists (fun ((s, d), n) -> s = src && d = dst && n = link_seq) t.drop_nth
   in
-  let max_attempts = t.cfg.max_retries + 1 in
+  let max_attempts = t.max_retries + 1 in
   let rec attempt i ~delay ~busy =
     if i > max_attempts then begin
       Stats.incr t.c_escalations;
@@ -290,7 +338,7 @@ let on_transfer t ~src ~dst ~seq ~bytes ~now : transfer =
       in
       if lost then begin
         Stats.incr t.c_retransmits;
-        let backoff = t.rto *. Float.of_int (1 lsl (i - 1)) in
+        let backoff = t.rto *. (t.backoff ** float_of_int (i - 1)) in
         attempt (i + 1) ~delay:(delay +. backoff) ~busy:(busy +. t.send_overhead)
       end
       else begin
@@ -317,7 +365,7 @@ let on_transfer t ~src ~dst ~seq ~bytes ~now : transfer =
         in
         let delay =
           if rates.Net_model.jitter > 0. then
-            delay +. (rates.Net_model.jitter *. Xoshiro.next_float t.rng)
+            delay +. Float.min (rates.Net_model.jitter *. Xoshiro.next_float t.rng) t.jitter_cap
           else delay
         in
         Stats.observe t.h_rtt (t.latency +. delay);
@@ -356,10 +404,12 @@ let corrupt_payload t (payload : Bytes.t) ~pos ~len =
      jitter=F                       uniform extra delay bound (seconds)
      retries=N                      retransmissions before escalation
      rto=F                          base retransmit timeout (seconds)
+     backoff=F                      per-attempt timeout multiplier
+     jitter_cap=F                   accumulated-jitter bound (seconds)
      deliver_corrupt                deliver corrupted payloads (test knob)
      link=A>B:drop=F,jitter=F,...   per-link override
-     fail=R@ops:K | fail=R@t:T | droplink=A>B@N | partition=R,S@T1-T2
-                                    fault-plan clauses (see Fault_plan)
+     fail=R@ops:K | fail=R@t:T | fail=R@task:K | droplink=A>B@N
+       | partition=R,S@T1-T2        fault-plan clauses (see Fault_plan)
    A spec that is a bare integer is shorthand for seed=N;lossy. *)
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
@@ -438,11 +488,19 @@ let config_of_string (s : string) : (config, string) result =
                        | None -> Error (Printf.sprintf "%s: bad seed" clause))
                    | "retries" -> (
                        match int_of_string_opt (String.trim v) with
-                       | Some n when n >= 0 -> Ok { cfg with max_retries = n }
+                       | Some n when n >= 0 -> Ok { cfg with max_retries = Some n }
                        | _ -> Error (Printf.sprintf "%s: bad retry count" clause))
                    | "rto" ->
                        let* f = parse_rate clause v in
                        Ok { cfg with rto = Some f }
+                   | "backoff" ->
+                       let* f = parse_rate clause v in
+                       if f < 1. then
+                         Error (Printf.sprintf "%s: backoff multiplier must be >= 1" clause)
+                       else Ok { cfg with backoff = Some f }
+                   | "jitter_cap" ->
+                       let* f = parse_rate clause v in
+                       Ok { cfg with jitter_cap = Some f }
                    | "drop" | "dup" | "duplicate" | "reorder" | "corrupt" | "jitter" ->
                        let base =
                          match cfg.rates with
@@ -473,8 +531,10 @@ let config_to_string (cfg : config) =
       if r.Net_model.corrupt > 0. then add "corrupt=%g" r.Net_model.corrupt;
       if r.Net_model.jitter > 0. then add "jitter=%g" r.Net_model.jitter
   | None -> ());
-  add "retries=%d" cfg.max_retries;
+  (match cfg.max_retries with Some n -> add "retries=%d" n | None -> ());
   (match cfg.rto with Some r -> add "rto=%g" r | None -> ());
+  (match cfg.backoff with Some f -> add "backoff=%g" f | None -> ());
+  (match cfg.jitter_cap with Some f -> add "jitter_cap=%g" f | None -> ());
   if cfg.deliver_corrupt then add "deliver_corrupt";
   List.iter (fun a -> add "%s" (Fault_plan.action_to_string a)) cfg.plan;
   let s = Buffer.contents b in

@@ -19,14 +19,25 @@ type config = {
   links : ((int * int) * Net_model.link_rates) list;
   lossy : bool;
   plan : Fault_plan.t;
-  max_retries : int;  (** retransmissions before escalating *)
-  rto : float option;  (** base retransmit timeout; default 4 x latency *)
+  max_retries : int option;
+      (** retransmissions before escalating; [None] defers to the model's
+          {!Net_model.retry_policy} (default 8) *)
+  rto : float option;
+      (** base retransmit timeout; [None] defers to the policy
+          (default 4 x latency) *)
+  backoff : float option;
+      (** per-attempt timeout multiplier; [None] defers to the policy
+          (default 2.0) *)
+  jitter_cap : float option;
+      (** accumulated-jitter bound in seconds; [None] defers to the
+          policy (default unbounded) *)
   deliver_corrupt : bool;
       (** test knob: deliver corrupted payloads so the receiver-side CRC
           backstop fires instead of modelling corruption as loss *)
 }
 
-(** Build a config; defaults: seed 1, no rates, no plan, 8 retries. *)
+(** Build a config; defaults: seed 1, no rates, no plan, retransmission
+    knobs deferred to the model's {!Net_model.retry_policy}. *)
 val config :
   ?seed:int ->
   ?rates:Net_model.link_rates ->
@@ -35,14 +46,17 @@ val config :
   ?plan:Fault_plan.t ->
   ?max_retries:int ->
   ?rto:float ->
+  ?backoff:float ->
+  ?jitter_cap:float ->
   ?deliver_corrupt:bool ->
   unit ->
   config
 
 (** Parse a [--chaos] spec: ';'-separated clauses [seed=N], [lossy],
     [drop=F], [dup=F], [reorder=F], [corrupt=F], [jitter=F],
-    [retries=N], [rto=F], [deliver_corrupt], [link=A>B:drop=F,...], plus
-    the {!Fault_plan} clauses ([fail=R\@ops:K], [fail=R\@t:T],
+    [retries=N], [rto=F], [backoff=F], [jitter_cap=F],
+    [deliver_corrupt], [link=A>B:drop=F,...], plus the {!Fault_plan}
+    clauses ([fail=R\@ops:K], [fail=R\@t:T], [fail=R\@task:K],
     [droplink=A>B\@N], [partition=R,S\@T1-T2]).  A bare integer is
     shorthand for [seed=N;lossy]. *)
 val config_of_string : string -> (config, string) result
@@ -70,6 +84,12 @@ val log_contents : t -> string
     report whether a plan trigger fells the rank here.  The caller kills
     the rank and raises. *)
 val tick : t -> rank:int -> now:float -> bool
+
+(** Count one task execution beginning on [rank] (taskqueue plugin
+    workloads; fed through [Runtime.task_tick]) and report whether a
+    [fail=R\@task:K] plan trigger fells the rank here.  The caller kills
+    the rank and raises. *)
+val task_tick : t -> rank:int -> bool
 
 (** Time-based plan triggers due at global progress point [now]: the
     ranks that must die now even though their fibers may be parked.  Each

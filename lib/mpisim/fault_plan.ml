@@ -9,6 +9,8 @@
 
      fail=2@ops:40          rank 2 fails at its 40th runtime operation
      fail=1@t:3.5e-6        rank 1 fails when its clock reaches 3.5us
+     fail=3@task:7          rank 3 fails when it begins its 7th task
+                            execution (taskqueue plugin workloads)
      droplink=0>1@3         the 3rd message on link 0->1 loses its first
                             transmission attempt (the reliable layer
                             retransmits it)
@@ -20,6 +22,7 @@
 type action =
   | Fail_at_ops of { rank : int; ops : int }
   | Fail_at_time of { rank : int; time : float }
+  | Fail_at_task of { rank : int; task : int }
   | Drop_nth of { src : int; dst : int; n : int }
   | Partition of { ranks : int list; t_start : float; t_end : float }
 
@@ -30,6 +33,7 @@ let empty = []
 let action_to_string = function
   | Fail_at_ops { rank; ops } -> Printf.sprintf "fail=%d@ops:%d" rank ops
   | Fail_at_time { rank; time } -> Printf.sprintf "fail=%d@t:%g" rank time
+  | Fail_at_task { rank; task } -> Printf.sprintf "fail=%d@task:%d" rank task
   | Drop_nth { src; dst; n } -> Printf.sprintf "droplink=%d>%d@%d" src dst n
   | Partition { ranks; t_start; t_end } ->
       Printf.sprintf "partition=%s@%g-%g"
@@ -75,7 +79,11 @@ let parse_fail clause rhs =
         let* time = float_of clause value in
         if time < 0. then Error (Printf.sprintf "%s: negative time" clause)
         else Ok (Fail_at_time { rank; time })
-    | k -> Error (Printf.sprintf "%s: unknown trigger %S (want ops: or t:)" clause k)
+    | "task" ->
+        let* task = int_of clause value in
+        if task < 1 then Error (Printf.sprintf "%s: task index must be >= 1" clause)
+        else Ok (Fail_at_task { rank; task })
+    | k -> Error (Printf.sprintf "%s: unknown trigger %S (want ops:, t: or task:)" clause k)
 
 let parse_droplink clause rhs =
   let* link, n_s = split2 clause ~on:'@' rhs in

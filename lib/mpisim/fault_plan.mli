@@ -1,7 +1,8 @@
 (** Declarative fault plans for the chaos plane: deterministic fault
     actions, independent of the random per-link rates.  Pure data plus a
     compact clause syntax ([fail=2\@ops:40], [fail=1\@t:3.5e-6],
-    [droplink=0>1\@3], [partition=1,3\@1e-6-5e-6], joined with [;]) so
+    [fail=3\@task:7], [droplink=0>1\@3], [partition=1,3\@1e-6-5e-6],
+    joined with [;]) so
     plans travel on a command line and replay from CI logs.  The
     interpreter is {!Chaos}. *)
 
@@ -10,6 +11,10 @@ type action =
       (** the rank fails at its [ops]-th runtime operation (1-based) *)
   | Fail_at_time of { rank : int; time : float }
       (** the rank fails when its virtual clock reaches [time] *)
+  | Fail_at_task of { rank : int; task : int }
+      (** the rank fails when it begins its [task]-th task execution
+          (1-based; counted by {!Chaos.task_tick}, fed by the taskqueue
+          plugin) *)
   | Drop_nth of { src : int; dst : int; n : int }
       (** the [n]-th message (1-based) on link [src -> dst] loses its
           first transmission attempt; the reliable layer retransmits *)

@@ -34,11 +34,27 @@ type link_rates = {
   jitter : float;  (* uniform extra transit delay in [0, jitter) seconds *)
 }
 
+(* Retransmission policy of the reliable-delivery layer (chaos plane).
+   [rto = None] derives the base timeout from the model (4 x latency);
+   [backoff] multiplies the timeout per failed attempt (2.0 = classic
+   binary exponential backoff); [jitter_cap] bounds the accumulated
+   random extra transit delay of one delivery in seconds. *)
+type retry_policy = {
+  max_retries : int;  (* retransmissions before escalating to ERR_PROC_FAILED *)
+  rto : float option;  (* base retransmit timeout; None = 4 x latency *)
+  backoff : float;  (* per-attempt timeout multiplier, >= 1 *)
+  jitter_cap : float;  (* upper bound on accumulated jitter delay, seconds *)
+}
+
+let default_retry = { max_retries = 8; rto = None; backoff = 2.0; jitter_cap = infinity }
+
 (* A fault profile: default rates for every link plus per-link overrides,
-   keyed by (src world rank, dst world rank). *)
+   keyed by (src world rank, dst world rank), and the retransmission
+   policy the reliable layer applies on top of them. *)
 type fault_profile = {
   default_rates : link_rates;
   link_overrides : ((int * int) * link_rates) list;
+  retry : retry_policy;
 }
 
 (* Thresholds steering the collective-algorithm engine (Coll_algo).  All
@@ -81,14 +97,24 @@ type t = {
 
 let perfect_link = { drop = 0.; duplicate = 0.; reorder = 0.; corrupt = 0.; jitter = 0. }
 
-let no_faults = { default_rates = perfect_link; link_overrides = [] }
+let no_faults = { default_rates = perfect_link; link_overrides = []; retry = default_retry }
 
 (* A moderately lossy network: a few percent of attempts misbehave, with
    jitter on the order of the wire latency.  Chaos tests start here. *)
 let lossy_rates ~latency =
   { drop = 0.02; duplicate = 0.01; reorder = 0.01; corrupt = 0.005; jitter = latency }
 
-let lossy m = { m with faults = Some { default_rates = lossy_rates ~latency:m.latency; link_overrides = [] } }
+let lossy m =
+  {
+    m with
+    faults =
+      Some
+        {
+          default_rates = lossy_rates ~latency:m.latency;
+          link_overrides = [];
+          retry = default_retry;
+        };
+  }
 
 let with_faults m profile = { m with faults = Some profile }
 

@@ -19,11 +19,28 @@ type link_rates = {
   jitter : float;
 }
 
+(** Retransmission policy of the chaos plane's reliable-delivery layer.
+    [rto = None] derives the base timeout from the model (4 x latency);
+    [backoff] multiplies the timeout per failed attempt; [jitter_cap]
+    bounds the accumulated random extra transit delay of one delivery. *)
+type retry_policy = {
+  max_retries : int;  (** retransmissions before escalating to ERR_PROC_FAILED *)
+  rto : float option;  (** base retransmit timeout; [None] = 4 x latency *)
+  backoff : float;  (** per-attempt timeout multiplier, >= 1 *)
+  jitter_cap : float;  (** upper bound on accumulated jitter, seconds *)
+}
+
+(** 8 retries, model-derived rto, binary exponential backoff, unbounded
+    jitter — the historical hardcoded behaviour. *)
+val default_retry : retry_policy
+
 (** Default rates for every link plus per-link overrides, keyed by
-    (src world rank, dst world rank). *)
+    (src world rank, dst world rank), and the retransmission policy the
+    reliable layer applies on top of them. *)
 type fault_profile = {
   default_rates : link_rates;
   link_overrides : ((int * int) * link_rates) list;
+  retry : retry_policy;
 }
 
 (** Thresholds steering the collective-algorithm engine ({!Coll_algo}).

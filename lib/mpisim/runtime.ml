@@ -229,6 +229,20 @@ let check_alive t rank =
         raise (Process_killed rank)
       end
 
+(* Task-execution trigger point: the taskqueue plugin calls this as each
+   task begins, so [fail=R@task:K] plans kill the rank at a deterministic
+   task index rather than at an operation count that depends on the
+   queue's message traffic. *)
+let task_tick t rank =
+  if t.failed.(rank) then raise (Process_killed rank);
+  match t.chaos with
+  | None -> ()
+  | Some ch ->
+      if Chaos.task_tick ch ~rank then begin
+        kill t rank;
+        raise (Process_killed rank)
+      end
+
 let any_failed t = t.n_failed > 0
 
 (* A pooled writer for packing one outgoing message on [rank].  Its

@@ -124,6 +124,12 @@ val is_failed : t -> int -> bool
     program. *)
 val check_alive : t -> int -> unit
 
+(** Count one task execution beginning on [rank] (called by the taskqueue
+    plugin as each task starts) and raise {!Process_killed} if a
+    [fail=R\@task:K] fault-plan trigger fires here.  A no-op without the
+    chaos plane. *)
+val task_tick : t -> int -> unit
+
 val kill : t -> int -> unit
 
 val any_failed : t -> bool

@@ -26,11 +26,13 @@ let test_crc32_detects_flip () =
 (* --- Fault-plan parsing --- *)
 
 let test_plan_parse_roundtrip () =
-  let spec = "fail=3@ops:50;fail=1@t:0.002;droplink=0>2@4;partition=0,1@0.001-0.003" in
+  let spec =
+    "fail=3@ops:50;fail=1@t:0.002;fail=2@task:4;droplink=0>2@4;partition=0,1@0.001-0.003"
+  in
   match Fault_plan.parse spec with
   | Error msg -> Alcotest.failf "parse failed: %s" msg
   | Ok plan ->
-      Alcotest.(check int) "four actions" 4 (List.length plan);
+      Alcotest.(check int) "five actions" 5 (List.length plan);
       Alcotest.(check string) "round-trips" spec (Fault_plan.to_string plan)
 
 let test_plan_parse_errors () =
@@ -51,12 +53,28 @@ let test_chaos_config_of_string () =
   (match Chaos.config_of_string "seed=7;drop=0.5;retries=3;fail=1@ops:10" with
   | Ok cfg ->
       Alcotest.(check int) "seed" 7 cfg.Chaos.seed;
-      Alcotest.(check int) "retries" 3 cfg.Chaos.max_retries;
+      Alcotest.(check (option int)) "retries" (Some 3) cfg.Chaos.max_retries;
       Alcotest.(check int) "plan size" 1 (List.length cfg.Chaos.plan);
       (match cfg.Chaos.rates with
       | Some r -> Alcotest.(check (float 1e-9)) "drop" 0.5 r.Net_model.drop
       | None -> Alcotest.fail "rates not set")
   | Error msg -> Alcotest.failf "clauses: %s" msg);
+  (* Retry-policy knobs (ISSUE 9 satellite): parse, expose as options,
+     and round-trip through the replay line. *)
+  (match Chaos.config_of_string "seed=2;retries=5;rto=0.002;backoff=1.5;jitter_cap=0.0001" with
+  | Ok cfg -> (
+      Alcotest.(check (option int)) "retries knob" (Some 5) cfg.Chaos.max_retries;
+      Alcotest.(check (option (float 1e-9))) "rto knob" (Some 0.002) cfg.Chaos.rto;
+      Alcotest.(check (option (float 1e-9))) "backoff knob" (Some 1.5) cfg.Chaos.backoff;
+      Alcotest.(check (option (float 1e-9))) "jitter_cap knob" (Some 1e-4)
+        cfg.Chaos.jitter_cap;
+      match Chaos.config_of_string (Chaos.config_to_string cfg) with
+      | Ok cfg' -> Alcotest.(check bool) "retry knobs round-trip" true (cfg = cfg')
+      | Error msg -> Alcotest.failf "retry knob replay line: %s" msg)
+  | Error msg -> Alcotest.failf "retry knobs: %s" msg);
+  (match Chaos.config_of_string "backoff=0.5" with
+  | Ok _ -> Alcotest.fail "backoff < 1 accepted"
+  | Error _ -> ());
   (* The replay line parses back. *)
   match Chaos.config_of_string "seed=5;lossy;retries=2;fail=0@ops:9" with
   | Ok cfg -> (
@@ -353,6 +371,9 @@ let gen_action =
         map2
           (fun rank k -> Fault_plan.Fail_at_time { rank; time = time k })
           rank (int_bound 999);
+        map2
+          (fun rank task -> Fault_plan.Fail_at_task { rank; task = task + 1 })
+          rank (int_bound 99);
         map3
           (fun src dst n -> Fault_plan.Drop_nth { src; dst; n = n + 1 })
           rank rank (int_bound 99);
@@ -410,6 +431,8 @@ let test_plan_malformed_messages () =
       ("partition=@1e-06-2e-06", "integer");
       ("partition=0,1@3e-06-1e-06", "start <= end");
       ("fail=1@q:3", "unknown trigger");
+      ("fail=1@task:0", ">= 1");
+      ("fail=1@task:x", "integer");
       ("fail=-1@ops:3", "negative rank");
       ("droplink=0>1@0", "1-based");
       ("droplink=0@3", ">");

@@ -342,9 +342,54 @@ let test_kamping_persistent () =
       Alcotest.(check int) "reduce_scatter block" 6 rs)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Regression (ISSUE 9 satellite): a fault-plan kill landing between
+   [Request.start] and [Request.wait_p] of a persistent receive must
+   surface ERR_PROC_FAILED out of [wait_p], not hang the parked fiber.
+   Rank 0 completes one cycle (proving the request works), then its
+   second send hits a [fail=0@ops:2] trigger and it dies without
+   injecting; rank 1 is already parked in its second [wait_p]. *)
+
+let test_kill_between_start_and_wait () =
+  let plan = Result.get_ok (Fault_plan.parse "fail=0@ops:2") in
+  let outcomes =
+    Engine.run_collect ~model:Net_model.ethernet ~clock_mode:Runtime.Virtual_only
+      ~check_level:Check.Heavy
+      ~chaos:(Chaos.config ~plan ())
+      ~ranks:2
+      (fun comm ->
+        if Comm.rank comm = 0 then begin
+          let buf = [| 7; 8; 9 |] in
+          for _c = 1 to 2 do
+            P2p.send comm Datatype.int ~dest:1 buf
+          done;
+          `Sender
+        end
+        else begin
+          let into = Array.make 3 (-1) in
+          let req = P2p.recv_init comm Datatype.int ~source:0 into in
+          Request.start req;
+          Request.wait_p req;
+          Alcotest.(check (array int)) "first cycle delivered" [| 7; 8; 9 |] into;
+          Request.start req;
+          match Request.wait_p req with
+          | () -> `Completed
+          | exception Errdefs.Mpi_error { code = Errdefs.Err_proc_failed; _ } ->
+              `Saw_proc_failed
+        end)
+  in
+  let results, report = outcomes in
+  Alcotest.(check (list int)) "rank 0 died on its second op" [ 0 ] report.Engine.killed;
+  match results.(1) with
+  | Some `Saw_proc_failed -> ()
+  | Some `Completed -> Alcotest.fail "wait_p completed against a dead source"
+  | Some `Sender | None -> Alcotest.fail "receiver produced no outcome"
+
 let tests =
   [
     Alcotest.test_case "send/recv cycle" `Quick test_send_recv_cycle;
+    Alcotest.test_case "kill between start and wait_p surfaces failure" `Quick
+      test_kill_between_start_and_wait;
     Alcotest.test_case "lifecycle errors" `Quick test_lifecycle_errors;
     Alcotest.test_case "inactive wait/test no-ops" `Quick test_inactive_noops;
     Alcotest.test_case "single-rank cycle allocation-free" `Quick
