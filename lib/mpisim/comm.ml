@@ -105,8 +105,11 @@ let register rt shared = Hashtbl.replace registry (rt.Runtime.id, shared.context
 
 let find_shared rt ~context = Hashtbl.find_opt registry (rt.Runtime.id, context)
 
-(* Atomic with respect to fiber scheduling (no park inside). *)
+(* Atomic with respect to fiber scheduling (no park inside).  Takes the
+   runtime lock in multicore mode: several ranks build the "same"
+   communicator concurrently and must converge on one shared record. *)
 let get_or_create_shared rt ~context ~group =
+  Runtime.locked rt @@ fun () ->
   match find_shared rt ~context with
   | Some s ->
       if not (Group.equal s.group group) then

@@ -173,24 +173,36 @@ let shrink comm : Comm.t =
   Runtime.record rt ~op:"comm_shrink" ~bytes:0;
   let shared = comm.Comm.shared in
   let me = Comm.world_rank comm in
+  (* The rendezvous cell is cross-rank state: creation and the arrival
+     bookkeeping serialize on the runtime lock in multicore mode.
+     [Runtime.fresh_context] takes the same (non-reentrant) lock, so the
+     candidate context is allocated outside; if another rank installed
+     the cell first, the id is simply discarded (context numbering skips
+     one — harmless). *)
   let state =
-    match shared.Comm.pending_shrink with
+    match Runtime.locked rt (fun () -> shared.Comm.pending_shrink) with
     | Some s -> s
-    | None ->
-        let s =
-          {
-            Comm.sh_context = Runtime.fresh_context rt;
-            sh_arrived = [];
-            sh_max_clock = 0.;
-            sh_done = 0;
-            sh_survivors = None;
-          }
-        in
-        shared.Comm.pending_shrink <- Some s;
-        s
+    | None -> (
+        let ctx = Runtime.fresh_context rt in
+        Runtime.locked rt @@ fun () ->
+        match shared.Comm.pending_shrink with
+        | Some s -> s
+        | None ->
+            let s =
+              {
+                Comm.sh_context = ctx;
+                sh_arrived = [];
+                sh_max_clock = 0.;
+                sh_done = 0;
+                sh_survivors = None;
+              }
+            in
+            shared.Comm.pending_shrink <- Some s;
+            s)
   in
-  state.Comm.sh_arrived <- Comm.rank comm :: state.Comm.sh_arrived;
-  state.Comm.sh_max_clock <- Float.max state.Comm.sh_max_clock (Runtime.clock rt me);
+  Runtime.locked rt (fun () ->
+      state.Comm.sh_arrived <- Comm.rank comm :: state.Comm.sh_arrived;
+      state.Comm.sh_max_clock <- Float.max state.Comm.sh_max_clock (Runtime.clock rt me));
   Runtime.bump_progress rt;
   let all_survivors_arrived () =
     let live = live_members comm in
@@ -207,12 +219,13 @@ let shrink comm : Comm.t =
      registry's group-equality check).  A dead rank left in the stored
      group is handled by the next recovery round. *)
   let survivors =
-    match state.Comm.sh_survivors with
-    | Some s -> s
-    | None ->
-        let s = List.sort compare (live_members comm) in
-        state.Comm.sh_survivors <- Some s;
-        s
+    Runtime.locked rt (fun () ->
+        match state.Comm.sh_survivors with
+        | Some s -> s
+        | None ->
+            let s = List.sort compare (live_members comm) in
+            state.Comm.sh_survivors <- Some s;
+            s)
   in
   let world_ranks = Array.of_list (List.map (Comm.world_of_rank comm) survivors) in
   let new_group = Group.of_ranks world_ranks in
@@ -224,7 +237,6 @@ let shrink comm : Comm.t =
     (state.Comm.sh_max_clock
     +. (2. *. float_of_int rounds
        *. (rt.Runtime.model.Net_model.latency +. rt.Runtime.model.Net_model.send_overhead)));
-  state.Comm.sh_done <- state.Comm.sh_done + 1;
   (* Clear the rendezvous once every survivor that can still pass has
      done so.  Count only currently-live survivors: a member that died
      mid-shrink will never pass, and must not pin the rendezvous (which
@@ -237,7 +249,9 @@ let shrink comm : Comm.t =
          (fun r -> not (Runtime.is_failed rt (Comm.world_of_rank comm r)))
          survivors)
   in
-  if state.Comm.sh_done >= passable then shared.Comm.pending_shrink <- None;
+  Runtime.locked rt (fun () ->
+      state.Comm.sh_done <- state.Comm.sh_done + 1;
+      if state.Comm.sh_done >= passable then shared.Comm.pending_shrink <- None);
   let my_new_rank =
     let rec index i = function
       | [] -> Errdefs.usage_error "shrink: internal error, self not in survivor list"
@@ -274,16 +288,23 @@ let agree comm (value : bool) : bool =
   let gen = comm.Comm.my_agree_gen in
   comm.Comm.my_agree_gen <- gen + 1;
   let key = (rt.Runtime.id, Comm.context comm, gen) in
+  (* Cross-rank rendezvous cell: serialize creation and arrival. *)
   let state =
-    match Hashtbl.find_opt agree_states key with
-    | Some s -> s
-    | None ->
-        let s = { ag_arrived = []; ag_max_clock = 0.; ag_done = 0; ag_result = None } in
-        Hashtbl.replace agree_states key s;
-        s
+    Runtime.locked rt (fun () ->
+        let state =
+          match Hashtbl.find_opt agree_states key with
+          | Some s -> s
+          | None ->
+              let s =
+                { ag_arrived = []; ag_max_clock = 0.; ag_done = 0; ag_result = None }
+              in
+              Hashtbl.replace agree_states key s;
+              s
+        in
+        state.ag_arrived <- (Comm.rank comm, value) :: state.ag_arrived;
+        state.ag_max_clock <- Float.max state.ag_max_clock (Runtime.clock rt me);
+        state)
   in
-  state.ag_arrived <- (Comm.rank comm, value) :: state.ag_arrived;
-  state.ag_max_clock <- Float.max state.ag_max_clock (Runtime.clock rt me);
   Runtime.bump_progress rt;
   let all_arrived () =
     let live = live_members comm in
@@ -297,16 +318,18 @@ let agree comm (value : bool) : bool =
   (* The agreed value is decided once, by the first rank to resume; later
      ranks reuse it even if the live set has changed since. *)
   let result =
-    match state.ag_result with
-    | Some r -> r
-    | None ->
-        let r =
-          List.fold_left
-            (fun acc r -> acc && (try List.assoc r state.ag_arrived with Not_found -> true))
-            true live
-        in
-        state.ag_result <- Some r;
-        r
+    Runtime.locked rt (fun () ->
+        match state.ag_result with
+        | Some r -> r
+        | None ->
+            let r =
+              List.fold_left
+                (fun acc r ->
+                  acc && (try List.assoc r state.ag_arrived with Not_found -> true))
+                true live
+            in
+            state.ag_result <- Some r;
+            r)
   in
   let s = List.length live in
   let rounds = if s <= 1 then 0 else int_of_float (ceil (log (float_of_int s) /. log 2.)) in
@@ -314,6 +337,7 @@ let agree comm (value : bool) : bool =
     (state.ag_max_clock
     +. (2. *. float_of_int rounds
        *. (rt.Runtime.model.Net_model.latency +. rt.Runtime.model.Net_model.send_overhead)));
-  state.ag_done <- state.ag_done + 1;
-  if state.ag_done >= s then Hashtbl.remove agree_states key;
+  Runtime.locked rt (fun () ->
+      state.ag_done <- state.ag_done + 1;
+      if state.ag_done >= s then Hashtbl.remove agree_states key);
   result

@@ -36,6 +36,16 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** [resolve_domains d] is the scheduler width that [run ?domains:d] would
+    use: [Some 1]/[None]-without-env is the sequential scheduler, [Some 0]
+    (or [MPISIM_DOMAINS=auto]) auto-sizes to the machine (cores minus one,
+    capped), and when [d] is [None] the [MPISIM_DOMAINS] environment
+    variable is consulted.  Raises [Errdefs.Usage_error] on a negative or
+    malformed request.  Exposed so front ends can pre-validate flag
+    combinations (e.g. reject a sequential-only subcommand under
+    [MPISIM_DOMAINS=4]) with the engine's exact resolution rules. *)
+val resolve_domains : int option -> int
+
 (** [run_collect ~ranks body] executes [body world_comm] on every rank and
     collects each rank's result ([None] for killed ranks).
 
@@ -69,7 +79,17 @@ val pp_report : Format.formatter -> report -> unit
     @param on_quiescence forwarded to {!Scheduler.run}: called when a
            scheduler pass runs nothing and progress is stuck; return
            [true] after applying a deferred match decision to continue,
-           [false] to let deadlock detection fire *)
+           [false] to let deadlock detection fire
+    @param domains scheduler backend width: [1] (the default) is the
+           deterministic sequential scheduler; [n > 1] runs fibers on a
+           fixed pool of [n] OCaml domains
+           ({!Scheduler.run_parallel}), [0] auto-sizes to the machine
+           (one domain per core minus one, capped).  When absent, the
+           [MPISIM_DOMAINS] environment variable ("auto"|integer) is
+           consulted.  [domains > 1] is rejected with
+           [Errdefs.Usage_error] when combined with chaos injection,
+           the {!Check} sanitizer or [on_quiescence] — those planes
+           need the sequential schedule. *)
 val run_collect :
   ?model:Net_model.t ->
   ?clock_mode:Runtime.clock_mode ->
@@ -82,6 +102,7 @@ val run_collect :
   ?vector_clocks:bool ->
   ?on_runtime:(Runtime.t -> unit) ->
   ?on_quiescence:(unit -> bool) ->
+  ?domains:int ->
   ranks:int ->
   (Comm.t -> 'a) ->
   'a option array * report
@@ -98,6 +119,7 @@ val run :
   ?vector_clocks:bool ->
   ?on_runtime:(Runtime.t -> unit) ->
   ?on_quiescence:(unit -> bool) ->
+  ?domains:int ->
   ranks:int ->
   (Comm.t -> unit) ->
   report

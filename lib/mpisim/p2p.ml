@@ -164,6 +164,23 @@ let issend comm dt ~dest ?(tag = 0) (data : 'a array) =
 let my_mailbox comm =
   (Comm.runtime comm).Runtime.mailboxes.(Comm.world_rank comm)
 
+(* Multicore: a rank's mailbox is also mutated by concurrent senders
+   ([Runtime.inject] delivers under the runtime lock), so the
+   receiver-side queue operations take the same lock.  Plain calls in
+   sequential mode ({!Runtime.locked} is then a direct application).
+   Reads of an already-posted receive's [p_msg] field stay lock-free:
+   it is a single mutable word, and the scheduler's round barrier
+   orders the matching write before the resumed receiver's read. *)
+let mb_post rt mb ~context ~src ~tag ~now =
+  Runtime.locked rt (fun () -> Mailbox.post mb ~context ~src ~tag ~now)
+
+let mb_retire rt mb p = Runtime.locked rt (fun () -> Mailbox.retire mb p)
+
+let mb_cancel rt mb p = Runtime.locked rt (fun () -> Mailbox.cancel mb p)
+
+let mb_find_unexpected rt mb ~context ~src ~tag =
+  Runtime.locked rt (fun () -> Mailbox.find_unexpected ~remove:false mb ~context ~src ~tag)
+
 let source_world comm source =
   if source = any_source then any_source
   else begin
@@ -246,7 +263,7 @@ let await_posted comm ~op ~src_world (p : Mailbox.posted) =
   match p.Mailbox.p_msg with
   | Some msg -> msg
   | None ->
-      Mailbox.cancel (my_mailbox comm) p;
+      mb_cancel rt (my_mailbox comm) p;
       if revocation_abort () then
         Comm.error comm Errdefs.Err_revoked "%s: communicator revoked" op
       else
@@ -270,10 +287,13 @@ let recv comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) () :
   let src_world = source_world comm source in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
-  let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let p =
+    mb_post (Comm.runtime comm) (my_mailbox comm) ~context:(Comm.context comm)
+      ~src:src_world ~tag ~now
+  in
   note_post comm p;
   let msg = await_posted comm ~op:"recv" ~src_world p in
-  Mailbox.retire (my_mailbox comm) p;
+  mb_retire (Comm.runtime comm) (my_mailbox comm) p;
   note_matched comm p msg;
   let status = complete_matched comm dt ~op:"recv" msg in
   let r = Message.reader msg in
@@ -294,10 +314,13 @@ let recv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
   let src_world = source_world comm source in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
-  let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let p =
+    mb_post (Comm.runtime comm) (my_mailbox comm) ~context:(Comm.context comm)
+      ~src:src_world ~tag ~now
+  in
   note_post comm p;
   let msg = await_posted comm ~op:"recv" ~src_world p in
-  Mailbox.retire (my_mailbox comm) p;
+  mb_retire (Comm.runtime comm) (my_mailbox comm) p;
   note_matched comm p msg;
   if msg.Message.count > maxcount then
     Comm.error comm Errdefs.Err_truncate
@@ -323,7 +346,9 @@ let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   let chk = checker comm in
   if Check.heavy chk then note_wildcard comm ~src_world ~tag;
-  let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let p =
+    mb_post (Comm.runtime comm) mb ~context:(Comm.context comm) ~src:src_world ~tag ~now
+  in
   note_post comm p;
   let rt = Comm.runtime comm in
   let failed_source () =
@@ -335,10 +360,10 @@ let irecv_into comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
       ~finalize:(fun () ->
         match p.Mailbox.p_msg with
         | None ->
-            Mailbox.cancel mb p;
+            mb_cancel rt mb p;
             Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
         | Some msg ->
-            Mailbox.retire mb p;
+            mb_retire rt mb p;
             note_matched comm p msg;
             if msg.Message.count > maxcount then
               Comm.error comm Errdefs.Err_truncate "irecv: message truncated";
@@ -368,7 +393,7 @@ let iprobe comm ?(source = any_source) ?(tag = any_tag) () : Status.t option =
   Runtime.record rt ~op:"iprobe" ~bytes:0;
   let src_world = source_world comm source in
   match
-    Mailbox.find_unexpected ~remove:false (my_mailbox comm) ~context:(Comm.context comm)
+    mb_find_unexpected (Comm.runtime comm) (my_mailbox comm) ~context:(Comm.context comm)
       ~src:src_world ~tag
   with
   | None -> None
@@ -383,7 +408,7 @@ let probe comm ?(source = any_source) ?(tag = any_tag) () : Status.t =
   Runtime.record rt ~op:"probe" ~bytes:0;
   let src_world = source_world comm source in
   let find () =
-    Mailbox.find_unexpected ~remove:false (my_mailbox comm) ~context:(Comm.context comm)
+    mb_find_unexpected (Comm.runtime comm) (my_mailbox comm) ~context:(Comm.context comm)
       ~src:src_world ~tag
   in
   let msg =
@@ -445,10 +470,13 @@ let recv_bytes comm ?(source = any_source) ?(tag = any_tag) () : Bytes.t * Statu
   let src_world = source_world comm source in
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   if Check.heavy (checker comm) then note_wildcard comm ~src_world ~tag;
-  let p = Mailbox.post (my_mailbox comm) ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let p =
+    mb_post (Comm.runtime comm) (my_mailbox comm) ~context:(Comm.context comm)
+      ~src:src_world ~tag ~now
+  in
   note_post comm p;
   let msg = await_posted comm ~op:"recv" ~src_world p in
-  Mailbox.retire (my_mailbox comm) p;
+  mb_retire (Comm.runtime comm) (my_mailbox comm) p;
   note_matched comm p msg;
   let rt = Comm.runtime comm in
   Runtime.complete_receive rt (Comm.world_rank comm) msg;
@@ -479,7 +507,9 @@ let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) 
   let now = Runtime.clock (Comm.runtime comm) (Comm.world_rank comm) in
   let chk = checker comm in
   if Check.heavy chk then note_wildcard comm ~src_world ~tag;
-  let p = Mailbox.post mb ~context:(Comm.context comm) ~src:src_world ~tag ~now in
+  let p =
+    mb_post (Comm.runtime comm) mb ~context:(Comm.context comm) ~src:src_world ~tag ~now
+  in
   note_post comm p;
   let rt = Comm.runtime comm in
   let cell = ref None in
@@ -492,10 +522,10 @@ let irecv_dyn comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag) 
       ~finalize:(fun () ->
         match p.Mailbox.p_msg with
         | None ->
-            Mailbox.cancel mb p;
+            mb_cancel rt mb p;
             Comm.error comm Errdefs.Err_proc_failed "irecv: source rank has failed"
         | Some msg ->
-            Mailbox.retire mb p;
+            mb_retire rt mb p;
             note_matched comm p msg;
             let status = complete_matched comm dt ~op:"irecv" msg in
             let r = Message.reader msg in
@@ -586,7 +616,7 @@ let recv_init comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
     Runtime.check_alive rt me;
     if Check.heavy rt.Runtime.check then note_wildcard comm ~src_world ~tag;
     let now = Runtime.clock rt me in
-    let p = Mailbox.post mb ~context ~src:src_world ~tag ~now in
+    let p = mb_post rt mb ~context ~src:src_world ~tag ~now in
     note_post comm p;
     posted := Some p
   in
@@ -608,7 +638,7 @@ let recv_init comm (dt : 'a Datatype.t) ?(source = any_source) ?(tag = any_tag)
     | Some p ->
         posted := None;
         let msg = await_posted comm ~op:"recv" ~src_world p in
-        Mailbox.retire mb p;
+        mb_retire rt mb p;
         note_matched comm p msg;
         if msg.Message.count > maxcount then
           Comm.error comm Errdefs.Err_truncate

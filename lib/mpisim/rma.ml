@@ -88,21 +88,24 @@ let create (comm : Comm.t) (dt : 'a Datatype.t) (local : 'a array) : 'a t =
   Runtime.record (Comm.runtime comm) ~op:"win_create" ~bytes:0;
   let rt = Comm.runtime comm in
   let ckey = (rt.Runtime.id, Comm.context comm) in
-  let counter =
-    match Hashtbl.find_opt creation_counter ckey with
-    | Some c -> c
-    | None ->
-        let c = ref 0 in
-        Hashtbl.replace creation_counter ckey c;
-        c
-  in
-  (* Each rank bumps its own view of the counter; since creation is
-     collective and deterministic, all ranks agree on the sequence
-     number.  The first arriver allocates the shared record. *)
-  let seq = !counter / Comm.size comm in
-  incr counter;
-  let key = (rt.Runtime.id, Comm.context comm, seq) in
+  (* Counter bump and shared-record install are cross-rank registry
+     mutations: one locked region in multicore mode. *)
   let shared =
+    Runtime.locked rt @@ fun () ->
+    let counter =
+      match Hashtbl.find_opt creation_counter ckey with
+      | Some c -> c
+      | None ->
+          let c = ref 0 in
+          Hashtbl.replace creation_counter ckey c;
+          c
+    in
+    (* Each rank bumps its own view of the counter; since creation is
+       collective and deterministic, all ranks agree on the sequence
+       number.  The first arriver allocates the shared record. *)
+    let seq = !counter / Comm.size comm in
+    incr counter;
+    let key = (rt.Runtime.id, Comm.context comm, seq) in
     match Hashtbl.find_opt registry key with
     | Some s -> (Obj.obj s : 'a shared)
     | None ->
@@ -167,7 +170,10 @@ let enqueue t ~op_name ~target_world (op : 'a op) =
         (Comm.rank_of_world t.comm target_world);
     t.epoch_ops <- op :: t.epoch_ops
   end
-  else t.shared.pending := (Comm.world_rank t.comm, op) :: !(t.shared.pending)
+  else
+    (* The fence batch is shared by all ranks of the window. *)
+    Runtime.locked (Comm.runtime t.comm) (fun () ->
+        t.shared.pending := (Comm.world_rank t.comm, op) :: !(t.shared.pending))
 
 (* Queue a put of [data] into [target]'s exposure at [target_pos].
    Applied at the next fence (or at unlock inside a lock epoch). *)
@@ -245,13 +251,20 @@ let fence (t : 'a t) : unit =
   Comm.check_collective t.comm ~op:"win_fence" ~root:(-1) ~ty:"";
   Runtime.record (Comm.runtime t.comm) ~op:"win_fence" ~bytes:0;
   Coll.barrier t.comm;
-  let ops = List.rev !(t.shared.pending) in
-  t.shared.pending := [];
+  (* Take-and-clear must be atomic in multicore mode so exactly one rank
+     applies the batch (the sequential scheduler guarantees this by
+     running the first fiber through the barrier to completion). *)
+  let ops =
+    Runtime.locked (Comm.runtime t.comm) (fun () ->
+        let ops = List.rev !(t.shared.pending) in
+        t.shared.pending := [];
+        t.shared.fences <- t.shared.fences + 1;
+        ops)
+  in
   if ops <> [] then begin
     let stable = List.stable_sort (fun (o1, _) (o2, _) -> compare o1 o2) ops in
     List.iter (fun (origin, op) -> apply_op t ~origin op) stable
   end;
-  t.shared.fences <- t.shared.fences + 1;
   Coll.barrier t.comm
 
 (* ------------------------------------------------------------------ *)
@@ -271,15 +284,27 @@ let lock ?(exclusive = true) (t : 'a t) ~target : unit =
   let target_world = Comm.world_of_rank t.comm target in
   let ls = t.shared.locks.(target_world) in
   let acquirable () = ls.holders = 0 || ((not exclusive) && not ls.excl) in
-  if not (acquirable ()) then
+  (* Check-and-acquire must be one atomic step in multicore mode (two
+     origins may race for the same target); a loser re-parks and tries
+     again.  Sequentially the loop body runs at most twice, exactly as
+     the straight-line version did. *)
+  let try_acquire () =
+    Runtime.locked (Comm.runtime t.comm) (fun () ->
+        if acquirable () then begin
+          if ls.holders = 0 then ls.excl <- exclusive;
+          ls.holders <- ls.holders + 1;
+          true
+        end
+        else false)
+  in
+  while not (try_acquire ()) do
     Scheduler.park
       ~describe:(fun () ->
         Printf.sprintf "win_lock(%s) on target %d"
           (if exclusive then "exclusive" else "shared")
           target)
-      ~poll:(fun () -> if acquirable () then Some () else None);
-  if ls.holders = 0 then ls.excl <- exclusive;
-  ls.holders <- ls.holders + 1;
+      ~poll:(fun () -> if acquirable () then Some () else None)
+  done;
   t.lock_target <- target_world;
   Runtime.record (Comm.runtime t.comm) ~op:"win_lock" ~bytes:0;
   (* The lock request's round trip to the target. *)
@@ -297,8 +322,9 @@ let unlock (t : 'a t) : unit =
   t.epoch_ops <- [];
   List.iter (fun op -> apply_op t ~origin:me op) ops;
   let ls = t.shared.locks.(t.lock_target) in
-  ls.holders <- ls.holders - 1;
-  if ls.holders = 0 then ls.excl <- false;
+  Runtime.locked (Comm.runtime t.comm) (fun () ->
+      ls.holders <- ls.holders - 1;
+      if ls.holders = 0 then ls.excl <- false);
   t.lock_target <- -1;
   Runtime.record (Comm.runtime t.comm) ~op:"win_unlock" ~bytes:0;
   (* Wake peers parked in [lock]. *)
@@ -326,14 +352,15 @@ let free (t : 'a t) : unit =
   Runtime.record (Comm.runtime t.comm) ~op:"win_free" ~bytes:0;
   t.freed <- true;
   Coll.barrier t.comm;
-  t.shared.freed_count <- t.shared.freed_count + 1;
-  if t.shared.freed_count = Comm.size t.comm then begin
-    Hashtbl.remove registry t.shared.key;
-    let rid, ctx, _ = t.shared.key in
-    let any_left =
-      Hashtbl.fold
-        (fun (r, c, _) _ acc -> acc || (r = rid && c = ctx))
-        registry false
-    in
-    if not any_left then Hashtbl.remove creation_counter (rid, ctx)
-  end
+  Runtime.locked (Comm.runtime t.comm) (fun () ->
+      t.shared.freed_count <- t.shared.freed_count + 1;
+      if t.shared.freed_count = Comm.size t.comm then begin
+        Hashtbl.remove registry t.shared.key;
+        let rid, ctx, _ = t.shared.key in
+        let any_left =
+          Hashtbl.fold
+            (fun (r, c, _) _ acc -> acc || (r = rid && c = ctx))
+            registry false
+        in
+        if not any_left then Hashtbl.remove creation_counter (rid, ctx)
+      end)

@@ -74,12 +74,22 @@ type t = {
   (* Per-(src,dst) traffic matrix with algorithm attribution; disabled
      (one branch per injection) unless explicitly requested. *)
   comm_matrix : Comm_matrix.t;
-  mutable progress : int;
+  progress : int Atomic.t;
   mutable msg_seq : int;
   mutable next_context : int;
   (* Assertion level: 0 = none, 1 = cheap local checks, 2 = checks that the
      real MPI library would need communication for (paper §III-G). *)
   mutable assertion_level : int;
+  (* Multicore backend support.  Per-rank ownership invariant: a rank's
+     fiber runs on exactly one domain at a time (the scheduler asserts
+     it), so rank-indexed state touched only by its own fiber — clocks,
+     busy/blocked, lamport, own vclock row, own trace ring — needs no
+     locks.  Everything mutated *across* ranks (mailbox delivery,
+     msg_seq, context allocation, rendezvous registries) serializes on
+     [lock], taken only when [parallel] is set; sequential runs pay one
+     branch. *)
+  lock : Mutex.t;
+  mutable parallel : bool;
 }
 
 exception Process_killed of int
@@ -151,13 +161,45 @@ let create ?(clock_mode = Measured) ?(assertion_level = 1) ?check_level ?chaos ~
     lamport = Array.make size 0;
     vclocks = [||];
     comm_matrix = Comm_matrix.create ~size;
-    progress = 0;
+    progress = Atomic.make 0;
     msg_seq = 0;
     next_context = 0;
     assertion_level;
+    lock = Mutex.create ();
+    parallel = false;
   }
 
-let bump_progress t = t.progress <- t.progress + 1
+let bump_progress t = Atomic.incr t.progress
+
+let progress_count t = Atomic.get t.progress
+
+(* Switch the runtime into multicore mode: cross-rank mutations start
+   taking [lock], the stats registry and the wire pools arm their own
+   guards.  One-way; called by the engine before the domain-pool
+   scheduler starts. *)
+let set_parallel t =
+  if not t.parallel then begin
+    t.parallel <- true;
+    Stats.set_threadsafe t.stats;
+    Profiling.set_threadsafe t.profile;
+    Array.iter Wire.set_pool_threadsafe t.wire_pools
+  end
+
+(* Run [f] under the global runtime lock when in multicore mode; a plain
+   call sequentially.  NOT reentrant — never nest, and never park the
+   fiber inside [f]. *)
+let[@inline] locked t f =
+  if not t.parallel then f ()
+  else begin
+    Mutex.lock t.lock;
+    match f () with
+    | v ->
+        Mutex.unlock t.lock;
+        v
+    | exception e ->
+        Mutex.unlock t.lock;
+        raise e
+  end
 
 (* Switch on O(p)-per-event vector-clock stamping (trace analysis mode). *)
 let enable_vector_clocks t =
@@ -168,9 +210,10 @@ let vector_clock t rank =
   if Array.length t.vclocks = 0 then [||] else Array.copy t.vclocks.(rank)
 
 let fresh_context t =
-  let c = t.next_context in
-  t.next_context <- c + 1;
-  c
+  locked t (fun () ->
+      let c = t.next_context in
+      t.next_context <- c + 1;
+      c)
 
 let clock t rank = t.clocks.(rank)
 
@@ -276,6 +319,10 @@ let inject t ~context ~src ~dst ~tag ~payload ~payload_off ~payload_len ~count ~
   let busy = Net_model.send_busy_time t.model ~bytes in
   advance_clock t src busy;
   let sent_at = t.clocks.(src) in
+  (* Cross-rank section: sequence allocation and mailbox delivery mutate
+     the receiver's state, so the whole injection serializes under the
+     runtime lock in multicore mode (plain call sequentially). *)
+  locked t @@ fun () ->
   let seq = t.msg_seq in
   t.msg_seq <- seq + 1;
   let transit = Net_model.transit_time t.model in

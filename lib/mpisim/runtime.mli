@@ -57,11 +57,16 @@ type t = {
   comm_matrix : Comm_matrix.t;
       (** per-(src,dst) traffic matrix with collective-algorithm
           attribution; disabled (one branch per injection) by default *)
-  mutable progress : int;  (** monotone; drives deadlock detection *)
+  progress : int Atomic.t;  (** monotone; drives deadlock detection *)
   mutable msg_seq : int;
   mutable next_context : int;
   mutable assertion_level : int;
       (** 0 = none, 1 = cheap local checks, 2 = heavy checks (§III-G) *)
+  lock : Mutex.t;
+      (** serializes cross-rank mutations in multicore mode; see
+          {!locked} *)
+  mutable parallel : bool;
+      (** multicore backend active: {!locked} really locks *)
 }
 
 (** Raised inside a fiber whose rank was failed by injection. *)
@@ -84,6 +89,28 @@ val create :
   t
 
 val bump_progress : t -> unit
+
+(** Current value of the progress epoch (reads the atomic). *)
+val progress_count : t -> int
+
+(** Switch into multicore mode (one-way): cross-rank mutations start
+    taking the runtime lock, the stats registry, profiling table and
+    wire pools arm their internal guards.  Called by the engine before
+    the domain-pool scheduler starts.
+
+    Per-rank ownership invariant (asserted by the parallel scheduler): a
+    rank's fiber runs on exactly one domain at a time, so rank-indexed
+    state touched only by its own fiber — clocks, busy/blocked
+    accounting, Lamport clocks, its own vector-clock row, its own trace
+    ring — needs no locks.  Only state mutated across ranks (mailbox
+    delivery and matching, [msg_seq], context allocation, communicator
+    registries, collective rendezvous cells) serializes on {!locked}. *)
+val set_parallel : t -> unit
+
+(** [locked t f] runs [f] under the global runtime lock in multicore
+    mode, as a plain call otherwise.  Not reentrant; never park a fiber
+    inside [f]. *)
+val locked : t -> (unit -> 'a) -> 'a
 
 (** Switch on O(p)-per-event vector-clock stamping.  Sends then carry a
     VC snapshot, matches merge it, and both emit VC trace records plus a

@@ -6,13 +6,18 @@
    distributions, and exporters turn it into text or JSON.
 
    Hot-path discipline: [incr]/[add]/[set]/[observe] never allocate.
-   Counters and gauges are single-mutable-field records (gauges are
-   all-float records, so the field is stored flat); histogram bucketing
-   is a binary search over a shared power-of-two bounds array, and the
-   float moments live in a float array rather than record fields so the
-   updates stay box-free. *)
+   Counters are atomic ints (domain-safe by construction: the multicore
+   scheduler bumps them from several domains); gauges are
+   single-mutable-float records (word-sized stores never tear under the
+   OCaml memory model, so concurrent [set]s are last-writer-wins);
+   histogram bucketing is a binary search over a shared power-of-two
+   bounds array, and the float moments live in a float array rather than
+   record fields so the updates stay box-free.  Histogram observation and
+   registration are multi-field updates, so they take a lock — but only
+   after {!set_threadsafe} marks the registry as shared between domains;
+   sequential runs keep the original lock-free paths. *)
 
-type counter = { mutable count : int }
+type counter = int Atomic.t
 
 type gauge = { mutable value : float }
 
@@ -30,7 +35,13 @@ let bounds =
 let n_buckets = Array.length bounds + 1
 
 (* moments layout: [| sum; min; max |] *)
-type histogram = { counts : int array; moments : float array; mutable total : int }
+type histogram = {
+  counts : int array;
+  moments : float array;
+  mutable total : int;
+  h_lock : Mutex.t;
+  mutable h_ts : bool;  (* lock observations (registry is cross-domain) *)
+}
 
 type t = {
   counters : (string, counter) Hashtbl.t;
@@ -40,6 +51,10 @@ type t = {
   mutable counter_order : string list;
   mutable gauge_order : string list;
   mutable histogram_order : string list;
+  (* Guards registration (the Hashtbls and order lists) and marks new
+     histograms as lock-on-observe once [set_threadsafe] was called. *)
+  reg_lock : Mutex.t;
+  mutable ts : bool;
 }
 
 let create () =
@@ -50,42 +65,76 @@ let create () =
     counter_order = [];
     gauge_order = [];
     histogram_order = [];
+    reg_lock = Mutex.create ();
+    ts = false;
   }
 
+(* Flip the registry into cross-domain mode: registration takes the lock
+   and every histogram (existing and future) locks its observations.
+   Counters are atomic and gauges tear-free either way.  One-way: a
+   registry shared once stays guarded for its lifetime. *)
+let set_threadsafe t =
+  Mutex.lock t.reg_lock;
+  t.ts <- true;
+  Hashtbl.iter (fun _ h -> h.h_ts <- true) t.histograms;
+  Mutex.unlock t.reg_lock
+
+let with_reg_lock t f =
+  if not t.ts then f ()
+  else begin
+    Mutex.lock t.reg_lock;
+    match f () with
+    | v ->
+        Mutex.unlock t.reg_lock;
+        v
+    | exception e ->
+        Mutex.unlock t.reg_lock;
+        raise e
+  end
+
 let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some c -> c
-  | None ->
-      let c = { count = 0 } in
-      Hashtbl.replace t.counters name c;
-      t.counter_order <- name :: t.counter_order;
-      c
+  with_reg_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.replace t.counters name c;
+          t.counter_order <- name :: t.counter_order;
+          c)
 
 let gauge t name =
-  match Hashtbl.find_opt t.gauges name with
-  | Some g -> g
-  | None ->
-      let g = { value = 0. } in
-      Hashtbl.replace t.gauges name g;
-      t.gauge_order <- name :: t.gauge_order;
-      g
+  with_reg_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some g -> g
+      | None ->
+          let g = { value = 0. } in
+          Hashtbl.replace t.gauges name g;
+          t.gauge_order <- name :: t.gauge_order;
+          g)
 
 let histogram t name =
-  match Hashtbl.find_opt t.histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        { counts = Array.make n_buckets 0; moments = [| 0.; infinity; neg_infinity |]; total = 0 }
-      in
-      Hashtbl.replace t.histograms name h;
-      t.histogram_order <- name :: t.histogram_order;
-      h
+  with_reg_lock t (fun () ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              counts = Array.make n_buckets 0;
+              moments = [| 0.; infinity; neg_infinity |];
+              total = 0;
+              h_lock = Mutex.create ();
+              h_ts = t.ts;
+            }
+          in
+          Hashtbl.replace t.histograms name h;
+          t.histogram_order <- name :: t.histogram_order;
+          h)
 
-let incr c = c.count <- c.count + 1
+let incr c = Atomic.incr c
 
-let add c n = c.count <- c.count + n
+let add c n = ignore (Atomic.fetch_and_add c n : int)
 
-let count c = c.count
+let count c = Atomic.get c
 
 let set g v = g.value <- v
 
@@ -105,12 +154,20 @@ let bucket_of v =
     !hi
   end
 
-let observe h v =
+let observe_unlocked h v =
   h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
   h.total <- h.total + 1;
   h.moments.(0) <- h.moments.(0) +. v;
   if v < h.moments.(1) then h.moments.(1) <- v;
   if v > h.moments.(2) then h.moments.(2) <- v
+
+let observe h v =
+  if h.h_ts then begin
+    Mutex.lock h.h_lock;
+    observe_unlocked h v;
+    Mutex.unlock h.h_lock
+  end
+  else observe_unlocked h v
 
 let observe_int h n = observe h (float_of_int n)
 
@@ -214,7 +271,8 @@ let iter_histograms t f =
 
 let pp ppf t =
   iter_counters t (fun name c ->
-      if c.count <> 0 then Format.fprintf ppf "%-32s %d@." name c.count);
+      let n = count c in
+      if n <> 0 then Format.fprintf ppf "%-32s %d@." name n);
   iter_gauges t (fun name g -> Format.fprintf ppf "%-32s %g@." name g.value);
   iter_histograms t (fun name h ->
       let fmt =
@@ -235,7 +293,7 @@ let json_into buf t =
   let root = Json_out.start_obj buf in
   Json_out.key root "counters";
   let cs = Json_out.start_obj buf in
-  iter_counters t (fun name c -> Json_out.field_int cs name c.count);
+  iter_counters t (fun name c -> Json_out.field_int cs name (count c));
   Json_out.end_obj cs;
   Json_out.key root "gauges";
   let gs = Json_out.start_obj buf in

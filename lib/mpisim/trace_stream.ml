@@ -48,6 +48,11 @@ type t = {
   seqs : int array;  (* per-rank event sequence numbers *)
   mutable events : int;
   mutable closed : bool;
+  (* The sink is one shared buffer + channel: under the multicore
+     scheduler several domains emit concurrently, so every record write
+     serializes on this lock.  Uncontended (sequential runs) it is a
+     couple of atomic ops per event. *)
+  lock : Mutex.t;
 }
 
 (* rank + seq + cat id + name id (i32), kind (u8), ts + dur (f64),
@@ -75,7 +80,18 @@ let create ~path ~ranks =
     seqs = Array.make ranks 0;
     events = 0;
     closed = false;
+    lock = Mutex.create ();
   }
+
+let[@inline] locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
 
 let events_written t = t.events
 
@@ -119,6 +135,7 @@ let kind_of_code = function
   | _ -> None
 
 let write_event t ~rank ~kind ~cat ~name ~ts ~dur ~a ~b ~c ~d =
+  locked t @@ fun () ->
   if t.closed then invalid_arg "Trace_stream.write_event: writer is closed";
   let cat_id = intern t cat in
   let name_id = intern t name in
@@ -144,6 +161,7 @@ let write_event t ~rank ~kind ~cat ~name ~ts ~dur ~a ~b ~c ~d =
    sequence number [seq - 1]).  The array is copied into the stream, so
    the caller may keep mutating its live clock row. *)
 let write_vc t ~rank ~vc =
+  locked t @@ fun () ->
   if t.closed then invalid_arg "Trace_stream.write_vc: writer is closed";
   if t.seqs.(rank) = 0 then invalid_arg "Trace_stream.write_vc: no event to annotate";
   let n = Array.length vc in
@@ -160,6 +178,7 @@ let write_vc t ~rank ~vc =
       Buffer.add_bytes t.buf b)
 
 let close t =
+  locked t @@ fun () ->
   if not t.closed then begin
     t.closed <- true;
     flush t;
